@@ -1,0 +1,59 @@
+//! Ablation: dominance-test kernels (paper §VII-A2).
+//!
+//! The paper vectorises its DTs with AVX for 1.25–2× end-to-end speedups.
+//! Our stand-in is the branch-free 8-lane kernel; this bench reproduces
+//! the scalar-versus-vectorised comparison on raw DT throughput across
+//! dimensionalities, on pairs with *late* failure (worst case for the
+//! scalar early exit — the case vectorisation is for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skyline_core::dominance::{dt, strictly_dominates, strictly_dominates_lanes};
+use skyline_data::Rng;
+
+/// Pairs where p ≤ q on every dimension except possibly the last —
+/// forcing full-length scans.
+fn late_failure_pairs(d: usize, count: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
+    let mut rng = Rng::seed_from(7);
+    (0..count)
+        .map(|i| {
+            let p: Vec<f32> = (0..d).map(|_| rng.next_f64() as f32).collect();
+            let mut q: Vec<f32> = p.iter().map(|&x| x + 0.001).collect();
+            if i % 2 == 0 {
+                // Break dominance only at the last coordinate.
+                q[d - 1] = p[d - 1] - 0.001;
+            }
+            (p, q)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    for d in [4usize, 8, 16] {
+        let pairs = late_failure_pairs(d, 4_096);
+        let mut g = c.benchmark_group(format!("ablation_dominance_d{d}"));
+        g.throughput(Throughput::Elements(pairs.len() as u64));
+        g.bench_with_input(BenchmarkId::new("scalar", d), &pairs, |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(p, q)| strictly_dominates(p, q))
+                    .count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lanes", d), &pairs, |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(p, q)| strictly_dominates_lanes(p, q))
+                    .count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dispatched", d), &pairs, |b, pairs| {
+            b.iter(|| pairs.iter().filter(|(p, q)| dt(p, q)).count())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

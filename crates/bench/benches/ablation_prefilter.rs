@@ -1,0 +1,33 @@
+//! Ablation: the pre-filter queue size β (paper footnote 3: "β = 8
+//! empirically configured; appreciable impact only [on] correlated
+//! data"). Sweeps β for Hybrid on correlated vs independent data.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut g = c.benchmark_group("ablation_prefilter_beta");
+    g.sample_size(10);
+    for dist in [Distribution::Correlated, Distribution::Independent] {
+        let data = generate(dist, 30_000, 8, 42, &pool);
+        for beta in [1usize, 4, 8, 32, 128] {
+            let cfg = SkylineConfig {
+                prefilter_beta: beta,
+                ..Default::default()
+            };
+            g.bench_with_input(BenchmarkId::new(dist.label(), beta), &cfg, |b, cfg| {
+                b.iter(|| Algorithm::Hybrid.run(&data, &pool, cfg).indices.len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

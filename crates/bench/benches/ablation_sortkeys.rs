@@ -1,0 +1,46 @@
+//! Ablation: monotone sort keys for the presorting algorithms
+//! (SFS with L1 — the paper's choice — versus entropy and SaLSa's minC).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::{SkylineConfig, SortKey};
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut g = c.benchmark_group("ablation_sortkeys_sfs");
+    g.sample_size(10);
+    for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+        let n = if dist == Distribution::Independent {
+            20_000
+        } else {
+            8_000
+        };
+        let data = generate(dist, n, 6, 42, &pool);
+        for key in [SortKey::L1, SortKey::Entropy, SortKey::MinCoord] {
+            let cfg = SkylineConfig {
+                sort_key: key,
+                ..Default::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(dist.label(), key.name()),
+                &cfg,
+                |b, cfg| b.iter(|| Algorithm::Sfs.run(&data, &pool, cfg).indices.len()),
+            );
+        }
+        // SaLSa's early termination as the fourth bar.
+        let cfg = SkylineConfig::default();
+        g.bench_with_input(
+            BenchmarkId::new(dist.label(), "salsa"),
+            &cfg,
+            |b, cfg| b.iter(|| Algorithm::Salsa.run(&data, &pool, cfg).indices.len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

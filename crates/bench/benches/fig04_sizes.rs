@@ -1,0 +1,32 @@
+//! Figure 4 (bench form): skyline-size computation per distribution.
+//! Measures the full Hybrid pipeline that the harness uses to count
+//! skyline sizes at a fixed small workload.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let cfg = SkylineConfig::default();
+    let mut g = c.benchmark_group("fig04_sizes");
+    g.sample_size(10);
+    for dist in [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::Anticorrelated,
+    ] {
+        let data = generate(dist, 20_000, 8, 42, &pool);
+        g.bench_with_input(BenchmarkId::new("hybrid", dist.label()), &data, |b, data| {
+            b.iter(|| Algorithm::Hybrid.run(data, &pool, &cfg).indices.len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

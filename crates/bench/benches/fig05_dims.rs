@@ -1,0 +1,30 @@
+//! Figure 5 (bench form): the five evaluated algorithms across
+//! dimensionality on independent data (n fixed small for bench budgets;
+//! the harness covers the full grid and all three distributions).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let cfg = SkylineConfig::default();
+    let mut g = c.benchmark_group("fig05_dims_independent");
+    g.sample_size(10);
+    for d in [4usize, 8, 12] {
+        let data = generate(Distribution::Independent, 10_000, d, 42, &pool);
+        for algo in Algorithm::PAPER_FIVE {
+            g.bench_with_input(BenchmarkId::new(algo.name(), d), &data, |b, data| {
+                b.iter(|| algo.run(data, &pool, &cfg).indices.len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

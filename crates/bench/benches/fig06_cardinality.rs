@@ -1,0 +1,30 @@
+//! Figure 6 (bench form): the five evaluated algorithms across
+//! cardinality at fixed d on independent data.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let cfg = SkylineConfig::default();
+    let mut g = c.benchmark_group("fig06_cardinality_independent_d8");
+    g.sample_size(10);
+    for n in [5_000usize, 10_000, 20_000] {
+        let data = generate(Distribution::Independent, n, 8, 42, &pool);
+        g.throughput(Throughput::Elements(n as u64));
+        for algo in Algorithm::PAPER_FIVE {
+            g.bench_with_input(BenchmarkId::new(algo.name(), n), &data, |b, data| {
+                b.iter(|| algo.run(data, &pool, &cfg).indices.len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 7 (bench form): Q-Flow's sensitivity to the block size α, with
+//! PSkyline as the reference bar.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let data = generate(Distribution::Independent, 20_000, 8, 42, &pool);
+    let mut g = c.benchmark_group("fig07_alpha_qflow");
+    g.sample_size(10);
+    for alpha_log in [7u32, 10, 13, 16] {
+        let cfg = SkylineConfig {
+            alpha_qflow: 1usize << alpha_log,
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("qflow", format!("2^{alpha_log}")),
+            &cfg,
+            |b, cfg| b.iter(|| Algorithm::QFlow.run(&data, &pool, cfg).indices.len()),
+        );
+    }
+    let cfg = SkylineConfig::default();
+    g.bench_function("pskyline_reference", |b| {
+        b.iter(|| Algorithm::PSkyline.run(&data, &pool, &cfg).indices.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 8 (bench form): Hybrid's sensitivity to the block size α.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut g = c.benchmark_group("fig08_alpha_hybrid");
+    g.sample_size(10);
+    for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+        let n = if dist == Distribution::Independent {
+            20_000
+        } else {
+            8_000
+        };
+        let data = generate(dist, n, 8, 42, &pool);
+        for alpha_log in [7u32, 10, 13, 16] {
+            let cfg = SkylineConfig {
+                alpha_hybrid: 1usize << alpha_log,
+                ..Default::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(dist.label(), format!("2^{alpha_log}")),
+                &cfg,
+                |b, cfg| b.iter(|| Algorithm::Hybrid.run(&data, &pool, cfg).indices.len()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 9 (bench form): Hybrid pivot-selection strategies across α.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::{PivotStrategy, SkylineConfig};
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let data = generate(Distribution::Independent, 15_000, 8, 42, &pool);
+    let mut g = c.benchmark_group("fig09_pivots");
+    g.sample_size(10);
+    for pivot in PivotStrategy::ALL {
+        for alpha in [128usize, 1024] {
+            let cfg = SkylineConfig {
+                pivot,
+                alpha_hybrid: alpha,
+                ..Default::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(pivot.name(), alpha),
+                &cfg,
+                |b, cfg| b.iter(|| Algorithm::Hybrid.run(&data, &pool, cfg).indices.len()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

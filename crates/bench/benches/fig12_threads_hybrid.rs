@@ -1,0 +1,30 @@
+//! Figures 12/13 (bench form): Hybrid versus PBSkyTree thread
+//! scalability.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let gen_pool = ThreadPool::new(2);
+    let cfg = SkylineConfig::default();
+    let data = generate(Distribution::Anticorrelated, 10_000, 8, 42, &gen_pool);
+    let mut g = c.benchmark_group("fig12_threads_hybrid_vs_pbskytree");
+    g.sample_size(10);
+    for t in [1usize, 2] {
+        let pool = Arc::new(ThreadPool::new(t));
+        for algo in [Algorithm::Hybrid, Algorithm::PBSkyTree] {
+            g.bench_with_input(BenchmarkId::new(algo.name(), t), &t, |b, _| {
+                b.iter(|| algo.run(&data, &pool, &cfg).indices.len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

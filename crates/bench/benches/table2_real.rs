@@ -1,0 +1,27 @@
+//! Table II (bench form): the five evaluated algorithms on the NBA
+//! stand-in (duplicate-heavy real-data shape).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::RealDataset;
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = Arc::new(ThreadPool::new(2));
+    let cfg = SkylineConfig::default();
+    let nba = RealDataset::Nba.standin(&pool);
+    let mut g = c.benchmark_group("table2_real_nba");
+    g.sample_size(10);
+    for algo in Algorithm::PAPER_FIVE {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| algo.run(&nba, &pool, &cfg).indices.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

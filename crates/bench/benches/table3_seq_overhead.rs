@@ -1,0 +1,37 @@
+//! Table III (bench form): PBSkyTree's single-threaded overhead relative
+//! to natively sequential BSkyTree.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let gen_pool = ThreadPool::new(2);
+    let pool1 = Arc::new(ThreadPool::new(1));
+    let cfg = SkylineConfig::default();
+    let mut g = c.benchmark_group("table3_seq_overhead_t1");
+    g.sample_size(10);
+    for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+        let n = if dist == Distribution::Independent {
+            20_000
+        } else {
+            10_000
+        };
+        let data = generate(dist, n, 8, 42, &gen_pool);
+        for algo in [Algorithm::BSkyTree, Algorithm::PBSkyTree] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), dist.label()),
+                &data,
+                |b, data| b.iter(|| algo.run(data, &pool1, &cfg).indices.len()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

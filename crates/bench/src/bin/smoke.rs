@@ -1,0 +1,26 @@
+use skyline_core::{algo::Algorithm, SkylineConfig};
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+use std::time::Instant;
+
+fn main() {
+    let gen_pool = ThreadPool::new(2);
+    let cfg = SkylineConfig::default();
+    for (dist, n, d) in [
+        (Distribution::Correlated, 200_000usize, 12usize),
+        (Distribution::Independent, 100_000, 8),
+        (Distribution::Anticorrelated, 50_000, 8),
+    ] {
+        let t0 = Instant::now();
+        let data = generate(dist, n, d, 42, &gen_pool);
+        println!("--- {dist:?} n={n} d={d} (gen {:?})", t0.elapsed());
+        for algo in [Algorithm::BSkyTree, Algorithm::PBSkyTree, Algorithm::PSkyline, Algorithm::QFlow, Algorithm::Hybrid] {
+            for t in [1usize, 2] {
+                let pool = ThreadPool::new(t);
+                let t0 = Instant::now();
+                let r = algo.run(&data, &pool, &cfg);
+                println!("{:>10} t={} {:>9.1?} |SKY|={} DTs={}", algo.name(), t, t0.elapsed(), r.indices.len(), r.stats.dominance_tests);
+            }
+        }
+    }
+}

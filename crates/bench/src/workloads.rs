@@ -1,0 +1,86 @@
+//! Workload construction and caching for the experiment harness.
+//!
+//! Datasets are deterministic in (distribution, n, d, seed); the cache
+//! generates each maximal-n dataset once per (distribution, d) and serves
+//! smaller cardinalities as prefixes, mirroring how the paper's generator
+//! is used.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skyline_data::{generate, Dataset, Distribution};
+use skyline_parallel::ThreadPool;
+
+/// The master seed for all synthetic experiment workloads.
+pub const WORKLOAD_SEED: u64 = 20150413; // ICDE 2015 week
+
+/// The three synthetic distributions in the paper's presentation order.
+pub const DISTRIBUTIONS: [Distribution; 3] = [
+    Distribution::Correlated,
+    Distribution::Independent,
+    Distribution::Anticorrelated,
+];
+
+/// Cache of generated datasets, keyed by (distribution label, d).
+/// Each entry stores the largest-n dataset requested so far.
+#[derive(Debug, Default)]
+pub struct WorkloadCache {
+    full: HashMap<(&'static str, usize), Arc<Dataset>>,
+}
+
+impl WorkloadCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the first `n` points of the `(dist, d)` workload.
+    pub fn get(
+        &mut self,
+        dist: Distribution,
+        n: usize,
+        d: usize,
+        pool: &ThreadPool,
+    ) -> Arc<Dataset> {
+        let key = (dist.label(), d);
+        let need_regen = match self.full.get(&key) {
+            Some(ds) => ds.len() < n,
+            None => true,
+        };
+        if need_regen {
+            let ds = generate(dist, n, d, WORKLOAD_SEED, pool);
+            self.full.insert(key, Arc::new(ds));
+        }
+        let full = self.full.get(&key).expect("just inserted");
+        if full.len() == n {
+            Arc::clone(full)
+        } else {
+            Arc::new(full.truncated(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_serves_prefixes() {
+        let pool = ThreadPool::new(2);
+        let mut cache = WorkloadCache::new();
+        let big = cache.get(Distribution::Independent, 2_000, 3, &pool);
+        let small = cache.get(Distribution::Independent, 500, 3, &pool);
+        assert_eq!(small.len(), 500);
+        assert_eq!(small.values(), &big.values()[..500 * 3]);
+    }
+
+    #[test]
+    fn cache_regenerates_for_larger_n() {
+        let pool = ThreadPool::new(1);
+        let mut cache = WorkloadCache::new();
+        let a = cache.get(Distribution::Correlated, 100, 2, &pool);
+        let b = cache.get(Distribution::Correlated, 300, 2, &pool);
+        // Determinism: the smaller dataset is a prefix of the larger.
+        assert_eq!(a.values(), &b.values()[..100 * 2]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dominance-test kernels.
+//!
+//! A dominance test (DT) is the primary operation of every skyline
+//! algorithm (paper §IV-A), so this module provides carefully shaped
+//! kernels:
+//!
+//! * [`strictly_dominates`] — early-exit scalar test of Definition 2
+//!   (`p ≺ q ⟺ ∀i p[i] ≤ q[i] ∧ ∃i p[i] < q[i]`);
+//! * [`strictly_dominates_lanes`] — a branch-free 8-lane form of the same
+//!   test written so that LLVM auto-vectorises it, standing in for the
+//!   paper's hand-written AVX kernels (§VII-A2, "8-degree data-level
+//!   parallelism");
+//! * [`dominates_or_equal`] — potential dominance `p ⪯ q` (Definition 1);
+//! * [`compare`] — both directions in one pass, for the window algorithms
+//!   (BNL) that need them simultaneously.
+//!
+//! All algorithms route through [`dt`], which picks a kernel by
+//! dimensionality — exactly as the paper gives the *same* optimised DT to
+//! every algorithm "for a fair comparison". The ablation bench
+//! `ablation_dominance` reproduces the scalar-versus-vectorised
+//! comparison.
+
+/// Outcome of a two-way comparison; see [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomRelation {
+    /// `p ≺ q`.
+    PDominatesQ,
+    /// `q ≺ p`.
+    QDominatesP,
+    /// Identical coordinates (`p ≡ q`): neither dominates (Definition 2).
+    Equal,
+    /// Neither may dominate the other.
+    Incomparable,
+}
+
+/// Strict dominance `p ≺ q` with per-coordinate early exit. Fastest when
+/// failures are discovered early — typical for unsorted window scans.
+#[inline]
+pub fn strictly_dominates(p: &[f32], q: &[f32]) -> bool {
+    debug_assert_eq!(p.len(), q.len());
+    let mut lt = false;
+    for (a, b) in p.iter().zip(q) {
+        if a > b {
+            return false;
+        }
+        lt |= a < b;
+    }
+    lt
+}
+
+/// Strict dominance in branch-free 8-wide lanes. The inner loop over a
+/// fixed-size block reduces with `&`/`|` only, which LLVM turns into
+/// vector compares; the early exit happens between blocks.
+#[inline]
+pub fn strictly_dominates_lanes(p: &[f32], q: &[f32]) -> bool {
+    debug_assert_eq!(p.len(), q.len());
+    const LANES: usize = 8;
+    let mut lt = false;
+    let chunks = p.len() / LANES;
+    for c in 0..chunks {
+        let pa: &[f32; LANES] = p[c * LANES..(c + 1) * LANES].try_into().unwrap();
+        let qa: &[f32; LANES] = q[c * LANES..(c + 1) * LANES].try_into().unwrap();
+        let mut le = true;
+        let mut lt8 = false;
+        for k in 0..LANES {
+            le &= pa[k] <= qa[k];
+            lt8 |= pa[k] < qa[k];
+        }
+        if !le {
+            return false;
+        }
+        lt |= lt8;
+    }
+    for k in chunks * LANES..p.len() {
+        if p[k] > q[k] {
+            return false;
+        }
+        lt |= p[k] < q[k];
+    }
+    lt
+}
+
+/// The dispatching DT used by every algorithm: lane kernel once a full
+/// 8-block exists, scalar below that.
+#[inline]
+pub fn dt(p: &[f32], q: &[f32]) -> bool {
+    if p.len() >= 8 {
+        strictly_dominates_lanes(p, q)
+    } else {
+        strictly_dominates(p, q)
+    }
+}
+
+/// Potential dominance `p ⪯ q` (Definition 1): `∀i p[i] ≤ q[i]`.
+#[inline]
+pub fn dominates_or_equal(p: &[f32], q: &[f32]) -> bool {
+    debug_assert_eq!(p.len(), q.len());
+    p.iter().zip(q).all(|(a, b)| a <= b)
+}
+
+/// Coordinate-wise equality `p ≡ q`.
+#[inline]
+pub fn coincident(p: &[f32], q: &[f32]) -> bool {
+    debug_assert_eq!(p.len(), q.len());
+    p.iter().zip(q).all(|(a, b)| a == b)
+}
+
+/// Single-pass two-way comparison, for algorithms that need both
+/// directions (window maintenance in BNL).
+#[inline]
+pub fn compare(p: &[f32], q: &[f32]) -> DomRelation {
+    debug_assert_eq!(p.len(), q.len());
+    let mut p_le = true;
+    let mut q_le = true;
+    for (a, b) in p.iter().zip(q) {
+        p_le &= a <= b;
+        q_le &= b <= a;
+        if !p_le && !q_le {
+            return DomRelation::Incomparable;
+        }
+    }
+    match (p_le, q_le) {
+        (true, true) => DomRelation::Equal,
+        (true, false) => DomRelation::PDominatesQ,
+        (false, true) => DomRelation::QDominatesP,
+        (false, false) => unreachable!("handled by the early exit"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation straight from Definitions 1–2.
+    fn reference(p: &[f32], q: &[f32]) -> bool {
+        p.iter().zip(q).all(|(a, b)| a <= b) && !p.iter().zip(q).all(|(a, b)| a == b)
+    }
+
+    #[test]
+    fn basic_cases() {
+        assert!(strictly_dominates(&[1.0, 2.0], &[2.0, 3.0]));
+        assert!(strictly_dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!strictly_dominates(&[1.0, 2.0], &[1.0, 2.0])); // coincident
+        assert!(!strictly_dominates(&[1.0, 4.0], &[2.0, 3.0])); // incomparable
+        assert!(!strictly_dominates(&[2.0, 3.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn negative_and_zero_values() {
+        assert!(strictly_dominates(&[-2.0, -1.0], &[-1.0, -1.0]));
+        assert!(!strictly_dominates(&[0.0, 0.0], &[0.0, 0.0]));
+        assert!(strictly_dominates(&[-0.0, 0.0], &[0.0, 1.0])); // -0 == 0
+    }
+
+    #[test]
+    fn kernels_agree_exhaustively() {
+        // Exhaustive over small coordinate alphabets and many dims,
+        // including the lane kernel's remainder path.
+        let alphabet = [0.0f32, 1.0, 2.0];
+        for d in [1usize, 2, 3, 7, 8, 9, 15, 16, 17] {
+            let mut p = vec![0.0f32; d];
+            let mut q = vec![0.0f32; d];
+            let mut rng = 0x12345u64;
+            for _ in 0..2_000 {
+                for v in p.iter_mut().chain(q.iter_mut()) {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    *v = alphabet[(rng >> 33) as usize % alphabet.len()];
+                }
+                let want = reference(&p, &q);
+                assert_eq!(strictly_dominates(&p, &q), want, "scalar d={d} {p:?} {q:?}");
+                assert_eq!(
+                    strictly_dominates_lanes(&p, &q),
+                    want,
+                    "lanes d={d} {p:?} {q:?}"
+                );
+                assert_eq!(dt(&p, &q), want, "dt d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_matches_individual_tests() {
+        let cases: &[(&[f32], &[f32])] = &[
+            (&[1.0, 2.0], &[2.0, 3.0]),
+            (&[2.0, 3.0], &[1.0, 2.0]),
+            (&[1.0, 2.0], &[1.0, 2.0]),
+            (&[1.0, 4.0], &[2.0, 3.0]),
+        ];
+        for (p, q) in cases {
+            let rel = compare(p, q);
+            match rel {
+                DomRelation::PDominatesQ => assert!(strictly_dominates(p, q)),
+                DomRelation::QDominatesP => assert!(strictly_dominates(q, p)),
+                DomRelation::Equal => assert!(coincident(p, q)),
+                DomRelation::Incomparable => {
+                    assert!(!strictly_dominates(p, q) && !strictly_dominates(q, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weak_dominance_includes_equality() {
+        assert!(dominates_or_equal(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(dominates_or_equal(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates_or_equal(&[1.0, 4.0], &[1.0, 3.0]));
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let pts: &[&[f32]] = &[&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0], &[1.0, 1.0, 1.0]];
+        for p in pts {
+            assert!(!strictly_dominates(p, p));
+            for q in pts {
+                assert!(!(strictly_dominates(p, q) && strictly_dominates(q, p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Partition masks and the compound sort key (paper §VI-A2, §VI-A3).
+//!
+//! A point `p` is assigned a bitmask `m` relative to a pivot `v`:
+//! `m[i] = (p[i] < v[i] ? 0 : 1)`. Two properties make the masks cheap
+//! dominance filters:
+//!
+//! 1. if `|m| ≥ |m′|` and `m ≠ m′`, no point with mask `m` can dominate a
+//!    point with mask `m′`;
+//! 2. if `m & m′ < m` (i.e. `m ⊄ m′`), no point with mask `m` can
+//!    dominate a point with mask `m′`.
+//!
+//! Both follow from the subset lemma tested below: `p ≺ q` forces
+//! `mask(p) ⊆ mask(q)` bitwise, relative to *any* pivot.
+//!
+//! The compound key packs level and mask into one integer,
+//! `K = (|m| ≪ d) | m`, so one comparison sorts by (level, mask).
+
+/// Partition bitmask relative to a pivot.
+pub type Mask = u32;
+
+/// The all-ones mask for dimensionality `d` (the region weakly dominated
+/// by the pivot).
+#[inline]
+pub fn full_mask(d: usize) -> Mask {
+    debug_assert!(d <= 31);
+    (1u32 << d) - 1
+}
+
+/// Number of set bits — the partition's *level*.
+#[inline]
+pub fn level(m: Mask) -> u32 {
+    m.count_ones()
+}
+
+/// `m ⊆ of` bitwise. [`can_dominate`] spells out the filter semantics.
+#[inline]
+pub fn is_subset(m: Mask, of: Mask) -> bool {
+    m & of == m
+}
+
+/// Necessary condition for a point with mask `dominator` to dominate a
+/// point with mask `dominatee` (property 2 above; property 1 is the
+/// special case of equal levels). When this returns `false` the full
+/// dominance test can be skipped.
+#[inline]
+pub fn can_dominate(dominator: Mask, dominatee: Mask) -> bool {
+    is_subset(dominator, dominatee)
+}
+
+/// Computes `p`'s mask relative to `pivot`.
+#[inline]
+pub fn partition_mask(p: &[f32], pivot: &[f32]) -> Mask {
+    debug_assert_eq!(p.len(), pivot.len());
+    debug_assert!(p.len() <= 31);
+    let mut m = 0u32;
+    for (i, (a, v)) in p.iter().zip(pivot).enumerate() {
+        m |= u32::from(a >= v) << i;
+    }
+    m
+}
+
+/// Computes the mask and coordinate equality in one pass. Used where the
+/// paper's Algorithm 3 needs `part(q, S[s])` and `q ≢ S[s]` together;
+/// counts as a single dominance test.
+#[inline]
+pub fn mask_and_eq(p: &[f32], pivot: &[f32]) -> (Mask, bool) {
+    debug_assert_eq!(p.len(), pivot.len());
+    let mut m = 0u32;
+    let mut eq = true;
+    for (i, (a, v)) in p.iter().zip(pivot).enumerate() {
+        m |= u32::from(a >= v) << i;
+        eq &= a == v;
+    }
+    (m, eq)
+}
+
+/// The compound key `K = (|m| ≪ d) | m` (paper's bithack), packing level
+/// and mask so that integer order equals (level, mask) lexicographic
+/// order. Requires `d + ⌈log₂(d+1)⌉ ≤ 31` — ample for `d ≤ 20`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CompoundKey(pub u32);
+
+impl CompoundKey {
+    /// Builds the key for `mask` in dimensionality `d`.
+    #[inline]
+    pub fn new(mask: Mask, d: usize) -> Self {
+        debug_assert!(mask <= full_mask(d));
+        CompoundKey((level(mask) << d) | mask)
+    }
+
+    /// Recovers the mask: `m = K & (2^d − 1)`.
+    #[inline]
+    pub fn mask(self, d: usize) -> Mask {
+        self.0 & full_mask(d)
+    }
+
+    /// Recovers the level: `|m| = K ≫ d`.
+    #[inline]
+    pub fn level(self, d: usize) -> u32 {
+        self.0 >> d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::strictly_dominates;
+
+    #[test]
+    fn masks_match_figure_1b() {
+        // Figure 1b/3a: 2-d space, midpoint pivot; bit 0 is x, bit 1 is y.
+        let pivot = [0.5f32, 0.5];
+        assert_eq!(partition_mask(&[0.2, 0.2], &pivot), 0b00);
+        assert_eq!(partition_mask(&[0.2, 0.8], &pivot), 0b10);
+        assert_eq!(partition_mask(&[0.8, 0.2], &pivot), 0b01);
+        assert_eq!(partition_mask(&[0.8, 0.8], &pivot), 0b11);
+        // Boundary counts as "not smaller" ⇒ bit set, pivot maps to full.
+        assert_eq!(partition_mask(&pivot, &pivot), 0b11);
+    }
+
+    #[test]
+    fn subset_lemma_holds_on_random_data() {
+        // p ≺ q ⇒ mask(p) ⊆ mask(q) for any pivot.
+        let mut rng = 0xDEADBEEFu64;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 40) % 5) as f32
+        };
+        for _ in 0..5_000 {
+            let d = 4;
+            let p: Vec<f32> = (0..d).map(|_| next()).collect();
+            let q: Vec<f32> = (0..d).map(|_| next()).collect();
+            let v: Vec<f32> = (0..d).map(|_| next()).collect();
+            if strictly_dominates(&p, &q) {
+                let mp = partition_mask(&p, &v);
+                let mq = partition_mask(&q, &v);
+                assert!(is_subset(mp, mq), "p={p:?} q={q:?} v={v:?}");
+                assert!(can_dominate(mp, mq));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_is_exactly_the_contrapositive() {
+        // can_dominate == false must imply no dominance, for any points
+        // with those masks; verified by property 2's algebra on bits.
+        for m in 0u32..16 {
+            for m2 in 0u32..16 {
+                if !can_dominate(m, m2) {
+                    // There is a bit where m is 1 (point ≥ pivot) and m2
+                    // is 0 (point < pivot), so the m-point is strictly
+                    // worse there.
+                    assert!(m & !m2 != 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_levels_different_masks_cannot_dominate() {
+        // Property 1 of §VI-A2.
+        for m in 0u32..32 {
+            for m2 in 0u32..32 {
+                if level(m) >= level(m2) && m != m2 {
+                    assert!(!can_dominate(m, m2), "m={m:#b} m2={m2:#b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compound_key_round_trips_and_orders() {
+        for d in [2usize, 8, 16, 20] {
+            let mut keys: Vec<(u32, Mask)> = vec![];
+            for mask in 0..=full_mask(d).min(1 << 12) {
+                let k = CompoundKey::new(mask, d);
+                assert_eq!(k.mask(d), mask);
+                assert_eq!(k.level(d), level(mask));
+                keys.push((k.0, mask));
+            }
+            keys.sort_unstable();
+            for w in keys.windows(2) {
+                let (la, lb) = (level(w[0].1), level(w[1].1));
+                assert!(la < lb || (la == lb && w[0].1 <= w[1].1));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_and_eq_agrees_with_parts() {
+        let p = [1.0f32, 2.0, 3.0];
+        let v = [1.0f32, 3.0, 2.0];
+        let (m, eq) = mask_and_eq(&p, &v);
+        assert_eq!(m, partition_mask(&p, &v));
+        assert!(!eq);
+        let (m, eq) = mask_and_eq(&p, &p);
+        assert_eq!(m, full_mask(3));
+        assert!(eq);
+    }
+}

@@ -1,0 +1,127 @@
+//! Monotone sort keys and order-preserving float encoding.
+//!
+//! The presorting algorithms rely on one fact (paper §V-A, footnote 2):
+//! for a strictly-increasing-per-dimension aggregate `key`,
+//! `p ≺ q ⇒ key(p) < key(q)`, so sorting by the key guarantees that no
+//! point is dominated by a later one and that dominance needs testing in
+//! only one direction.
+
+use crate::config::SortKey;
+
+/// Manhattan norm `L1(p) = Σᵢ p[i]`.
+#[inline]
+pub fn l1(p: &[f32]) -> f32 {
+    p.iter().sum()
+}
+
+/// The classic SFS "entropy" `Σᵢ ln(1 + p[i])`, extended with softplus
+/// (`ln(1 + eˣ)`) so it stays strictly monotone for negative coordinates
+/// (our datasets may be sign-flipped by max-preferences).
+#[inline]
+pub fn entropy(p: &[f32]) -> f32 {
+    p.iter().map(|&x| (1.0 + x.exp()).ln()).sum()
+}
+
+/// Smallest coordinate (SaLSa's `minC` sort key).
+#[inline]
+pub fn min_coord(p: &[f32]) -> f32 {
+    p.iter().copied().fold(f32::INFINITY, f32::min)
+}
+
+/// Largest coordinate (SaLSa's stop-point bookkeeping).
+#[inline]
+pub fn max_coord(p: &[f32]) -> f32 {
+    p.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Evaluates `key` on a row. `MinCoord` folds L1 in as a tiebreaker at
+/// the bit level via [`scalar_key_bits`], not here.
+#[inline]
+pub fn eval_sort_key(key: SortKey, p: &[f32]) -> f32 {
+    match key {
+        SortKey::L1 => l1(p),
+        SortKey::Entropy => entropy(p),
+        SortKey::MinCoord => min_coord(p),
+    }
+}
+
+/// Maps a finite `f32` to a `u32` whose unsigned order equals the float
+/// order (standard sign-flip trick). Lets the sort machinery work on
+/// packed integer keys.
+#[inline]
+pub fn f32_order_bits(x: f32) -> u32 {
+    debug_assert!(x.is_finite());
+    let bits = x.to_bits();
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
+}
+
+/// Packs a row's sort key and position into one `u64` so the parallel
+/// sort can order plain integers: high 32 bits order by key, low 32 bits
+/// break ties deterministically by position.
+#[inline]
+pub fn packed_scalar_key(key_value: f32, position: u32) -> u64 {
+    ((f32_order_bits(key_value) as u64) << 32) | position as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_and_min_max() {
+        let p = [3.0f32, -1.0, 2.0];
+        assert_eq!(l1(&p), 4.0);
+        assert_eq!(min_coord(&p), -1.0);
+        assert_eq!(max_coord(&p), 3.0);
+    }
+
+    #[test]
+    fn keys_are_dominance_consistent() {
+        // p ≺ q ⇒ key(p) < key(q) for every key.
+        let pairs: &[(&[f32], &[f32])] = &[
+            (&[1.0, 2.0], &[2.0, 3.0]),
+            (&[0.0, 0.0], &[0.0, 1.0]),
+            (&[-3.0, -2.0], &[-3.0, -1.0]),
+        ];
+        for (p, q) in pairs {
+            assert!(crate::dominance::strictly_dominates(p, q));
+            assert!(l1(p) < l1(q));
+            assert!(entropy(p) < entropy(q));
+            // minC is only non-strictly monotone; the tiebreak is L1.
+            assert!(min_coord(p) <= min_coord(q));
+        }
+    }
+
+    #[test]
+    fn order_bits_preserve_order() {
+        let mut values = vec![
+            -1000.0f32, -1.5, -0.0, 0.0, 1e-9, 0.5, 1.0, 2.0, 12345.0,
+        ];
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let bits: Vec<u32> = values.iter().map(|&v| f32_order_bits(v)).collect();
+        for w in bits.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Strictness everywhere except -0.0 vs 0.0, which compare equal as
+        // floats and must not be strictly ordered consistently anyway.
+        assert_eq!(f32_order_bits(-0.0), f32_order_bits(0.0).wrapping_sub(1));
+    }
+
+    #[test]
+    fn packed_key_orders_by_key_then_position() {
+        let a = packed_scalar_key(1.0, 5);
+        let b = packed_scalar_key(1.0, 9);
+        let c = packed_scalar_key(2.0, 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn entropy_handles_negatives() {
+        assert!(entropy(&[-5.0]) < entropy(&[-4.0]));
+        assert!(entropy(&[-5.0]).is_finite());
+    }
+}

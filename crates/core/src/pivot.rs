@@ -1,0 +1,251 @@
+//! Pivot selection for point-based partitioning (paper §VI-A2, §VII-C2).
+//!
+//! Five strategies are evaluated in Figure 9. Correctness of Hybrid never
+//! depends on the choice — any pivot yields a valid (level, mask, L1)
+//! order — but concrete pivots that are known skyline points additionally
+//! let the partitioning step drop the whole all-ones region (every
+//! non-coincident point there is dominated by the pivot).
+
+use crate::config::PivotStrategy;
+use crate::dominance::strictly_dominates;
+use skyline_data::Rng;
+use skyline_parallel::{par_chunks_mut, ThreadPool};
+
+/// A selected pivot.
+#[derive(Debug, Clone)]
+pub struct Pivot {
+    /// The pivot's coordinates (virtual for `Median`).
+    pub coords: Vec<f32>,
+    /// True when the pivot is a dataset point *and* a skyline point, so
+    /// the all-ones partition may be pruned outright.
+    pub concrete: bool,
+}
+
+/// Selects a pivot from `values` (row-major, `n·d`), with `l1[i]`
+/// precomputed. `values` must be non-empty.
+pub fn select_pivot(
+    strategy: PivotStrategy,
+    values: &[f32],
+    d: usize,
+    l1: &[f32],
+    seed: u64,
+    pool: &ThreadPool,
+) -> Pivot {
+    let n = l1.len();
+    assert!(n > 0, "pivot selection requires at least one point");
+    debug_assert_eq!(values.len(), n * d);
+    let row = |i: usize| &values[i * d..(i + 1) * d];
+
+    match strategy {
+        PivotStrategy::Median => Pivot {
+            coords: per_dimension_medians(values, d, n, pool),
+            concrete: false,
+        },
+        PivotStrategy::Manhattan => {
+            // argmin L1 is necessarily a skyline point (footnote 2): a
+            // dominator would have a strictly smaller sum.
+            let best = (0..n)
+                .min_by(|&a, &b| (l1[a], a).partial_cmp(&(l1[b], b)).unwrap())
+                .unwrap();
+            Pivot {
+                coords: row(best).to_vec(),
+                concrete: true,
+            }
+        }
+        PivotStrategy::Balanced => {
+            let (lo, span) = dimension_ranges(values, d, n);
+            let score = |i: usize| -> f32 {
+                let mut mn = f32::INFINITY;
+                let mut mx = f32::NEG_INFINITY;
+                for (k, &v) in row(i).iter().enumerate() {
+                    let norm = (v - lo[k]) / span[k];
+                    mn = mn.min(norm);
+                    mx = mx.max(norm);
+                }
+                mx - mn
+            };
+            let best = (0..n)
+                .min_by(|&a, &b| score(a).partial_cmp(&score(b)).unwrap())
+                .unwrap();
+            Pivot {
+                coords: skyline_fix(values, d, n, best).to_vec(),
+                concrete: true,
+            }
+        }
+        PivotStrategy::Volume => {
+            // Minimum normalised log-volume (see `PivotStrategy::Volume`
+            // docs for why minimum, not the paper's stated maximum).
+            let (lo, span) = dimension_ranges(values, d, n);
+            let score = |i: usize| -> f32 {
+                row(i)
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &v)| (1e-6 + (v - lo[k]) / span[k]).ln())
+                    .sum()
+            };
+            let best = (0..n)
+                .min_by(|&a, &b| score(a).partial_cmp(&score(b)).unwrap())
+                .unwrap();
+            Pivot {
+                coords: skyline_fix(values, d, n, best).to_vec(),
+                concrete: true,
+            }
+        }
+        PivotStrategy::Random => {
+            // Paper footnote 8: take a uniform random point, then one
+            // pass replacing it with any dominator. The replacement chain
+            // is ≺-descending, so the survivor is a skyline point (any
+            // dominator of the final pivot would, by transitivity, have
+            // dominated the pivot current at its turn).
+            let mut rng = Rng::seed_from(seed);
+            let start = rng.next_below(n);
+            Pivot {
+                coords: skyline_fix(values, d, n, start).to_vec(),
+                concrete: true,
+            }
+        }
+    }
+}
+
+/// One dominance-replacement pass turning any starting point into a
+/// skyline point (see `Random` above for the argument).
+fn skyline_fix(values: &[f32], d: usize, n: usize, start: usize) -> &[f32] {
+    let row = |i: usize| &values[i * d..(i + 1) * d];
+    let mut best = start;
+    for i in 0..n {
+        if strictly_dominates(row(i), row(best)) {
+            best = i;
+        }
+    }
+    row(best)
+}
+
+/// Per-dimension `[min, max]`, with zero spans widened to keep
+/// normalisation finite.
+fn dimension_ranges(values: &[f32], d: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+    let mut lo = vec![f32::INFINITY; d];
+    let mut hi = vec![f32::NEG_INFINITY; d];
+    for row in values.chunks_exact(d).take(n) {
+        for (k, &v) in row.iter().enumerate() {
+            lo[k] = lo[k].min(v);
+            hi[k] = hi[k].max(v);
+        }
+    }
+    let span = lo
+        .iter()
+        .zip(&hi)
+        .map(|(&a, &b)| if b > a { b - a } else { 1.0 })
+        .collect();
+    (lo, span)
+}
+
+/// Exact per-dimension medians (lower median), one selection per
+/// dimension, dimensions processed in parallel.
+fn per_dimension_medians(values: &[f32], d: usize, n: usize, pool: &ThreadPool) -> Vec<f32> {
+    let mut medians = vec![0.0f32; d];
+    par_chunks_mut(pool, &mut medians, 1, |dim0, out| {
+        for (k, slot) in out.iter_mut().enumerate() {
+            let dim = dim0 + k;
+            let mut column: Vec<f32> = (0..n).map(|i| values[i * d + dim]).collect();
+            let mid = n / 2;
+            let (_, median, _) =
+                column.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
+            *slot = *median;
+        }
+    });
+    medians
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::l1 as l1_of;
+
+    fn setup(rows: &[[f32; 2]]) -> (Vec<f32>, Vec<f32>) {
+        let values: Vec<f32> = rows.iter().flatten().copied().collect();
+        let l1: Vec<f32> = rows.iter().map(|r| l1_of(r)).collect();
+        (values, l1)
+    }
+
+    #[test]
+    fn median_is_componentwise() {
+        let (values, l1) = setup(&[[0.0, 9.0], [1.0, 8.0], [2.0, 7.0], [3.0, 6.0], [4.0, 5.0]]);
+        let pool = ThreadPool::new(2);
+        let p = select_pivot(PivotStrategy::Median, &values, 2, &l1, 0, &pool);
+        assert!(!p.concrete);
+        assert_eq!(p.coords, vec![2.0, 7.0]);
+    }
+
+    #[test]
+    fn manhattan_picks_min_l1() {
+        let (values, l1) = setup(&[[3.0, 3.0], [1.0, 1.0], [2.0, 2.0]]);
+        let pool = ThreadPool::new(1);
+        let p = select_pivot(PivotStrategy::Manhattan, &values, 2, &l1, 0, &pool);
+        assert!(p.concrete);
+        assert_eq!(p.coords, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn concrete_pivots_are_skyline_points() {
+        // Random-ish data; every concrete strategy must return a point
+        // that no other point dominates.
+        let mut rng = Rng::seed_from(5);
+        let n = 300;
+        let d = 4;
+        let values: Vec<f32> = (0..n * d).map(|_| rng.next_f64() as f32).collect();
+        let l1: Vec<f32> = values.chunks_exact(d).map(l1_of).collect();
+        let pool = ThreadPool::new(2);
+        for strat in [
+            PivotStrategy::Manhattan,
+            PivotStrategy::Balanced,
+            PivotStrategy::Volume,
+            PivotStrategy::Random,
+        ] {
+            let p = select_pivot(strat, &values, d, &l1, 9, &pool);
+            assert!(p.concrete);
+            for row in values.chunks_exact(d) {
+                assert!(
+                    !strictly_dominates(row, &p.coords),
+                    "{strat:?} pivot {:?} dominated by {row:?}",
+                    p.coords
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_prefers_central_points() {
+        // (5,5) has zero normalised range; extremes have large ranges.
+        let (values, l1) = setup(&[[0.0, 10.0], [10.0, 0.0], [5.0, 5.0]]);
+        let pool = ThreadPool::new(1);
+        let p = select_pivot(PivotStrategy::Balanced, &values, 2, &l1, 0, &pool);
+        assert_eq!(p.coords, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let mut rng = Rng::seed_from(77);
+        let n = 100;
+        let values: Vec<f32> = (0..n * 3).map(|_| rng.next_f64() as f32).collect();
+        let l1: Vec<f32> = values.chunks_exact(3).map(l1_of).collect();
+        let pool = ThreadPool::new(2);
+        let a = select_pivot(PivotStrategy::Random, &values, 3, &l1, 42, &pool);
+        let b = select_pivot(PivotStrategy::Random, &values, 3, &l1, 42, &pool);
+        assert_eq!(a.coords, b.coords);
+    }
+
+    #[test]
+    fn single_point_input() {
+        let (values, l1) = setup(&[[1.0, 2.0]]);
+        let pool = ThreadPool::new(1);
+        for strat in PivotStrategy::ALL {
+            let p = select_pivot(strat, &values, 2, &l1, 0, &pool);
+            if strat == PivotStrategy::Median {
+                assert_eq!(p.coords, vec![1.0, 2.0]);
+            } else {
+                assert_eq!(p.coords, vec![1.0, 2.0]);
+                assert!(p.concrete);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The β-queue pre-filter (paper §VI-A1).
+//!
+//! Most datasets contain points dominated by a large fraction of the rest;
+//! Hybrid removes them cheaply before the heavier initialization (pivot
+//! selection, sorting). Two parallel passes:
+//!
+//! 1. each thread maintains a priority queue of the β smallest-L1 points
+//!    it has seen; a point that does not enter the queue is tested against
+//!    the queue's members and flagged if dominated;
+//! 2. every (unflagged) point is tested against the union of all threads'
+//!    queues.
+//!
+//! β = 8 by default (footnote 3: "appreciable impact only [on] correlated
+//! data").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::dominance::dt;
+use crate::norms::l1;
+use skyline_parallel::{par_chunks_mut, parallel_for_in_lane, LaneCounters, ThreadPool};
+
+/// Compacted pre-filter survivors.
+#[derive(Debug)]
+pub struct PrefilterOutput {
+    /// Surviving rows, row-major.
+    pub values: Vec<f32>,
+    /// Original dataset index of each surviving row.
+    pub orig: Vec<u32>,
+    /// L1 norm of each surviving row (reused by sorting and pivots).
+    pub l1: Vec<f32>,
+    /// Number of points removed.
+    pub dropped: usize,
+}
+
+/// Runs the two-pass pre-filter over `values` (row-major `n·d`).
+pub fn prefilter(
+    values: &[f32],
+    d: usize,
+    beta: usize,
+    pool: &ThreadPool,
+    counters: &LaneCounters,
+) -> PrefilterOutput {
+    let n = values.len() / d;
+    debug_assert_eq!(values.len(), n * d);
+    let beta = beta.max(1);
+    let row = |i: usize| &values[i * d..(i + 1) * d];
+
+    // L1 norms for everyone (also pass 1's queue key).
+    let mut norms = vec![0.0f32; n];
+    {
+        par_chunks_mut(pool, &mut norms, 1 << 12, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = l1(row(offset + k));
+            }
+        });
+    }
+
+    let flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    // ---- Pass 1: build per-lane β-queues, flagging en route ------------
+    // Each queue is only touched by its own lane; the Mutex is uncontended
+    // and exists to satisfy the borrow checker across the region.
+    let queues: Vec<Mutex<Vec<(f32, u32)>>> =
+        (0..pool.threads()).map(|_| Mutex::new(Vec::with_capacity(beta))).collect();
+    {
+        let (norms, flags, queues) = (&norms, &flags, &queues);
+        parallel_for_in_lane(pool, n, 1 << 10, |lane, range| {
+            let mut queue = queues[lane].lock().expect("unpoisoned");
+            let mut dts = 0u64;
+            for i in range {
+                if queue.len() < beta {
+                    queue.push((norms[i], i as u32));
+                    continue;
+                }
+                let (max_at, &(max_l1, _)) = queue
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+                    .expect("queue non-empty");
+                if norms[i] < max_l1 {
+                    // p replaces the largest; the evicted point stays in
+                    // the dataset (it was merely a filter candidate).
+                    queue[max_at] = (norms[i], i as u32);
+                } else {
+                    for &(_, cand) in queue.iter() {
+                        dts += 1;
+                        if dt(row(cand as usize), row(i)) {
+                            flags[i].store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+            counters.add(lane, dts);
+        });
+    }
+
+    // ---- Pass 2: everyone against the union of all queues --------------
+    let cands: Vec<u32> = {
+        let mut all: Vec<(f32, u32)> = queues
+            .iter()
+            .flat_map(|q| q.lock().expect("unpoisoned").clone())
+            .collect();
+        // Most-likely pruners first.
+        all.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        all.into_iter().map(|(_, i)| i).collect()
+    };
+    {
+        let (flags, cands) = (&flags, &cands);
+        parallel_for_in_lane(pool, n, 1 << 10, |lane, range| {
+            let mut dts = 0u64;
+            for i in range {
+                if flags[i].load(Ordering::Relaxed) {
+                    continue;
+                }
+                let p = row(i);
+                for &cand in cands.iter() {
+                    if cand as usize == i {
+                        continue;
+                    }
+                    dts += 1;
+                    if dt(row(cand as usize), p) {
+                        flags[i].store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            counters.add(lane, dts);
+        });
+    }
+
+    // ---- Compact survivors ---------------------------------------------
+    let mut out_values = Vec::with_capacity(values.len());
+    let mut out_orig = Vec::with_capacity(n);
+    let mut out_l1 = Vec::with_capacity(n);
+    for i in 0..n {
+        if !flags[i].load(Ordering::Relaxed) {
+            out_values.extend_from_slice(row(i));
+            out_orig.push(i as u32);
+            out_l1.push(norms[i]);
+        }
+    }
+    let dropped = n - out_orig.len();
+    PrefilterOutput {
+        values: out_values,
+        orig: out_orig,
+        l1: out_l1,
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::naive_skyline;
+    use skyline_data::{generate, Dataset, Distribution};
+
+    fn run_prefilter(data: &Dataset, beta: usize, threads: usize) -> PrefilterOutput {
+        let pool = ThreadPool::new(threads);
+        let counters = LaneCounters::new(pool.threads());
+        prefilter(data.values(), data.dims(), beta, &pool, &counters)
+    }
+
+    #[test]
+    fn never_drops_a_skyline_point() {
+        let gen_pool = ThreadPool::new(2);
+        for dist in [
+            Distribution::Correlated,
+            Distribution::Independent,
+            Distribution::Anticorrelated,
+        ] {
+            let data = generate(dist, 2_000, 4, 3, &gen_pool);
+            let sky: std::collections::HashSet<u32> =
+                naive_skyline(&data).into_iter().collect();
+            for threads in [1, 4] {
+                let out = run_prefilter(&data, 8, threads);
+                let kept: std::collections::HashSet<u32> = out.orig.iter().copied().collect();
+                for s in &sky {
+                    assert!(kept.contains(s), "{dist:?} t={threads}: dropped skyline {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drops_most_correlated_points() {
+        let gen_pool = ThreadPool::new(2);
+        let data = generate(Distribution::Correlated, 20_000, 4, 3, &gen_pool);
+        let out = run_prefilter(&data, 8, 2);
+        // "For correlated data, this is true of most points."
+        assert!(
+            out.dropped * 2 > data.len(),
+            "only dropped {} of {}",
+            out.dropped,
+            data.len()
+        );
+    }
+
+    #[test]
+    fn output_arrays_are_consistent() {
+        let gen_pool = ThreadPool::new(2);
+        let data = generate(Distribution::Independent, 1_000, 3, 1, &gen_pool);
+        let out = run_prefilter(&data, 8, 2);
+        assert_eq!(out.values.len(), out.orig.len() * 3);
+        assert_eq!(out.l1.len(), out.orig.len());
+        for (k, &o) in out.orig.iter().enumerate() {
+            assert_eq!(&out.values[k * 3..k * 3 + 3], data.row(o as usize));
+            assert!((out.l1[k] - crate::norms::l1(data.row(o as usize))).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn duplicates_of_queue_members_survive() {
+        // A coincident copy of the best point must not be flagged.
+        let mut rows = vec![vec![0.0f32, 0.0], vec![0.0, 0.0]];
+        rows.extend((0..100).map(|i| vec![1.0 + i as f32, 1.0]));
+        let data = Dataset::from_rows(&rows).unwrap();
+        let out = run_prefilter(&data, 4, 2);
+        assert!(out.orig.contains(&0));
+        assert!(out.orig.contains(&1));
+    }
+
+    #[test]
+    fn beta_one_and_empty_input() {
+        let gen_pool = ThreadPool::new(1);
+        let data = generate(Distribution::Independent, 200, 2, 9, &gen_pool);
+        let out = run_prefilter(&data, 1, 1);
+        let sky: std::collections::HashSet<u32> = naive_skyline(&data).into_iter().collect();
+        let kept: std::collections::HashSet<u32> = out.orig.iter().copied().collect();
+        assert!(sky.is_subset(&kept));
+        let empty = Dataset::from_flat(vec![], 2).unwrap();
+        let out = run_prefilter(&empty, 8, 2);
+        assert_eq!(out.orig.len(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Reference implementation and result checking, used by the test suite.
+
+use crate::dominance::strictly_dominates;
+use skyline_data::Dataset;
+
+/// The definitionally correct O(n²·d) skyline: point `p` is kept iff no
+/// point dominates it. Only suitable for test-sized inputs.
+pub fn naive_skyline(data: &Dataset) -> Vec<u32> {
+    let n = data.len();
+    let mut out = Vec::new();
+    'outer: for i in 0..n {
+        let p = data.row(i);
+        for j in 0..n {
+            if j != i && strictly_dominates(data.row(j), p) {
+                continue 'outer;
+            }
+        }
+        out.push(i as u32);
+    }
+    out
+}
+
+/// Exhaustively validates a claimed skyline:
+/// indices sorted/unique/in-range, every member non-dominated, every
+/// non-member dominated by some member. O(n·|SKY|·d).
+pub fn check_skyline(data: &Dataset, indices: &[u32]) -> Result<(), String> {
+    let n = data.len();
+    for w in indices.windows(2) {
+        if w[0] >= w[1] {
+            return Err(format!("indices not strictly ascending at {w:?}"));
+        }
+    }
+    if let Some(&bad) = indices.iter().find(|&&i| i as usize >= n) {
+        return Err(format!("index {bad} out of range (n = {n})"));
+    }
+    let mut member = vec![false; n];
+    for &i in indices {
+        member[i as usize] = true;
+    }
+    for &i in indices {
+        let p = data.row(i as usize);
+        for j in 0..n {
+            if j != i as usize && strictly_dominates(data.row(j), p) {
+                return Err(format!("skyline member {i} is dominated by {j}"));
+            }
+        }
+    }
+    for q in 0..n {
+        if member[q] {
+            continue;
+        }
+        let qr = data.row(q);
+        let dominated = indices
+            .iter()
+            .any(|&s| strictly_dominates(data.row(s as usize), qr));
+        if !dominated {
+            return Err(format!("non-member {q} is not dominated by any member"));
+        }
+    }
+    Ok(())
+}
+
+/// How many dataset points each of the given points strictly dominates.
+/// A useful "strength" score for ranking skyline members (used by the
+/// NBA example); O(|indices|·n·d).
+pub fn domination_counts(data: &Dataset, indices: &[u32]) -> Vec<usize> {
+    indices
+        .iter()
+        .map(|&i| {
+            let p = data.row(i as usize);
+            data.rows()
+                .filter(|row| strictly_dominates(p, row))
+                .count()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(rows: &[Vec<f32>]) -> Dataset {
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn domination_counts_are_exact() {
+        let data = ds(&[
+            vec![0.0, 0.0], // dominates the other three
+            vec![1.0, 1.0], // dominates the next two
+            vec![2.0, 2.0],
+            vec![2.0, 2.0],
+        ]);
+        assert_eq!(domination_counts(&data, &[0, 1, 2]), vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn figure_1a_example() {
+        // p(1,2) r(2,1) s(3,0.5) t(0.5,3) q(2,3): q dominated by p.
+        let data = ds(&[
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.5],
+            vec![0.5, 3.0],
+            vec![2.0, 3.0],
+        ]);
+        let sky = naive_skyline(&data);
+        assert_eq!(sky, vec![0, 1, 2, 3]);
+        check_skyline(&data, &sky).unwrap();
+    }
+
+    #[test]
+    fn duplicates_are_all_kept_or_all_dropped() {
+        let data = ds(&[
+            vec![1.0, 1.0],
+            vec![1.0, 1.0], // duplicate skyline point: kept
+            vec![2.0, 2.0],
+            vec![2.0, 2.0], // duplicate dominated point: dropped
+        ]);
+        let sky = naive_skyline(&data);
+        assert_eq!(sky, vec![0, 1]);
+        check_skyline(&data, &sky).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_wrong_answers() {
+        let data = ds(&[vec![1.0, 1.0], vec![2.0, 2.0]]);
+        assert!(check_skyline(&data, &[0]).is_ok());
+        assert!(check_skyline(&data, &[0, 1]).is_err()); // dominated member
+        assert!(check_skyline(&data, &[1]).is_err()); // missing + dominated
+        assert!(check_skyline(&data, &[]).is_err()); // missing member
+        assert!(check_skyline(&data, &[0, 0]).is_err()); // not ascending
+        assert!(check_skyline(&data, &[0, 7]).is_err()); // out of range
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Dataset::from_flat(vec![], 2).unwrap();
+        assert!(naive_skyline(&empty).is_empty());
+        check_skyline(&empty, &[]).unwrap();
+        let one = ds(&[vec![5.0, 5.0]]);
+        assert_eq!(naive_skyline(&one), vec![0]);
+    }
+}

@@ -1,0 +1,298 @@
+//! The in-memory dataset representation shared by all algorithms.
+
+use std::fmt;
+
+/// Errors raised when constructing or loading a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// The flat buffer length is not a multiple of the dimensionality.
+    ShapeMismatch {
+        /// Buffer length supplied.
+        len: usize,
+        /// Dimensionality supplied.
+        d: usize,
+    },
+    /// Dimensionality must be ≥ 1 (and ≤ [`Dataset::MAX_DIMS`] for the
+    /// mask-based algorithms to be applicable).
+    BadDimensionality(usize),
+    /// A non-finite value (NaN or ±∞) was encountered. Dominance is a
+    /// partial order only over totally comparable coordinates, so NaNs are
+    /// rejected at the boundary rather than silently mis-ordering points.
+    NonFinite {
+        /// Row of the offending value.
+        row: usize,
+        /// Column of the offending value.
+        col: usize,
+    },
+    /// Rows of differing lengths were supplied.
+    RaggedRows {
+        /// Index of the first offending row.
+        row: usize,
+    },
+    /// An I/O or parse problem while loading from a file.
+    Parse(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ShapeMismatch { len, d } => {
+                write!(f, "buffer of length {len} is not a multiple of d = {d}")
+            }
+            DataError::BadDimensionality(d) => {
+                write!(
+                    f,
+                    "dimensionality {d} out of range (1..={})",
+                    Dataset::MAX_DIMS
+                )
+            }
+            DataError::NonFinite { row, col } => {
+                write!(f, "non-finite value at row {row}, column {col}")
+            }
+            DataError::RaggedRows { row } => write!(f, "row {row} has a different length"),
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Whether smaller or larger values are preferred on a dimension.
+///
+/// The skyline definition assumes minimisation (paper footnote 1:
+/// "We assume WLOG to prefer smaller values; otherwise, invert signs").
+/// [`Dataset::with_preferences`] performs exactly that inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preference {
+    /// Smaller is better (the default).
+    Min,
+    /// Larger is better; the column is negated internally.
+    Max,
+}
+
+/// A dense, row-major, in-memory set of `n` points in `d` dimensions.
+///
+/// All values are finite `f32` (validated on construction); all algorithms
+/// minimise on every dimension.
+///
+/// ```
+/// use skyline_data::Dataset;
+/// let data = Dataset::from_rows(&[vec![1.0, 4.0], vec![2.0, 3.0], vec![3.0, 5.0]]).unwrap();
+/// assert_eq!(data.len(), 3);
+/// assert_eq!(data.dims(), 2);
+/// assert_eq!(data.row(1), &[2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    values: Vec<f32>,
+    n: usize,
+    d: usize,
+}
+
+impl Dataset {
+    /// Maximum supported dimensionality. The compound sort key packs
+    /// `level` (⌈log₂(d+1)⌉ bits) and `mask` (`d` bits) into 26 bits
+    /// (see `skyline-core`); 20 dimensions leaves ample headroom over the
+    /// paper's maximum of 16.
+    pub const MAX_DIMS: usize = 20;
+
+    /// Builds a dataset from a flat row-major buffer.
+    pub fn from_flat(values: Vec<f32>, d: usize) -> Result<Self, DataError> {
+        if d == 0 || d > Self::MAX_DIMS {
+            return Err(DataError::BadDimensionality(d));
+        }
+        if values.len() % d != 0 {
+            return Err(DataError::ShapeMismatch {
+                len: values.len(),
+                d,
+            });
+        }
+        if let Some(pos) = values.iter().position(|v| !v.is_finite()) {
+            return Err(DataError::NonFinite {
+                row: pos / d,
+                col: pos % d,
+            });
+        }
+        let n = values.len() / d;
+        Ok(Self { values, n, d })
+    }
+
+    /// Builds a dataset from per-point rows.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, DataError> {
+        let d = rows.first().map(Vec::len).unwrap_or(1);
+        let mut values = Vec::with_capacity(rows.len() * d);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                return Err(DataError::RaggedRows { row: i });
+            }
+            values.extend_from_slice(row);
+        }
+        Self::from_flat(values, d)
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Row `i` as a coordinate slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.values[i * self.d..(i + 1) * self.d]
+    }
+
+    /// The whole row-major buffer.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.values.chunks_exact(self.d)
+    }
+
+    /// Returns a copy with `Max` columns negated so that every algorithm
+    /// can minimise uniformly. `prefs.len()` must equal `dims()`.
+    pub fn with_preferences(&self, prefs: &[Preference]) -> Result<Self, DataError> {
+        if prefs.len() != self.d {
+            return Err(DataError::ShapeMismatch {
+                len: prefs.len(),
+                d: self.d,
+            });
+        }
+        let mut values = self.values.clone();
+        for row in values.chunks_exact_mut(self.d) {
+            for (v, p) in row.iter_mut().zip(prefs) {
+                if *p == Preference::Max {
+                    *v = -*v;
+                }
+            }
+        }
+        Ok(Self {
+            values,
+            n: self.n,
+            d: self.d,
+        })
+    }
+
+    /// Projects the dataset onto a subset of its dimensions (subspace
+    /// skylines are a standard data-exploration use of the operator).
+    /// Column indices may repeat or reorder; each must be `< dims()`.
+    pub fn project(&self, columns: &[usize]) -> Result<Self, DataError> {
+        if columns.is_empty() || columns.len() > Self::MAX_DIMS {
+            return Err(DataError::BadDimensionality(columns.len()));
+        }
+        if let Some(&bad) = columns.iter().find(|&&c| c >= self.d) {
+            return Err(DataError::ShapeMismatch { len: bad, d: self.d });
+        }
+        let mut values = Vec::with_capacity(self.n * columns.len());
+        for row in self.rows() {
+            values.extend(columns.iter().map(|&c| row[c]));
+        }
+        Self::from_flat(values, columns.len())
+    }
+
+    /// Returns a copy containing only the first `n` points (or all of them
+    /// if `n ≥ len()`); used by the cardinality sweeps.
+    pub fn truncated(&self, n: usize) -> Self {
+        let n = n.min(self.n);
+        Self {
+            values: self.values[..n * self.d].to_vec(),
+            n,
+            d: self.d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            Dataset::from_flat(vec![1.0; 7], 2),
+            Err(DataError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::from_flat(vec![], 0),
+            Err(DataError::BadDimensionality(0))
+        ));
+        assert!(matches!(
+            Dataset::from_flat(vec![0.0; 42], 21),
+            Err(DataError::BadDimensionality(21))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let err = Dataset::from_flat(vec![1.0, 2.0, f32::NAN, 4.0], 2).unwrap_err();
+        assert_eq!(err, DataError::NonFinite { row: 1, col: 0 });
+        let err = Dataset::from_flat(vec![1.0, f32::INFINITY], 2).unwrap_err();
+        assert_eq!(err, DataError::NonFinite { row: 0, col: 1 });
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert_eq!(err, DataError::RaggedRows { row: 1 });
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let ds = Dataset::from_flat(vec![], 3).unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.rows().count(), 0);
+    }
+
+    #[test]
+    fn preferences_negate_max_columns() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let flipped = ds
+            .with_preferences(&[Preference::Min, Preference::Max])
+            .unwrap();
+        assert_eq!(flipped.row(0), &[1.0, -2.0]);
+        assert_eq!(flipped.row(1), &[3.0, -4.0]);
+        assert!(ds.with_preferences(&[Preference::Min]).is_err());
+    }
+
+    #[test]
+    fn project_selects_and_reorders_columns() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let p = ds.project(&[2, 0]).unwrap();
+        assert_eq!(p.dims(), 2);
+        assert_eq!(p.row(0), &[3.0, 1.0]);
+        assert_eq!(p.row(1), &[6.0, 4.0]);
+        // Repetition is allowed; out-of-range and empty are not.
+        assert_eq!(ds.project(&[1, 1]).unwrap().row(0), &[2.0, 2.0]);
+        assert!(ds.project(&[3]).is_err());
+        assert!(ds.project(&[]).is_err());
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let ds = Dataset::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let t = ds.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(1), &[2.0]);
+        assert_eq!(ds.truncated(99).len(), 3);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = DataError::NonFinite { row: 3, col: 1 };
+        assert!(e.to_string().contains("row 3"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Börzsönyi-style synthetic workload generation.
+//!
+//! Reimplements the three distributions of the standard skyline data
+//! generator (`randdataset`, Börzsönyi et al., ICDE 2001) that the paper
+//! uses for all synthetic experiments:
+//!
+//! * **independent** — uniform in the unit hypercube;
+//! * **correlated** — points concentrated around the main diagonal: a
+//!   peaked position `v` on the diagonal plus small perturbations that
+//!   preserve the coordinate sum;
+//! * **anticorrelated** — points concentrated around the hyperplane
+//!   `Σᵢ xᵢ ≈ d/2` but spread widely within it, so that being good on one
+//!   dimension implies being bad on another.
+//!
+//! Generation is chunked and each chunk draws from its own counter-derived
+//! random stream, so output is deterministic in `(distribution, n, d,
+//! seed)` and independent of the thread count.
+
+use crate::{Dataset, Rng};
+use skyline_parallel::{par_chunks_mut, ThreadPool};
+
+/// Points generated per independent random stream. Fixing this constant is
+/// what makes parallel generation deterministic.
+const CHUNK_POINTS: usize = 4096;
+
+/// Synthetic data distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform, dimensions independent.
+    Independent,
+    /// Correlated dimensions (small skylines).
+    Correlated,
+    /// Anticorrelated dimensions (large skylines).
+    Anticorrelated,
+    /// Blend for calibrating real-data stand-ins: each point is
+    /// `w · base + (1 − w) · independent`, with `base` drawn from
+    /// `Correlated` (`w > 0`) or `Anticorrelated` (`w < 0`), `|w| ≤ 1`.
+    Blend(f32),
+}
+
+impl Distribution {
+    /// Parses the names used by the CLI harness (`corr`, `indep`, `anti`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "corr" | "correlated" => Some(Self::Correlated),
+            "indep" | "independent" => Some(Self::Independent),
+            "anti" | "anticorrelated" => Some(Self::Anticorrelated),
+            _ => None,
+        }
+    }
+
+    /// Short label used in tables (`C`, `I`, `A`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Correlated => "correlated",
+            Self::Independent => "independent",
+            Self::Anticorrelated => "anticorrelated",
+            Self::Blend(_) => "blend",
+        }
+    }
+}
+
+/// Generates `n` points of dimensionality `d` under `dist`, seeded with
+/// `seed`, using `pool` for parallel chunk generation.
+///
+/// ```
+/// use skyline_data::{generate, Distribution};
+/// use skyline_parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let ds = generate(Distribution::Independent, 1_000, 4, 42, &pool);
+/// assert_eq!(ds.len(), 1_000);
+/// assert!(ds.values().iter().all(|v| (0.0..=1.0).contains(v)));
+/// ```
+pub fn generate(dist: Distribution, n: usize, d: usize, seed: u64, pool: &ThreadPool) -> Dataset {
+    assert!(
+        (1..=Dataset::MAX_DIMS).contains(&d),
+        "dimensionality {d} out of range"
+    );
+    let stride = CHUNK_POINTS * d;
+    let mut values = vec![0.0f32; n * d];
+    // `par_chunks_mut` may hand us larger (or the whole-slice fallback)
+    // chunks; sub-chunk on fixed `stride` boundaries so every point is
+    // produced by the same random stream regardless of scheduling.
+    par_chunks_mut(pool, &mut values, stride, |offset, chunk| {
+        debug_assert_eq!(offset % stride, 0);
+        let mut point = vec![0.0f64; d];
+        for (sub_idx, sub) in chunk.chunks_mut(stride).enumerate() {
+            let chunk_index = (offset / stride + sub_idx) as u64;
+            let mut rng = Rng::stream(seed, chunk_index);
+            for row in sub.chunks_exact_mut(d) {
+                generate_point(dist, &mut rng, &mut point);
+                for (dst, src) in row.iter_mut().zip(&point) {
+                    *dst = *src as f32;
+                }
+            }
+        }
+    });
+    Dataset::from_flat(values, d).expect("generated values are finite by construction")
+}
+
+fn generate_point(dist: Distribution, rng: &mut Rng, out: &mut [f64]) {
+    match dist {
+        Distribution::Independent => {
+            for v in out.iter_mut() {
+                *v = rng.next_f64();
+            }
+        }
+        Distribution::Correlated => correlated_point(rng, out),
+        Distribution::Anticorrelated => anticorrelated_point(rng, out),
+        Distribution::Blend(w) => {
+            let w = w.clamp(-1.0, 1.0) as f64;
+            let base = w.abs();
+            let mut tmp = vec![0.0f64; out.len()];
+            if w >= 0.0 {
+                correlated_point(rng, &mut tmp);
+            } else {
+                anticorrelated_point(rng, &mut tmp);
+            }
+            for (v, b) in out.iter_mut().zip(&tmp) {
+                *v = base * *b + (1.0 - base) * rng.next_f64();
+            }
+        }
+    }
+}
+
+/// Diagonal position drawn from a 16-summand peak; perturbations drawn
+/// from `random_normal(0, l)` and applied in sum-preserving pairs, exactly
+/// as in `randdataset`. Out-of-range vectors are rejected and redrawn.
+fn correlated_point(rng: &mut Rng, out: &mut [f64]) {
+    let d = out.len();
+    if d == 1 {
+        out[0] = rng.random_peak(0.0, 1.0, 16);
+        return;
+    }
+    loop {
+        let v = rng.random_peak(0.0, 1.0, 16);
+        let l = if v <= 0.5 { v } else { 1.0 - v };
+        out.fill(v);
+        for i in 0..d {
+            let h = rng.random_normal(0.0, l);
+            out[i] += h;
+            out[(i + 1) % d] -= h;
+        }
+        if out.iter().all(|x| (0.0..=1.0).contains(x)) {
+            return;
+        }
+    }
+}
+
+/// Plane position drawn from `random_normal(0.5, 0.25)` (tight), spread
+/// within the plane drawn uniformly from `[-l, l]` (wide), applied in
+/// sum-preserving pairs, as in `randdataset`.
+fn anticorrelated_point(rng: &mut Rng, out: &mut [f64]) {
+    let d = out.len();
+    if d == 1 {
+        out[0] = rng.random_normal(0.5, 0.25).clamp(0.0, 1.0);
+        return;
+    }
+    loop {
+        let v = rng.random_normal(0.5, 0.25);
+        let l = if v <= 0.5 { v } else { 1.0 - v };
+        out.fill(v);
+        for i in 0..d {
+            let h = rng.random_equal(-l, l);
+            out[i] += h;
+            out[(i + 1) % d] -= h;
+        }
+        if out.iter().all(|x| (0.0..=1.0).contains(x)) {
+            return;
+        }
+    }
+}
+
+/// Rounds every value down onto a grid of `levels` buckets per dimension.
+///
+/// Quantisation deliberately breaks the distinct-value condition (many
+/// coincident coordinates, some fully duplicated points) — the property
+/// the paper's real-data experiments exercise (§VII-B3).
+pub fn quantize(data: &Dataset, levels: u32) -> Dataset {
+    assert!(levels >= 1);
+    let k = levels as f32;
+    let values = data
+        .values()
+        .iter()
+        .map(|&v| (v * k).floor().clamp(0.0, k - 1.0) / k)
+        .collect();
+    Dataset::from_flat(values, data.dims()).expect("quantised values remain finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(2)
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let pool = pool();
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::Anticorrelated,
+            Distribution::Blend(0.5),
+            Distribution::Blend(-0.5),
+        ] {
+            let ds = generate(dist, 3_000, 6, 7, &pool);
+            assert_eq!(ds.len(), 3_000);
+            assert_eq!(ds.dims(), 6);
+            assert!(
+                ds.values().iter().all(|v| (0.0..=1.0).contains(v)),
+                "{dist:?} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let p1 = ThreadPool::new(1);
+        let p4 = ThreadPool::new(4);
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::Anticorrelated,
+        ] {
+            let a = generate(dist, 10_000, 5, 99, &p1);
+            let b = generate(dist, 10_000, 5, 99, &p4);
+            assert_eq!(a, b, "{dist:?} not reproducible");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pool = pool();
+        let a = generate(Distribution::Independent, 100, 3, 1, &pool);
+        let b = generate(Distribution::Independent, 100, 3, 2, &pool);
+        assert_ne!(a, b);
+    }
+
+    /// Sample Pearson correlation between two columns.
+    fn corr(ds: &Dataset, i: usize, j: usize) -> f64 {
+        let n = ds.len() as f64;
+        let (mut si, mut sj, mut sii, mut sjj, mut sij) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for row in ds.rows() {
+            let (a, b) = (row[i] as f64, row[j] as f64);
+            si += a;
+            sj += b;
+            sii += a * a;
+            sjj += b * b;
+            sij += a * b;
+        }
+        let cov = sij / n - si * sj / (n * n);
+        let vi = sii / n - si * si / (n * n);
+        let vj = sjj / n - sj * sj / (n * n);
+        cov / (vi * vj).sqrt()
+    }
+
+    #[test]
+    fn distributions_have_the_right_correlation_sign() {
+        let pool = pool();
+        let c = generate(Distribution::Correlated, 20_000, 4, 5, &pool);
+        let i = generate(Distribution::Independent, 20_000, 4, 5, &pool);
+        let a = generate(Distribution::Anticorrelated, 20_000, 4, 5, &pool);
+        assert!(corr(&c, 0, 2) > 0.15, "correlated: {}", corr(&c, 0, 2));
+        assert!(corr(&i, 0, 2).abs() < 0.05, "independent: {}", corr(&i, 0, 2));
+        assert!(corr(&a, 0, 2) < -0.1, "anticorrelated: {}", corr(&a, 0, 2));
+    }
+
+    #[test]
+    fn anticorrelated_sums_are_tight() {
+        let pool = pool();
+        let d = 8;
+        let ds = generate(Distribution::Anticorrelated, 5_000, d, 11, &pool);
+        let mean_sum: f64 = ds
+            .rows()
+            .map(|r| r.iter().map(|&v| v as f64).sum::<f64>())
+            .sum::<f64>()
+            / ds.len() as f64;
+        assert!((mean_sum - 0.5 * d as f64).abs() < 0.2, "mean sum {mean_sum}");
+    }
+
+    #[test]
+    fn quantize_creates_duplicates() {
+        let pool = pool();
+        let ds = generate(Distribution::Independent, 5_000, 2, 3, &pool);
+        let q = quantize(&ds, 8);
+        assert!(q.values().iter().all(|v| (0.0..1.0).contains(v)));
+        let mut rows: Vec<Vec<u32>> = q
+            .rows()
+            .map(|r| r.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        rows.sort();
+        rows.dedup();
+        assert!(rows.len() < 5_000, "quantisation produced no duplicates");
+        // 8 levels × 2 dims can hold at most 64 distinct rows.
+        assert!(rows.len() <= 64);
+    }
+
+    #[test]
+    fn one_dimensional_generation_works() {
+        let pool = pool();
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::Anticorrelated,
+        ] {
+            let ds = generate(dist, 500, 1, 13, &pool);
+            assert!(ds.values().iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+}

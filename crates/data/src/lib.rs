@@ -1,0 +1,25 @@
+//! Datasets and workload generators for skyline computation.
+//!
+//! This crate provides everything the experiments consume:
+//!
+//! * [`Dataset`] — validated, dense, row-major `f32` points;
+//! * [`Rng`] — deterministic xoshiro256++ randomness with the Börzsönyi
+//!   distribution helpers;
+//! * [`generate`] — the three synthetic distributions of the standard
+//!   skyline generator (correlated / independent / anticorrelated), plus a
+//!   calibration blend;
+//! * [`quantize`] — grid rounding to break the distinct-value condition;
+//! * [`RealDataset`] — NBA / HOUSE / WEATHER loaders and stand-ins.
+
+#![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod dataset;
+mod generator;
+mod realdata;
+mod rng;
+
+pub use dataset::{DataError, Dataset, Preference};
+pub use generator::{generate, quantize, Distribution};
+pub use realdata::{load_csv, write_csv, RealDataset};
+pub use rng::{splitmix64, Rng};

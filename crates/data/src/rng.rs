@@ -1,0 +1,197 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Experiments must be bit-reproducible across machines and releases, so
+//! instead of the `rand` crate (whose value streams may change between
+//! versions) we implement xoshiro256++ — a public-domain reference
+//! algorithm by Blackman & Vigna — seeded through SplitMix64, plus the
+//! three distribution helpers of Börzsönyi et al.'s `randdataset`
+//! generator: `random_equal`, `random_peak`, and `random_normal`.
+
+/// SplitMix64 step; used for seeding and for deriving stream seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator.
+///
+/// ```
+/// use skyline_data::Rng;
+/// let mut a = Rng::seed_from(42);
+/// let mut b = Rng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64, as
+    /// the xoshiro authors recommend).
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // All-zero state would be a fixed point; SplitMix64 cannot produce
+        // four zeros from any seed, but guard anyway.
+        if s == [0; 4] {
+            return Self { s: [1, 2, 3, 4] };
+        }
+        Self { s }
+    }
+
+    /// Derives an independent stream for `index` (used to make chunked
+    /// parallel generation deterministic regardless of thread count).
+    pub fn stream(seed: u64, index: u64) -> Self {
+        let mut sm = seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+        let _ = splitmix64(&mut sm);
+        Self::seed_from(splitmix64(&mut sm))
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded generation (Lemire); bias is < 2^-64 per
+        // draw, irrelevant for workload generation.
+        let hi = ((self.next_u64() as u128 * bound as u128) >> 64) as usize;
+        hi
+    }
+
+    /// Börzsönyi `random_equal`: uniform in `[min, max)`.
+    #[inline]
+    pub fn random_equal(&mut self, min: f64, max: f64) -> f64 {
+        min + (max - min) * self.next_f64()
+    }
+
+    /// Börzsönyi `random_peak`: mean of `summands` uniforms over
+    /// `[min, max)` — a bell-shaped value peaked at the midpoint.
+    #[inline]
+    pub fn random_peak(&mut self, min: f64, max: f64, summands: u32) -> f64 {
+        debug_assert!(summands > 0);
+        let mut sum = 0.0;
+        for _ in 0..summands {
+            sum += self.next_f64();
+        }
+        min + (max - min) * (sum / summands as f64)
+    }
+
+    /// Börzsönyi `random_normal`: approximately normal around `med` with
+    /// half-width `var` (12-summand Irwin–Hall).
+    #[inline]
+    pub fn random_normal(&mut self, med: f64, var: f64) -> f64 {
+        self.random_peak(med - var, med + var, 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let mut a = Rng::stream(9, 0);
+        let mut b = Rng::stream(9, 0);
+        let mut c = Rng::stream(9, 1);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn value_stability_pin() {
+        // Pins the exact output stream: if this test ever fails, the
+        // generators changed and all recorded experiment numbers are stale.
+        let mut r = Rng::seed_from(0);
+        let v: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            v,
+            [
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Rng::seed_from(2);
+        for bound in [1usize, 2, 3, 17, 1000] {
+            for _ in 0..1_000 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn peak_is_peaked_and_bounded() {
+        let mut r = Rng::seed_from(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.random_peak(0.0, 1.0, 16)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+        let spread: f64 = (0..n)
+            .map(|_| (r.random_peak(0.0, 1.0, 16) - 0.5).abs())
+            .sum::<f64>()
+            / n as f64;
+        // Mean absolute deviation of a 16-summand peak is ≈ 0.057,
+        // far below the uniform's 0.25.
+        assert!(spread < 0.1, "spread = {spread}");
+    }
+
+    #[test]
+    fn normal_is_centred() {
+        let mut r = Rng::seed_from(4);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.random_normal(0.5, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+        for _ in 0..1_000 {
+            let x = r.random_normal(0.5, 0.25);
+            assert!((0.25..=0.75).contains(&x));
+        }
+    }
+}

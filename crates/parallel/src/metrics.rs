@@ -1,0 +1,86 @@
+//! Per-lane metric counters.
+//!
+//! The paper's core efficiency claim is about *dominance-test counts*, so
+//! the algorithms instrument every DT. To keep the hot loops cheap, lanes
+//! accumulate into a local `u64` and flush once per chunk into their own
+//! cache-padded slot here; `total()` sums the slots after the region.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::CachePadded;
+
+/// A set of cache-padded `u64` counters, one per pool lane.
+#[derive(Debug)]
+pub struct LaneCounters {
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl LaneCounters {
+    /// Creates counters for `lanes` lanes (clamped to at least 1).
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        Self {
+            slots: (0..lanes)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Adds `v` to `lane`'s slot. Relaxed ordering: counters are only read
+    /// after the parallel region has joined.
+    #[inline]
+    pub fn add(&self, lane: usize, v: u64) {
+        self.slots[lane].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Sum across lanes.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Zeroes every slot.
+    pub fn reset(&self) {
+        for s in self.slots.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of lanes this counter set was sized for.
+    pub fn lanes(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parallel_for_in_lane, ThreadPool};
+
+    #[test]
+    fn accumulates_across_lanes() {
+        let pool = ThreadPool::new(4);
+        let counters = LaneCounters::new(pool.threads());
+        parallel_for_in_lane(&pool, 1_000, 10, |lane, range| {
+            counters.add(lane, range.len() as u64);
+        });
+        assert_eq!(counters.total(), 1_000);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = LaneCounters::new(2);
+        c.add(0, 5);
+        c.add(1, 7);
+        assert_eq!(c.total(), 12);
+        c.reset();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn clamps_to_one_lane() {
+        let c = LaneCounters::new(0);
+        assert_eq!(c.lanes(), 1);
+        c.add(0, 3);
+        assert_eq!(c.total(), 3);
+    }
+}

@@ -1,0 +1,437 @@
+//! The persistent worker pool.
+//!
+//! Dispatch latency matters here: the skyline algorithms open thousands of
+//! short parallel regions per run (one per α-block phase, one per
+//! PBSkyTree batch). OpenMP — the paper's runtime — keeps its workers
+//! spinning between regions (`OMP_WAIT_POLICY=active` is the practical
+//! default), so region launch costs ~1 µs. This pool does the same:
+//! workers spin on an atomic epoch for a bounded number of iterations
+//! before falling back to a condvar sleep, and the caller spins briefly
+//! on the completion counter before sleeping.
+
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Spin iterations before a waiter falls back to sleeping. Roughly tens
+/// of microseconds — enough to bridge back-to-back regions, short enough
+/// not to burn a core during long sequential stretches.
+const SPIN_LIMIT: u32 = 20_000;
+
+thread_local! {
+    /// Set while the current thread is executing inside a parallel region.
+    /// Used to detect (and sequentialise) nested `run` calls, which would
+    /// otherwise deadlock: a worker cannot dispatch a region to the pool it
+    /// is itself part of.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Resets the [`IN_REGION`] flag even when the closure panics.
+struct RegionGuard;
+
+impl RegionGuard {
+    fn enter() -> Self {
+        IN_REGION.with(|f| f.set(true));
+        RegionGuard
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        IN_REGION.with(|f| f.set(false));
+    }
+}
+
+/// A lifetime-erased pointer to the current region's closure.
+///
+/// Safety: the pointer is only dereferenced between the epoch bump that
+/// publishes it and the worker's decrement of `remaining`; `run_ref` does
+/// not return — so the closure does not die — until `remaining == 0`.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` and pointer validity is guaranteed by the
+// completion protocol described above.
+unsafe impl Send for JobPtr {}
+
+struct Shared {
+    /// Region generation counter. Written (Release) by the caller after
+    /// the job pointer; read (Acquire) by workers, which therefore
+    /// observe the job write.
+    epoch: AtomicU64,
+    /// The current region's closure. Written only by the caller between
+    /// regions; read by workers only after observing the epoch bump.
+    job: UnsafeCell<Option<JobPtr>>,
+    /// Workers still running the current region.
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    shutdown: AtomicBool,
+    /// Guards the sleep path of `epoch` waiters (lost-wakeup protection).
+    sleep_mutex: Mutex<()>,
+    work_cv: Condvar,
+    /// Guards the sleep path of the completion waiter.
+    done_mutex: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `job` is the only non-Sync field; its access protocol (single
+// writer between regions, readers ordered by epoch acquire) is data-race
+// free as argued on the field.
+unsafe impl Sync for Shared {}
+
+/// A persistent fork/join pool of `threads` lanes (the calling thread is
+/// lane 0; `threads - 1` workers are spawned).
+///
+/// ```
+/// use skyline_parallel::ThreadPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let hits = AtomicU64::new(0);
+/// pool.run(|_lane| {
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serialises concurrent `run` calls from different threads. Regions
+    /// from the *same* thread nest via the sequential fallback instead.
+    run_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total lanes (clamped to at least 1).
+    ///
+    /// `threads == 1` spawns nothing; every region runs inline on the
+    /// caller, which makes single-threaded measurements free of pool
+    /// overhead — important for the paper's t = 1 baselines.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            job: UnsafeCell::new(None),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            work_cv: Condvar::new(),
+            done_mutex: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("skyline-worker-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        Self::new(crate::available_threads())
+    }
+
+    /// Total lanes, including the caller's lane 0.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `f(lane)` once on every lane of the pool and waits for all
+    /// of them. Lane 0 is the calling thread.
+    ///
+    /// # Contract for `f`
+    ///
+    /// A region may be executed by *fewer* lanes than `threads()` in two
+    /// situations: the pool has one thread, or `run` is called from inside
+    /// another region (nested parallelism), in which case only `f(0)` runs,
+    /// inline. Closures must therefore pull work from a shared queue (as
+    /// [`parallel_for`](crate::parallel_for) does) rather than assume a
+    /// fixed lane→work mapping; lane indices are only valid for indexing
+    /// per-thread *scratch*.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics on any lane, the panic is captured and re-raised on
+    /// the caller once every lane has finished; the pool remains usable.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_ref(&f);
+    }
+
+    /// Non-generic core of [`ThreadPool::run`].
+    pub fn run_ref(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 || IN_REGION.with(Cell::get) {
+            // Sequential fallback: single lane does all the (queue-driven)
+            // work. See the contract in `run`.
+            let _guard = RegionGuard::enter();
+            f(0);
+            return;
+        }
+
+        let _serial = self.run_lock.lock();
+        let shared = &*self.shared;
+
+        // SAFETY: erase the closure's lifetime; validity is guaranteed by
+        // the completion wait below (`remaining == 0` before return).
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+                as *const _
+        });
+        // SAFETY: no region is in flight (run_lock held, previous region
+        // fully drained), so no worker can be reading `job`.
+        unsafe { *shared.job.get() = Some(job) };
+        shared.panicked.store(false, Ordering::Relaxed);
+        shared.remaining.store(self.workers.len(), Ordering::Relaxed);
+        {
+            // Bump under the sleep mutex so a worker that just decided to
+            // sleep cannot miss the notification.
+            let _g = shared.sleep_mutex.lock();
+            shared.epoch.fetch_add(1, Ordering::Release);
+            shared.work_cv.notify_all();
+        }
+
+        // The caller is lane 0. Capture its panic so we still join workers.
+        let lane0 = {
+            let _guard = RegionGuard::enter();
+            catch_unwind(AssertUnwindSafe(|| f(0)))
+        };
+
+        // Completion wait: spin, then sleep.
+        let mut spins = 0u32;
+        while shared.remaining.load(Ordering::Acquire) > 0 {
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                let mut g = shared.done_mutex.lock();
+                if shared.remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                shared.done_cv.wait(&mut g);
+            }
+        }
+
+        if let Err(payload) = lane0 {
+            resume_unwind(payload);
+        }
+        if shared.panicked.load(Ordering::Relaxed) {
+            panic!("a worker thread panicked inside a parallel region");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let _g = self.shared.sleep_mutex.lock();
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside `catch_unwind` is a bug in the
+            // pool itself; surface it.
+            if handle.join().is_err() {
+                eprintln!("skyline-parallel: worker terminated abnormally");
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for a new epoch: spin first, then sleep.
+        let mut spins = 0u32;
+        seen = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                break e;
+            }
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                let mut g = shared.sleep_mutex.lock();
+                // Re-check under the lock; the caller bumps the epoch
+                // while holding it, so the wait cannot miss a wakeup.
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if shared.epoch.load(Ordering::Acquire) == seen {
+                    shared.work_cv.wait(&mut g);
+                }
+                // Woken (or epoch already moved): restart the spin phase.
+                spins = 0;
+            }
+        };
+        execute_region(shared, lane);
+    }
+}
+
+fn execute_region(shared: &Shared, lane: usize) {
+    // SAFETY: the epoch acquire that led here orders this read after the
+    // caller's job write.
+    let job = unsafe { (*shared.job.get()).expect("epoch bumped without a job") };
+    let result = {
+        let _guard = RegionGuard::enter();
+        // SAFETY: see `JobPtr` — valid until we decrement `remaining`.
+        catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(lane) }))
+    };
+    if result.is_err() {
+        shared.panicked.store(true, Ordering::Relaxed);
+    }
+    if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last worker out wakes the (possibly sleeping) caller.
+        let _g = shared.done_mutex.lock();
+        shared.done_cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_lane_runs_once() {
+        let pool = ThreadPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|lane| {
+            counts[lane].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.run(|lane| {
+            assert_eq!(lane, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn regions_are_reusable_many_times() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * 3);
+    }
+
+    #[test]
+    fn sleep_path_is_exercised() {
+        // Let the workers exhaust their spin budget between regions.
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..5 {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 5 * 4);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|lane| {
+                if lane == pool.threads() - 1 {
+                    panic!("injected failure");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool must still work after a panic.
+        let hits = AtomicUsize::new(0);
+        pool.run(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn lane0_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|lane| {
+                if lane == 0 {
+                    panic!("lane 0 failure");
+                }
+            });
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_run_falls_back_to_sequential() {
+        let pool = ThreadPool::new(4);
+        let inner_hits = AtomicUsize::new(0);
+        pool.run(|lane| {
+            if lane == 0 {
+                pool.run(|inner_lane| {
+                    assert_eq!(inner_lane, 0);
+                    inner_hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn borrowed_stack_data_is_visible_and_survives() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<u64> = (0..10_000).collect();
+        let sum = AtomicUsize::new(0);
+        pool.run(|lane| {
+            let part: u64 = data.iter().skip(lane).step_by(4).sum();
+            sum.fetch_add(part as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed) as u64, 10_000 * 9_999 / 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Parallel merge sort.
+//!
+//! The paper's initialization phase sorts the whole input (by L1 norm for
+//! Q-Flow; by (level, mask, L1) for Hybrid) using OpenMP's parallel sort.
+//! This module provides the equivalent: chunked `sort_unstable` runs merged
+//! pairwise in parallel rounds, ping-ponging between the input and one
+//! scratch buffer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::ThreadPool;
+
+/// Below this size the std sort wins; measured on small inputs the pool
+/// dispatch plus scratch allocation costs more than it saves.
+const SEQUENTIAL_CUTOFF: usize = 1 << 14;
+
+/// Wrapper making a raw pointer shareable across lanes. Soundness is
+/// argued at each use site (disjoint ranges, region-scoped borrow).
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Sorts `data` in parallel by the key extracted with `key`.
+///
+/// Unstable (like `slice::sort_unstable_by_key`); callers that need ties
+/// broken deterministically must fold the tiebreaker into the key, which is
+/// what the skyline algorithms do (they sort `(u64 packed key, u32 index)`
+/// pairs with the index as the final component).
+///
+/// ```
+/// use skyline_parallel::{par_sort_unstable_by_key, ThreadPool};
+///
+/// let pool = ThreadPool::new(2);
+/// let mut v: Vec<u32> = (0..100_000).rev().collect();
+/// par_sort_unstable_by_key(&pool, &mut v, |&x| x);
+/// assert!(v.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn par_sort_unstable_by_key<T, K, F>(pool: &ThreadPool, data: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    if n <= SEQUENTIAL_CUTOFF || pool.threads() == 1 {
+        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        return;
+    }
+
+    // Runs: one per lane, rounded up to a power of two so merge rounds pair
+    // cleanly; each run must still be big enough to amortise dispatch.
+    let mut runs = pool.threads().next_power_of_two();
+    while runs > 1 && n / runs < SEQUENTIAL_CUTOFF / 2 {
+        runs /= 2;
+    }
+    if runs <= 1 {
+        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        return;
+    }
+
+    let run_len = n.div_ceil(runs);
+    let bounds: Vec<usize> = (0..=runs).map(|i| (i * run_len).min(n)).collect();
+
+    // Sort each run in parallel, handing out disjoint `&mut` run slices.
+    {
+        let mut refs: Vec<SendPtr<T>> = Vec::with_capacity(runs);
+        let mut lens: Vec<usize> = Vec::with_capacity(runs);
+        let mut rest = &mut *data;
+        let mut prev = 0;
+        for &b in &bounds[1..] {
+            let (head, tail) = rest.split_at_mut(b - prev);
+            lens.push(head.len());
+            refs.push(SendPtr(head.as_mut_ptr()));
+            rest = tail;
+            prev = b;
+        }
+        let next = AtomicUsize::new(0);
+        let (refs, lens) = (&refs, &lens);
+        pool.run(|_lane| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= refs.len() {
+                break;
+            }
+            // SAFETY: each run index is claimed exactly once; the pointers
+            // come from `split_at_mut`, so the runs are disjoint and
+            // exclusively borrowed for the duration of the region.
+            let run = unsafe { std::slice::from_raw_parts_mut(refs[i].0, lens[i]) };
+            run.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        });
+    }
+
+    // Merge rounds, ping-ponging between `data` and `scratch`.
+    let mut scratch: Vec<T> = data.to_vec();
+    let mut in_data = true; // current sorted runs live in `data`
+    let mut width = 1; // runs per merged block
+    while width < runs {
+        if in_data {
+            merge_round(pool, data, &mut scratch, &bounds, width, &key);
+        } else {
+            merge_round(pool, &scratch, data, &bounds, width, &key);
+        }
+        in_data = !in_data;
+        width *= 2;
+    }
+    if !in_data {
+        data.copy_from_slice(&scratch);
+    }
+}
+
+/// One merge round: every pair of adjacent `width`-run blocks in `src` is
+/// merged into `dst`; a trailing unpaired block is copied through.
+fn merge_round<T, K, F>(
+    pool: &ThreadPool,
+    src: &[T],
+    dst: &mut [T],
+    bounds: &[usize],
+    width: usize,
+    key: &F,
+) where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let runs = bounds.len() - 1;
+    let pair_span = width * 2;
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new(); // (start, mid, end)
+    let mut r = 0;
+    while r < runs {
+        let start = bounds[r];
+        let mid_idx = (r + width).min(runs);
+        let end_idx = (r + pair_span).min(runs);
+        jobs.push((start, bounds[mid_idx], bounds[end_idx]));
+        r += pair_span;
+    }
+
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let jobs = &jobs;
+    pool.run(|_lane| {
+        let dst_ptr = &dst_ptr;
+        loop {
+            let j = next.fetch_add(1, Ordering::Relaxed);
+            if j >= jobs.len() {
+                break;
+            }
+            let (start, mid, end) = jobs[j];
+            // SAFETY: job output ranges `start..end` partition `dst`, so
+            // writes never overlap; `dst` is exclusively borrowed by the
+            // caller across the region.
+            let out =
+                unsafe { std::slice::from_raw_parts_mut(dst_ptr.0.add(start), end - start) };
+            merge_into(&src[start..mid], &src[mid..end], out, key);
+        }
+    });
+}
+
+fn merge_into<T, K, F>(a: &[T], b: &[T], out: &mut [T], key: &F)
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = if i == a.len() {
+            false
+        } else if j == b.len() {
+            true
+        } else {
+            key(&a[i]) <= key(&b[j])
+        };
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..n).map(|_| xorshift(&mut s)).collect()
+    }
+
+    #[test]
+    fn sorts_small_inputs() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 1, 2, 3, 100, 1000] {
+            let mut v = random_vec(n, 42);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            par_sort_unstable_by_key(&pool, &mut v, |&x| x);
+            assert_eq!(v, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sorts_large_inputs() {
+        let pool = ThreadPool::new(4);
+        for n in [1 << 15, (1 << 16) + 17, 1 << 17] {
+            let mut v = random_vec(n, 7);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            par_sort_unstable_by_key(&pool, &mut v, |&x| x);
+            assert_eq!(v, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sorts_with_heavy_duplication() {
+        let pool = ThreadPool::new(4);
+        let mut v: Vec<u64> = random_vec(1 << 16, 3).into_iter().map(|x| x % 8).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sort_unstable_by_key(&pool, &mut v, |&x| x);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_by_extracted_key() {
+        let pool = ThreadPool::new(2);
+        let mut v: Vec<(u64, u64)> = random_vec(1 << 16, 11)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, i as u64))
+            .collect();
+        par_sort_unstable_by_key(&pool, &mut v, |&(k, i)| (k, i));
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn single_thread_pool_matches_std() {
+        let pool = ThreadPool::new(1);
+        let mut v = random_vec(1 << 16, 99);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sort_unstable_by_key(&pool, &mut v, |&x| x);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let pool = ThreadPool::new(4);
+        let mut v: Vec<u64> = (0..(1 << 16)).collect();
+        par_sort_unstable_by_key(&pool, &mut v, |&x| x);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let mut v: Vec<u64> = (0..(1 << 16)).rev().collect();
+        par_sort_unstable_by_key(&pool, &mut v, |&x| x);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

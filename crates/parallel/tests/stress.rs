@@ -1,0 +1,89 @@
+//! Stress and failure-injection tests for the pool.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use skyline_parallel::{
+    par_chunks_mut, par_sort_unstable_by_key, parallel_for, parallel_for_in_lane, LaneCounters,
+    ThreadPool,
+};
+
+#[test]
+fn many_small_regions_do_not_deadlock() {
+    let pool = ThreadPool::new(4);
+    let total = AtomicU64::new(0);
+    for _ in 0..5_000 {
+        pool.run(|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(total.load(Ordering::Relaxed), 5_000 * 4);
+}
+
+#[test]
+fn interleaved_loops_and_sorts() {
+    let pool = ThreadPool::new(4);
+    let mut data: Vec<u64> = (0..60_000).map(|i| (i * 2_654_435_761) % 100_000).collect();
+    for round in 0..5 {
+        par_sort_unstable_by_key(&pool, &mut data, |&x| x);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]), "round {round}");
+        par_chunks_mut(&pool, &mut data, 4_096, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (*v).wrapping_mul(31).wrapping_add((offset + i) as u64) % 100_000;
+            }
+        });
+    }
+}
+
+#[test]
+fn counters_match_loop_volume_under_contention() {
+    let pool = ThreadPool::new(8);
+    let counters = LaneCounters::new(pool.threads());
+    let n = 200_000;
+    parallel_for_in_lane(&pool, n, 64, |lane, range| {
+        counters.add(lane, range.len() as u64);
+    });
+    assert_eq!(counters.total(), n as u64);
+}
+
+#[test]
+fn repeated_panics_leave_pool_functional() {
+    let pool = ThreadPool::new(4);
+    for i in 0..20 {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_for(&pool, 1_000, 10, |range| {
+                if range.contains(&500) {
+                    panic!("injected {i}");
+                }
+            });
+        }));
+        assert!(r.is_err());
+    }
+    let hits = AtomicUsize::new(0);
+    parallel_for(&pool, 1_000, 10, |range| {
+        hits.fetch_add(range.len(), Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 1_000);
+}
+
+#[test]
+fn pools_of_every_size_agree() {
+    let expect: u64 = (0..100_000u64).map(|x| x / 3).sum();
+    for t in 1..=8 {
+        let pool = ThreadPool::new(t);
+        let sum = AtomicU64::new(0);
+        parallel_for(&pool, 100_000, 1_024, |range| {
+            let local: u64 = range.map(|x| x as u64 / 3).sum();
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), expect, "t = {t}");
+    }
+}
+
+#[test]
+fn drop_while_idle_is_clean() {
+    for _ in 0..50 {
+        let pool = ThreadPool::new(4);
+        pool.run(|_| {});
+        drop(pool);
+    }
+}

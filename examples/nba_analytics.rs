@@ -1,0 +1,91 @@
+//! NBA analytics: the paper's Table I/II real-data workload.
+//!
+//! Loads the genuine NBA dataset if `data/nba.csv` exists (8 numeric
+//! columns), otherwise the calibrated synthetic stand-in with the same
+//! shape (17,264 × 8, duplicate-heavy). Computes the skyline with every
+//! evaluated algorithm, reproducing the Table II comparison at laptop
+//! scale, and ranks skyline players by how many others they dominate.
+//!
+//! Run with: `cargo run --release --example nba_analytics`
+
+use std::path::Path;
+use std::sync::Arc;
+
+use skybench::prelude::*;
+use skybench::RealDataset;
+
+fn main() {
+    let pool = Arc::new(ThreadPool::with_available_parallelism());
+    let data = RealDataset::Nba.load_or_standin(Path::new("data/nba.csv"), &pool);
+    println!(
+        "NBA dataset: {} player-seasons x {} statistics (paper: 17,264 x 8, |SKY| = 1,796)",
+        data.len(),
+        data.dims()
+    );
+
+    // Table II at laptop scale: run every evaluated algorithm at t = max
+    // and t = 1, report runtime and speedup. All must agree exactly.
+    let mut reference: Option<Vec<u32>> = None;
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>8} {:>14}",
+        "algorithm", "t=max", "t=1", "speedup", "dominance tests"
+    );
+    for algo in [
+        Algorithm::BSkyTree,
+        Algorithm::PBSkyTree,
+        Algorithm::PSkyline,
+        Algorithm::QFlow,
+        Algorithm::Hybrid,
+    ] {
+        let (sky_p, stats_p) = SkylineBuilder::new()
+            .algorithm(algo)
+            .pool(Arc::clone(&pool))
+            .compute_with_stats(&data);
+        let (sky_1, stats_1) = SkylineBuilder::new()
+            .algorithm(algo)
+            .threads(1)
+            .compute_with_stats(&data);
+        assert_eq!(sky_p.indices(), sky_1.indices(), "{algo} disagrees");
+        match &reference {
+            None => reference = Some(sky_p.indices().to_vec()),
+            Some(r) => assert_eq!(r.as_slice(), sky_p.indices(), "{algo} disagrees"),
+        }
+        println!(
+            "{:<10} {:>10.2?} {:>10.2?} {:>7.1}x {:>14}",
+            algo.name(),
+            stats_p.total,
+            stats_1.total,
+            stats_1.total.as_secs_f64() / stats_p.total.as_secs_f64().max(1e-9),
+            stats_p.dominance_tests
+        );
+    }
+
+    let sky_indices = reference.unwrap();
+    println!(
+        "\nskyline: {} player-seasons ({:.2}% of the dataset)",
+        sky_indices.len(),
+        100.0 * sky_indices.len() as f64 / data.len() as f64
+    );
+
+    // Rank skyline members by domination count — a simple "how much of
+    // the league does this season outclass" score.
+    let mut ranked: Vec<(u32, usize)> = sky_indices
+        .iter()
+        .map(|&s| {
+            let srow = data.row(s as usize);
+            let dominated = data
+                .rows()
+                .filter(|row| skybench::dominance::strictly_dominates(srow, row))
+                .count();
+            (s, dominated)
+        })
+        .collect();
+    ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\nmost dominant skyline seasons:");
+    for (idx, count) in ranked.iter().take(5) {
+        println!(
+            "  season #{idx:<6} dominates {count:>6} others  {:?}",
+            &data.row(*idx as usize)[..4.min(data.dims())]
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: compute a skyline in a few lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use skybench::prelude::*;
+
+fn main() {
+    // The paper's Figure 1a example (smaller is better on both axes):
+    // p, r, s, t are skyline points; q is dominated by p.
+    let data = Dataset::from_rows(&[
+        vec![1.0, 2.0], // p
+        vec![2.0, 3.0], // q — worse than p on both dimensions
+        vec![2.0, 1.0], // r
+        vec![3.0, 0.5], // s
+        vec![0.5, 3.0], // t
+    ])
+    .expect("finite, rectangular data");
+
+    // One-liner: Hybrid on all available cores.
+    let sky = skyline(&data);
+    println!("skyline of {} points -> {} points", data.len(), sky.len());
+    for (idx, coords) in sky.points(&data) {
+        println!("  point #{idx}: {coords:?}");
+    }
+    assert_eq!(sky.indices(), &[0, 2, 3, 4]);
+
+    // The same through the builder, with everything explicit.
+    let (sky2, stats) = SkylineBuilder::new()
+        .algorithm(Algorithm::Hybrid)
+        .threads(2)
+        .alpha(1024)
+        .pivot(PivotStrategy::Median)
+        .compute_with_stats(&data);
+    assert_eq!(sky.indices(), sky2.indices());
+    println!(
+        "\nrecomputed with explicit settings: {} dominance tests, {:?} total",
+        stats.dominance_tests, stats.total
+    );
+
+    // Maximisation preferences: flip dimensions where bigger is better.
+    // (battery life [max], weight [min]) for laptops:
+    let laptops = Dataset::from_rows(&[
+        vec![10.0, 1.2],
+        vec![14.0, 1.8],
+        vec![8.0, 1.1],
+        vec![9.0, 1.9], // dominated: worse battery *and* heavier
+    ])
+    .unwrap()
+    .with_preferences(&[Preference::Max, Preference::Min])
+    .unwrap();
+    let best = skyline(&laptops);
+    println!("\npareto-optimal laptops: {:?}", best.indices());
+    assert_eq!(best.indices(), &[0, 1, 2]);
+}

@@ -1,0 +1,107 @@
+//! Cross-algorithm agreement: every algorithm in the suite must produce
+//! the definitionally correct skyline on every workload family.
+
+use skybench::prelude::*;
+use skybench::{generate, quantize, verify};
+
+fn assert_all_agree(data: &Dataset, label: &str) {
+    let expect = verify::naive_skyline(data);
+    verify::check_skyline(data, &expect).unwrap_or_else(|e| panic!("{label}: bad oracle: {e}"));
+    let pool = std::sync::Arc::new(ThreadPool::new(2));
+    for algo in Algorithm::ALL {
+        let sky = SkylineBuilder::new()
+            .algorithm(algo)
+            .pool(std::sync::Arc::clone(&pool))
+            .compute(data);
+        assert_eq!(
+            sky.indices(),
+            expect.as_slice(),
+            "{label}: {algo} disagrees with the naive reference"
+        );
+    }
+}
+
+#[test]
+fn synthetic_distributions() {
+    let pool = ThreadPool::new(2);
+    for dist in [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::Anticorrelated,
+    ] {
+        for (n, d) in [(400usize, 2usize), (800, 5), (300, 12)] {
+            let data = generate(dist, n, d, 1234, &pool);
+            assert_all_agree(&data, &format!("{dist:?} n={n} d={d}"));
+        }
+    }
+}
+
+#[test]
+fn quantised_duplicate_heavy_data() {
+    let pool = ThreadPool::new(2);
+    for levels in [2u32, 4, 10] {
+        let data = quantize(
+            &generate(Distribution::Independent, 900, 3, 77, &pool),
+            levels,
+        );
+        assert_all_agree(&data, &format!("quantised levels={levels}"));
+    }
+}
+
+#[test]
+fn degenerate_shapes() {
+    // Empty.
+    let empty = Dataset::from_flat(vec![], 4).unwrap();
+    assert_all_agree(&empty, "empty");
+    // Single point.
+    let one = Dataset::from_rows(&[vec![5.0, 5.0]]).unwrap();
+    assert_all_agree(&one, "singleton");
+    // All identical.
+    let same = Dataset::from_rows(&vec![vec![1.0, 2.0, 3.0]; 120]).unwrap();
+    assert_all_agree(&same, "identical");
+    // One dimension: skyline = all copies of the minimum.
+    let d1 = Dataset::from_rows(&(0..200).map(|i| vec![(i % 50) as f32]).collect::<Vec<_>>())
+        .unwrap();
+    assert_all_agree(&d1, "1-d");
+    // Chain (total order).
+    let chain = Dataset::from_rows(&(0..300).map(|i| vec![i as f32, i as f32]).collect::<Vec<_>>())
+        .unwrap();
+    assert_all_agree(&chain, "chain");
+    // Antichain (everything is skyline).
+    let anti = Dataset::from_rows(
+        &(0..300)
+            .map(|i| vec![i as f32, 300.0 - i as f32])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    assert_all_agree(&anti, "antichain");
+}
+
+#[test]
+fn negative_values_from_max_preferences() {
+    let pool = ThreadPool::new(2);
+    let raw = generate(Distribution::Independent, 500, 4, 9, &pool);
+    let data = raw
+        .with_preferences(&[
+            Preference::Max,
+            Preference::Min,
+            Preference::Max,
+            Preference::Min,
+        ])
+        .unwrap();
+    assert_all_agree(&data, "negated columns");
+}
+
+#[test]
+fn extreme_magnitudes() {
+    // Large spreads and tiny epsilons must not confuse any kernel.
+    let data = Dataset::from_rows(&[
+        vec![1e30, 1e-30],
+        vec![1e-30, 1e30],
+        vec![1e30, 1e30],
+        vec![0.0, 0.0],
+        vec![-1e20, 5.0],
+    ])
+    .unwrap();
+    assert_all_agree(&data, "extreme magnitudes");
+}

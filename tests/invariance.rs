@@ -1,0 +1,118 @@
+//! Result invariance: the computed skyline is a property of the *set* of
+//! points, so it must not change with tuning parameters, thread counts,
+//! or input order.
+
+use skybench::prelude::*;
+use skybench::{generate, Rng};
+
+fn reference(data: &Dataset) -> Vec<u32> {
+    skybench::verify::naive_skyline(data)
+}
+
+#[test]
+fn thread_count_invariance() {
+    let gen_pool = ThreadPool::new(2);
+    let data = generate(Distribution::Anticorrelated, 2_000, 5, 5, &gen_pool);
+    let expect = reference(&data);
+    for algo in [
+        Algorithm::PSkyline,
+        Algorithm::Psfs,
+        Algorithm::QFlow,
+        Algorithm::Hybrid,
+        Algorithm::PBSkyTree,
+    ] {
+        for t in [1usize, 2, 3, 4, 8] {
+            let sky = SkylineBuilder::new().algorithm(algo).threads(t).compute(&data);
+            assert_eq!(sky.indices(), expect.as_slice(), "{algo} t={t}");
+        }
+    }
+}
+
+#[test]
+fn alpha_invariance() {
+    let gen_pool = ThreadPool::new(2);
+    let data = generate(Distribution::Independent, 3_000, 4, 11, &gen_pool);
+    let expect = reference(&data);
+    for algo in [Algorithm::QFlow, Algorithm::Hybrid, Algorithm::Psfs] {
+        for alpha in [1usize, 2, 17, 128, 1 << 14, 1 << 22] {
+            let sky = SkylineBuilder::new()
+                .algorithm(algo)
+                .threads(2)
+                .alpha(alpha)
+                .compute(&data);
+            assert_eq!(sky.indices(), expect.as_slice(), "{algo} alpha={alpha}");
+        }
+    }
+}
+
+#[test]
+fn pivot_and_beta_invariance() {
+    let gen_pool = ThreadPool::new(2);
+    let data = generate(Distribution::Anticorrelated, 1_500, 6, 3, &gen_pool);
+    let expect = reference(&data);
+    for pivot in PivotStrategy::ALL {
+        for beta in [1usize, 4, 8, 64] {
+            let sky = SkylineBuilder::new()
+                .pivot(pivot)
+                .prefilter_beta(beta)
+                .threads(2)
+                .compute(&data);
+            assert_eq!(sky.indices(), expect.as_slice(), "{pivot:?} beta={beta}");
+        }
+    }
+}
+
+#[test]
+fn shuffle_invariance() {
+    // Permuting the input must permute the skyline identically.
+    let gen_pool = ThreadPool::new(2);
+    let data = generate(Distribution::Independent, 1_000, 4, 21, &gen_pool);
+    let expect: std::collections::BTreeSet<Vec<u32>> = reference(&data)
+        .iter()
+        .map(|&i| data.row(i as usize).iter().map(|v| v.to_bits()).collect())
+        .collect();
+
+    let mut perm: Vec<usize> = (0..data.len()).collect();
+    let mut rng = Rng::seed_from(99);
+    for i in (1..perm.len()).rev() {
+        perm.swap(i, rng.next_below(i + 1));
+    }
+    let shuffled =
+        Dataset::from_rows(&perm.iter().map(|&i| data.row(i).to_vec()).collect::<Vec<_>>())
+            .unwrap();
+
+    for algo in [Algorithm::Hybrid, Algorithm::QFlow, Algorithm::BSkyTree] {
+        let sky = SkylineBuilder::new().algorithm(algo).threads(2).compute(&shuffled);
+        let got: std::collections::BTreeSet<Vec<u32>> = sky
+            .points(&shuffled)
+            .map(|(_, row)| row.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(got, expect, "{algo} not shuffle-invariant");
+    }
+}
+
+#[test]
+fn skyline_of_skyline_is_identity() {
+    let gen_pool = ThreadPool::new(2);
+    let data = generate(Distribution::Anticorrelated, 1_200, 4, 13, &gen_pool);
+    let sky = skyline(&data);
+    let sky_rows: Vec<Vec<f32>> = sky.points(&data).map(|(_, r)| r.to_vec()).collect();
+    let sky_data = Dataset::from_rows(&sky_rows).unwrap();
+    let sky2 = skyline(&sky_data);
+    assert_eq!(sky2.len(), sky.len(), "skyline must be idempotent");
+}
+
+#[test]
+fn removing_dominated_points_changes_nothing() {
+    let gen_pool = ThreadPool::new(2);
+    let data = generate(Distribution::Independent, 1_000, 3, 8, &gen_pool);
+    let sky = skyline(&data);
+    // Drop every non-skyline point with odd index.
+    let keep: Vec<Vec<f32>> = (0..data.len())
+        .filter(|&i| sky.contains(i as u32) || i % 2 == 0)
+        .map(|i| data.row(i).to_vec())
+        .collect();
+    let reduced = Dataset::from_rows(&keep).unwrap();
+    let sky2 = skyline(&reduced);
+    assert_eq!(sky2.len(), sky.len());
+}

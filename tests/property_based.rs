@@ -1,0 +1,111 @@
+//! Property-based testing with proptest: algorithm agreement and the
+//! algebra the implementations rely on, on arbitrary inputs (including
+//! ties, duplicates, and negative coordinates).
+
+use proptest::prelude::*;
+use skybench::prelude::*;
+use skybench::{dominance, masks, norms, verify};
+
+/// Arbitrary small datasets: up to 120 points in 1–6 dimensions, with
+/// values drawn from a small integer alphabet to force ties/duplicates.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..=6, 1usize..=120).prop_flat_map(|(d, n)| {
+        proptest::collection::vec(-4i8..=4, n * d).prop_map(move |vals| {
+            Dataset::from_flat(vals.into_iter().map(|v| v as f32).collect(), d).unwrap()
+        })
+    })
+}
+
+/// Arbitrary *continuous* datasets: finite f32 values.
+fn continuous_dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..=5, 1usize..=80).prop_flat_map(|(d, n)| {
+        proptest::collection::vec(-1.0e3f32..1.0e3, n * d)
+            .prop_map(move |vals| Dataset::from_flat(vals, d).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_agree_on_tied_data(data in dataset_strategy()) {
+        let expect = verify::naive_skyline(&data);
+        for algo in Algorithm::ALL {
+            let sky = SkylineBuilder::new().algorithm(algo).threads(2).compute(&data);
+            prop_assert_eq!(sky.indices(), expect.as_slice(), "{} disagrees", algo);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_continuous_data(data in continuous_dataset_strategy()) {
+        let expect = verify::naive_skyline(&data);
+        for algo in Algorithm::ALL {
+            let sky = SkylineBuilder::new().algorithm(algo).threads(2).compute(&data);
+            prop_assert_eq!(sky.indices(), expect.as_slice(), "{} disagrees", algo);
+        }
+    }
+
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        p in proptest::collection::vec(-10i8..=10, 4),
+        q in proptest::collection::vec(-10i8..=10, 4),
+        r in proptest::collection::vec(-10i8..=10, 4),
+    ) {
+        let f = |v: &[i8]| v.iter().map(|&x| x as f32).collect::<Vec<_>>();
+        let (p, q, r) = (f(&p), f(&q), f(&r));
+        // Irreflexive.
+        prop_assert!(!dominance::strictly_dominates(&p, &p));
+        // Antisymmetric.
+        prop_assert!(
+            !(dominance::strictly_dominates(&p, &q) && dominance::strictly_dominates(&q, &p))
+        );
+        // Transitive.
+        if dominance::strictly_dominates(&p, &q) && dominance::strictly_dominates(&q, &r) {
+            prop_assert!(dominance::strictly_dominates(&p, &r));
+        }
+        // Kernels agree.
+        prop_assert_eq!(
+            dominance::strictly_dominates(&p, &q),
+            dominance::strictly_dominates_lanes(&p, &q)
+        );
+    }
+
+    #[test]
+    fn mask_subset_lemma(
+        p in proptest::collection::vec(-8i8..=8, 5),
+        q in proptest::collection::vec(-8i8..=8, 5),
+        v in proptest::collection::vec(-8i8..=8, 5),
+    ) {
+        let f = |v: &[i8]| v.iter().map(|&x| x as f32).collect::<Vec<_>>();
+        let (p, q, v) = (f(&p), f(&q), f(&v));
+        if dominance::strictly_dominates(&p, &q) {
+            let mp = masks::partition_mask(&p, &v);
+            let mq = masks::partition_mask(&q, &v);
+            prop_assert!(masks::is_subset(mp, mq));
+            // And the monotone keys respect dominance.
+            prop_assert!(norms::l1(&p) < norms::l1(&q));
+            prop_assert!(norms::entropy(&p) < norms::entropy(&q));
+        }
+    }
+
+    #[test]
+    fn skyline_members_cover_everything(data in dataset_strategy()) {
+        let sky = SkylineBuilder::new().threads(2).compute(&data);
+        prop_assert!(verify::check_skyline(&data, sky.indices()).is_ok());
+        // Non-empty data ⇒ non-empty skyline.
+        if !data.is_empty() {
+            prop_assert!(!sky.is_empty());
+        }
+    }
+
+    #[test]
+    fn progressive_equals_batch(data in dataset_strategy()) {
+        for algo in [Algorithm::QFlow, Algorithm::Hybrid] {
+            let builder = SkylineBuilder::new().algorithm(algo).threads(2).alpha(16);
+            let mut streamed = Vec::new();
+            let sky = builder.compute_progressive(&data, |b| streamed.extend_from_slice(b));
+            streamed.sort_unstable();
+            prop_assert_eq!(streamed, sky.indices().to_vec());
+        }
+    }
+}
