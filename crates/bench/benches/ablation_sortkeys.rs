@@ -33,11 +33,9 @@ fn bench(c: &mut Criterion) {
         }
         // SaLSa's early termination as the fourth bar.
         let cfg = SkylineConfig::default();
-        g.bench_with_input(
-            BenchmarkId::new(dist.label(), "salsa"),
-            &cfg,
-            |b, cfg| b.iter(|| Algorithm::Salsa.run(&data, &pool, cfg).indices.len()),
-        );
+        g.bench_with_input(BenchmarkId::new(dist.label(), "salsa"), &cfg, |b, cfg| {
+            b.iter(|| Algorithm::Salsa.run(&data, &pool, cfg).indices.len())
+        });
     }
     g.finish();
 }

@@ -1,0 +1,93 @@
+//! Engine throughput: queries/second for a mixed subspace workload,
+//! cold cache (every query plans and computes) versus warm cache
+//! (every query hits), plus the single-query hit path. The perf
+//! baseline future PRs measure against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skyline_data::{generate, Distribution, Preference};
+use skyline_engine::{Engine, EngineConfig, SkylineQuery};
+use skyline_parallel::ThreadPool;
+
+const N: usize = 20_000;
+const D: usize = 6;
+const THREADS: usize = 2;
+
+fn mixed_workload() -> Vec<SkylineQuery> {
+    let mut queries = Vec::new();
+    for name in ["corr", "anti"] {
+        queries.push(SkylineQuery::new(name));
+        queries.push(SkylineQuery::new(name).dims([0, 1]));
+        queries.push(SkylineQuery::new(name).dims([2]));
+        queries.push(SkylineQuery::new(name).dims([1, 3, 5]));
+        queries.push(
+            SkylineQuery::new(name)
+                .dims([0, 5])
+                .preference([Preference::Min, Preference::Max]),
+        );
+    }
+    queries
+}
+
+fn fresh_engine() -> Engine {
+    let pool = ThreadPool::new(THREADS);
+    let engine = Engine::with_config(EngineConfig {
+        threads: THREADS,
+        ..EngineConfig::default()
+    });
+    engine.register("corr", generate(Distribution::Correlated, N, D, 3, &pool));
+    engine.register(
+        "anti",
+        generate(Distribution::Anticorrelated, N, D, 3, &pool),
+    );
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let queries = mixed_workload();
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(queries.len() as u64));
+
+    // Cold: re-register before every iteration so each query plans and
+    // computes (registration cost is inside the loop; the cold/warm
+    // gap is still orders of magnitude).
+    g.bench_with_input(BenchmarkId::new("batch", "cold"), &queries, |b, queries| {
+        b.iter(|| {
+            let engine = fresh_engine();
+            let results = engine.execute_batch(queries);
+            results
+                .iter()
+                .map(|r| r.as_ref().expect("valid").len())
+                .sum::<usize>()
+        });
+    });
+
+    // Warm: one engine, cache populated by the first batch.
+    let engine = fresh_engine();
+    for r in engine.execute_batch(&queries) {
+        r.expect("valid");
+    }
+    g.bench_with_input(BenchmarkId::new("batch", "warm"), &queries, |b, queries| {
+        b.iter(|| {
+            let results = engine.execute_batch(queries);
+            results
+                .iter()
+                .map(|r| r.as_ref().expect("valid").len())
+                .sum::<usize>()
+        });
+    });
+    g.finish();
+
+    // The single-query cached path, the latency floor of the engine.
+    let mut g = c.benchmark_group("engine_hit_latency");
+    g.sample_size(50);
+    let hot = SkylineQuery::new("anti").dims([0, 1]);
+    engine.execute(&hot).expect("valid");
+    g.bench_function("cached_subspace", |b| {
+        b.iter(|| engine.execute(&hot).expect("valid").len());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -21,9 +21,13 @@ fn bench(c: &mut Criterion) {
         Distribution::Anticorrelated,
     ] {
         let data = generate(dist, 20_000, 8, 42, &pool);
-        g.bench_with_input(BenchmarkId::new("hybrid", dist.label()), &data, |b, data| {
-            b.iter(|| Algorithm::Hybrid.run(data, &pool, &cfg).indices.len());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("hybrid", dist.label()),
+            &data,
+            |b, data| {
+                b.iter(|| Algorithm::Hybrid.run(data, &pool, &cfg).indices.len());
+            },
+        );
     }
     g.finish();
 }

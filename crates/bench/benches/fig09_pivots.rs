@@ -20,11 +20,9 @@ fn bench(c: &mut Criterion) {
                 alpha_hybrid: alpha,
                 ..Default::default()
             };
-            g.bench_with_input(
-                BenchmarkId::new(pivot.name(), alpha),
-                &cfg,
-                |b, cfg| b.iter(|| Algorithm::Hybrid.run(&data, &pool, cfg).indices.len()),
-            );
+            g.bench_with_input(BenchmarkId::new(pivot.name(), alpha), &cfg, |b, cfg| {
+                b.iter(|| Algorithm::Hybrid.run(&data, &pool, cfg).indices.len())
+            });
         }
     }
     g.finish();

@@ -14,12 +14,25 @@ fn main() {
         let t0 = Instant::now();
         let data = generate(dist, n, d, 42, &gen_pool);
         println!("--- {dist:?} n={n} d={d} (gen {:?})", t0.elapsed());
-        for algo in [Algorithm::BSkyTree, Algorithm::PBSkyTree, Algorithm::PSkyline, Algorithm::QFlow, Algorithm::Hybrid] {
+        for algo in [
+            Algorithm::BSkyTree,
+            Algorithm::PBSkyTree,
+            Algorithm::PSkyline,
+            Algorithm::QFlow,
+            Algorithm::Hybrid,
+        ] {
             for t in [1usize, 2] {
                 let pool = ThreadPool::new(t);
                 let t0 = Instant::now();
                 let r = algo.run(&data, &pool, &cfg);
-                println!("{:>10} t={} {:>9.1?} |SKY|={} DTs={}", algo.name(), t, t0.elapsed(), r.indices.len(), r.stats.dominance_tests);
+                println!(
+                    "{:>10} t={} {:>9.1?} |SKY|={} DTs={}",
+                    algo.name(),
+                    t,
+                    t0.elapsed(),
+                    r.indices.len(),
+                    r.stats.dominance_tests
+                );
             }
         }
     }

@@ -1,0 +1,160 @@
+//! The `engine` experiment: drives a mixed subspace-query workload
+//! through [`skyline_engine::Engine`] and reports plan selections,
+//! cold/warm service times, cache effectiveness, and batch throughput.
+
+use std::time::Instant;
+
+use skyline_data::{generate, Distribution, Preference};
+use skyline_engine::{Engine, EngineConfig, SkylineQuery, Strategy};
+use skyline_parallel::ThreadPool;
+
+use crate::{fmt_secs, print_table, Scale};
+
+fn strategy_label(s: &Strategy) -> String {
+    match s {
+        Strategy::Cached => "cache".to_string(),
+        Strategy::Trivial => "trivial".to_string(),
+        Strategy::MinScan { dim } => format!("min-scan(d{dim})"),
+        Strategy::Algorithm(a) => a.name().to_string(),
+    }
+}
+
+/// The mixed workload: for each registered dataset, a spread of
+/// full-space, subspace, single-dimension, preference-flipped, and
+/// limited queries.
+fn workload(names: &[String], d: usize) -> Vec<SkylineQuery> {
+    let mut queries = Vec::new();
+    for name in names {
+        queries.push(SkylineQuery::new(name));
+        queries.push(SkylineQuery::new(name).dims([0, 1]));
+        queries.push(SkylineQuery::new(name).dims([d - 2, d - 1]));
+        queries.push(SkylineQuery::new(name).dims(0..d.min(4)));
+        queries.push(SkylineQuery::new(name).dims([0]));
+        queries.push(
+            SkylineQuery::new(name)
+                .dims([0, d - 1])
+                .preference([Preference::Min, Preference::Max]),
+        );
+        queries.push(SkylineQuery::new(name).dims([1, 2]).limit(16));
+    }
+    queries
+}
+
+/// Runs the engine workload at `scale` on `threads` lanes.
+pub fn run(scale: Scale, threads: usize) {
+    let (n, d) = scale.default_workload();
+    let d = d.max(4);
+    let engine = Engine::with_config(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    println!(
+        "\n## engine workload — n = {n}, d = {d}, t = {} (cache {} entries)\n",
+        engine.threads(),
+        engine.cache_stats().capacity
+    );
+
+    // Registration (timed: includes stats + sorted projections).
+    let gen_pool = ThreadPool::new(threads);
+    let mut names = Vec::new();
+    let reg_started = Instant::now();
+    for (label, dist) in [
+        ("corr", Distribution::Correlated),
+        ("indep", Distribution::Independent),
+        ("anti", Distribution::Anticorrelated),
+    ] {
+        let data = generate(dist, n, d, 42, &gen_pool);
+        let name = label.to_string();
+        engine.register(&name, data);
+        names.push(name);
+    }
+    println!(
+        "registered {} datasets in {}\n",
+        names.len(),
+        fmt_secs(reg_started.elapsed())
+    );
+
+    // Cold pass: every query misses; show what the planner chose.
+    let queries = workload(&names, d);
+    let cold_started = Instant::now();
+    let cold = engine.execute_batch(&queries);
+    let cold_elapsed = cold_started.elapsed();
+
+    let header: Vec<String> = ["query", "plan", "sampled frac", "skyline", "time"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (q, r) in queries.iter().zip(&cold) {
+        let r = r.as_ref().expect("workload queries are valid");
+        let dims = match q.selected_dims() {
+            Some(dims) => format!("{dims:?}"),
+            None => "full".to_string(),
+        };
+        rows.push(vec![
+            format!("{} {}", q.dataset(), dims),
+            strategy_label(&r.plan.strategy),
+            r.plan
+                .sample_skyline_frac
+                .map(|f| format!("{f:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.total_skyline_size().to_string(),
+            fmt_secs(r.elapsed),
+        ]);
+    }
+    print_table(
+        "cold batch (every query planned and computed)",
+        &header,
+        &rows,
+    );
+    println!("\ncold batch total: {}", fmt_secs(cold_elapsed));
+
+    // Warm passes: everything hits the cache.
+    let reps: usize = match scale {
+        Scale::Smoke => 20,
+        Scale::Laptop => 200,
+        Scale::Paper => 1_000,
+    };
+    let warm_started = Instant::now();
+    for _ in 0..reps {
+        for r in engine.execute_batch(&queries) {
+            let r = r.expect("workload queries are valid");
+            debug_assert!(r.cache_hit);
+        }
+    }
+    let warm_elapsed = warm_started.elapsed();
+    let total_queries = reps * queries.len();
+    println!(
+        "warm: {} batches × {} queries in {} → {:.0} queries/s",
+        reps,
+        queries.len(),
+        fmt_secs(warm_elapsed),
+        total_queries as f64 / warm_elapsed.as_secs_f64()
+    );
+
+    // Invalidation: re-register one dataset and show selective misses.
+    let fresh = generate(Distribution::Independent, n, d, 4242, &gen_pool);
+    engine.register(&names[0], fresh);
+    let after = engine.execute_batch(&queries);
+    let recomputed = after
+        .iter()
+        .map(|r| r.as_ref().expect("valid"))
+        .filter(|r| !r.cache_hit)
+        .count();
+    println!(
+        "after re-registering '{}': {recomputed}/{} queries recomputed, rest still cached",
+        names[0],
+        queries.len()
+    );
+
+    let stats = engine.cache_stats();
+    println!(
+        "\ncache: {} hits / {} misses ({:.1}% hit rate), {} insertions, {} invalidations, {} resident",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.insertions,
+        stats.invalidations,
+        stats.entries
+    );
+}

@@ -68,6 +68,7 @@ impl ExpCtx {
             "table1" => table1(self),
             "table2" => table2(self),
             "table3" => table3(self),
+            "engine" => crate::engine_workload::run(self.scale, self.threads),
             "all" => {
                 for e in Self::ALL_EXPERIMENTS {
                     if *e != "all" {
@@ -84,7 +85,7 @@ impl ExpCtx {
     /// Every experiment name the harness accepts.
     pub const ALL_EXPERIMENTS: &'static [&'static str] = &[
         "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "table1", "table2", "table3", "all",
+        "table1", "table2", "table3", "engine", "all",
     ];
 }
 
@@ -266,7 +267,15 @@ fn fig8(ctx: &mut ExpCtx) {
     let (n, d) = ctx.scale.default_workload();
     let pool = ctx.pool(ctx.threads);
     let header: Vec<String> = [
-        "", "Init.", "Pre-filter", "Pivot", "Phase I", "Phase II", "Compress", "Other", "Total",
+        "",
+        "Init.",
+        "Pre-filter",
+        "Pivot",
+        "Phase I",
+        "Phase II",
+        "Compress",
+        "Other",
+        "Total",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -528,12 +537,7 @@ fn table3(ctx: &mut ExpCtx) {
     let cfg = SkylineConfig::default();
     let pool1 = ctx.pool(1);
     let header: Vec<String> = std::iter::once(format!("d={d}, t=1"))
-        .chain(
-            ctx.scale
-                .cardinalities()
-                .iter()
-                .map(|n| format!("n={n}")),
-        )
+        .chain(ctx.scale.cardinalities().iter().map(|n| format!("n={n}")))
         .collect();
     let mut rows = Vec::new();
     for dist in DISTRIBUTIONS {

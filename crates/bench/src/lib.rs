@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine_workload;
 pub mod experiments;
 pub mod workloads;
 
@@ -212,13 +213,8 @@ mod tests {
     #[test]
     fn measure_returns_median() {
         let pool = Arc::new(ThreadPool::new(1));
-        let data = skyline_data::generate(
-            skyline_data::Distribution::Independent,
-            2_000,
-            3,
-            1,
-            &pool,
-        );
+        let data =
+            skyline_data::generate(skyline_data::Distribution::Independent, 2_000, 3, 1, &pool);
         let m = measure(
             Algorithm::Sfs,
             &data,

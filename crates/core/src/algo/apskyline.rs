@@ -76,8 +76,9 @@ pub fn run(data: &Dataset, pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineRe
         .map(|b| (b * slice_len, ((b + 1) * slice_len).min(n)))
         .filter(|(s, e)| s < e)
         .collect();
-    let results: Vec<std::sync::Mutex<Vec<u32>>> =
-        (0..slices.len()).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let results: Vec<std::sync::Mutex<Vec<u32>>> = (0..slices.len())
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
     {
         let (keyed, slices, results) = (&keyed, &slices, &results);
         parallel_for_in_lane(pool, slices.len(), 1, |lane, range| {

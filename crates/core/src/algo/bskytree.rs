@@ -187,7 +187,14 @@ pub(crate) fn build(
 
     // Balanced pivot — a skyline point of the subset with minimal
     // normalised range (Lee & Hwang's choice for BSkyTree-P).
-    let pivot = select_pivot(PivotStrategy::Balanced, &sub.values, d, &sub.l1, cfg.seed, pool);
+    let pivot = select_pivot(
+        PivotStrategy::Balanced,
+        &sub.values,
+        d,
+        &sub.l1,
+        cfg.seed,
+        pool,
+    );
     let pivot_pos = out.push(&pivot.coords, {
         // Recover the original id of the chosen pivot row.
         let at = sub
@@ -208,7 +215,9 @@ pub(crate) fn build(
         let (m, eq) = mask_and_eq(row, &node_pivot_row);
         if m == full {
             if eq {
-                if !skip_self && row == &node_pivot_row[..] && sub.orig[i] == out.orig[pivot_pos as usize]
+                if !skip_self
+                    && row == &node_pivot_row[..]
+                    && sub.orig[i] == out.orig[pivot_pos as usize]
                 {
                     // The pivot element itself — already emitted.
                     skip_self = true;
@@ -355,7 +364,10 @@ mod tests {
     #[test]
     fn quantised_grids() {
         let pool = ThreadPool::new(2);
-        let data = quantize(&generate(Distribution::Anticorrelated, 1_500, 3, 9, &pool), 8);
+        let data = quantize(
+            &generate(Distribution::Anticorrelated, 1_500, 3, 9, &pool),
+            8,
+        );
         let r = run_bst(&data);
         assert_eq!(r.indices, naive_skyline(&data));
     }

@@ -115,8 +115,8 @@ pub fn run_with_progress(
         if pruned[i].load(Ordering::Relaxed) {
             continue;
         }
-        let key = ((CompoundKey::new(masks[i], d).0 as u64) << 32)
-            | f32_order_bits(pf.l1[i]) as u64;
+        let key =
+            ((CompoundKey::new(masks[i], d).0 as u64) << 32) | f32_order_bits(pf.l1[i]) as u64;
         items.push((key, i as u32));
     }
     par_sort_unstable_by_key(pool, &mut items, |&t| t);
@@ -282,6 +282,8 @@ fn reset_flags(flags: &[AtomicBool], len: usize) {
 fn compress(ws: &mut HybridWork, blk_start: usize, blk_len: usize, flags: &[AtomicBool]) -> usize {
     let d = ws.d;
     let mut w = 0;
+    // Read cursor r / write cursor w walk several parallel arrays.
+    #[allow(clippy::needless_range_loop)]
     for r in 0..blk_len {
         if flags[r].load(Ordering::Relaxed) {
             continue;

@@ -108,6 +108,8 @@ mod tests {
         let r = run(&data, &pool, &SkylineConfig::default());
         assert_eq!(r.indices, naive_skyline(&data));
         let empty = Dataset::from_flat(vec![], 2).unwrap();
-        assert!(run(&empty, &pool, &SkylineConfig::default()).indices.is_empty());
+        assert!(run(&empty, &pool, &SkylineConfig::default())
+            .indices
+            .is_empty());
     }
 }

@@ -6,8 +6,8 @@ pub mod bskytree;
 pub mod hybrid;
 pub mod less;
 pub mod pbskytree;
-pub mod pskyline;
 pub mod psfs;
+pub mod pskyline;
 pub mod qflow;
 pub mod salsa;
 pub mod sfs;

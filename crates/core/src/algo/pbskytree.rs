@@ -47,11 +47,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
     let counters = LaneCounters::new(pool.threads());
 
     let l1: Vec<f32> = data.rows().map(crate::norms::l1).collect();
-    let root = subset_from_parts(
-        data.values().to_vec(),
-        (0..data.len() as u32).collect(),
-        l1,
-    );
+    let root = subset_from_parts(data.values().to_vec(), (0..data.len() as u32).collect(), l1);
 
     let mut state = PbRun {
         d,
@@ -175,6 +171,7 @@ impl PbRun<'_> {
         // pivot, drop the dominated all-ones region.
         let mut keyed: Vec<(u32, u32)> = Vec::new(); // (compound key, row)
         let mut skipped_self = false;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let slot = masks[i].load(Ordering::Relaxed);
             let (m, eq) = (slot & !(1 << 31), slot >> 31 == 1);
@@ -358,7 +355,10 @@ mod tests {
     #[test]
     fn duplicates_everywhere() {
         let pool = ThreadPool::new(4);
-        let data = quantize(&generate(Distribution::Anticorrelated, 2_000, 3, 2, &pool), 4);
+        let data = quantize(
+            &generate(Distribution::Anticorrelated, 2_000, 3, 2, &pool),
+            4,
+        );
         let r = run(&data, &pool, &SkylineConfig::default());
         check_skyline(&data, &r.indices).unwrap();
     }

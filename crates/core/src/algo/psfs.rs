@@ -67,6 +67,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
         // part): a plain SFS window over the survivors.
         let mut dts = 0u64;
         let mut block_sky: Vec<usize> = Vec::new(); // positions in ws
+        #[allow(clippy::needless_range_loop)]
         'surv: for r in 0..blk_len {
             if flags[r].load(Ordering::Relaxed) {
                 continue;

@@ -34,8 +34,9 @@ pub fn run(data: &Dataset, pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineRe
         .map(|b| (b * block_len, ((b + 1) * block_len).min(n)))
         .filter(|(s, e)| s < e)
         .collect();
-    let locals: Vec<parking_lot_free::Slot<Vec<u32>>> =
-        (0..ranges.len()).map(|_| parking_lot_free::Slot::new()).collect();
+    let locals: Vec<parking_lot_free::Slot<Vec<u32>>> = (0..ranges.len())
+        .map(|_| parking_lot_free::Slot::new())
+        .collect();
     {
         let ranges = &ranges;
         let locals = &locals;
@@ -157,10 +158,7 @@ mod parking_lot_free {
         }
 
         pub fn set(&self, v: T) {
-            assert!(
-                !self.set.swap(true, Ordering::AcqRel),
-                "slot written twice"
-            );
+            assert!(!self.set.swap(true, Ordering::AcqRel), "slot written twice");
             // SAFETY: unique writer enforced by the swap above.
             unsafe { *self.value.get() = Some(v) };
         }

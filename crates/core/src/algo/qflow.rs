@@ -147,6 +147,8 @@ pub(crate) fn compress_block(
 ) -> usize {
     let d = ws.d;
     let mut w = 0;
+    // Read cursor r / write cursor w walk several parallel arrays.
+    #[allow(clippy::needless_range_loop)]
     for r in 0..blk_len {
         if flags[r].load(Ordering::Relaxed) {
             continue;
@@ -233,8 +235,7 @@ mod tests {
         let qf = run(&data, &pool, &cfg);
         let sfs = crate::algo::sfs::run(&data, &pool, &cfg);
         assert!(
-            qf.stats.dominance_tests
-                <= sfs.stats.dominance_tests + (data.len() * alpha) as u64,
+            qf.stats.dominance_tests <= sfs.stats.dominance_tests + (data.len() * alpha) as u64,
             "Q-Flow DTs {} vs SFS {} + bound",
             qf.stats.dominance_tests,
             sfs.stats.dominance_tests

@@ -101,12 +101,7 @@ mod tests {
     fn stop_point_duplicates_are_kept() {
         // A constant vector as stop point, duplicated: both copies are
         // skyline (neither dominates the other).
-        let data = Dataset::from_rows(&[
-            vec![0.5, 0.5],
-            vec![0.5, 0.5],
-            vec![0.9, 0.9],
-        ])
-        .unwrap();
+        let data = Dataset::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5], vec![0.9, 0.9]]).unwrap();
         let pool = ThreadPool::new(1);
         let r = run(&data, &pool, &SkylineConfig::default());
         assert_eq!(r.indices, vec![0, 1]);

@@ -201,8 +201,7 @@ mod tests {
             let q_mask = partition_mask(q, &pivot);
             let mut dts = 0;
             let got = sky.dominates(q, q_mask, &mut dts);
-            let want = (0..sky.len())
-                .any(|i| crate::dominance::strictly_dominates(sky.row(i), q));
+            let want = (0..sky.len()).any(|i| crate::dominance::strictly_dominates(sky.row(i), q));
             assert_eq!(got, want, "q = {q:?}");
         }
     }

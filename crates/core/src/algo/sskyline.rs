@@ -22,10 +22,7 @@ pub(crate) fn sskyline_in_place(data: &Dataset, idxs: &mut Vec<u32>) -> u64 {
         let mut i = head + 1;
         while i < idxs.len() {
             dts += 1;
-            match compare(
-                data.row(idxs[head] as usize),
-                data.row(idxs[i] as usize),
-            ) {
+            match compare(data.row(idxs[head] as usize), data.row(idxs[i] as usize)) {
                 DomRelation::PDominatesQ => {
                     // head dominates i: evict i.
                     idxs.swap_remove(i);

@@ -91,6 +91,32 @@ pub fn dt(p: &[f32], q: &[f32]) -> bool {
     }
 }
 
+/// Strict dominance `p ≺ q` restricted to the subspace spanned by
+/// `dims` (each an index into the full-space rows).
+///
+/// Evaluating dominance on a projection *without materialising it* is
+/// what lets the query engine's planner sample subspace skyline density
+/// straight off the registered full-space rows.
+#[inline]
+pub fn strictly_dominates_on(p: &[f32], q: &[f32], dims: &[usize]) -> bool {
+    debug_assert_eq!(p.len(), q.len());
+    let mut lt = false;
+    for &d in dims {
+        if p[d] > q[d] {
+            return false;
+        }
+        lt |= p[d] < q[d];
+    }
+    lt
+}
+
+/// Potential dominance `p ⪯ q` restricted to the subspace `dims`.
+#[inline]
+pub fn dominates_or_equal_on(p: &[f32], q: &[f32], dims: &[usize]) -> bool {
+    debug_assert_eq!(p.len(), q.len());
+    dims.iter().all(|&d| p[d] <= q[d])
+}
+
 /// Potential dominance `p ⪯ q` (Definition 1): `∀i p[i] ≤ q[i]`.
 #[inline]
 pub fn dominates_or_equal(p: &[f32], q: &[f32]) -> bool {
@@ -197,6 +223,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn subspace_kernels_match_projection() {
+        // Dominance on dims must equal full dominance of the projected
+        // points, for every subset of dimensions.
+        let p = [1.0f32, 5.0, 2.0];
+        let q = [2.0f32, 4.0, 2.0];
+        for dims in [
+            &[0usize][..],
+            &[1],
+            &[2],
+            &[0, 1],
+            &[0, 2],
+            &[1, 2],
+            &[0, 1, 2],
+            &[2, 0], // order must not matter
+        ] {
+            let proj = |v: &[f32]| dims.iter().map(|&d| v[d]).collect::<Vec<_>>();
+            assert_eq!(
+                strictly_dominates_on(&p, &q, dims),
+                strictly_dominates(&proj(&p), &proj(&q)),
+                "{dims:?}"
+            );
+            assert_eq!(
+                dominates_or_equal_on(&p, &q, dims),
+                dominates_or_equal(&proj(&p), &proj(&q)),
+                "{dims:?}"
+            );
+        }
+        // Coincident on a subspace ⇒ no strict dominance there.
+        assert!(!strictly_dominates_on(&p, &q, &[2]));
+        assert!(dominates_or_equal_on(&p, &q, &[2]));
     }
 
     #[test]

@@ -123,7 +123,9 @@ mod tests {
         // p ≺ q ⇒ mask(p) ⊆ mask(q) for any pivot.
         let mut rng = 0xDEADBEEFu64;
         let mut next = move || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((rng >> 40) % 5) as f32
         };
         for _ in 0..5_000 {

@@ -98,9 +98,7 @@ mod tests {
 
     #[test]
     fn order_bits_preserve_order() {
-        let mut values = vec![
-            -1000.0f32, -1.5, -0.0, 0.0, 1e-9, 0.5, 1.0, 2.0, 12345.0,
-        ];
+        let mut values = vec![-1000.0f32, -1.5, -0.0, 0.0, 1e-9, 0.5, 1.0, 2.0, 12345.0];
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let bits: Vec<u32> = values.iter().map(|&v| f32_order_bits(v)).collect();
         for w in bits.windows(2) {

@@ -61,8 +61,9 @@ pub fn prefilter(
     // ---- Pass 1: build per-lane β-queues, flagging en route ------------
     // Each queue is only touched by its own lane; the Mutex is uncontended
     // and exists to satisfy the borrow checker across the region.
-    let queues: Vec<Mutex<Vec<(f32, u32)>>> =
-        (0..pool.threads()).map(|_| Mutex::new(Vec::with_capacity(beta))).collect();
+    let queues: Vec<Mutex<Vec<(f32, u32)>>> = (0..pool.threads())
+        .map(|_| Mutex::new(Vec::with_capacity(beta)))
+        .collect();
     {
         let (norms, flags, queues) = (&norms, &flags, &queues);
         parallel_for_in_lane(pool, n, 1 << 10, |lane, range| {
@@ -171,13 +172,15 @@ mod tests {
             Distribution::Anticorrelated,
         ] {
             let data = generate(dist, 2_000, 4, 3, &gen_pool);
-            let sky: std::collections::HashSet<u32> =
-                naive_skyline(&data).into_iter().collect();
+            let sky: std::collections::HashSet<u32> = naive_skyline(&data).into_iter().collect();
             for threads in [1, 4] {
                 let out = run_prefilter(&data, 8, threads);
                 let kept: std::collections::HashSet<u32> = out.orig.iter().copied().collect();
                 for s in &sky {
-                    assert!(kept.contains(s), "{dist:?} t={threads}: dropped skyline {s}");
+                    assert!(
+                        kept.contains(s),
+                        "{dist:?} t={threads}: dropped skyline {s}"
+                    );
                 }
             }
         }

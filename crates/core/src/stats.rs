@@ -38,12 +38,8 @@ pub struct RunStats {
 impl RunStats {
     /// Everything not attributed to a named phase.
     pub fn other(&self) -> Duration {
-        let named = self.init
-            + self.prefilter
-            + self.pivot
-            + self.phase1
-            + self.phase2
-            + self.compress;
+        let named =
+            self.init + self.prefilter + self.pivot + self.phase1 + self.phase2 + self.compress;
         self.total.saturating_sub(named)
     }
 

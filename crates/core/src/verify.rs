@@ -20,6 +20,26 @@ pub fn naive_skyline(data: &Dataset) -> Vec<u32> {
     out
 }
 
+/// The definitionally correct subspace skyline: like [`naive_skyline`]
+/// but with dominance restricted to the dimensions in `dims`, evaluated
+/// on the *full-space* rows (no projection is materialised). Indices
+/// refer to `data`. Only suitable for test-sized inputs.
+pub fn naive_skyline_on(data: &Dataset, dims: &[usize]) -> Vec<u32> {
+    use crate::dominance::strictly_dominates_on;
+    let n = data.len();
+    let mut out = Vec::new();
+    'outer: for i in 0..n {
+        let p = data.row(i);
+        for j in 0..n {
+            if j != i && strictly_dominates_on(data.row(j), p, dims) {
+                continue 'outer;
+            }
+        }
+        out.push(i as u32);
+    }
+    out
+}
+
 /// Exhaustively validates a claimed skyline:
 /// indices sorted/unique/in-range, every member non-dominated, every
 /// non-member dominated by some member. O(n·|SKY|·d).
@@ -45,6 +65,7 @@ pub fn check_skyline(data: &Dataset, indices: &[u32]) -> Result<(), String> {
             }
         }
     }
+    #[allow(clippy::needless_range_loop)]
     for q in 0..n {
         if member[q] {
             continue;
@@ -68,9 +89,7 @@ pub fn domination_counts(data: &Dataset, indices: &[u32]) -> Vec<usize> {
         .iter()
         .map(|&i| {
             let p = data.row(i as usize);
-            data.rows()
-                .filter(|row| strictly_dominates(p, row))
-                .count()
+            data.rows().filter(|row| strictly_dominates(p, row)).count()
         })
         .collect()
 }
@@ -120,6 +139,27 @@ mod tests {
         let sky = naive_skyline(&data);
         assert_eq!(sky, vec![0, 1]);
         check_skyline(&data, &sky).unwrap();
+    }
+
+    #[test]
+    fn subspace_reference_matches_projected_reference() {
+        let data = ds(&[
+            vec![1.0, 2.0, 9.0],
+            vec![2.0, 1.0, 1.0],
+            vec![3.0, 0.5, 2.0],
+            vec![0.5, 3.0, 3.0],
+            vec![2.0, 3.0, 0.0],
+        ]);
+        for dims in [&[0usize][..], &[1], &[0, 1], &[1, 2], &[0, 1, 2]] {
+            let projected = data.project(dims).unwrap();
+            assert_eq!(
+                naive_skyline_on(&data, dims),
+                naive_skyline(&projected),
+                "{dims:?}"
+            );
+        }
+        // The full-space skyline is the special case dims = all.
+        assert_eq!(naive_skyline_on(&data, &[0, 1, 2]), naive_skyline(&data));
     }
 
     #[test]

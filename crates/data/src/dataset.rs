@@ -29,6 +29,13 @@ pub enum DataError {
         /// Index of the first offending row.
         row: usize,
     },
+    /// A projection selected a column the dataset does not have.
+    ColumnOutOfRange {
+        /// The offending column index.
+        col: usize,
+        /// The dataset's dimensionality.
+        d: usize,
+    },
     /// An I/O or parse problem while loading from a file.
     Parse(String),
 }
@@ -50,6 +57,9 @@ impl fmt::Display for DataError {
                 write!(f, "non-finite value at row {row}, column {col}")
             }
             DataError::RaggedRows { row } => write!(f, "row {row} has a different length"),
+            DataError::ColumnOutOfRange { col, d } => {
+                write!(f, "column {col} out of range (dataset has {d} dimensions)")
+            }
             DataError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
@@ -194,7 +204,10 @@ impl Dataset {
             return Err(DataError::BadDimensionality(columns.len()));
         }
         if let Some(&bad) = columns.iter().find(|&&c| c >= self.d) {
-            return Err(DataError::ShapeMismatch { len: bad, d: self.d });
+            return Err(DataError::ColumnOutOfRange {
+                col: bad,
+                d: self.d,
+            });
         }
         let mut values = Vec::with_capacity(self.n * columns.len());
         for row in self.rows() {

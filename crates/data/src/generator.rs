@@ -264,7 +264,11 @@ mod tests {
         let i = generate(Distribution::Independent, 20_000, 4, 5, &pool);
         let a = generate(Distribution::Anticorrelated, 20_000, 4, 5, &pool);
         assert!(corr(&c, 0, 2) > 0.15, "correlated: {}", corr(&c, 0, 2));
-        assert!(corr(&i, 0, 2).abs() < 0.05, "independent: {}", corr(&i, 0, 2));
+        assert!(
+            corr(&i, 0, 2).abs() < 0.05,
+            "independent: {}",
+            corr(&i, 0, 2)
+        );
         assert!(corr(&a, 0, 2) < -0.1, "anticorrelated: {}", corr(&a, 0, 2));
     }
 
@@ -278,7 +282,10 @@ mod tests {
             .map(|r| r.iter().map(|&v| v as f64).sum::<f64>())
             .sum::<f64>()
             / ds.len() as f64;
-        assert!((mean_sum - 0.5 * d as f64).abs() < 0.2, "mean sum {mean_sum}");
+        assert!(
+            (mean_sum - 0.5 * d as f64).abs() < 0.2,
+            "mean sum {mean_sum}"
+        );
     }
 
     #[test]

@@ -93,9 +93,9 @@ impl RealDataset {
     pub fn standin(&self, pool: &ThreadPool) -> Dataset {
         let (dist, levels) = self.recipe();
         let seed = match self {
-            RealDataset::Nba => 0x4e42_41,     // "NBA"
-            RealDataset::House => 0x484f_5553, // "HOUS"
-            RealDataset::Weather => 0x5745_41,  // "WEA"
+            RealDataset::Nba => 0x004e_4241,     // "NBA"
+            RealDataset::House => 0x484f_5553,   // "HOUS"
+            RealDataset::Weather => 0x0057_4541, // "WEA"
         };
         let raw = generate(dist, self.cardinality(), self.dims(), seed, pool);
         quantize(&raw, levels)

@@ -1,0 +1,435 @@
+//! The LRU result cache.
+//!
+//! Keys are `(dataset id, dataset version, dimension mask, max-pref
+//! mask)` — everything that determines a skyline's membership. The
+//! query's `limit` is deliberately *not* part of the key: the cache
+//! stores the full index list and limits are applied as views, so one
+//! computation serves every limit.
+//!
+//! Versioned keys make stale hits impossible; re-registration
+//! additionally purges the dead entries eagerly (see
+//! [`ResultCache::purge_dataset`]) so a churning dataset cannot pin
+//! memory until capacity eviction gets to it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one cached result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Stable per-name dataset id assigned by the catalog.
+    pub dataset_id: u64,
+    /// Dataset version the result was computed against.
+    pub version: u64,
+    /// Bitmask of the (canonical) selected dimensions.
+    pub dim_mask: u32,
+    /// Bitmask of the dimensions with a `Max` preference.
+    pub max_mask: u32,
+}
+
+/// Monotonic counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Results inserted.
+    pub insertions: u64,
+    /// Entries dropped by capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped by dataset re-registration or eviction.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all probes so far (0 when unprobed).
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: CacheKey,
+    value: Arc<Vec<u32>>,
+    prev: usize,
+    next: usize,
+}
+
+/// Intrusive doubly-linked LRU list over a slab, O(1) for get/insert/
+/// evict. `head` is most recent, `tail` least.
+struct Inner {
+    map: HashMap<CacheKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Inner {
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        self.detach(slot);
+        self.map.remove(&self.nodes[slot].key);
+        self.nodes[slot].value = Arc::new(Vec::new());
+        self.free.push(slot);
+    }
+}
+
+/// A thread-safe LRU cache of skyline index lists.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results; `0` disables caching
+    /// (every probe misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                nodes: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks a key up, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u32>>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.lock();
+        match inner.map.get(key).copied() {
+            Some(slot) => {
+                inner.detach(slot);
+                inner.push_front(slot);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&inner.nodes[slot].value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`get`](Self::get) (including the recency refresh) but
+    /// without touching the hit/miss counters. For de-duplication
+    /// re-probes whose query was already counted once.
+    pub fn get_uncounted(&self, key: &CacheKey) -> Option<Arc<Vec<u32>>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        let slot = inner.map.get(key).copied()?;
+        inner.detach(slot);
+        inner.push_front(slot);
+        Some(Arc::clone(&inner.nodes[slot].value))
+    }
+
+    /// Inserts (or refreshes) a result, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<Vec<u32>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(&slot) = inner.map.get(&key) {
+            // Concurrent duplicate computation: keep the newer value.
+            inner.nodes[slot].value = value;
+            inner.detach(slot);
+            inner.push_front(slot);
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            let victim = inner.tail;
+            debug_assert_ne!(victim, NIL);
+            inner.remove_slot(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = match inner.free.pop() {
+            Some(s) => {
+                inner.nodes[s] = Node {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                inner.nodes.push(Node {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                inner.nodes.len() - 1
+            }
+        };
+        inner.map.insert(key, slot);
+        inner.push_front(slot);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every entry belonging to `dataset_id` (all versions).
+    /// Called on dataset eviction.
+    pub fn purge_dataset(&self, dataset_id: u64) {
+        self.purge_matching(|k| k.dataset_id == dataset_id);
+    }
+
+    /// Drops entries of `dataset_id` with a version **below**
+    /// `version`. Called on re-registration, where results already
+    /// computed against the fresh version must survive (a plain purge
+    /// would wipe a concurrent query's just-inserted result).
+    pub fn purge_dataset_below(&self, dataset_id: u64, version: u64) {
+        self.purge_matching(|k| k.dataset_id == dataset_id && k.version < version);
+    }
+
+    fn purge_matching(&self, victim: impl Fn(&CacheKey) -> bool) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        let victims: Vec<usize> = inner
+            .map
+            .iter()
+            .filter(|(k, _)| victim(k))
+            .map(|(_, &slot)| slot)
+            .collect();
+        let n = victims.len() as u64;
+        for slot in victims {
+            inner.remove_slot(slot);
+        }
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u64, ver: u64, mask: u32) -> CacheKey {
+        CacheKey {
+            dataset_id: id,
+            version: ver,
+            dim_mask: mask,
+            max_mask: 0,
+        }
+    }
+
+    fn val(v: &[u32]) -> Arc<Vec<u32>> {
+        Arc::new(v.to_vec())
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let c = ResultCache::new(4);
+        assert!(c.get(&key(1, 1, 0b11)).is_none());
+        c.insert(key(1, 1, 0b11), val(&[0, 2]));
+        assert_eq!(*c.get(&key(1, 1, 0b11)).unwrap(), vec![0, 2]);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = ResultCache::new(2);
+        c.insert(key(1, 1, 1), val(&[1]));
+        c.insert(key(1, 1, 2), val(&[2]));
+        c.get(&key(1, 1, 1)); // refresh 1 → victim is 2
+        c.insert(key(1, 1, 4), val(&[4]));
+        assert!(c.get(&key(1, 1, 1)).is_some());
+        assert!(c.get(&key(1, 1, 2)).is_none());
+        assert!(c.get(&key(1, 1, 4)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn uncounted_probe_serves_without_counting() {
+        let c = ResultCache::new(2);
+        c.insert(key(1, 1, 1), val(&[7]));
+        assert_eq!(*c.get_uncounted(&key(1, 1, 1)).unwrap(), vec![7]);
+        assert!(c.get_uncounted(&key(1, 1, 9)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        // But it still refreshes recency: 1 survives the next insert.
+        c.insert(key(1, 1, 2), val(&[2]));
+        c.get_uncounted(&key(1, 1, 1));
+        c.insert(key(1, 1, 4), val(&[4]));
+        assert!(c.get_uncounted(&key(1, 1, 1)).is_some());
+        assert!(c.get_uncounted(&key(1, 1, 2)).is_none());
+    }
+
+    #[test]
+    fn versions_do_not_collide() {
+        let c = ResultCache::new(4);
+        c.insert(key(1, 1, 1), val(&[1]));
+        c.insert(key(1, 2, 1), val(&[2]));
+        assert_eq!(*c.get(&key(1, 1, 1)).unwrap(), vec![1]);
+        assert_eq!(*c.get(&key(1, 2, 1)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn purge_removes_only_that_dataset() {
+        let c = ResultCache::new(8);
+        c.insert(key(1, 1, 1), val(&[1]));
+        c.insert(key(1, 2, 2), val(&[2]));
+        c.insert(key(9, 1, 1), val(&[9]));
+        c.purge_dataset(1);
+        assert!(c.get(&key(1, 1, 1)).is_none());
+        assert!(c.get(&key(1, 2, 2)).is_none());
+        assert!(c.get(&key(9, 1, 1)).is_some());
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn purge_below_spares_the_fresh_version() {
+        let c = ResultCache::new(8);
+        c.insert(key(1, 1, 1), val(&[1]));
+        c.insert(key(1, 2, 1), val(&[2])); // already computed against v2
+        c.insert(key(9, 1, 1), val(&[9]));
+        c.purge_dataset_below(1, 2);
+        assert!(c.get(&key(1, 1, 1)).is_none());
+        assert!(c.get(&key(1, 2, 1)).is_some());
+        assert!(c.get(&key(9, 1, 1)).is_some());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = ResultCache::new(0);
+        c.insert(key(1, 1, 1), val(&[1]));
+        assert!(c.get(&key(1, 1, 1)).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn slab_reuses_slots_under_churn() {
+        let c = ResultCache::new(3);
+        for i in 0..50u32 {
+            c.insert(key(1, 1, i), val(&[i]));
+        }
+        assert_eq!(c.len(), 3);
+        // The slab never grew past capacity + nothing leaked.
+        assert!(c.lock().nodes.len() <= 4);
+        for i in 47..50u32 {
+            assert_eq!(*c.get(&key(1, 1, i)).unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = Arc::new(ResultCache::new(16));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let k = key(t % 2, 1, i % 32);
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(v.first().copied(), Some(i % 32));
+                        } else {
+                            c.insert(k, val(&[i % 32]));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 16);
+    }
+}

@@ -1,0 +1,371 @@
+//! The dataset catalog: named, versioned datasets with precomputed
+//! per-dimension statistics and sorted projections.
+//!
+//! Registration does the heavy lifting once — per-dimension min/max/
+//! mean, a deterministic strided sample for the planner's density
+//! estimator, and per-dimension sorted index projections — so that
+//! every subsequent query plans in microseconds and 1-d queries are
+//! answered directly from the sorted projection without running any
+//! skyline algorithm.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use skyline_data::Dataset;
+use skyline_parallel::{parallel_for, ThreadPool};
+
+/// Summary of one dimension, computed at registration.
+#[derive(Debug, Clone, Copy)]
+pub struct DimStats {
+    /// Smallest value on the dimension.
+    pub min: f32,
+    /// Largest value on the dimension.
+    pub max: f32,
+    /// Arithmetic mean of the dimension.
+    pub mean: f32,
+}
+
+impl DimStats {
+    /// True when every point shares one value — such a dimension can
+    /// never decide a dominance test and the planner drops it.
+    pub fn is_constant(&self) -> bool {
+        self.min == self.max
+    }
+}
+
+/// Precomputed statistics for a registered dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Per-dimension summaries.
+    pub per_dim: Vec<DimStats>,
+    /// Deterministic strided sample of row indices, used by the
+    /// planner's skyline-density estimator.
+    pub sample: Vec<u32>,
+}
+
+/// Maximum rows in the planner's sample. 256 keeps the O(sample²)
+/// density estimate under ~10⁵ dominance tests — microseconds.
+const SAMPLE_CAP: usize = 256;
+
+/// A registered dataset plus everything precomputed about it.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    name: String,
+    id: u64,
+    version: u64,
+    data: Arc<Dataset>,
+    stats: DatasetStats,
+    /// Per-dimension sorted projections: `sorted[d]` lists row indices
+    /// ordered by `(value on d, row index)` ascending.
+    sorted: Vec<Arc<Vec<u32>>>,
+}
+
+impl DatasetEntry {
+    /// The dataset's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stable id (survives re-registration under the same name).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Version, bumped by each re-registration of the name.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The points themselves.
+    pub fn data(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    /// Precomputed statistics.
+    pub fn stats(&self) -> &DatasetStats {
+        &self.stats
+    }
+
+    /// The sorted projection of dimension `d`: row indices ordered by
+    /// `(value, index)` ascending.
+    pub fn sorted_projection(&self, d: usize) -> &Arc<Vec<u32>> {
+        &self.sorted[d]
+    }
+
+    /// Row indices attaining the minimum (resp. maximum when `max` is
+    /// true) on dimension `d`, ascending — the 1-d subspace skyline.
+    pub fn extreme_rows(&self, d: usize, max: bool) -> Vec<u32> {
+        let order = &self.sorted[d];
+        if order.is_empty() {
+            return Vec::new();
+        }
+        let col = |i: u32| self.data.row(i as usize)[d];
+        let mut out: Vec<u32> = if max {
+            let best = col(*order.last().expect("non-empty"));
+            order
+                .iter()
+                .rev()
+                .take_while(|&&i| col(i) == best)
+                .copied()
+                .collect()
+        } else {
+            let best = col(order[0]);
+            order
+                .iter()
+                .take_while(|&&i| col(i) == best)
+                .copied()
+                .collect()
+        };
+        out.sort_unstable();
+        out
+    }
+}
+
+fn compute_stats(data: &Dataset) -> DatasetStats {
+    let (n, d) = (data.len(), data.dims());
+    let mut per_dim = vec![
+        DimStats {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            mean: 0.0,
+        };
+        d
+    ];
+    let mut sums = vec![0.0f64; d];
+    for row in data.rows() {
+        for (c, &v) in row.iter().enumerate() {
+            let s = &mut per_dim[c];
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+            sums[c] += v as f64;
+        }
+    }
+    for (s, sum) in per_dim.iter_mut().zip(&sums) {
+        if n == 0 {
+            *s = DimStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        } else {
+            s.mean = (sum / n as f64) as f32;
+        }
+    }
+    let take = n.min(SAMPLE_CAP);
+    // Ceiling division so the stride spans the WHOLE dataset (a floor
+    // stride samples only a prefix — badly biased on sorted inputs).
+    let stride = if take == 0 { 1 } else { n.div_ceil(take) };
+    let sample: Vec<u32> = (0..n)
+        .step_by(stride)
+        .map(|i| i as u32)
+        .take(take)
+        .collect();
+    DatasetStats { per_dim, sample }
+}
+
+fn compute_sorted_projections(data: &Dataset, pool: &ThreadPool) -> Vec<Arc<Vec<u32>>> {
+    let d = data.dims();
+    // One dimension per work item; each sort is independent.
+    let slots: Vec<std::sync::Mutex<Vec<u32>>> =
+        (0..d).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    parallel_for(pool, d, 1, |range| {
+        for c in range {
+            // Extract the column once: comparing through the flat copy
+            // avoids a strided, bounds-checked row lookup per
+            // comparison inside the O(n log n) sort.
+            let col: Vec<f32> = data
+                .values()
+                .iter()
+                .skip(c)
+                .step_by(d.max(1))
+                .copied()
+                .collect();
+            let mut idx: Vec<u32> = (0..data.len() as u32).collect();
+            idx.sort_unstable_by(|&a, &b| {
+                let (va, vb) = (col[a as usize], col[b as usize]);
+                va.partial_cmp(&vb)
+                    .expect("dataset values are finite")
+                    .then(a.cmp(&b))
+            });
+            *slots[c].lock().expect("no panics while sorting") = idx;
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| Arc::new(slot.into_inner().expect("no panics while sorting")))
+        .collect()
+}
+
+/// The thread-safe name → dataset map.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+    /// Stable ids per name, preserved across re-registration so cache
+    /// purges catch every version.
+    ids: RwLock<HashMap<String, u64>>,
+    next_id: AtomicU64,
+    next_version: AtomicU64,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) `name`, precomputing stats and sorted
+    /// projections on `pool`. Returns the new entry. The heavy work
+    /// happens outside any lock, so concurrent queries keep serving the
+    /// previous version until the swap.
+    pub fn register(&self, name: &str, data: Dataset, pool: &ThreadPool) -> Arc<DatasetEntry> {
+        let stats = compute_stats(&data);
+        let sorted = compute_sorted_projections(&data, pool);
+        let id = {
+            let ids = self.ids.read().unwrap_or_else(|e| e.into_inner());
+            ids.get(name).copied()
+        };
+        let id = match id {
+            Some(id) => id,
+            None => {
+                let mut ids = self.ids.write().unwrap_or_else(|e| e.into_inner());
+                *ids.entry(name.to_string())
+                    .or_insert_with(|| self.next_id.fetch_add(1, Ordering::Relaxed))
+            }
+        };
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(DatasetEntry {
+            name: name.to_string(),
+            id,
+            version,
+            data: Arc::new(data),
+            stats,
+            sorted,
+        });
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        // Two registrations of one name can race; versions must never
+        // regress, so the later (higher) version wins regardless of
+        // which thread reaches the map first.
+        let stale = entries
+            .get(name)
+            .is_some_and(|resident| resident.version() > version);
+        if !stale {
+            entries.insert(name.to_string(), Arc::clone(&entry));
+        }
+        entry
+    }
+
+    /// Looks a dataset up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        entries.get(name).cloned()
+    }
+
+    /// Removes `name`, returning its entry if it was registered. The id
+    /// stays reserved so late cache purges remain correct.
+    pub fn evict(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        entries.remove(name)
+    }
+
+    /// Names, versions, and sizes of all registered datasets, sorted by
+    /// name.
+    pub fn list(&self) -> Vec<(String, u64, usize)> {
+        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, u64, usize)> = entries
+            .values()
+            .map(|e| (e.name.clone(), e.version, e.data.len()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(rows: &[Vec<f32>]) -> Dataset {
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn register_computes_stats() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(2);
+        let e = catalog.register(
+            "t",
+            ds(&[vec![1.0, 5.0], vec![3.0, 5.0], vec![2.0, 5.0]]),
+            &pool,
+        );
+        let s = e.stats();
+        assert_eq!(s.per_dim[0].min, 1.0);
+        assert_eq!(s.per_dim[0].max, 3.0);
+        assert!((s.per_dim[0].mean - 2.0).abs() < 1e-6);
+        assert!(s.per_dim[1].is_constant());
+        assert_eq!(s.sample.len(), 3);
+    }
+
+    #[test]
+    fn sorted_projections_order_by_value_then_index() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(2);
+        let e = catalog.register(
+            "t",
+            ds(&[vec![2.0], vec![1.0], vec![2.0], vec![0.5]]),
+            &pool,
+        );
+        assert_eq!(**e.sorted_projection(0), vec![3, 1, 0, 2]);
+        assert_eq!(e.extreme_rows(0, false), vec![3]);
+        assert_eq!(e.extreme_rows(0, true), vec![0, 2]);
+    }
+
+    #[test]
+    fn versions_bump_and_ids_persist() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(1);
+        let a = catalog.register("x", ds(&[vec![1.0]]), &pool);
+        let b = catalog.register("x", ds(&[vec![2.0]]), &pool);
+        assert_eq!(a.id(), b.id());
+        assert!(b.version() > a.version());
+        // The live entry is the replacement.
+        assert_eq!(catalog.get("x").unwrap().version(), b.version());
+        // Eviction then re-registration keeps the id stable.
+        catalog.evict("x");
+        assert!(catalog.get("x").is_none());
+        let c = catalog.register("x", ds(&[vec![3.0]]), &pool);
+        assert_eq!(c.id(), a.id());
+        assert!(c.version() > b.version());
+    }
+
+    #[test]
+    fn list_is_sorted_and_sized() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(1);
+        catalog.register("b", ds(&[vec![1.0], vec![2.0]]), &pool);
+        catalog.register("a", ds(&[vec![1.0]]), &pool);
+        let listing = catalog.list();
+        assert_eq!(listing[0].0, "a");
+        assert_eq!(listing[1], ("b".to_string(), 1, 2));
+        assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_registers_cleanly() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(1);
+        let e = catalog.register("empty", Dataset::from_flat(vec![], 3).unwrap(), &pool);
+        assert_eq!(e.stats().sample.len(), 0);
+        assert_eq!(e.extreme_rows(1, false), Vec::<u32>::new());
+    }
+}

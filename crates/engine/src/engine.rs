@@ -1,0 +1,592 @@
+//! The engine: catalog + planner + cache + shared thread pool.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use skyline_data::Dataset;
+use skyline_parallel::{available_threads, par_chunks_mut, ThreadPool};
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::catalog::{Catalog, DatasetEntry};
+use crate::error::EngineError;
+use crate::planner::{Planner, PlannerConfig, QueryPlan, Strategy};
+use crate::query::{QueryResult, SkylineQuery};
+
+/// Construction-time knobs for [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Thread lanes of the shared pool; `0` uses every available core.
+    pub threads: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Planner thresholds.
+    pub planner: PlannerConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            cache_capacity: 256,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+/// A thread-safe skyline query engine.
+///
+/// Owns a dataset [catalog](Catalog), an adaptive [planner](Planner),
+/// an LRU [result cache](ResultCache), and one shared
+/// [`ThreadPool`] that every query executes on — concurrent callers
+/// share the pool (the pool serialises parallel regions internally)
+/// instead of oversubscribing the machine with per-query pools.
+///
+/// ```
+/// use skyline_engine::{Engine, SkylineQuery};
+/// use skyline_data::Dataset;
+///
+/// let engine = Engine::new();
+/// let hotels = Dataset::from_rows(&[
+///     vec![120.0, 2.0],
+///     vec![90.0, 5.0],
+///     vec![130.0, 1.0],
+///     vec![150.0, 4.0], // dominated
+/// ])
+/// .unwrap();
+/// engine.register("hotels", hotels);
+///
+/// let result = engine.execute(&SkylineQuery::new("hotels")).unwrap();
+/// assert_eq!(result.indices(), &[0, 1, 2]);
+///
+/// // Same query again: served from the cache.
+/// let again = engine.execute(&SkylineQuery::new("hotels")).unwrap();
+/// assert!(again.cache_hit);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    pool: Arc<ThreadPool>,
+    catalog: Catalog,
+    cache: ResultCache,
+    planner: Planner,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A query resolved against the catalog and canonicalised, ready to
+/// probe the cache or execute.
+struct Prepared {
+    entry: Arc<DatasetEntry>,
+    key: CacheKey,
+    dims: Vec<usize>,
+    max_mask: u32,
+    limit: Option<usize>,
+}
+
+impl Engine {
+    /// An engine with default configuration (all cores, 256-entry
+    /// cache).
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        let threads = if cfg.threads == 0 {
+            available_threads()
+        } else {
+            cfg.threads
+        };
+        Self::with_pool(cfg, Arc::new(ThreadPool::new(threads)))
+    }
+
+    /// An engine sharing an existing pool (e.g. with a surrounding
+    /// application that also runs parallel work).
+    pub fn with_pool(cfg: EngineConfig, pool: Arc<ThreadPool>) -> Self {
+        Self {
+            pool,
+            catalog: Catalog::new(),
+            cache: ResultCache::new(cfg.cache_capacity),
+            planner: Planner::new(cfg.planner),
+        }
+    }
+
+    /// Lanes of the shared pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Registers (or replaces) a dataset under `name`, precomputing
+    /// per-dimension statistics and sorted projections. Returns the
+    /// dataset's new version. Re-registration invalidates every cached
+    /// result of older versions (results a concurrent query already
+    /// computed against the *new* version survive).
+    pub fn register(&self, name: &str, data: Dataset) -> u64 {
+        let entry = self.catalog.register(name, data, &self.pool);
+        self.cache.purge_dataset_below(entry.id(), entry.version());
+        entry.version()
+    }
+
+    /// Removes a dataset; its cached results are dropped too. Returns
+    /// whether it was registered.
+    pub fn evict(&self, name: &str) -> bool {
+        match self.catalog.evict(name) {
+            Some(entry) => {
+                self.cache.purge_dataset(entry.id());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The catalog entry for `name`, if registered.
+    pub fn dataset(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.catalog.get(name)
+    }
+
+    /// Names, versions, and cardinalities of all registered datasets.
+    pub fn datasets(&self) -> Vec<(String, u64, usize)> {
+        self.catalog.list()
+    }
+
+    /// Cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Plans a query without executing it (introspection; no cache
+    /// probe, no side effects beyond the planner's sampling pass).
+    pub fn plan(&self, query: &SkylineQuery) -> Result<QueryPlan, EngineError> {
+        let prepared = self.prepare(query)?;
+        Ok(self.planner.plan(
+            &prepared.entry,
+            &prepared.dims,
+            prepared.max_mask,
+            self.threads(),
+        ))
+    }
+
+    /// Executes one query: cache probe, then plan + run on a miss.
+    pub fn execute(&self, query: &SkylineQuery) -> Result<QueryResult, EngineError> {
+        let prepared = self.prepare(query)?;
+        Ok(self.execute_prepared(&prepared, &self.pool))
+    }
+
+    /// Executes a batch of queries against the shared pool and returns
+    /// per-query results in order.
+    ///
+    /// Scheduling: cache hits are answered immediately; misses whose
+    /// plan is sequential (BNL/SFS/BSkyTree/min-scan) run **next to
+    /// each other**, one query per lane, so the pool is saturated by
+    /// inter-query parallelism; misses with parallel plans (Q-Flow/
+    /// Hybrid) then run one at a time, each spanning the whole pool.
+    /// Either way the pool is never oversubscribed.
+    ///
+    /// Each query is planned once and probes the cache once for the
+    /// effectiveness counters; the extra de-duplication re-probe before
+    /// a parallel plan runs (an identical earlier query in the batch
+    /// may have filled the cache already) is uncounted.
+    pub fn execute_batch(&self, queries: &[SkylineQuery]) -> Vec<Result<QueryResult, EngineError>> {
+        let mut out: Vec<Option<Result<QueryResult, EngineError>>> =
+            (0..queries.len()).map(|_| None).collect();
+
+        // Resolve, probe the cache, and plan everything up front.
+        let mut seq: Vec<(usize, Prepared, QueryPlan)> = Vec::new();
+        let mut par: Vec<(usize, Prepared, QueryPlan)> = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            let prepared = match self.prepare(query) {
+                Ok(p) => p,
+                Err(e) => {
+                    out[i] = Some(Err(e));
+                    continue;
+                }
+            };
+            if let Some(hit) = self.probe(&prepared, Instant::now()) {
+                out[i] = Some(Ok(hit));
+                continue;
+            }
+            let plan = self.planner.plan(
+                &prepared.entry,
+                &prepared.dims,
+                prepared.max_mask,
+                self.threads(),
+            );
+            if matches!(plan.strategy, Strategy::Algorithm(a) if a.is_parallel()) {
+                par.push((i, prepared, plan));
+            } else {
+                seq.push((i, prepared, plan));
+            }
+        }
+
+        // Sequential plans: one query per lane. Each lane runs its
+        // queries on a single-threaded pool (spawns no workers), so
+        // total concurrency stays at `threads()`.
+        if !seq.is_empty() {
+            let mut slots: Vec<(usize, Prepared, QueryPlan, Option<QueryResult>)> = seq
+                .into_iter()
+                .map(|(i, prepared, plan)| (i, prepared, plan, None))
+                .collect();
+            par_chunks_mut(&self.pool, &mut slots, 1, |_, chunk| {
+                let lane_pool = ThreadPool::new(1);
+                for (_, prepared, plan, result) in chunk.iter_mut() {
+                    // Uncounted de-duplication probe: an identical
+                    // query may have completed in another lane.
+                    *result = Some(match self.cache.get_uncounted(&prepared.key) {
+                        Some(full) => self.hit_result(prepared, full, Instant::now()),
+                        None => self.run_plan(prepared, plan.clone(), &lane_pool),
+                    });
+                }
+            });
+            for (i, _, _, result) in slots {
+                out[i] = Some(Ok(result.expect("filled by the parallel region")));
+            }
+        }
+
+        // Parallel plans: whole pool, one at a time, reusing the plan
+        // from classification. The de-duplication re-probe is
+        // uncounted — this query's miss is already in the stats.
+        for (i, prepared, plan) in par {
+            let started = Instant::now();
+            let result = match self.cache.get_uncounted(&prepared.key) {
+                Some(full) => self.hit_result(&prepared, full, started),
+                None => self.run_plan(&prepared, plan, &self.pool),
+            };
+            out[i] = Some(Ok(result));
+        }
+
+        out.into_iter()
+            .map(|slot| slot.expect("every query produced a result"))
+            .collect()
+    }
+
+    /// Resolves the dataset and canonicalises the query.
+    fn prepare(&self, query: &SkylineQuery) -> Result<Prepared, EngineError> {
+        let entry = self
+            .catalog
+            .get(query.dataset())
+            .ok_or_else(|| EngineError::UnknownDataset(query.dataset().to_string()))?;
+        let (dims, max_mask) = query.canonicalize(entry.data().dims())?;
+        let dim_mask = dims.iter().fold(0u32, |m, &d| m | (1 << d));
+        let key = CacheKey {
+            dataset_id: entry.id(),
+            version: entry.version(),
+            dim_mask,
+            max_mask,
+        };
+        Ok(Prepared {
+            entry,
+            key,
+            dims,
+            max_mask,
+            limit: query.result_limit(),
+        })
+    }
+
+    /// Counted cache probe; on a hit builds the full result without
+    /// planning.
+    fn probe(&self, prepared: &Prepared, started: Instant) -> Option<QueryResult> {
+        let full = self.cache.get(&prepared.key)?;
+        Some(self.hit_result(prepared, full, started))
+    }
+
+    /// Wraps a cached index list as a hit result.
+    fn hit_result(
+        &self,
+        prepared: &Prepared,
+        full: Arc<Vec<u32>>,
+        started: Instant,
+    ) -> QueryResult {
+        QueryResult {
+            full,
+            limit: prepared.limit,
+            plan: QueryPlan::trivial("").cached(),
+            cache_hit: true,
+            stats: None,
+            dataset_version: prepared.entry.version(),
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Probes (counted), plans, and runs a prepared query on `pool`.
+    fn execute_prepared(&self, prepared: &Prepared, pool: &ThreadPool) -> QueryResult {
+        if let Some(hit) = self.probe(prepared, Instant::now()) {
+            return hit;
+        }
+        let plan = self.planner.plan(
+            &prepared.entry,
+            &prepared.dims,
+            prepared.max_mask,
+            pool.threads(),
+        );
+        self.run_plan(prepared, plan, pool)
+    }
+
+    /// Runs an already-made plan on `pool` (the shared pool, or a
+    /// lane-local single-threaded pool inside `execute_batch`) and
+    /// fills the cache with the result.
+    fn run_plan(&self, prepared: &Prepared, plan: QueryPlan, pool: &ThreadPool) -> QueryResult {
+        let started = Instant::now();
+        let entry = &prepared.entry;
+        let (indices, stats) = match &plan.strategy {
+            Strategy::Cached => unreachable!("planner never emits Cached"),
+            Strategy::Trivial => {
+                // No discriminating dimension: every row is in the
+                // skyline (vacuously non-dominated), or none on an
+                // empty dataset.
+                ((0..entry.data().len() as u32).collect::<Vec<u32>>(), None)
+            }
+            Strategy::MinScan { dim } => {
+                let max = prepared.max_mask & (1 << dim) != 0;
+                (entry.extreme_rows(*dim, max), None)
+            }
+            Strategy::Algorithm(algo) => {
+                let result = match self.materialized_view(
+                    entry,
+                    &plan.effective_dims,
+                    prepared.max_mask,
+                    pool,
+                ) {
+                    Some(view) => algo.run(&view, pool, &plan.config),
+                    None => algo.run(entry.data(), pool, &plan.config),
+                };
+                (result.indices, Some(result.stats))
+            }
+        };
+
+        let full = Arc::new(indices);
+        // Don't cache results for a version that was replaced or
+        // evicted while we computed: versioned keys make such entries
+        // unservable, so they would only squat in LRU slots. (Best
+        // effort — a purge racing between this check and the insert
+        // can still let one dead entry in; LRU pressure reclaims it.)
+        let still_current = self
+            .catalog
+            .get(entry.name())
+            .is_some_and(|current| current.version() == entry.version());
+        if still_current {
+            self.cache.insert(prepared.key, Arc::clone(&full));
+        }
+        QueryResult {
+            full,
+            limit: prepared.limit,
+            plan,
+            cache_hit: false,
+            stats,
+            dataset_version: entry.version(),
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Builds the projected (and preference-negated) dataset a plan's
+    /// algorithm runs on, or `None` when the stored rows can be used
+    /// as-is (all dimensions selected, all minimised).
+    fn materialized_view(
+        &self,
+        entry: &DatasetEntry,
+        dims: &[usize],
+        max_mask: u32,
+        pool: &ThreadPool,
+    ) -> Option<Dataset> {
+        let data = entry.data();
+        let d = data.dims();
+        if dims.len() == d && max_mask == 0 {
+            return None;
+        }
+        let n = data.len();
+        let mut values = vec![0.0f32; n * dims.len()];
+        let width = dims.len();
+        par_chunks_mut(pool, &mut values, 4096 * width.max(1), |offset, chunk| {
+            debug_assert_eq!(offset % width, 0);
+            let first_row = offset / width;
+            for (k, out) in chunk.chunks_mut(width).enumerate() {
+                let src = data.row(first_row + k);
+                for (slot, &c) in out.iter_mut().zip(dims) {
+                    let v = src[c];
+                    *slot = if max_mask & (1 << c) != 0 { -v } else { v };
+                }
+            }
+        });
+        Some(Dataset::from_flat(values, width).expect("projection of a valid dataset is valid"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use skyline_core::verify;
+    use skyline_data::{generate, Distribution, Preference};
+
+    fn small_engine() -> Engine {
+        Engine::with_config(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let engine = small_engine();
+        assert_eq!(
+            engine.execute(&SkylineQuery::new("nope")).unwrap_err(),
+            EngineError::UnknownDataset("nope".into())
+        );
+    }
+
+    #[test]
+    fn full_space_query_matches_reference() {
+        let engine = small_engine();
+        let pool = ThreadPool::new(2);
+        let data = generate(Distribution::Independent, 3_000, 4, 3, &pool);
+        let expect = verify::naive_skyline(&data);
+        engine.register("d", data);
+        let r = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert_eq!(r.indices(), expect.as_slice());
+        assert!(!r.cache_hit);
+        assert!(r.stats.is_some());
+    }
+
+    #[test]
+    fn preference_max_flips_direction() {
+        let engine = small_engine();
+        let data = Dataset::from_rows(&[
+            vec![1.0, 1.0], // min on both; max on neither
+            vec![9.0, 9.0], // max on both
+            vec![5.0, 5.0],
+        ])
+        .unwrap();
+        engine.register("d", data);
+        let min = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert_eq!(min.indices(), &[0]);
+        let max = engine
+            .execute(&SkylineQuery::new("d").preference([Preference::Max, Preference::Max]))
+            .unwrap();
+        assert_eq!(max.indices(), &[1]);
+    }
+
+    #[test]
+    fn min_scan_handles_ties_and_direction() {
+        let engine = small_engine();
+        let data = Dataset::from_rows(&[
+            vec![2.0, 10.0],
+            vec![1.0, 20.0],
+            vec![1.0, 30.0],
+            vec![3.0, 30.0],
+        ])
+        .unwrap();
+        engine.register("d", data);
+        let r = engine.execute(&SkylineQuery::new("d").dims([0])).unwrap();
+        assert_eq!(r.plan.strategy, Strategy::MinScan { dim: 0 });
+        assert_eq!(r.indices(), &[1, 2]);
+        assert!(r.stats.is_none());
+        let r = engine
+            .execute(
+                &SkylineQuery::new("d")
+                    .dims([1])
+                    .preference([Preference::Max]),
+            )
+            .unwrap();
+        assert_eq!(r.indices(), &[2, 3]);
+    }
+
+    #[test]
+    fn limit_truncates_but_caches_fully() {
+        let engine = small_engine();
+        let pool = ThreadPool::new(2);
+        let data = generate(Distribution::Anticorrelated, 2_000, 3, 5, &pool);
+        let expect = verify::naive_skyline(&data);
+        assert!(expect.len() > 3);
+        engine.register("d", data);
+        let r = engine.execute(&SkylineQuery::new("d").limit(3)).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.indices(), &expect[..3]);
+        assert_eq!(r.total_skyline_size(), expect.len());
+        // A different limit on the same subspace is a cache hit.
+        let r2 = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert!(r2.cache_hit);
+        assert_eq!(r2.indices(), expect.as_slice());
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_result() {
+        let engine = small_engine();
+        engine.register("empty", Dataset::from_flat(vec![], 3).unwrap());
+        let r = engine.execute(&SkylineQuery::new("empty")).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.plan.strategy, Strategy::Trivial);
+    }
+
+    #[test]
+    fn batch_matches_individual_execution() {
+        let engine = small_engine();
+        let pool = ThreadPool::new(2);
+        engine.register("a", generate(Distribution::Independent, 1_500, 4, 9, &pool));
+        engine.register(
+            "b",
+            generate(Distribution::Anticorrelated, 12_000, 4, 9, &pool),
+        );
+        let queries = vec![
+            SkylineQuery::new("a"),
+            SkylineQuery::new("a").dims([0, 1]),
+            SkylineQuery::new("b").dims([1, 2, 3]),
+            SkylineQuery::new("missing"),
+            SkylineQuery::new("b").dims([2]),
+        ];
+        let batch = engine.execute_batch(&queries);
+        for (q, r) in queries.iter().zip(&batch) {
+            match r {
+                Ok(r) => {
+                    let solo = engine.execute(q).unwrap();
+                    assert_eq!(solo.indices(), r.indices(), "query {q:?}");
+                }
+                Err(e) => assert_eq!(*e, EngineError::UnknownDataset("missing".into())),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_counts_each_query_probe_exactly_once() {
+        let engine = small_engine();
+        let pool = ThreadPool::new(2);
+        engine.register(
+            "d",
+            generate(Distribution::Independent, 2_000, 3, 17, &pool),
+        );
+        let queries = vec![
+            SkylineQuery::new("d"),
+            SkylineQuery::new("d").dims([0, 1]),
+            SkylineQuery::new("d").dims([1, 2]),
+        ];
+        engine.execute_batch(&queries);
+        let s = engine.cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 3), "{s:?}");
+        engine.execute_batch(&queries);
+        let s = engine.cache_stats();
+        assert_eq!((s.hits, s.misses), (3, 3), "{s:?}");
+    }
+
+    #[test]
+    fn engine_algorithm_results_match_reference_per_subspace() {
+        let engine = small_engine();
+        let pool = ThreadPool::new(2);
+        let data = generate(Distribution::Independent, 9_000, 4, 13, &pool);
+        let reference = data.clone();
+        engine.register("d", data);
+        for dims in [&[0usize, 1][..], &[1, 3], &[0, 2, 3], &[0, 1, 2, 3]] {
+            let r = engine
+                .execute(&SkylineQuery::new("d").dims(dims.iter().copied()))
+                .unwrap();
+            let expect = verify::naive_skyline_on(&reference, dims);
+            assert_eq!(r.indices(), expect.as_slice(), "{dims:?}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors raised when executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query names a dataset that is not (or no longer) registered.
+    UnknownDataset(String),
+    /// The query selected no dimensions.
+    EmptyDims,
+    /// A selected dimension index exceeds the dataset's dimensionality.
+    DimOutOfRange {
+        /// The offending dimension index.
+        dim: usize,
+        /// The dataset's dimensionality.
+        dims: usize,
+    },
+    /// The same dimension was selected twice with conflicting
+    /// preferences (once `Min`, once `Max`).
+    ConflictingPreference {
+        /// The dimension with contradictory preferences.
+        dim: usize,
+    },
+    /// `preference` does not align one-to-one with the selected
+    /// dimensions.
+    PreferenceLength {
+        /// Number of selected dimensions.
+        expected: usize,
+        /// Length of the supplied preference vector.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownDataset(name) => {
+                write!(f, "dataset '{name}' is not registered")
+            }
+            EngineError::EmptyDims => write!(f, "query selects no dimensions"),
+            EngineError::DimOutOfRange { dim, dims } => {
+                write!(f, "dimension {dim} out of range (dataset has {dims})")
+            }
+            EngineError::ConflictingPreference { dim } => {
+                write!(
+                    f,
+                    "dimension {dim} selected with both Min and Max preference"
+                )
+            }
+            EngineError::PreferenceLength { expected, got } => {
+                write!(
+                    f,
+                    "preference vector length {got} does not match the {expected} selected dimension(s)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        assert!(EngineError::UnknownDataset("x".into())
+            .to_string()
+            .contains("'x'"));
+        assert!(EngineError::DimOutOfRange { dim: 9, dims: 4 }
+            .to_string()
+            .contains('9'));
+        assert!(EngineError::ConflictingPreference { dim: 2 }
+            .to_string()
+            .contains("Min and Max"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # skyline-engine — a concurrent skyline query engine
+//!
+//! The algorithm crates answer *one* skyline computation as fast as the
+//! hardware allows. This crate turns them into a **query engine** for
+//! repeated, concurrent workloads over registered datasets:
+//!
+//! * [`Catalog`] — named, versioned datasets with per-dimension
+//!   statistics and sorted projections precomputed at registration;
+//! * [`Planner`] — picks the strategy per query (direct sorted-
+//!   projection scans, sequential BNL/SFS/BSkyTree, or parallel
+//!   Q-Flow/Hybrid with tuned α) from cardinality, subspace
+//!   dimensionality, thread budget, and a sampled skyline density;
+//! * [`SkylineQuery`] — subspace selection (`dims`), per-dimension
+//!   `Min`/`Max` preferences, and result limits, so one registered
+//!   dataset serves many projections;
+//! * [`ResultCache`] — an LRU of full skyline index lists keyed by
+//!   `(dataset version, dimension mask, preference mask)`, invalidated
+//!   by re-registration;
+//! * [`Engine`] — ties it together over one shared thread pool, with
+//!   batched submission ([`Engine::execute_batch`]) that schedules
+//!   sequential plans lane-parallel and parallel plans pool-wide.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use skyline_engine::{Engine, SkylineQuery, Strategy};
+//! use skyline_data::Dataset;
+//!
+//! let engine = Engine::new();
+//! engine
+//!     .register(
+//!         "cars",
+//!         Dataset::from_rows(&[
+//!             // price, weight, 0-100 time
+//!             vec![20_000.0, 1_300.0, 9.1],
+//!             vec![35_000.0, 1_500.0, 6.2],
+//!             vec![60_000.0, 1_700.0, 4.0],
+//!             vec![65_000.0, 1_900.0, 8.0], // dominated
+//!         ])
+//!         .unwrap(),
+//!     );
+//!
+//! // Full-space skyline…
+//! let all = engine.execute(&SkylineQuery::new("cars")).unwrap();
+//! assert_eq!(all.indices(), &[0, 1, 2]);
+//!
+//! // …and a price/acceleration subspace of the same registration.
+//! let fast = engine
+//!     .execute(&SkylineQuery::new("cars").dims([0, 2]))
+//!     .unwrap();
+//! assert_eq!(fast.indices(), &[0, 1, 2]);
+//!
+//! // Repeats are cache hits: no recomputation.
+//! let again = engine.execute(&SkylineQuery::new("cars")).unwrap();
+//! assert!(again.cache_hit);
+//! assert_eq!(again.plan.strategy, Strategy::Cached);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod cache;
+mod catalog;
+mod engine;
+mod error;
+mod planner;
+mod query;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use catalog::{Catalog, DatasetEntry, DatasetStats, DimStats};
+pub use engine::{Engine, EngineConfig};
+pub use error::EngineError;
+pub use planner::{Planner, PlannerConfig, QueryPlan, Strategy};
+pub use query::{QueryResult, SkylineQuery};

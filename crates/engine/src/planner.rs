@@ -1,0 +1,379 @@
+//! The adaptive query planner.
+//!
+//! Chooses how to answer a subspace skyline query from the shape of the
+//! work: cardinality, subspace dimensionality, thread budget, and an
+//! estimated skyline density obtained by running the naive skyline over
+//! the catalog's precomputed sample (restricted to the query's
+//! dimensions via the subspace dominance kernels — no projection is
+//! materialised to plan).
+//!
+//! The decision procedure, in order:
+//!
+//! 1. constant dimensions (catalog min == max) are dropped — they can
+//!    never decide a dominance test;
+//! 2. one surviving dimension → **min-scan** over the catalog's sorted
+//!    projection, no algorithm at all;
+//! 3. tiny inputs → **BNL** (any setup cost dwarfs the scan);
+//! 4. small inputs → **SFS** (one sort, then a cheap filter pass);
+//! 5. one thread → **BSkyTree** (the paper's best sequential
+//!    algorithm);
+//! 6. otherwise **Q-Flow** when the sampled skyline density is low (the
+//!    shared global skyline stays small, so its block flow is all
+//!    overhead saved) and **Hybrid** when it is high or the subspace is
+//!    high-dimensional (point-based partitioning and the two-level
+//!    `M(S)` structure pay for themselves), with α tuned to `n` and the
+//!    thread count via [`SkylineConfig::tuned`].
+
+use skyline_core::algo::Algorithm;
+use skyline_core::SkylineConfig;
+
+use crate::catalog::DatasetEntry;
+
+/// How a query will be (or was) answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Served from the result cache; nothing was recomputed.
+    Cached,
+    /// Empty dataset or no discriminating dimensions: the answer is
+    /// definitional (every row, or none).
+    Trivial,
+    /// One effective dimension: read the minima off the catalog's
+    /// sorted projection.
+    MinScan {
+        /// The scanned dimension.
+        dim: usize,
+    },
+    /// Run a skyline algorithm over the (projected) data.
+    Algorithm(Algorithm),
+}
+
+impl Strategy {
+    /// The algorithm this strategy runs, if any.
+    pub fn algorithm(&self) -> Option<Algorithm> {
+        match self {
+            Strategy::Algorithm(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+/// The planner's full decision for one query.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// How the query is answered.
+    pub strategy: Strategy,
+    /// Thread lanes the execution may use.
+    pub threads: usize,
+    /// Algorithm tuning (α etc.) for `Strategy::Algorithm` plans.
+    pub config: SkylineConfig,
+    /// The dimensions that actually participate after dropping
+    /// constant ones (ascending, full-space indices).
+    pub effective_dims: Vec<usize>,
+    /// Skyline fraction observed on the catalog's sample (0..=1);
+    /// `None` when no sampling was needed to decide.
+    pub sample_skyline_frac: Option<f32>,
+    /// One-line human-readable justification.
+    pub reason: &'static str,
+}
+
+impl QueryPlan {
+    pub(crate) fn trivial(reason: &'static str) -> Self {
+        QueryPlan {
+            strategy: Strategy::Trivial,
+            threads: 1,
+            config: SkylineConfig::default(),
+            effective_dims: Vec::new(),
+            sample_skyline_frac: None,
+            reason,
+        }
+    }
+
+    pub(crate) fn cached(mut self) -> Self {
+        self.strategy = Strategy::Cached;
+        self.reason = "result cache hit";
+        self
+    }
+}
+
+/// Thresholds steering the planner. The defaults fall out of the
+/// paper's evaluation plus the constant factors of this codebase; they
+/// are exposed so deployments can re-tune from their own traces.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// At or below this cardinality, BNL wins outright.
+    pub tiny_n: usize,
+    /// At or below this cardinality, SFS wins over parallel set-up.
+    pub small_n: usize,
+    /// Subspaces at or above this dimensionality always use Hybrid
+    /// when parallel (partitioning pays off regardless of density).
+    pub high_d: usize,
+    /// Sampled skyline fraction above which Hybrid replaces Q-Flow.
+    pub dense_frac: f32,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            tiny_n: 512,
+            small_n: 8_192,
+            high_d: 8,
+            // The sample-level fraction runs well above the full-data
+            // fraction (256 points have few dominators); 0.2 splits
+            // correlated workloads (~0.15 at d = 4) from independent
+            // and anticorrelated ones (0.2–0.9).
+            dense_frac: 0.2,
+        }
+    }
+}
+
+/// The adaptive planner. Stateless apart from its thresholds; safe to
+/// share across threads.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    cfg: PlannerConfig,
+}
+
+impl Planner {
+    /// A planner with the given thresholds.
+    pub fn new(cfg: PlannerConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Plans a query over `entry` restricted to the canonical
+    /// (sorted, deduplicated) `dims`, with `threads` lanes available.
+    ///
+    /// `max_mask` flags maximised dimensions; it does not influence the
+    /// choice of algorithm (negation preserves every density property)
+    /// but is needed to pick the right end of a sorted projection for
+    /// min-scans.
+    pub fn plan(
+        &self,
+        entry: &DatasetEntry,
+        dims: &[usize],
+        max_mask: u32,
+        threads: usize,
+    ) -> QueryPlan {
+        let data = entry.data();
+        let n = data.len();
+        if n == 0 {
+            return QueryPlan::trivial("empty dataset");
+        }
+
+        // 1. Constant dimensions never decide a dominance test.
+        let stats = entry.stats();
+        let effective: Vec<usize> = dims
+            .iter()
+            .copied()
+            .filter(|&c| !stats.per_dim[c].is_constant())
+            .collect();
+        if effective.is_empty() {
+            return QueryPlan::trivial("all selected dimensions are constant");
+        }
+        let d = effective.len();
+        let threads = threads.max(1);
+
+        // 2. One effective dimension: the skyline is the set of minima,
+        //    already sitting at one end of the sorted projection.
+        if d == 1 {
+            return QueryPlan {
+                strategy: Strategy::MinScan { dim: effective[0] },
+                threads: 1,
+                config: SkylineConfig::default(),
+                effective_dims: effective,
+                sample_skyline_frac: None,
+                reason: "one effective dimension: scan the sorted projection",
+            };
+        }
+
+        // 3./4. Sequential baselines for small work.
+        if n <= self.cfg.tiny_n {
+            return QueryPlan {
+                strategy: Strategy::Algorithm(Algorithm::Bnl),
+                threads: 1,
+                config: SkylineConfig::default(),
+                effective_dims: effective,
+                sample_skyline_frac: None,
+                reason: "tiny input: window scan beats any setup cost",
+            };
+        }
+        if n <= self.cfg.small_n {
+            return QueryPlan {
+                strategy: Strategy::Algorithm(Algorithm::Sfs),
+                threads: 1,
+                config: SkylineConfig::default(),
+                effective_dims: effective,
+                sample_skyline_frac: None,
+                reason: "small input: sort-filter-skyline, no parallel setup",
+            };
+        }
+
+        // 5. No parallelism available: best sequential algorithm.
+        if threads == 1 {
+            return QueryPlan {
+                strategy: Strategy::Algorithm(Algorithm::BSkyTree),
+                threads: 1,
+                config: SkylineConfig::default(),
+                effective_dims: effective,
+                sample_skyline_frac: None,
+                reason: "single thread: BSkyTree is the best sequential algorithm",
+            };
+        }
+
+        // 6. Parallel: estimate skyline density on the sample, using
+        //    the subspace kernels directly on full-space rows.
+        let frac = sample_skyline_frac(entry, &effective);
+        let config = SkylineConfig::tuned(n, threads);
+        let (algo, reason) = if d >= self.cfg.high_d {
+            (
+                Algorithm::Hybrid,
+                "high-dimensional subspace: partitioning and M(S) pay off",
+            )
+        } else if frac > self.cfg.dense_frac {
+            (
+                Algorithm::Hybrid,
+                "dense sampled skyline: partition to cut comparisons",
+            )
+        } else {
+            (
+                Algorithm::QFlow,
+                "sparse sampled skyline: shared-skyline block flow",
+            )
+        };
+        let _ = max_mask; // direction never changes the plan, see doc
+        QueryPlan {
+            strategy: Strategy::Algorithm(algo),
+            threads,
+            config,
+            effective_dims: effective,
+            sample_skyline_frac: Some(frac),
+            reason,
+        }
+    }
+}
+
+/// Fraction of the catalog's sample that is skyline within the sample,
+/// under dominance restricted to `dims`. An upper-bound proxy for the
+/// full dataset's skyline fraction (density shrinks with n), cheap
+/// enough to run on every planning pass: O(sample²·|dims|).
+fn sample_skyline_frac(entry: &DatasetEntry, dims: &[usize]) -> f32 {
+    let sample = &entry.stats().sample;
+    if sample.len() < 2 {
+        return 1.0;
+    }
+    let data = entry.data();
+    use skyline_core::dominance::strictly_dominates_on;
+    let mut survivors = 0usize;
+    'outer: for &i in sample {
+        let p = data.row(i as usize);
+        for &j in sample {
+            if i != j && strictly_dominates_on(data.row(j as usize), p, dims) {
+                continue 'outer;
+            }
+        }
+        survivors += 1;
+    }
+    survivors as f32 / sample.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use skyline_core::verify;
+    use skyline_data::{generate, Dataset, Distribution};
+    use skyline_parallel::ThreadPool;
+
+    fn entry_of(data: Dataset) -> std::sync::Arc<DatasetEntry> {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(2);
+        catalog.register("t", data, &pool)
+    }
+
+    #[test]
+    fn tiny_goes_bnl_small_goes_sfs() {
+        let planner = Planner::default();
+        let pool = ThreadPool::new(2);
+        let tiny = entry_of(generate(Distribution::Independent, 300, 3, 7, &pool));
+        let plan = planner.plan(&tiny, &[0, 1, 2], 0, 4);
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Bnl));
+
+        let small = entry_of(generate(Distribution::Independent, 5_000, 3, 7, &pool));
+        let plan = planner.plan(&small, &[0, 1, 2], 0, 4);
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Sfs));
+        assert_eq!(plan.threads, 1);
+    }
+
+    #[test]
+    fn single_thread_prefers_bskytree() {
+        let pool = ThreadPool::new(2);
+        let e = entry_of(generate(Distribution::Independent, 20_000, 4, 7, &pool));
+        let plan = Planner::default().plan(&e, &[0, 1, 2, 3], 0, 1);
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::BSkyTree));
+    }
+
+    #[test]
+    fn density_splits_qflow_and_hybrid() {
+        let planner = Planner::default();
+        let pool = ThreadPool::new(2);
+        // Correlated data: minuscule skyline → Q-Flow.
+        let corr = entry_of(generate(Distribution::Correlated, 20_000, 4, 7, &pool));
+        let plan = planner.plan(&corr, &[0, 1, 2, 3], 0, 4);
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::QFlow));
+        assert!(plan.sample_skyline_frac.unwrap() <= planner.cfg.dense_frac);
+
+        // Anticorrelated data: huge skyline → Hybrid.
+        let anti = entry_of(generate(Distribution::Anticorrelated, 20_000, 6, 7, &pool));
+        let plan = planner.plan(&anti, &[0, 1, 2, 3, 4, 5], 0, 4);
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Hybrid));
+        assert!(plan.sample_skyline_frac.unwrap() > planner.cfg.dense_frac);
+        // α was tuned down from the paper's 1M-point default.
+        assert!(plan.config.alpha_hybrid <= SkylineConfig::default().alpha_hybrid);
+    }
+
+    #[test]
+    fn high_d_forces_hybrid() {
+        let pool = ThreadPool::new(2);
+        let e = entry_of(generate(Distribution::Correlated, 20_000, 10, 7, &pool));
+        let plan = Planner::default().plan(&e, &(0..10).collect::<Vec<_>>(), 0, 4);
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Hybrid));
+    }
+
+    #[test]
+    fn constant_dims_are_dropped() {
+        let _pool = ThreadPool::new(2);
+        let mut rows = Vec::new();
+        for i in 0..1_000 {
+            rows.push(vec![5.0, i as f32, (1_000 - i) as f32]);
+        }
+        let e = entry_of(Dataset::from_rows(&rows).unwrap());
+        // Dim 0 is constant: a {0,1} query degenerates to a 1-d scan.
+        let plan = Planner::default().plan(&e, &[0, 1], 0, 4);
+        assert_eq!(plan.strategy, Strategy::MinScan { dim: 1 });
+        // All-constant selection is trivial.
+        let plan = Planner::default().plan(&e, &[0], 0, 4);
+        assert_eq!(plan.strategy, Strategy::Trivial);
+        // Dims 1+2 survive.
+        let plan = Planner::default().plan(&e, &[0, 1, 2], 0, 4);
+        assert_eq!(plan.effective_dims, vec![1, 2]);
+    }
+
+    #[test]
+    fn sample_estimator_matches_reference_on_the_sample() {
+        let pool = ThreadPool::new(2);
+        let e = entry_of(generate(Distribution::Independent, 2_000, 3, 11, &pool));
+        let dims = [0usize, 2];
+        // Build the sample as its own dataset and compare against the
+        // definitional subspace skyline.
+        let sample_rows: Vec<Vec<f32>> = e
+            .stats()
+            .sample
+            .iter()
+            .map(|&i| e.data().row(i as usize).to_vec())
+            .collect();
+        let sample_ds = Dataset::from_rows(&sample_rows).unwrap();
+        let expect =
+            verify::naive_skyline_on(&sample_ds, &dims).len() as f32 / sample_rows.len() as f32;
+        let got = sample_skyline_frac(&e, &dims);
+        assert!((got - expect).abs() < 1e-6);
+    }
+}

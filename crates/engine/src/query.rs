@@ -1,0 +1,257 @@
+//! Query description and results.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skyline_core::RunStats;
+use skyline_data::Preference;
+
+use crate::error::EngineError;
+use crate::planner::QueryPlan;
+
+/// A subspace skyline query against a registered dataset.
+///
+/// `dims` selects the dimensions that participate in dominance (the
+/// subspace); `None` means all of them. `preference` optionally flips
+/// selected dimensions to "larger is better" and aligns one-to-one with
+/// the selected dimensions (with the full space when `dims` is `None`).
+/// `limit` truncates the returned index list.
+///
+/// ```
+/// use skyline_engine::SkylineQuery;
+/// use skyline_data::Preference;
+///
+/// // Hotels on (price, rating): minimise price, maximise rating.
+/// let q = SkylineQuery::new("hotels")
+///     .dims([0, 3])
+///     .preference([Preference::Min, Preference::Max])
+///     .limit(10);
+/// assert_eq!(q.dataset(), "hotels");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkylineQuery {
+    dataset: String,
+    dims: Option<Vec<usize>>,
+    preference: Option<Vec<Preference>>,
+    limit: Option<usize>,
+}
+
+impl SkylineQuery {
+    /// A full-space, minimising, unlimited query against `dataset`.
+    pub fn new(dataset: impl Into<String>) -> Self {
+        Self {
+            dataset: dataset.into(),
+            dims: None,
+            preference: None,
+            limit: None,
+        }
+    }
+
+    /// Restricts dominance to the given dimensions. Order is
+    /// irrelevant to the result (indices are always reported in the
+    /// dataset's row order); duplicates are allowed as long as their
+    /// preferences agree.
+    pub fn dims(mut self, dims: impl IntoIterator<Item = usize>) -> Self {
+        self.dims = Some(dims.into_iter().collect());
+        self
+    }
+
+    /// Sets per-dimension preferences, aligned with [`dims`](Self::dims)
+    /// (or with the full space if `dims` was not called).
+    pub fn preference(mut self, prefs: impl IntoIterator<Item = Preference>) -> Self {
+        self.preference = Some(prefs.into_iter().collect());
+        self
+    }
+
+    /// Returns at most `limit` skyline members (the lowest row indices).
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// The queried dataset's name.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The selected dimensions, if restricted.
+    pub fn selected_dims(&self) -> Option<&[usize]> {
+        self.dims.as_deref()
+    }
+
+    /// The preference vector, if any.
+    pub fn preferences(&self) -> Option<&[Preference]> {
+        self.preference.as_deref()
+    }
+
+    /// The result-size limit, if any.
+    pub fn result_limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// Validates the query against a dataset of dimensionality `d` and
+    /// canonicalises it: dimensions sorted ascending and deduplicated,
+    /// preferences re-aligned, conflicts rejected. Returns the sorted
+    /// dimension list and the bitmask of maximised dimensions.
+    pub(crate) fn canonicalize(&self, d: usize) -> Result<(Vec<usize>, u32), EngineError> {
+        let dims: Vec<usize> = match &self.dims {
+            Some(v) => v.clone(),
+            None => (0..d).collect(),
+        };
+        if dims.is_empty() {
+            return Err(EngineError::EmptyDims);
+        }
+        if let Some(&bad) = dims.iter().find(|&&c| c >= d) {
+            return Err(EngineError::DimOutOfRange { dim: bad, dims: d });
+        }
+        let prefs: Vec<Preference> = match &self.preference {
+            Some(p) => {
+                if p.len() != dims.len() {
+                    return Err(EngineError::PreferenceLength {
+                        expected: dims.len(),
+                        got: p.len(),
+                    });
+                }
+                p.clone()
+            }
+            None => vec![Preference::Min; dims.len()],
+        };
+        // Sort (dim, pref) pairs, drop duplicates, reject conflicts.
+        let mut pairs: Vec<(usize, Preference)> = dims.into_iter().zip(prefs).collect();
+        pairs.sort_by_key(|&(dim, _)| dim);
+        let mut out_dims = Vec::with_capacity(pairs.len());
+        let mut max_mask = 0u32;
+        for (dim, pref) in pairs {
+            if out_dims.last() == Some(&dim) {
+                let was_max = max_mask & (1 << dim) != 0;
+                if was_max != (pref == Preference::Max) {
+                    return Err(EngineError::ConflictingPreference { dim });
+                }
+                continue;
+            }
+            out_dims.push(dim);
+            if pref == Preference::Max {
+                max_mask |= 1 << dim;
+            }
+        }
+        Ok((out_dims, max_mask))
+    }
+}
+
+/// The outcome of one executed query.
+///
+/// Holds the full (unlimited) skyline behind an `Arc` shared with the
+/// result cache; [`indices`](Self::indices) applies the query's limit.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub(crate) full: Arc<Vec<u32>>,
+    pub(crate) limit: Option<usize>,
+    /// How the engine decided to answer this query.
+    pub plan: QueryPlan,
+    /// Whether the result came from the cache (no recomputation).
+    pub cache_hit: bool,
+    /// Per-phase instrumentation of the algorithm run. `None` when the
+    /// answer required no algorithm (cache hit, min-scan, or trivial).
+    pub stats: Option<RunStats>,
+    /// Version of the dataset the result was computed against.
+    pub dataset_version: u64,
+    /// Service time of this query: the cache probe on a hit, or the
+    /// plan's execution (projection included) on a miss.
+    pub elapsed: Duration,
+}
+
+impl QueryResult {
+    /// Skyline member indices into the dataset's rows, ascending,
+    /// truncated to the query's limit.
+    pub fn indices(&self) -> &[u32] {
+        match self.limit {
+            Some(k) if k < self.full.len() => &self.full[..k],
+            _ => &self.full,
+        }
+    }
+
+    /// Number of indices returned (after the limit).
+    pub fn len(&self) -> usize {
+        self.indices().len()
+    }
+
+    /// True when no indices are returned — an empty dataset, or a
+    /// `limit(0)` query.
+    pub fn is_empty(&self) -> bool {
+        self.indices().is_empty()
+    }
+
+    /// Size of the full skyline, ignoring the limit.
+    pub fn total_skyline_size(&self) -> usize {
+        self.full.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_sorts_dedups_and_masks() {
+        let q = SkylineQuery::new("d").dims([2, 0, 2]).preference([
+            Preference::Max,
+            Preference::Min,
+            Preference::Max,
+        ]);
+        let (dims, mask) = q.canonicalize(4).unwrap();
+        assert_eq!(dims, vec![0, 2]);
+        assert_eq!(mask, 0b100);
+    }
+
+    #[test]
+    fn canonicalize_defaults_to_full_space_min() {
+        let (dims, mask) = SkylineQuery::new("d").canonicalize(3).unwrap();
+        assert_eq!(dims, vec![0, 1, 2]);
+        assert_eq!(mask, 0);
+    }
+
+    #[test]
+    fn canonicalize_rejects_bad_queries() {
+        assert_eq!(
+            SkylineQuery::new("d").dims([]).canonicalize(3),
+            Err(EngineError::EmptyDims)
+        );
+        assert_eq!(
+            SkylineQuery::new("d").dims([3]).canonicalize(3),
+            Err(EngineError::DimOutOfRange { dim: 3, dims: 3 })
+        );
+        assert_eq!(
+            SkylineQuery::new("d")
+                .dims([0])
+                .preference([Preference::Min, Preference::Min])
+                .canonicalize(3),
+            Err(EngineError::PreferenceLength {
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            SkylineQuery::new("d")
+                .dims([1, 1])
+                .preference([Preference::Min, Preference::Max])
+                .canonicalize(3),
+            Err(EngineError::ConflictingPreference { dim: 1 })
+        );
+    }
+
+    #[test]
+    fn result_limit_is_a_view() {
+        let r = QueryResult {
+            full: Arc::new(vec![1, 4, 7, 9]),
+            limit: Some(2),
+            plan: QueryPlan::trivial("test"),
+            cache_hit: false,
+            stats: None,
+            dataset_version: 1,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(r.indices(), &[1, 4]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_skyline_size(), 4);
+    }
+}

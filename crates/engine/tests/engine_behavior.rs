@@ -1,0 +1,225 @@
+//! Engine behaviour required by the acceptance criteria: subspace
+//! correctness against brute force, cache semantics across
+//! registrations, invalidation, and concurrent batched execution.
+
+use std::sync::Arc;
+
+use skyline_core::verify;
+use skyline_data::{generate, Distribution, Preference};
+use skyline_engine::{Engine, EngineConfig, SkylineQuery, Strategy};
+use skyline_parallel::ThreadPool;
+
+fn engine(threads: usize) -> Engine {
+    Engine::with_config(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    })
+}
+
+#[test]
+fn subspace_results_equal_brute_force_on_the_full_projection() {
+    let engine = engine(4);
+    let pool = ThreadPool::new(2);
+    for (name, dist) in [
+        ("corr", Distribution::Correlated),
+        ("indep", Distribution::Independent),
+        ("anti", Distribution::Anticorrelated),
+    ] {
+        let data = generate(dist, 2_500, 5, 21, &pool);
+        let reference = data.clone();
+        engine.register(name, data);
+        for dims in [
+            &[0usize][..],
+            &[4],
+            &[0, 1],
+            &[2, 4],
+            &[0, 2, 3],
+            &[1, 2, 3, 4],
+            &[0, 1, 2, 3, 4],
+        ] {
+            // Brute force over the materialised projection…
+            let projected = reference.project(dims).unwrap();
+            let expect = verify::naive_skyline(&projected);
+            // …must equal the engine's subspace path (which projects
+            // lazily or not at all).
+            let got = engine
+                .execute(&SkylineQuery::new(name).dims(dims.iter().copied()))
+                .unwrap();
+            assert_eq!(got.indices(), expect.as_slice(), "{name} {dims:?}");
+        }
+    }
+}
+
+#[test]
+fn subspace_with_preferences_matches_negated_projection() {
+    let engine = engine(2);
+    let pool = ThreadPool::new(2);
+    let data = generate(Distribution::Independent, 1_200, 4, 33, &pool);
+    let reference = data.clone();
+    engine.register("d", data);
+    let dims = [1usize, 3];
+    let prefs = [Preference::Max, Preference::Min];
+    let projected = reference
+        .project(&dims)
+        .unwrap()
+        .with_preferences(&prefs)
+        .unwrap();
+    let expect = verify::naive_skyline(&projected);
+    let got = engine
+        .execute(&SkylineQuery::new("d").dims(dims).preference(prefs))
+        .unwrap();
+    assert_eq!(got.indices(), expect.as_slice());
+}
+
+#[test]
+fn cache_hit_returns_identical_indices_after_unrelated_registrations() {
+    let engine = engine(4);
+    let pool = ThreadPool::new(2);
+    engine.register(
+        "target",
+        generate(Distribution::Anticorrelated, 15_000, 4, 5, &pool),
+    );
+
+    let query = SkylineQuery::new("target").dims([0, 1, 2]);
+    let first = engine.execute(&query).unwrap();
+    assert!(!first.cache_hit);
+
+    // Unrelated datasets come and go.
+    for i in 0..5 {
+        let name = format!("noise{i}");
+        engine.register(
+            &name,
+            generate(Distribution::Independent, 2_000, 3, i, &pool),
+        );
+        engine.execute(&SkylineQuery::new(&name)).unwrap();
+    }
+    engine.evict("noise0");
+
+    let second = engine.execute(&query).unwrap();
+    assert!(second.cache_hit, "unrelated registrations must not evict");
+    assert_eq!(second.plan.strategy, Strategy::Cached);
+    assert!(second.stats.is_none(), "hits never recompute");
+    assert_eq!(first.indices(), second.indices());
+    assert_eq!(first.dataset_version, second.dataset_version);
+}
+
+#[test]
+fn reregistering_invalidates_only_that_dataset() {
+    let engine = engine(2);
+    let pool = ThreadPool::new(2);
+    engine.register("a", generate(Distribution::Independent, 3_000, 3, 1, &pool));
+    engine.register("b", generate(Distribution::Independent, 3_000, 3, 2, &pool));
+    let qa = SkylineQuery::new("a");
+    let qb = SkylineQuery::new("b");
+    let a1 = engine.execute(&qa).unwrap();
+    engine.execute(&qb).unwrap();
+
+    // Re-register `a` with different points: its result must be
+    // recomputed, `b`'s must still hit.
+    let data2 = generate(Distribution::Independent, 3_000, 3, 99, &pool);
+    let expect2 = verify::naive_skyline(&data2);
+    let v2 = engine.register("a", data2);
+    assert!(v2 > a1.dataset_version);
+
+    let a2 = engine.execute(&qa).unwrap();
+    assert!(!a2.cache_hit, "stale result must not be served");
+    assert_eq!(a2.dataset_version, v2);
+    assert_eq!(a2.indices(), expect2.as_slice());
+
+    let b2 = engine.execute(&qb).unwrap();
+    assert!(b2.cache_hit, "sibling dataset kept its cache entries");
+
+    // Eviction empties the name and errors subsequent queries.
+    assert!(engine.evict("a"));
+    assert!(!engine.evict("a"));
+    assert!(engine.execute(&qa).is_err());
+}
+
+#[test]
+fn concurrent_execute_batch_agrees_with_sequential_execution() {
+    // 8 threads hammering one engine with mixed batches must produce
+    // exactly what a fresh single-threaded engine produces.
+    let shared = Arc::new(engine(4));
+    let pool = ThreadPool::new(2);
+    let mut datasets = Vec::new();
+    for (i, dist) in [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::Anticorrelated,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let name = format!("ds{i}");
+        let data = generate(*dist, 6_000, 4, 40 + i as u64, &pool);
+        shared.register(&name, data.clone());
+        datasets.push((name, data));
+    }
+
+    let queries: Vec<SkylineQuery> = (0..3)
+        .flat_map(|i| {
+            let name = format!("ds{i}");
+            vec![
+                SkylineQuery::new(&name),
+                SkylineQuery::new(&name).dims([0, 1]),
+                SkylineQuery::new(&name).dims([1, 2, 3]),
+                SkylineQuery::new(&name).dims([2]),
+                SkylineQuery::new(&name).dims([0, 3]).limit(5),
+            ]
+        })
+        .collect();
+
+    // Sequential ground truth from brute force (not from the engine).
+    let truth: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| {
+            let (_, data) = datasets
+                .iter()
+                .find(|(n, _)| n == q.dataset())
+                .expect("known dataset");
+            let dims: Vec<usize> = match q.selected_dims() {
+                Some(d) => d.to_vec(),
+                None => (0..data.dims()).collect(),
+            };
+            let mut sky = verify::naive_skyline_on(data, &dims);
+            if let Some(k) = q.result_limit() {
+                sky.truncate(k);
+            }
+            sky
+        })
+        .collect();
+
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            let queries = queries.clone();
+            let truth = truth.clone();
+            std::thread::spawn(move || {
+                for round in 0..4 {
+                    // Rotate the batch so threads collide on different
+                    // queries each round.
+                    let k = (t + round) % queries.len();
+                    let batch: Vec<SkylineQuery> =
+                        queries[k..].iter().chain(&queries[..k]).cloned().collect();
+                    let results = shared.execute_batch(&batch);
+                    for (j, r) in results.iter().enumerate() {
+                        let qi = (k + j) % queries.len();
+                        let r = r.as_ref().expect("valid query");
+                        assert_eq!(
+                            r.indices(),
+                            truth[qi].as_slice(),
+                            "thread {t} round {round} query {qi}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The workload repeated identical queries: the cache must show it.
+    let stats = shared.cache_stats();
+    assert!(stats.hits > 0, "repeated batches should hit: {stats:?}");
+}

@@ -207,7 +207,9 @@ impl ThreadPool {
         // fully drained), so no worker can be reading `job`.
         unsafe { *shared.job.get() = Some(job) };
         shared.panicked.store(false, Ordering::Relaxed);
-        shared.remaining.store(self.workers.len(), Ordering::Relaxed);
+        shared
+            .remaining
+            .store(self.workers.len(), Ordering::Relaxed);
         {
             // Bump under the sleep mutex so a worker that just decided to
             // sleep cannot miss the notification.

@@ -44,7 +44,7 @@ where
 {
     let n = data.len();
     if n <= SEQUENTIAL_CUTOFF || pool.threads() == 1 {
-        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_unstable_by_key(|a| key(a));
         return;
     }
 
@@ -55,7 +55,7 @@ where
         runs /= 2;
     }
     if runs <= 1 {
-        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_unstable_by_key(|a| key(a));
         return;
     }
 
@@ -86,7 +86,7 @@ where
             // come from `split_at_mut`, so the runs are disjoint and
             // exclusively borrowed for the duration of the region.
             let run = unsafe { std::slice::from_raw_parts_mut(refs[i].0, lens[i]) };
-            run.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+            run.sort_unstable_by_key(|a| key(a));
         });
     }
 
@@ -148,8 +148,7 @@ fn merge_round<T, K, F>(
             // SAFETY: job output ranges `start..end` partition `dst`, so
             // writes never overlap; `dst` is exclusively borrowed by the
             // caller across the region.
-            let out =
-                unsafe { std::slice::from_raw_parts_mut(dst_ptr.0.add(start), end - start) };
+            let out = unsafe { std::slice::from_raw_parts_mut(dst_ptr.0.add(start), end - start) };
             merge_into(&src[start..mid], &src[mid..end], out, key);
         }
     });

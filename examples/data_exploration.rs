@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example data_exploration`
 
-use skybench::prelude::*;
 use skybench::generate;
+use skybench::prelude::*;
 
 fn main() {
     let pool = std::sync::Arc::new(ThreadPool::with_available_parallelism());
@@ -20,7 +20,9 @@ fn main() {
     let data = generate(Distribution::Anticorrelated, n, d, 4, &pool);
     println!("exploring {n} points in {d} dimensions\n");
 
-    let full = SkylineBuilder::new().pool(std::sync::Arc::clone(&pool)).compute(&data);
+    let full = SkylineBuilder::new()
+        .pool(std::sync::Arc::clone(&pool))
+        .compute(&data);
     println!(
         "full-space skyline: {} points ({:.1}%)",
         full.len(),

@@ -16,8 +16,8 @@ fn generate_hotels(n: usize, seed: u64) -> (Dataset, Vec<String>) {
     for i in 0..n {
         let location_premium = rng.next_f64(); // 1.0 = beachfront
         let quality = rng.next_f64();
-        let price = 40.0 + 160.0 * (0.55 * location_premium + 0.35 * quality
-            + 0.10 * rng.next_f64());
+        let price =
+            40.0 + 160.0 * (0.55 * location_premium + 0.35 * quality + 0.10 * rng.next_f64());
         let distance_km = 0.1 + 9.9 * (1.0 - location_premium) * (0.5 + 0.5 * rng.next_f64());
         let rating = (2.0 + 3.0 * (0.7 * quality + 0.3 * rng.next_f64())).min(5.0);
         rows.push(vec![price as f32, distance_km as f32, rating as f32]);
@@ -63,7 +63,10 @@ fn main() {
     let mut best: Vec<(u32, &[f32])> = sky.points(&raw).collect();
     best.sort_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap());
     println!("\ncheapest pareto-optimal options:");
-    println!("{:<14} {:>8} {:>10} {:>7}", "name", "price", "distance", "rating");
+    println!(
+        "{:<14} {:>8} {:>10} {:>7}",
+        "name", "price", "distance", "rating"
+    );
     for (idx, row) in best.iter().take(5) {
         println!(
             "{:<14} {:>8.2} {:>10.2} {:>7.2}",

@@ -24,24 +24,25 @@ impl RoadNetwork {
     fn random(side: usize, rng: &mut Rng) -> Self {
         let n = side * side;
         let mut edges = vec![Vec::new(); n];
-        let connect = |edges: &mut Vec<Vec<(usize, [f32; 4])>>, a: usize, b: usize, rng: &mut Rng| {
-            let motorway = rng.next_f64() < 0.3;
-            let (speed, toll) = if motorway {
-                (1.0 + rng.next_f64(), 2.0 + 6.0 * rng.next_f64())
-            } else {
-                (0.3 + 0.5 * rng.next_f64(), 0.0)
+        let connect =
+            |edges: &mut Vec<Vec<(usize, [f32; 4])>>, a: usize, b: usize, rng: &mut Rng| {
+                let motorway = rng.next_f64() < 0.3;
+                let (speed, toll) = if motorway {
+                    (1.0 + rng.next_f64(), 2.0 + 6.0 * rng.next_f64())
+                } else {
+                    (0.3 + 0.5 * rng.next_f64(), 0.0)
+                };
+                let dist = 1.0 + rng.next_f64();
+                let climb = 80.0 * rng.next_f64() * if motorway { 0.3 } else { 1.0 };
+                let cost = [
+                    (dist / speed * 12.0) as f32,
+                    toll as f32,
+                    (dist * (0.8 + 0.4 * speed)) as f32,
+                    climb as f32,
+                ];
+                edges[a].push((b, cost));
+                edges[b].push((a, cost));
             };
-            let dist = 1.0 + rng.next_f64();
-            let climb = 80.0 * rng.next_f64() * if motorway { 0.3 } else { 1.0 };
-            let cost = [
-                (dist / speed * 12.0) as f32,
-                toll as f32,
-                (dist * (0.8 + 0.4 * speed)) as f32,
-                climb as f32,
-            ];
-            edges[a].push((b, cost));
-            edges[b].push((a, cost));
-        };
         for r in 0..side {
             for c in 0..side {
                 let v = r * side + c;
@@ -66,7 +67,13 @@ impl RoadNetwork {
 
     /// Samples simple paths from `start` to `goal` by randomised greedy
     /// walks, returning each path's total cost vector.
-    fn sample_routes(&self, start: usize, goal: usize, tries: usize, rng: &mut Rng) -> Vec<[f32; 4]> {
+    fn sample_routes(
+        &self,
+        start: usize,
+        goal: usize,
+        tries: usize,
+        rng: &mut Rng,
+    ) -> Vec<[f32; 4]> {
         let n = self.edges.len();
         let mut routes = Vec::new();
         'walks: for _ in 0..tries {
@@ -103,7 +110,10 @@ fn main() {
     let network = RoadNetwork::random(14, &mut rng);
     let (start, goal) = (0, 14 * 14 - 1);
     let routes = network.sample_routes(start, goal, 40_000, &mut rng);
-    println!("sampled {} feasible routes from hub A to hub B", routes.len());
+    println!(
+        "sampled {} feasible routes from hub A to hub B",
+        routes.len()
+    );
 
     let data = Dataset::from_rows(&routes.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
         .expect("route costs are finite");
@@ -132,7 +142,10 @@ fn main() {
         CRITERIA[0], CRITERIA[1], CRITERIA[2], CRITERIA[3]
     );
     for (_, r) in show.iter().take(6) {
-        println!("{:>10.1} {:>10.2} {:>10.2} {:>10.0}", r[0], r[1], r[2], r[3]);
+        println!(
+            "{:>10.1} {:>10.2} {:>10.2} {:>10.0}",
+            r[0], r[1], r[2], r[3]
+        );
     }
     println!(
         "\nany weighting of (time, toll, fuel, climb) is optimised by one \

@@ -42,6 +42,42 @@
 //!     .compute(&data);
 //! assert_eq!(sky.len(), 2);
 //! ```
+//!
+//! ## Serving repeated queries: the engine
+//!
+//! One-shot calls recompute everything. For query workloads — many
+//! subspace projections of a few registered datasets — use
+//! [`Engine`]: it plans each query adaptively (picking the algorithm
+//! and tuning from the data's shape), answers repeats from an LRU
+//! result cache, and runs everything on one shared pool.
+//!
+//! ```
+//! use skybench::prelude::*;
+//!
+//! let engine = Engine::new();
+//! engine
+//!     .register(
+//!         "hotels", // price, distance, noise
+//!         Dataset::from_rows(&[
+//!             vec![90.0, 5.0, 40.0],
+//!             vec![120.0, 2.0, 55.0],
+//!             vec![150.0, 1.0, 60.0],
+//!             vec![160.0, 4.0, 70.0], // dominated
+//!         ])
+//!         .unwrap(),
+//!     );
+//!
+//! // Full space, then a price/distance subspace of the same data.
+//! let all = engine.execute(&SkylineQuery::new("hotels")).unwrap();
+//! assert_eq!(all.indices(), &[0, 1, 2]);
+//! let cheap_close = engine
+//!     .execute(&SkylineQuery::new("hotels").dims([0, 1]))
+//!     .unwrap();
+//! assert_eq!(cheap_close.indices(), &[0, 1, 2]);
+//!
+//! // Identical queries are cache hits and recompute nothing.
+//! assert!(engine.execute(&SkylineQuery::new("hotels")).unwrap().cache_hit);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -56,13 +92,21 @@ pub use skyline_data::{
     generate, load_csv, quantize, write_csv, DataError, Dataset, Distribution, Preference,
     RealDataset, Rng,
 };
+pub use skyline_engine::{
+    CacheStats, DatasetEntry, Engine, EngineConfig, EngineError, PlannerConfig, QueryPlan,
+    QueryResult, SkylineQuery, Strategy,
+};
 pub use skyline_parallel::{available_threads, ThreadPool};
 
 /// One-stop imports for typical use.
+///
+/// The engine's plan [`Strategy`](crate::Strategy) enum is deliberately
+/// *not* re-exported here: its name collides with `proptest::Strategy`
+/// under double glob imports in test code. Import it explicitly.
 pub mod prelude {
     pub use crate::{
-        skyline, Algorithm, Dataset, Distribution, PivotStrategy, Preference, Skyline,
-        SkylineBuilder, SortKey, ThreadPool,
+        skyline, Algorithm, Dataset, Distribution, Engine, EngineConfig, PivotStrategy, Preference,
+        Skyline, SkylineBuilder, SkylineQuery, SortKey, ThreadPool,
     };
 }
 
@@ -234,11 +278,7 @@ impl SkylineBuilder {
     /// batch of skyline indices as soon as its α-block completes
     /// (supported by Q-Flow and Hybrid; other algorithms deliver a single
     /// final batch).
-    pub fn compute_progressive(
-        &self,
-        data: &Dataset,
-        mut on_batch: impl FnMut(&[u32]),
-    ) -> Skyline {
+    pub fn compute_progressive(&self, data: &Dataset, mut on_batch: impl FnMut(&[u32])) -> Skyline {
         let pool = self.resolve_pool();
         let result = match self.algorithm {
             Algorithm::QFlow => {

@@ -60,12 +60,16 @@ fn degenerate_shapes() {
     let same = Dataset::from_rows(&vec![vec![1.0, 2.0, 3.0]; 120]).unwrap();
     assert_all_agree(&same, "identical");
     // One dimension: skyline = all copies of the minimum.
-    let d1 = Dataset::from_rows(&(0..200).map(|i| vec![(i % 50) as f32]).collect::<Vec<_>>())
-        .unwrap();
+    let d1 =
+        Dataset::from_rows(&(0..200).map(|i| vec![(i % 50) as f32]).collect::<Vec<_>>()).unwrap();
     assert_all_agree(&d1, "1-d");
     // Chain (total order).
-    let chain = Dataset::from_rows(&(0..300).map(|i| vec![i as f32, i as f32]).collect::<Vec<_>>())
-        .unwrap();
+    let chain = Dataset::from_rows(
+        &(0..300)
+            .map(|i| vec![i as f32, i as f32])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
     assert_all_agree(&chain, "chain");
     // Antichain (everything is skyline).
     let anti = Dataset::from_rows(

@@ -1,0 +1,78 @@
+//! Facade-level engine tests: the acceptance demo, enforced by the
+//! test suite — one registered dataset serving several subspace
+//! queries, with the planner provably adapting and the cache provably
+//! skipping recomputation.
+
+use skybench::prelude::*;
+use skybench::{generate, verify, Strategy};
+
+#[test]
+fn one_registration_serves_many_subspaces_with_adaptive_plans() {
+    let threads = 4;
+    let gen_pool = ThreadPool::new(2);
+    let data = generate(Distribution::Independent, 12_000, 8, 77, &gen_pool);
+    let reference = data.clone();
+
+    let engine = Engine::with_config(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    engine.register("listings", data);
+
+    let queries = [
+        SkylineQuery::new("listings"),
+        SkylineQuery::new("listings").dims([0, 1]),
+        SkylineQuery::new("listings").dims([3]),
+        SkylineQuery::new("listings").dims([2, 5, 7]),
+    ];
+
+    let mut algorithms = Vec::new();
+    for query in &queries {
+        let cold = engine.execute(query).unwrap();
+        assert!(!cold.cache_hit);
+
+        // Correctness of every served subspace against brute force.
+        let dims: Vec<usize> = query
+            .selected_dims()
+            .map(|d| d.to_vec())
+            .unwrap_or_else(|| (0..8).collect());
+        let expect = verify::naive_skyline_on(&reference, &dims);
+        assert_eq!(cold.indices(), expect.as_slice(), "{dims:?}");
+
+        // The measured cache-hit path: identical indices, no stats
+        // (nothing recomputed), and the Cached strategy marker.
+        let warm = engine.execute(query).unwrap();
+        assert!(warm.cache_hit);
+        assert!(warm.stats.is_none());
+        assert_eq!(warm.plan.strategy, Strategy::Cached);
+        assert_eq!(warm.indices(), cold.indices());
+
+        if let Some(a) = cold.plan.strategy.algorithm() {
+            algorithms.push(a);
+        }
+    }
+
+    // The planner picked at least two different algorithms across the
+    // subspaces of this single registration (plus the algorithm-free
+    // min-scan for the 1-d query).
+    algorithms.sort_by_key(|a| a.name());
+    algorithms.dedup();
+    assert!(
+        algorithms.len() >= 2,
+        "planner did not adapt: {algorithms:?}"
+    );
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits as usize, queries.len());
+    assert!(stats.hit_rate() > 0.0);
+}
+
+#[test]
+fn prelude_exposes_the_engine_types() {
+    // Compile-time check that the prelude is sufficient for engine use.
+    let engine: Engine = Engine::new();
+    let _cfg = EngineConfig::default();
+    let _q: SkylineQuery = SkylineQuery::new("x").limit(1);
+    assert!(engine.datasets().is_empty());
+    assert_eq!(engine.cache_stats().hits, 0);
+}

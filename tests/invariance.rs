@@ -22,7 +22,10 @@ fn thread_count_invariance() {
         Algorithm::PBSkyTree,
     ] {
         for t in [1usize, 2, 3, 4, 8] {
-            let sky = SkylineBuilder::new().algorithm(algo).threads(t).compute(&data);
+            let sky = SkylineBuilder::new()
+                .algorithm(algo)
+                .threads(t)
+                .compute(&data);
             assert_eq!(sky.indices(), expect.as_slice(), "{algo} t={t}");
         }
     }
@@ -77,12 +80,19 @@ fn shuffle_invariance() {
     for i in (1..perm.len()).rev() {
         perm.swap(i, rng.next_below(i + 1));
     }
-    let shuffled =
-        Dataset::from_rows(&perm.iter().map(|&i| data.row(i).to_vec()).collect::<Vec<_>>())
-            .unwrap();
+    let shuffled = Dataset::from_rows(
+        &perm
+            .iter()
+            .map(|&i| data.row(i).to_vec())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
 
     for algo in [Algorithm::Hybrid, Algorithm::QFlow, Algorithm::BSkyTree] {
-        let sky = SkylineBuilder::new().algorithm(algo).threads(2).compute(&shuffled);
+        let sky = SkylineBuilder::new()
+            .algorithm(algo)
+            .threads(2)
+            .compute(&shuffled);
         let got: std::collections::BTreeSet<Vec<u32>> = sky
             .points(&shuffled)
             .map(|(_, row)| row.iter().map(|v| v.to_bits()).collect())
