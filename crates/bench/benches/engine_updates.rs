@@ -1,0 +1,106 @@
+//! Incremental maintenance versus re-registration.
+//!
+//! The acceptance number for mutable datasets: on a registered
+//! 100k-point dataset with a warm cache, a single-point insert (which
+//! patches the catalog's projections incrementally and carries the
+//! cached skyline forward through the delta kernels) followed by a
+//! query must beat re-registering the dataset from scratch followed by
+//! a cold query by at least an order of magnitude.
+//!
+//! Alongside the criterion groups, the bench times both paths directly
+//! and prints the speedup explicitly.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_data::{generate, Distribution};
+use skyline_engine::{Engine, EngineConfig, SkylineQuery};
+use skyline_parallel::ThreadPool;
+
+const N: usize = 100_000;
+const D: usize = 8;
+const THREADS: usize = 4;
+
+fn fresh_engine(data: &skyline_data::Dataset) -> Engine {
+    let engine = Engine::with_config(EngineConfig {
+        threads: THREADS,
+        ..EngineConfig::default()
+    });
+    engine.register("d", data.clone());
+    engine
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let data = generate(Distribution::Independent, N, D, 77, &pool);
+    let query = SkylineQuery::new("d");
+
+    // Warm engine for the incremental path: registered once, cache
+    // populated, then mutated point by point.
+    let engine = fresh_engine(&data);
+    engine.execute(&query).expect("valid");
+
+    let mut g = c.benchmark_group("engine_updates");
+    g.sample_size(20);
+    let mut next_row = 0u64;
+    g.bench_function("insert1_then_query", |b| {
+        b.iter(|| {
+            next_row += 1;
+            let v = (next_row % 997) as f32 / 997.0;
+            let row: Vec<f32> = (0..D).map(|c| v * (1.0 + c as f32 * 0.01)).collect();
+            engine.insert("d", &[row]).expect("valid insert");
+            engine.execute(&query).expect("valid").len()
+        });
+    });
+    g.bench_function("reregister_then_cold_query", |b| {
+        b.iter(|| {
+            let engine = fresh_engine(&data);
+            engine.execute(&query).expect("valid").len()
+        });
+    });
+    g.finish();
+
+    // Direct comparison with the acceptance criterion spelled out.
+    let reps = 7;
+    let incremental = median(
+        (0..reps)
+            .map(|i| {
+                let started = Instant::now();
+                let v = (i + 3) as f32 / (reps + 5) as f32;
+                let row: Vec<f32> = (0..D).map(|c| v * (1.0 + c as f32 * 0.02)).collect();
+                engine.insert("d", &[row]).expect("valid insert");
+                engine.execute(&query).expect("valid");
+                started.elapsed()
+            })
+            .collect(),
+    );
+    let full = median(
+        (0..reps)
+            .map(|_| {
+                let started = Instant::now();
+                let engine = fresh_engine(&data);
+                engine.execute(&query).expect("valid");
+                started.elapsed()
+            })
+            .collect(),
+    );
+    let speedup = full.as_secs_f64() / incremental.as_secs_f64().max(1e-9);
+    println!(
+        "\nsingle-point insert + query: {incremental:?} (median of {reps})\n\
+         re-registration + cold query: {full:?} (median of {reps})\n\
+         incremental speedup: {speedup:.1}x (acceptance: >= 10x)"
+    );
+    assert!(
+        speedup >= 10.0,
+        "incremental maintenance must be at least 10x faster \
+         ({incremental:?} vs {full:?} = {speedup:.1}x)"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

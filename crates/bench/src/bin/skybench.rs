@@ -3,9 +3,14 @@
 //!
 //! ```text
 //! skybench <experiment> [--scale laptop|paper] [--threads N]
+//!                       [--update-frac F]
 //!
 //! experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!              table1 table2 table3 all
+//!              table1 table2 table3 engine all
+//!
+//! --update-frac F   mutation share of the `engine` experiment's mixed
+//!                   read/write phase (0..=1, default 0.3; capped at
+//!                   0.9 so each round still issues the query batch)
 //! ```
 
 use skyline_bench::experiments::ExpCtx;
@@ -13,7 +18,7 @@ use skyline_bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: skybench <experiment> [--scale laptop|paper] [--threads N]\n\
+        "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F]\n\
          experiments: {}",
         ExpCtx::ALL_EXPERIMENTS.join(" ")
     );
@@ -28,10 +33,19 @@ fn main() {
     let mut experiment: Option<String> = None;
     let mut scale = Scale::Laptop;
     let mut threads = skyline_parallel::available_threads();
+    let mut update_frac = 0.3f64;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--update-frac" => {
+                i += 1;
+                update_frac = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|f: &f64| (0.0..=1.0).contains(f))
+                    .unwrap_or_else(|| usage());
+            }
             "--scale" => {
                 i += 1;
                 scale = args
@@ -63,6 +77,7 @@ fn main() {
         skyline_parallel::available_threads()
     );
     let mut ctx = ExpCtx::new(scale, threads);
+    ctx.update_frac = update_frac;
     if !ctx.run(&experiment) {
         eprintln!("unknown experiment '{experiment}'");
         usage();

@@ -1,6 +1,9 @@
 //! The `engine` experiment: drives a mixed subspace-query workload
 //! through [`skyline_engine::Engine`] and reports plan selections,
-//! cold/warm service times, cache effectiveness, and batch throughput.
+//! cold/warm service times, cache effectiveness, batch throughput,
+//! and — since datasets are mutable — a mixed **read/write** phase
+//! measuring how the cache survives point inserts and deletes
+//! (eager patching and query-time delta plans versus recomputation).
 
 use std::time::Instant;
 
@@ -15,6 +18,7 @@ fn strategy_label(s: &Strategy) -> String {
         Strategy::Cached => "cache".to_string(),
         Strategy::Trivial => "trivial".to_string(),
         Strategy::MinScan { dim } => format!("min-scan(d{dim})"),
+        Strategy::Delta { .. } => "delta".to_string(),
         Strategy::Algorithm(a) => a.name().to_string(),
     }
 }
@@ -40,8 +44,23 @@ fn workload(names: &[String], d: usize) -> Vec<SkylineQuery> {
     queries
 }
 
-/// Runs the engine workload at `scale` on `threads` lanes.
-pub fn run(scale: Scale, threads: usize) {
+/// Cheap deterministic generator for the mutation phase.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0 >> 33
+    }
+
+    fn unit(&mut self) -> f32 {
+        (self.next() % 1_000_000) as f32 / 1_000_000.0
+    }
+}
+
+/// Runs the engine workload at `scale` on `threads` lanes, with
+/// `update_frac` of the mixed phase's operations being mutations.
+pub fn run(scale: Scale, threads: usize, update_frac: f64) {
     let (n, d) = scale.default_workload();
     let d = d.max(4);
     let engine = Engine::with_config(EngineConfig {
@@ -49,9 +68,9 @@ pub fn run(scale: Scale, threads: usize) {
         ..EngineConfig::default()
     });
     println!(
-        "\n## engine workload — n = {n}, d = {d}, t = {} (cache {} entries)\n",
+        "\n## engine workload — n = {n}, d = {d}, t = {} (cache budget {} KiB)\n",
         engine.threads(),
-        engine.cache_stats().capacity
+        engine.cache_stats().budget_bytes / 1024
     );
 
     // Registration (timed: includes stats + sorted projections).
@@ -132,29 +151,100 @@ pub fn run(scale: Scale, threads: usize) {
         total_queries as f64 / warm_elapsed.as_secs_f64()
     );
 
+    // Mixed read/write phase: each round interleaves mutation batches
+    // (point inserts / deletes on random datasets) with the query
+    // batch, at the configured update fraction. With incremental
+    // maintenance most queries should stay cache hits (eagerly patched
+    // inserts) or cheap delta plans (deferred deletes) instead of
+    // recomputations.
+    let rounds: usize = match scale {
+        Scale::Smoke => 10,
+        Scale::Laptop => 50,
+        Scale::Paper => 200,
+    };
+    let before = engine.cache_stats();
+    let mut rng = Lcg(0xdecaf);
+    // `update_frac` is the mutation share of ALL operations in the
+    // phase: with Q queries per round, writes w must satisfy
+    // w / (w + Q) = frac, i.e. w = Q·frac/(1−frac). Capped at 0.9 so
+    // the phase stays bounded.
+    let frac = update_frac.clamp(0.0, 0.9);
+    let writes_per_round = (queries.len() as f64 * frac / (1.0 - frac)).round() as usize;
+    let (mut hits, mut deltas, mut recomputes, mut writes) = (0u64, 0u64, 0u64, 0u64);
+    let mixed_started = Instant::now();
+    for _ in 0..rounds {
+        for _ in 0..writes_per_round {
+            let name = &names[(rng.next() as usize) % names.len()];
+            if rng.unit() < 0.5 {
+                let row: Vec<f32> = (0..d).map(|_| rng.unit()).collect();
+                engine.insert(name, &[row]).expect("valid insert");
+            } else {
+                let entry = engine.dataset(name).expect("registered");
+                let live = entry.live_ids();
+                let victim = live[(rng.next() as usize) % live.len()];
+                engine.delete(name, &[victim]).expect("live victim");
+            }
+            writes += 1;
+        }
+        for r in engine.execute_batch(&queries) {
+            let r = r.expect("workload queries are valid");
+            if r.cache_hit {
+                hits += 1;
+            } else if matches!(r.plan.strategy, Strategy::Delta { .. }) {
+                deltas += 1;
+            } else {
+                recomputes += 1;
+            }
+        }
+    }
+    let mixed_elapsed = mixed_started.elapsed();
+    let after = engine.cache_stats();
+    let n_queries = rounds as u64 * queries.len() as u64;
+    let mixed_ops = writes + n_queries;
+    println!(
+        "\nmixed read/write ({:.0}% updates): {} rounds, {} writes + {} queries in {} → {:.0} ops/s",
+        writes as f64 / (mixed_ops as f64).max(1.0) * 100.0,
+        rounds,
+        writes,
+        n_queries,
+        fmt_secs(mixed_elapsed),
+        mixed_ops as f64 / mixed_elapsed.as_secs_f64()
+    );
+    println!(
+        "  query outcomes: {hits} cache hits, {deltas} delta patches, {recomputes} recomputes"
+    );
+    println!(
+        "  cache: {} eager patches, {} invalidations during the phase",
+        after.patches - before.patches,
+        after.invalidations - before.invalidations
+    );
+
     // Invalidation: re-register one dataset and show selective misses.
     let fresh = generate(Distribution::Independent, n, d, 4242, &gen_pool);
     engine.register(&names[0], fresh);
-    let after = engine.execute_batch(&queries);
-    let recomputed = after
+    let after_reg = engine.execute_batch(&queries);
+    let recomputed = after_reg
         .iter()
         .map(|r| r.as_ref().expect("valid"))
         .filter(|r| !r.cache_hit)
         .count();
     println!(
-        "after re-registering '{}': {recomputed}/{} queries recomputed, rest still cached",
+        "\nafter re-registering '{}': {recomputed}/{} queries recomputed, rest still cached",
         names[0],
         queries.len()
     );
 
     let stats = engine.cache_stats();
     println!(
-        "\ncache: {} hits / {} misses ({:.1}% hit rate), {} insertions, {} invalidations, {} resident",
+        "\ncache: {} hits / {} misses ({:.1}% hit rate), {} insertions, {} patches, {} invalidations, {} resident ({} KiB of {} KiB)",
         stats.hits,
         stats.misses,
         stats.hit_rate() * 100.0,
         stats.insertions,
+        stats.patches,
         stats.invalidations,
-        stats.entries
+        stats.entries,
+        stats.bytes / 1024,
+        stats.budget_bytes / 1024
     );
 }

@@ -24,6 +24,9 @@ pub struct ExpCtx {
     pub scale: Scale,
     /// The "all cores" thread count (the paper's t = 16).
     pub threads: usize,
+    /// Fraction of the `engine` experiment's mixed phase that mutates
+    /// (inserts/deletes) rather than queries.
+    pub update_frac: f64,
     pools: HashMap<usize, Arc<ThreadPool>>,
     cache: WorkloadCache,
 }
@@ -34,6 +37,7 @@ impl ExpCtx {
         Self {
             scale,
             threads: threads.max(1),
+            update_frac: 0.3,
             pools: HashMap::new(),
             cache: WorkloadCache::new(),
         }
@@ -68,7 +72,7 @@ impl ExpCtx {
             "table1" => table1(self),
             "table2" => table2(self),
             "table3" => table3(self),
-            "engine" => crate::engine_workload::run(self.scale, self.threads),
+            "engine" => crate::engine_workload::run(self.scale, self.threads, self.update_frac),
             "all" => {
                 for e in Self::ALL_EXPERIMENTS {
                     if *e != "all" {

@@ -11,7 +11,7 @@
 //!    pivots, the all-ones region is dropped outright;
 //! 3. **sort** (§VI-A3): by the compound key `(|m| ≪ d) | m`, then L1 —
 //!    one integer comparison orders by (level, mask);
-//! 4. **α-blocks**: Phase I consults the two-level [`SkyStructure`]
+//! 4. **α-blocks**: Phase I consults the two-level `SkyStructure`
 //!    (Algorithm 3), Phase II decomposes the peer scan into three loops
 //!    with successively stronger assumptions (Algorithm 4), and confirmed
 //!    points enter the structure via Algorithm 2.

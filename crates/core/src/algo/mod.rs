@@ -24,7 +24,7 @@ use skyline_parallel::ThreadPool;
 /// `BSkyTree`, `PBSkyTree`, `PSkyline`, `QFlow`, and `Hybrid`; the others
 /// are classic baselines included for completeness (BNL, SFS, SaLSa) and
 /// building blocks exposed directly (SSkyline is PSkyline's local kernel,
-/// PSFS is the "weaker Q-Flow" of [13]).
+/// PSFS is the "weaker Q-Flow" of \[13\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Block-nested-loops (Börzsönyi et al.).

@@ -117,6 +117,35 @@ pub fn dominates_or_equal_on(p: &[f32], q: &[f32], dims: &[usize]) -> bool {
     dims.iter().all(|&d| p[d] <= q[d])
 }
 
+/// Strict dominance `p ≺ q` restricted to the subspace `dims`, with
+/// dimensions whose bit is set in `max_mask` preferring *larger*
+/// values instead of smaller.
+///
+/// This is the membership test the maintenance kernels
+/// ([`crate::maintain`]) run against cached skylines: those were
+/// computed over negated columns for `Max` preferences, so patching
+/// them from the *unnegated* stored rows needs the direction folded
+/// into the comparison rather than into the data.
+#[inline]
+pub fn strictly_dominates_on_pref(p: &[f32], q: &[f32], dims: &[usize], max_mask: u32) -> bool {
+    debug_assert_eq!(p.len(), q.len());
+    let mut lt = false;
+    for &d in dims {
+        // On a maximised dimension "p better than q" means p[d] > q[d];
+        // swapping the operands reuses the minimising comparisons.
+        let (a, b) = if max_mask & (1 << d) != 0 {
+            (q[d], p[d])
+        } else {
+            (p[d], q[d])
+        };
+        if a > b {
+            return false;
+        }
+        lt |= a < b;
+    }
+    lt
+}
+
 /// Potential dominance `p ⪯ q` (Definition 1): `∀i p[i] ≤ q[i]`.
 #[inline]
 pub fn dominates_or_equal(p: &[f32], q: &[f32]) -> bool {
@@ -256,6 +285,35 @@ mod tests {
         // Coincident on a subspace ⇒ no strict dominance there.
         assert!(!strictly_dominates_on(&p, &q, &[2]));
         assert!(dominates_or_equal_on(&p, &q, &[2]));
+    }
+
+    #[test]
+    fn pref_kernel_matches_negated_projection() {
+        // Dominance under a max-mask must equal plain dominance after
+        // negating the maximised columns, for every mask and subspace.
+        let p = [1.0f32, 5.0, 2.0];
+        let q = [2.0f32, 4.0, 2.0];
+        let dim_sets: &[&[usize]] = &[&[0], &[1], &[2], &[0, 1], &[0, 2], &[1, 2], &[0, 1, 2]];
+        for dims in dim_sets {
+            for max_mask in 0u32..8 {
+                let neg = |v: &[f32]| {
+                    v.iter()
+                        .enumerate()
+                        .map(|(c, &x)| if max_mask & (1 << c) != 0 { -x } else { x })
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(
+                    strictly_dominates_on_pref(&p, &q, dims, max_mask),
+                    strictly_dominates_on(&neg(&p), &neg(&q), dims),
+                    "{dims:?} mask {max_mask:#b}"
+                );
+            }
+        }
+        // Zero mask degenerates to the plain subspace kernel.
+        assert_eq!(
+            strictly_dominates_on_pref(&p, &q, &[0, 1], 0),
+            strictly_dominates_on(&p, &q, &[0, 1])
+        );
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! The shared machinery lives in the support modules: dominance-test
 //! kernels ([`dominance`]), monotone sort keys ([`norms`]), partition
 //! masks and the compound-key bithack ([`masks`]), pivot selection
-//! ([`pivot`]), the β-queue pre-filter ([`prefilter`]), and instrumented
-//! run statistics ([`stats`]).
+//! ([`pivot`]), the β-queue pre-filter ([`prefilter`]), instrumented
+//! run statistics ([`stats`]), and incremental skyline maintenance
+//! kernels ([`maintain`]) that patch a materialized skyline under
+//! point inserts and deletes instead of recomputing it.
 //!
 //! # Quick example
 //!
@@ -48,6 +50,7 @@
 pub mod algo;
 mod config;
 pub mod dominance;
+pub mod maintain;
 pub mod masks;
 pub mod norms;
 pub mod pivot;

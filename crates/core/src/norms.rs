@@ -35,7 +35,7 @@ pub fn max_coord(p: &[f32]) -> f32 {
 }
 
 /// Evaluates `key` on a row. `MinCoord` folds L1 in as a tiebreaker at
-/// the bit level via [`scalar_key_bits`], not here.
+/// the bit level inside the sorted-workset builder, not here.
 #[inline]
 pub fn eval_sort_key(key: SortKey, p: &[f32]) -> f32 {
     match key {

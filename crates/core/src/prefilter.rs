@@ -10,8 +10,8 @@
 //! 2. every (unflagged) point is tested against the union of all threads'
 //!    queues.
 //!
-//! β = 8 by default (footnote 3: "appreciable impact only [on] correlated
-//! data").
+//! β = 8 by default (footnote 3: "appreciable impact only \[on\]
+//! correlated data").
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;

@@ -40,6 +40,26 @@ pub fn naive_skyline_on(data: &Dataset, dims: &[usize]) -> Vec<u32> {
     out
 }
 
+/// The definitionally correct subspace skyline under per-dimension
+/// preferences: like [`naive_skyline_on`] but dimensions whose bit is
+/// set in `max_mask` prefer larger values. Only suitable for
+/// test-sized inputs.
+pub fn naive_skyline_on_pref(data: &Dataset, dims: &[usize], max_mask: u32) -> Vec<u32> {
+    use crate::dominance::strictly_dominates_on_pref;
+    let n = data.len();
+    let mut out = Vec::new();
+    'outer: for i in 0..n {
+        let p = data.row(i);
+        for j in 0..n {
+            if j != i && strictly_dominates_on_pref(data.row(j), p, dims, max_mask) {
+                continue 'outer;
+            }
+        }
+        out.push(i as u32);
+    }
+    out
+}
+
 /// Exhaustively validates a claimed skyline:
 /// indices sorted/unique/in-range, every member non-dominated, every
 /// non-member dominated by some member. O(n·|SKY|·d).
@@ -160,6 +180,40 @@ mod tests {
         }
         // The full-space skyline is the special case dims = all.
         assert_eq!(naive_skyline_on(&data, &[0, 1, 2]), naive_skyline(&data));
+    }
+
+    #[test]
+    fn pref_reference_matches_negated_projection() {
+        let data = ds(&[
+            vec![1.0, 2.0, 9.0],
+            vec![2.0, 1.0, 1.0],
+            vec![3.0, 0.5, 2.0],
+            vec![0.5, 3.0, 3.0],
+        ]);
+        for dims in [&[0usize, 1][..], &[1, 2], &[0, 1, 2]] {
+            for max_mask in 0u32..8 {
+                let negated = Dataset::from_flat(
+                    data.rows()
+                        .flat_map(|row| {
+                            row.iter().enumerate().map(move |(c, &v)| {
+                                if max_mask & (1 << c) != 0 {
+                                    -v
+                                } else {
+                                    v
+                                }
+                            })
+                        })
+                        .collect(),
+                    data.dims(),
+                )
+                .unwrap();
+                assert_eq!(
+                    naive_skyline_on_pref(&data, dims, max_mask),
+                    naive_skyline_on(&negated, dims),
+                    "{dims:?} mask {max_mask:#b}"
+                );
+            }
+        }
     }
 
     #[test]

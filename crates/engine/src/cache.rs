@@ -1,4 +1,4 @@
-//! The LRU result cache.
+//! The LRU result cache, bounded by **bytes**.
 //!
 //! Keys are `(dataset id, dataset version, dimension mask, max-pref
 //! mask)` — everything that determines a skyline's membership. The
@@ -6,10 +6,17 @@
 //! stores the full index list and limits are applied as views, so one
 //! computation serves every limit.
 //!
-//! Versioned keys make stale hits impossible; re-registration
-//! additionally purges the dead entries eagerly (see
-//! [`ResultCache::purge_dataset`]) so a churning dataset cannot pin
-//! memory until capacity eviction gets to it.
+//! Skylines range from one index to ~n of them, so a fixed entry count
+//! bounds nothing; the cache charges each entry its actual index-list
+//! footprint (plus a bookkeeping constant) against a byte budget and
+//! evicts from the LRU tail until it fits.
+//!
+//! Versioned keys make stale hits impossible. Re-registration purges
+//! dead entries eagerly ([`ResultCache::purge_dataset_below`]);
+//! mutation batches instead *patch* entries forward to the new version
+//! (the engine applies the delta kernels and re-inserts via
+//! [`ResultCache::insert_patched`]) or leave them in place for the
+//! planner's delta strategy to reuse ([`ResultCache::find_prior`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,6 +35,14 @@ pub struct CacheKey {
     pub max_mask: u32,
 }
 
+/// Bookkeeping bytes charged per entry on top of its index list: the
+/// key, LRU links, map slot, and `Arc` header, rounded up.
+pub(crate) const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+fn cost_of(value: &Arc<Vec<u32>>) -> usize {
+    ENTRY_OVERHEAD_BYTES + value.len() * std::mem::size_of::<u32>()
+}
+
 /// Monotonic counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -37,14 +52,20 @@ pub struct CacheStats {
     pub misses: u64,
     /// Results inserted.
     pub insertions: u64,
-    /// Entries dropped by capacity pressure.
+    /// Entries dropped by byte-budget pressure.
     pub evictions: u64,
-    /// Entries dropped by dataset re-registration or eviction.
+    /// Entries dropped by dataset re-registration, eviction, or a
+    /// mutation delta too large to patch.
     pub invalidations: u64,
+    /// Entries patched forward across a dataset version by applying a
+    /// mutation delta instead of recomputing.
+    pub patches: u64,
     /// Entries currently resident.
     pub entries: usize,
-    /// Maximum resident entries.
-    pub capacity: usize,
+    /// Bytes currently charged against the budget.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
 }
 
 impl CacheStats {
@@ -76,6 +97,7 @@ struct Inner {
     free: Vec<usize>,
     head: usize,
     tail: usize,
+    bytes: usize,
 }
 
 impl Inner {
@@ -108,35 +130,37 @@ impl Inner {
     fn remove_slot(&mut self, slot: usize) {
         self.detach(slot);
         self.map.remove(&self.nodes[slot].key);
+        self.bytes -= cost_of(&self.nodes[slot].value);
         self.nodes[slot].value = Arc::new(Vec::new());
         self.free.push(slot);
     }
 }
 
-/// A thread-safe LRU cache of skyline index lists.
+/// A thread-safe, byte-bounded LRU cache of skyline index lists.
 pub struct ResultCache {
     inner: Mutex<Inner>,
-    capacity: usize,
+    budget_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    patches: AtomicU64,
 }
 
 impl std::fmt::Debug for ResultCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ResultCache")
-            .field("capacity", &self.capacity)
+            .field("budget_bytes", &self.budget_bytes)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results; `0` disables caching
-    /// (every probe misses, inserts are dropped).
-    pub fn new(capacity: usize) -> Self {
+    /// A cache charging at most `budget_bytes` of result storage; `0`
+    /// disables caching (every probe misses, inserts are dropped).
+    pub fn new(budget_bytes: usize) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
@@ -144,13 +168,15 @@ impl ResultCache {
                 free: Vec::new(),
                 head: NIL,
                 tail: NIL,
+                bytes: 0,
             }),
-            capacity,
+            budget_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
         }
     }
 
@@ -160,7 +186,7 @@ impl ResultCache {
 
     /// Looks a key up, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u32>>> {
-        if self.capacity == 0 {
+        if self.budget_bytes == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -183,7 +209,7 @@ impl ResultCache {
     /// without touching the hit/miss counters. For de-duplication
     /// re-probes whose query was already counted once.
     pub fn get_uncounted(&self, key: &CacheKey) -> Option<Arc<Vec<u32>>> {
-        if self.capacity == 0 {
+        if self.budget_bytes == 0 {
             return None;
         }
         let mut inner = self.lock();
@@ -193,68 +219,133 @@ impl ResultCache {
         Some(Arc::clone(&inner.nodes[slot].value))
     }
 
-    /// Inserts (or refreshes) a result, evicting the least recently
-    /// used entry if the cache is full.
+    /// Inserts (or refreshes) a result, evicting least recently used
+    /// entries until the byte budget holds. A single result larger
+    /// than the whole budget is not cached at all.
     pub fn insert(&self, key: CacheKey, value: Arc<Vec<u32>>) {
-        if self.capacity == 0 {
+        let cost = cost_of(&value);
+        if self.budget_bytes == 0 || cost > self.budget_bytes {
             return;
         }
         let mut inner = self.lock();
         if let Some(&slot) = inner.map.get(&key) {
             // Concurrent duplicate computation: keep the newer value.
+            let old_cost = cost_of(&inner.nodes[slot].value);
             inner.nodes[slot].value = value;
+            inner.bytes = inner.bytes - old_cost + cost;
             inner.detach(slot);
             inner.push_front(slot);
-            return;
+        } else {
+            let slot = match inner.free.pop() {
+                Some(s) => {
+                    inner.nodes[s] = Node {
+                        key,
+                        value,
+                        prev: NIL,
+                        next: NIL,
+                    };
+                    s
+                }
+                None => {
+                    inner.nodes.push(Node {
+                        key,
+                        value,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    inner.nodes.len() - 1
+                }
+            };
+            inner.bytes += cost;
+            inner.map.insert(key, slot);
+            inner.push_front(slot);
+            self.insertions.fetch_add(1, Ordering::Relaxed);
         }
-        if inner.map.len() >= self.capacity {
+        // Evict from the tail until the budget holds. The fresh entry
+        // sits at the head and fits on its own, so the loop always
+        // terminates before reaching it.
+        while inner.bytes > self.budget_bytes {
             let victim = inner.tail;
             debug_assert_ne!(victim, NIL);
             inner.remove_slot(victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        let slot = match inner.free.pop() {
-            Some(s) => {
-                inner.nodes[s] = Node {
-                    key,
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                };
-                s
-            }
-            None => {
-                inner.nodes.push(Node {
-                    key,
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                });
-                inner.nodes.len() - 1
-            }
-        };
-        inner.map.insert(key, slot);
-        inner.push_front(slot);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Drops every entry belonging to `dataset_id` (all versions).
-    /// Called on dataset eviction.
-    pub fn purge_dataset(&self, dataset_id: u64) {
-        self.purge_matching(|k| k.dataset_id == dataset_id);
+    /// Inserts a result produced by patching a prior version forward
+    /// (counts toward [`CacheStats::patches`]).
+    pub fn insert_patched(&self, key: CacheKey, value: Arc<Vec<u32>>) {
+        self.insert(key, value);
+        self.patches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes and returns every entry of `dataset_id` at exactly
+    /// `version`, without counting invalidations — the caller patches
+    /// them forward and re-inserts via
+    /// [`insert_patched`](Self::insert_patched).
+    pub fn take_dataset_version(
+        &self,
+        dataset_id: u64,
+        version: u64,
+    ) -> Vec<(CacheKey, Arc<Vec<u32>>)> {
+        if self.budget_bytes == 0 {
+            return Vec::new();
+        }
+        let mut inner = self.lock();
+        let victims: Vec<usize> = inner
+            .map
+            .iter()
+            .filter(|(k, _)| k.dataset_id == dataset_id && k.version == version)
+            .map(|(_, &slot)| slot)
+            .collect();
+        let mut out = Vec::with_capacity(victims.len());
+        for slot in victims {
+            out.push((inner.nodes[slot].key, Arc::clone(&inner.nodes[slot].value)));
+            inner.remove_slot(slot);
+        }
+        out
+    }
+
+    /// The newest resident result for the same dataset/subspace/
+    /// preference at a version **below** `key.version`, as
+    /// `(version, skyline length)`. Feeds the planner's delta
+    /// strategy; does not refresh recency or count as a probe.
+    pub fn find_prior(&self, key: &CacheKey) -> Option<(u64, usize)> {
+        if self.budget_bytes == 0 {
+            return None;
+        }
+        let inner = self.lock();
+        inner
+            .map
+            .iter()
+            .filter(|(k, _)| {
+                k.dataset_id == key.dataset_id
+                    && k.dim_mask == key.dim_mask
+                    && k.max_mask == key.max_mask
+                    && k.version < key.version
+            })
+            .max_by_key(|(k, _)| k.version)
+            .map(|(k, &slot)| (k.version, inner.nodes[slot].value.len()))
+    }
+
+    /// Drops every entry belonging to `dataset_id` (all versions),
+    /// returning how many. Called on dataset eviction.
+    pub fn purge_dataset(&self, dataset_id: u64) -> usize {
+        self.purge_matching(|k| k.dataset_id == dataset_id)
     }
 
     /// Drops entries of `dataset_id` with a version **below**
-    /// `version`. Called on re-registration, where results already
-    /// computed against the fresh version must survive (a plain purge
-    /// would wipe a concurrent query's just-inserted result).
-    pub fn purge_dataset_below(&self, dataset_id: u64, version: u64) {
-        self.purge_matching(|k| k.dataset_id == dataset_id && k.version < version);
+    /// `version`, returning how many. Called on re-registration and
+    /// compaction (where results already computed against the fresh
+    /// version must survive), and after mutations to trim entries the
+    /// delta log can no longer patch forward.
+    pub fn purge_dataset_below(&self, dataset_id: u64, version: u64) -> usize {
+        self.purge_matching(|k| k.dataset_id == dataset_id && k.version < version)
     }
 
-    fn purge_matching(&self, victim: impl Fn(&CacheKey) -> bool) {
-        if self.capacity == 0 {
-            return;
+    fn purge_matching(&self, victim: impl Fn(&CacheKey) -> bool) -> usize {
+        if self.budget_bytes == 0 {
+            return 0;
         }
         let mut inner = self.lock();
         let victims: Vec<usize> = inner
@@ -263,11 +354,12 @@ impl ResultCache {
             .filter(|(k, _)| victim(k))
             .map(|(_, &slot)| slot)
             .collect();
-        let n = victims.len() as u64;
+        let n = victims.len();
         for slot in victims {
             inner.remove_slot(slot);
         }
-        self.invalidations.fetch_add(n, Ordering::Relaxed);
+        self.invalidations.fetch_add(n as u64, Ordering::Relaxed);
+        n
     }
 
     /// Number of resident entries.
@@ -282,14 +374,20 @@ impl ResultCache {
 
     /// Snapshot of the effectiveness counters.
     pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let inner = self.lock();
+            (inner.map.len(), inner.bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self.len(),
-            capacity: self.capacity,
+            patches: self.patches.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            budget_bytes: self.budget_bytes,
         }
     }
 }
@@ -311,20 +409,26 @@ mod tests {
         Arc::new(v.to_vec())
     }
 
+    /// Budget fitting exactly `n` single-index results.
+    fn budget_for(n: usize) -> usize {
+        n * (ENTRY_OVERHEAD_BYTES + 4)
+    }
+
     #[test]
     fn hit_and_miss() {
-        let c = ResultCache::new(4);
+        let c = ResultCache::new(budget_for(4));
         assert!(c.get(&key(1, 1, 0b11)).is_none());
         c.insert(key(1, 1, 0b11), val(&[0, 2]));
         assert_eq!(*c.get(&key(1, 1, 0b11)).unwrap(), vec![0, 2]);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.bytes, ENTRY_OVERHEAD_BYTES + 8);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    fn lru_evicts_least_recent() {
-        let c = ResultCache::new(2);
+    fn byte_budget_evicts_least_recent() {
+        let c = ResultCache::new(budget_for(2));
         c.insert(key(1, 1, 1), val(&[1]));
         c.insert(key(1, 1, 2), val(&[2]));
         c.get(&key(1, 1, 1)); // refresh 1 → victim is 2
@@ -337,8 +441,35 @@ mod tests {
     }
 
     #[test]
+    fn one_large_result_evicts_many_small_ones() {
+        // Two small entries fit; a result worth both of them evicts
+        // both. Entry count is irrelevant, bytes decide.
+        let c = ResultCache::new(budget_for(2));
+        c.insert(key(1, 1, 1), val(&[1]));
+        c.insert(key(1, 1, 2), val(&[2]));
+        let big: Vec<u32> = (0..(ENTRY_OVERHEAD_BYTES / 4 + 2) as u32).collect();
+        c.insert(key(1, 1, 4), val(&big));
+        assert!(c.get(&key(1, 1, 4)).is_some());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 2);
+        assert!(c.stats().bytes <= c.stats().budget_bytes);
+    }
+
+    #[test]
+    fn oversized_result_is_not_cached() {
+        let c = ResultCache::new(budget_for(1));
+        c.insert(key(1, 1, 1), val(&[1]));
+        let huge: Vec<u32> = (0..64).collect();
+        c.insert(key(1, 1, 2), val(&huge));
+        // The resident small entry survives; the oversized one was
+        // dropped on the floor rather than flushing the cache.
+        assert!(c.get(&key(1, 1, 1)).is_some());
+        assert!(c.get(&key(1, 1, 2)).is_none());
+    }
+
+    #[test]
     fn uncounted_probe_serves_without_counting() {
-        let c = ResultCache::new(2);
+        let c = ResultCache::new(budget_for(2));
         c.insert(key(1, 1, 1), val(&[7]));
         assert_eq!(*c.get_uncounted(&key(1, 1, 1)).unwrap(), vec![7]);
         assert!(c.get_uncounted(&key(1, 1, 9)).is_none());
@@ -354,7 +485,7 @@ mod tests {
 
     #[test]
     fn versions_do_not_collide() {
-        let c = ResultCache::new(4);
+        let c = ResultCache::new(budget_for(4));
         c.insert(key(1, 1, 1), val(&[1]));
         c.insert(key(1, 2, 1), val(&[2]));
         assert_eq!(*c.get(&key(1, 1, 1)).unwrap(), vec![1]);
@@ -363,7 +494,7 @@ mod tests {
 
     #[test]
     fn purge_removes_only_that_dataset() {
-        let c = ResultCache::new(8);
+        let c = ResultCache::new(budget_for(8));
         c.insert(key(1, 1, 1), val(&[1]));
         c.insert(key(1, 2, 2), val(&[2]));
         c.insert(key(9, 1, 1), val(&[9]));
@@ -376,7 +507,7 @@ mod tests {
 
     #[test]
     fn purge_below_spares_the_fresh_version() {
-        let c = ResultCache::new(8);
+        let c = ResultCache::new(budget_for(8));
         c.insert(key(1, 1, 1), val(&[1]));
         c.insert(key(1, 2, 1), val(&[2])); // already computed against v2
         c.insert(key(9, 1, 1), val(&[9]));
@@ -388,22 +519,65 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_disables() {
+    fn take_version_removes_and_returns_for_patching() {
+        let c = ResultCache::new(budget_for(8));
+        c.insert(key(1, 3, 1), val(&[1]));
+        c.insert(key(1, 3, 2), val(&[1, 2]));
+        c.insert(key(1, 2, 1), val(&[0])); // older version stays
+        c.insert(key(9, 3, 1), val(&[9])); // other dataset stays
+        let mut taken = c.take_dataset_version(1, 3);
+        taken.sort_by_key(|(k, _)| k.dim_mask);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(*taken[0].1, vec![1]);
+        assert_eq!(*taken[1].1, vec![1, 2]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().invalidations, 0);
+        // Patched results come back at the new version.
+        c.insert_patched(key(1, 4, 1), val(&[1, 7]));
+        assert_eq!(c.stats().patches, 1);
+        assert_eq!(*c.get(&key(1, 4, 1)).unwrap(), vec![1, 7]);
+    }
+
+    #[test]
+    fn find_prior_returns_newest_matching_version() {
+        let c = ResultCache::new(budget_for(8));
+        c.insert(key(1, 2, 1), val(&[1]));
+        c.insert(key(1, 4, 1), val(&[1, 2]));
+        c.insert(key(1, 4, 2), val(&[3])); // different subspace
+        c.insert(key(1, 9, 1), val(&[5])); // not below the probe
+        assert_eq!(c.find_prior(&key(1, 7, 1)), Some((4, 2)));
+        assert_eq!(c.find_prior(&key(1, 2, 1)), None);
+        assert_eq!(c.find_prior(&key(2, 7, 1)), None);
+        let with_pref = CacheKey {
+            dataset_id: 1,
+            version: 7,
+            dim_mask: 1,
+            max_mask: 1,
+        };
+        assert_eq!(c.find_prior(&with_pref), None, "pref mask must match");
+    }
+
+    #[test]
+    fn zero_budget_disables() {
         let c = ResultCache::new(0);
         c.insert(key(1, 1, 1), val(&[1]));
         assert!(c.get(&key(1, 1, 1)).is_none());
         assert_eq!(c.len(), 0);
+        assert!(c.find_prior(&key(1, 2, 1)).is_none());
+        assert!(c.take_dataset_version(1, 1).is_empty());
     }
 
     #[test]
-    fn slab_reuses_slots_under_churn() {
-        let c = ResultCache::new(3);
+    fn slab_reuses_slots_and_bytes_balance_under_churn() {
+        let c = ResultCache::new(budget_for(3));
         for i in 0..50u32 {
             c.insert(key(1, 1, i), val(&[i]));
         }
         assert_eq!(c.len(), 3);
-        // The slab never grew past capacity + nothing leaked.
-        assert!(c.lock().nodes.len() <= 4);
+        let inner = c.lock();
+        assert!(inner.nodes.len() <= 4, "slab never grew past capacity");
+        assert_eq!(inner.bytes, 3 * (ENTRY_OVERHEAD_BYTES + 4));
+        drop(inner);
         for i in 47..50u32 {
             assert_eq!(*c.get(&key(1, 1, i)).unwrap(), vec![i]);
         }
@@ -411,7 +585,7 @@ mod tests {
 
     #[test]
     fn concurrent_access_is_consistent() {
-        let c = Arc::new(ResultCache::new(16));
+        let c = Arc::new(ResultCache::new(budget_for(16)));
         let handles: Vec<_> = (0..8u64)
             .map(|t| {
                 let c = Arc::clone(&c);
@@ -431,5 +605,6 @@ mod tests {
             h.join().unwrap();
         }
         assert!(c.len() <= 16);
+        assert!(c.stats().bytes <= c.stats().budget_bytes);
     }
 }

@@ -1,28 +1,48 @@
-//! The dataset catalog: named, versioned datasets with precomputed
-//! per-dimension statistics and sorted projections.
+//! The dataset catalog: named, versioned, **mutable** datasets with
+//! incrementally maintained per-dimension statistics and sorted
+//! projections.
 //!
 //! Registration does the heavy lifting once — per-dimension min/max/
 //! mean, a deterministic strided sample for the planner's density
-//! estimator, and per-dimension sorted index projections — so that
-//! every subsequent query plans in microseconds and 1-d queries are
-//! answered directly from the sorted projection without running any
-//! skyline algorithm.
+//! estimator, and per-dimension sorted index projections. Mutation
+//! batches ([`Catalog::mutate`]) then *patch* that state instead of
+//! rebuilding it:
+//!
+//! * inserted rows land in an **append segment** behind the immutable
+//!   base [`Dataset`]; row ids are stable, so cached skyline index
+//!   lists stay meaningful across versions;
+//! * deleted rows are **tombstoned** (a bitset), never renumbered,
+//!   until a compaction threshold rebuilds the base;
+//! * sorted projections are patched by a linear merge (inserts) or
+//!   shared untouched and filtered on read (deletes) — never re-sorted;
+//! * statistics are patched from running sums and the projections'
+//!   live extremes;
+//! * each batch appends to a bounded **delta log**, which lets the
+//!   engine patch prior-version cached results forward
+//!   ([`DatasetEntry::delta_since`]).
+//!
+//! Every mutation produces a fresh [`DatasetEntry`] (copy-on-write
+//! over `Arc`-shared pieces) and bumps the version, so concurrent
+//! queries keep an immutable snapshot for their whole execution.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use skyline_data::Dataset;
 use skyline_parallel::{parallel_for, ThreadPool};
 
-/// Summary of one dimension, computed at registration.
+use crate::error::EngineError;
+
+/// Summary of one dimension, computed at registration and patched per
+/// mutation batch.
 #[derive(Debug, Clone, Copy)]
 pub struct DimStats {
-    /// Smallest value on the dimension.
+    /// Smallest live value on the dimension.
     pub min: f32,
-    /// Largest value on the dimension.
+    /// Largest live value on the dimension.
     pub max: f32,
-    /// Arithmetic mean of the dimension.
+    /// Arithmetic mean of the dimension over live rows.
     pub mean: f32,
 }
 
@@ -37,9 +57,9 @@ impl DimStats {
 /// Precomputed statistics for a registered dataset.
 #[derive(Debug, Clone)]
 pub struct DatasetStats {
-    /// Per-dimension summaries.
+    /// Per-dimension summaries over the live rows.
     pub per_dim: Vec<DimStats>,
-    /// Deterministic strided sample of row indices, used by the
+    /// Deterministic strided sample of live row ids, used by the
     /// planner's skyline-density estimator.
     pub sample: Vec<u32>,
 }
@@ -48,17 +68,87 @@ pub struct DatasetStats {
 /// density estimate under ~10⁵ dominance tests — microseconds.
 const SAMPLE_CAP: usize = 256;
 
+/// Mutation batches kept in the delta log. Cached results older than
+/// the log's reach are purged by the engine; 16 batches of headroom
+/// keeps cold-but-cached subspaces patchable across a burst of writes.
+const DELTA_LOG_CAP: usize = 16;
+
+/// Deleted-row bitset over the stable id space (base + segment).
+#[derive(Debug, Clone, Default)]
+struct Tombstones {
+    bits: Vec<u64>,
+    count: usize,
+}
+
+impl Tombstones {
+    fn contains(&self, id: u32) -> bool {
+        let (w, b) = ((id / 64) as usize, id % 64);
+        self.bits.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Marks `id` dead; returns false if it already was.
+    fn set(&mut self, id: u32) -> bool {
+        let (w, b) = ((id / 64) as usize, id % 64);
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        let fresh = self.bits[w] & (1 << b) == 0;
+        if fresh {
+            self.bits[w] |= 1 << b;
+            self.count += 1;
+        }
+        fresh
+    }
+}
+
+/// One mutation batch in the delta log. `bound` is the total row count
+/// before the batch, so the ids the batch inserted are exactly
+/// `bound..` (the live ones are recoverable from the live list alone).
+#[derive(Debug)]
+struct DeltaRecord {
+    from_version: u64,
+    bound: u32,
+    deleted: Vec<u32>,
+}
+
+/// The accumulated difference between a prior version and the current
+/// one, as produced by [`DatasetEntry::delta_since`].
+#[derive(Debug, Clone)]
+pub struct DeltaSummary {
+    /// Total rows at the prior version: every live id `>= bound` was
+    /// inserted after it.
+    pub bound: u32,
+    /// Ids live at the prior version that have since been deleted
+    /// (rows both inserted *and* deleted inside the window net out).
+    pub deleted: Vec<u32>,
+}
+
 /// A registered dataset plus everything precomputed about it.
+///
+/// Rows are addressed by **stable ids**: `0..base.len()` are the base
+/// rows, ids from `base.len()` up are append-segment rows in insertion
+/// order. Ids survive every mutation except a compaction (which
+/// renumbers survivors contiguously and is reported as such).
 #[derive(Debug)]
 pub struct DatasetEntry {
     name: String,
     id: u64,
     version: u64,
-    data: Arc<Dataset>,
+    base: Arc<Dataset>,
+    /// Appended rows, flat row-major, `dims()` wide.
+    segment: Arc<Vec<f32>>,
+    tombstones: Arc<Tombstones>,
+    /// Live stable ids, ascending.
+    live: Arc<Vec<u32>>,
     stats: DatasetStats,
-    /// Per-dimension sorted projections: `sorted[d]` lists row indices
-    /// ordered by `(value on d, row index)` ascending.
+    /// Per-dimension running value sums over live rows (mean patching).
+    sums: Arc<Vec<f64>>,
+    /// Per-dimension sorted projections: `sorted[d]` lists row ids
+    /// ordered by `(value on d, id)` ascending. May retain tombstoned
+    /// ids (filtered on read) until the next insert batch or
+    /// compaction sweeps them out.
     sorted: Vec<Arc<Vec<u32>>>,
+    deltas: Vec<Arc<DeltaRecord>>,
 }
 
 impl DatasetEntry {
@@ -72,14 +162,77 @@ impl DatasetEntry {
         self.id
     }
 
-    /// Version, bumped by each re-registration of the name.
+    /// Version, bumped by each re-registration of the name and by each
+    /// mutation batch.
     pub fn version(&self) -> u64 {
         self.version
     }
 
-    /// The points themselves.
-    pub fn data(&self) -> &Arc<Dataset> {
-        &self.data
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.base.dims()
+    }
+
+    /// Number of live rows.
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total rows ever stored (base + segment), including tombstoned
+    /// ones; also the next id an insert would receive.
+    pub fn total_rows(&self) -> usize {
+        self.base.len() + self.segment.len() / self.dims().max(1)
+    }
+
+    /// Number of tombstoned (deleted, not yet compacted) rows.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.count
+    }
+
+    /// True when the entry has no segment rows and no tombstones —
+    /// stable ids coincide with base row numbers and algorithms can
+    /// run on the base directly.
+    pub fn is_pristine(&self) -> bool {
+        self.segment.is_empty() && self.tombstones.count == 0
+    }
+
+    /// The coordinates of row `id` (live or tombstoned).
+    #[inline]
+    pub fn point(&self, id: u32) -> &[f32] {
+        let base_n = self.base.len();
+        if (id as usize) < base_n {
+            self.base.row(id as usize)
+        } else {
+            let d = self.dims();
+            let at = (id as usize - base_n) * d;
+            &self.segment[at..at + d]
+        }
+    }
+
+    /// Whether row `id` exists and is live.
+    pub fn is_live(&self, id: u32) -> bool {
+        (id as usize) < self.total_rows() && !self.tombstones.contains(id)
+    }
+
+    /// The live stable ids, ascending.
+    pub fn live_ids(&self) -> &Arc<Vec<u32>> {
+        &self.live
+    }
+
+    /// The immutable base snapshot (excludes segment rows).
+    pub(crate) fn base_data(&self) -> &Arc<Dataset> {
+        &self.base
+    }
+
+    /// Materializes the live rows, in id order, as a standalone
+    /// dataset. Row `k` of the result is id `live_ids()[k]`.
+    pub fn snapshot(&self) -> Dataset {
+        let d = self.dims();
+        let mut values = Vec::with_capacity(self.live.len() * d);
+        for &id in self.live.iter() {
+            values.extend_from_slice(self.point(id));
+        }
+        Dataset::from_flat(values, d).expect("live rows of a valid dataset are valid")
     }
 
     /// Precomputed statistics.
@@ -87,42 +240,80 @@ impl DatasetEntry {
         &self.stats
     }
 
-    /// The sorted projection of dimension `d`: row indices ordered by
-    /// `(value, index)` ascending.
+    /// The sorted projection of dimension `d`: row ids ordered by
+    /// `(value, id)` ascending. May contain tombstoned ids — filter
+    /// through [`is_live`](Self::is_live) when reading.
     pub fn sorted_projection(&self, d: usize) -> &Arc<Vec<u32>> {
         &self.sorted[d]
     }
 
-    /// Row indices attaining the minimum (resp. maximum when `max` is
+    /// Live row ids attaining the minimum (resp. maximum when `max` is
     /// true) on dimension `d`, ascending — the 1-d subspace skyline.
     pub fn extreme_rows(&self, d: usize, max: bool) -> Vec<u32> {
         let order = &self.sorted[d];
-        if order.is_empty() {
-            return Vec::new();
-        }
-        let col = |i: u32| self.data.row(i as usize)[d];
-        let mut out: Vec<u32> = if max {
-            let best = col(*order.last().expect("non-empty"));
-            order
-                .iter()
-                .rev()
-                .take_while(|&&i| col(i) == best)
-                .copied()
-                .collect()
-        } else {
-            let best = col(order[0]);
-            order
-                .iter()
-                .take_while(|&&i| col(i) == best)
-                .copied()
-                .collect()
+        let collect = |iter: &mut dyn Iterator<Item = u32>| -> Vec<u32> {
+            let mut live = iter.filter(|&i| !self.tombstones.contains(i));
+            let Some(first) = live.next() else {
+                return Vec::new();
+            };
+            let best = self.point(first)[d];
+            let mut out = vec![first];
+            out.extend(live.take_while(|&i| self.point(i)[d] == best));
+            out.sort_unstable();
+            out
         };
-        out.sort_unstable();
-        out
+        if max {
+            collect(&mut order.iter().rev().copied())
+        } else {
+            collect(&mut order.iter().copied())
+        }
+    }
+
+    /// The accumulated delta between `version` (a prior version of this
+    /// entry) and now, or `None` when the delta log no longer reaches
+    /// back that far (too many batches, a re-registration, or a
+    /// compaction renumbered the ids).
+    pub fn delta_since(&self, version: u64) -> Option<DeltaSummary> {
+        if version == self.version {
+            return Some(DeltaSummary {
+                bound: self.total_rows() as u32,
+                deleted: Vec::new(),
+            });
+        }
+        let start = self.deltas.iter().position(|r| r.from_version == version)?;
+        let bound = self.deltas[start].bound;
+        let mut deleted = Vec::new();
+        for rec in &self.deltas[start..] {
+            // Ids at or past `bound` were created inside the window;
+            // their deletion nets out against their insertion.
+            deleted.extend(rec.deleted.iter().copied().filter(|&id| id < bound));
+        }
+        deleted.sort_unstable();
+        Some(DeltaSummary { bound, deleted })
+    }
+
+    /// Ids inserted after the version whose total row count was
+    /// `bound` and still live, ascending (a subslice of `live_ids`).
+    pub fn inserted_since(&self, bound: u32) -> &[u32] {
+        let at = self.live.partition_point(|&id| id < bound);
+        &self.live[at..]
+    }
+
+    /// The oldest version the delta log can still patch forward from,
+    /// if any.
+    pub fn oldest_delta_version(&self) -> Option<u64> {
+        self.deltas.first().map(|r| r.from_version)
     }
 }
 
-fn compute_stats(data: &Dataset) -> DatasetStats {
+impl skyline_core::maintain::RowSource for DatasetEntry {
+    fn point_of(&self, id: u32) -> &[f32] {
+        self.point(id)
+    }
+}
+
+/// Stats plus the running sums they were derived from.
+fn compute_stats(data: &Dataset) -> (DatasetStats, Vec<f64>) {
     let (n, d) = (data.len(), data.dims());
     let mut per_dim = vec![
         DimStats {
@@ -152,16 +343,21 @@ fn compute_stats(data: &Dataset) -> DatasetStats {
             s.mean = (sum / n as f64) as f32;
         }
     }
+    let stats = DatasetStats {
+        per_dim,
+        sample: strided_sample_of(&(0..n as u32).collect::<Vec<_>>()),
+    };
+    (stats, sums)
+}
+
+/// Deterministic strided sample over a sorted live-id list.
+fn strided_sample_of(live: &[u32]) -> Vec<u32> {
+    let n = live.len();
     let take = n.min(SAMPLE_CAP);
     // Ceiling division so the stride spans the WHOLE dataset (a floor
     // stride samples only a prefix — badly biased on sorted inputs).
     let stride = if take == 0 { 1 } else { n.div_ceil(take) };
-    let sample: Vec<u32> = (0..n)
-        .step_by(stride)
-        .map(|i| i as u32)
-        .take(take)
-        .collect();
-    DatasetStats { per_dim, sample }
+    live.iter().copied().step_by(stride).take(take).collect()
 }
 
 fn compute_sorted_projections(data: &Dataset, pool: &ThreadPool) -> Vec<Arc<Vec<u32>>> {
@@ -197,6 +393,25 @@ fn compute_sorted_projections(data: &Dataset, pool: &ThreadPool) -> Vec<Arc<Vec<
         .collect()
 }
 
+/// The outcome of one applied mutation batch.
+#[derive(Debug)]
+pub struct MutationOutcome {
+    /// The new catalog entry.
+    pub entry: Arc<DatasetEntry>,
+    /// The version the batch was applied to.
+    pub old_version: u64,
+    /// Total rows before the batch (every inserted id is `>= old_total`
+    /// unless the batch compacted).
+    pub old_total: u32,
+    /// Stable ids assigned to the inserted rows, in input order.
+    pub inserted_ids: Vec<u32>,
+    /// The validated deleted ids (pre-compaction numbering).
+    pub deleted_ids: Vec<u32>,
+    /// Whether the batch triggered a compaction: survivors were
+    /// renumbered contiguously and prior-version results are void.
+    pub compacted: bool,
+}
+
 /// The thread-safe name → dataset map.
 #[derive(Debug, Default)]
 pub struct Catalog {
@@ -204,6 +419,10 @@ pub struct Catalog {
     /// Stable ids per name, preserved across re-registration so cache
     /// purges catch every version.
     ids: RwLock<HashMap<String, u64>>,
+    /// Per-name write serialization: registration and mutation of one
+    /// name are mutually exclusive (heavy work still runs outside the
+    /// `entries` lock, so readers never wait).
+    writers: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     next_id: AtomicU64,
     next_version: AtomicU64,
 }
@@ -214,12 +433,19 @@ impl Catalog {
         Self::default()
     }
 
+    fn writer_lock(&self, name: &str) -> Arc<Mutex<()>> {
+        let mut writers = self.writers.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(writers.entry(name.to_string()).or_default())
+    }
+
     /// Registers (or replaces) `name`, precomputing stats and sorted
     /// projections on `pool`. Returns the new entry. The heavy work
-    /// happens outside any lock, so concurrent queries keep serving the
-    /// previous version until the swap.
+    /// happens outside the `entries` lock, so concurrent queries keep
+    /// serving the previous version until the swap.
     pub fn register(&self, name: &str, data: Dataset, pool: &ThreadPool) -> Arc<DatasetEntry> {
-        let stats = compute_stats(&data);
+        let writer = self.writer_lock(name);
+        let _serialized = writer.lock().unwrap_or_else(|e| e.into_inner());
+        let (stats, sums) = compute_stats(&data);
         let sorted = compute_sorted_projections(&data, pool);
         let id = {
             let ids = self.ids.read().unwrap_or_else(|e| e.into_inner());
@@ -234,25 +460,241 @@ impl Catalog {
             }
         };
         let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
+        let live = Arc::new((0..data.len() as u32).collect());
         let entry = Arc::new(DatasetEntry {
             name: name.to_string(),
             id,
             version,
-            data: Arc::new(data),
+            base: Arc::new(data),
+            segment: Arc::new(Vec::new()),
+            tombstones: Arc::new(Tombstones::default()),
+            live,
             stats,
+            sums: Arc::new(sums),
             sorted,
+            deltas: Vec::new(),
         });
+        self.swap_in(name, &entry);
+        entry
+    }
+
+    /// Publishes `entry` unless a higher version is already resident
+    /// (two writers of one name can race; versions must never regress).
+    fn swap_in(&self, name: &str, entry: &Arc<DatasetEntry>) {
         let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
-        // Two registrations of one name can race; versions must never
-        // regress, so the later (higher) version wins regardless of
-        // which thread reaches the map first.
         let stale = entries
             .get(name)
-            .is_some_and(|resident| resident.version() > version);
+            .is_some_and(|resident| resident.version() > entry.version());
         if !stale {
-            entries.insert(name.to_string(), Arc::clone(&entry));
+            entries.insert(name.to_string(), Arc::clone(entry));
         }
+    }
+
+    /// Applies one mutation batch to `name`: `deletes` are tombstoned,
+    /// then `inserts` are appended (receiving the next stable ids).
+    /// Statistics and sorted projections are patched incrementally;
+    /// when tombstones would exceed `compact_fraction` of all rows the
+    /// base is rebuilt instead (survivors renumbered, delta log
+    /// cleared). One version bump covers the whole batch.
+    pub fn mutate(
+        &self,
+        name: &str,
+        inserts: &[Vec<f32>],
+        deletes: &[u32],
+        pool: &ThreadPool,
+        compact_fraction: f32,
+    ) -> Result<MutationOutcome, EngineError> {
+        let writer = self.writer_lock(name);
+        let _serialized = writer.lock().unwrap_or_else(|e| e.into_inner());
+        let old = self
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        let d = old.dims();
+
+        // Validate everything before touching any state.
+        for (r, row) in inserts.iter().enumerate() {
+            if row.len() != d {
+                return Err(EngineError::RowArity {
+                    row: r,
+                    expected: d,
+                    got: row.len(),
+                });
+            }
+            if let Some(c) = row.iter().position(|v| !v.is_finite()) {
+                return Err(EngineError::NonFiniteValue { row: r, col: c });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &id in deletes {
+            if !old.is_live(id) || !seen.insert(id) {
+                return Err(EngineError::UnknownRow { id });
+            }
+        }
+
+        let old_total = old.total_rows() as u32;
+        let old_version = old.version();
+        let dead_after = old.tombstones.count + deletes.len();
+        let total_after = old_total as usize + inserts.len();
+        let compact =
+            dead_after > 0 && (dead_after as f32) > compact_fraction * (total_after as f32);
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
+
+        let mut deleted_ids = deletes.to_vec();
+        deleted_ids.sort_unstable();
+
+        let entry = if compact {
+            self.compacted_entry(&old, inserts, &deleted_ids, pool, version)
+        } else {
+            self.patched_entry(&old, inserts, &deleted_ids, pool, version)
+        };
+        let entry = Arc::new(entry);
+        self.swap_in(name, &entry);
+        let inserted_ids = if compact {
+            let keep = entry.live_len() - inserts.len();
+            (keep as u32..entry.live_len() as u32).collect()
+        } else {
+            (old_total..old_total + inserts.len() as u32).collect()
+        };
+        Ok(MutationOutcome {
+            entry,
+            old_version,
+            old_total,
+            inserted_ids,
+            deleted_ids,
+            compacted: compact,
+        })
+    }
+
+    /// Builds the incremental (non-compacting) successor entry.
+    fn patched_entry(
+        &self,
+        old: &DatasetEntry,
+        inserts: &[Vec<f32>],
+        deleted_ids: &[u32],
+        pool: &ThreadPool,
+        version: u64,
+    ) -> DatasetEntry {
+        let d = old.dims();
+        let old_total = old.total_rows() as u32;
+        let new_ids: Vec<u32> = (old_total..old_total + inserts.len() as u32).collect();
+
+        let mut segment = (*old.segment).clone();
+        segment.reserve(inserts.len() * d);
+        for row in inserts {
+            segment.extend_from_slice(row);
+        }
+
+        let mut tombstones = (*old.tombstones).clone();
+        for &id in deleted_ids {
+            tombstones.set(id);
+        }
+
+        let mut live: Vec<u32> = if deleted_ids.is_empty() {
+            (*old.live).clone()
+        } else {
+            old.live
+                .iter()
+                .copied()
+                .filter(|id| deleted_ids.binary_search(id).is_err())
+                .collect()
+        };
+        live.extend(&new_ids);
+
+        let mut sums = (*old.sums).clone();
+        for &id in deleted_ids {
+            for (c, &v) in old.point(id).iter().enumerate() {
+                sums[c] -= v as f64;
+            }
+        }
+        for row in inserts {
+            for (c, &v) in row.iter().enumerate() {
+                sums[c] += v as f64;
+            }
+        }
+
+        // Projections: deletions are filtered on read, so a pure-delete
+        // batch shares the old arrays; inserts merge in one linear
+        // pass per dimension (also sweeping previously dead ids).
+        let entry_stub = DatasetEntry {
+            name: old.name.clone(),
+            id: old.id,
+            version,
+            base: Arc::clone(&old.base),
+            segment: Arc::new(segment),
+            tombstones: Arc::new(tombstones),
+            live: Arc::new(live),
+            stats: DatasetStats {
+                per_dim: old.stats.per_dim.clone(),
+                sample: Vec::new(),
+            },
+            sums: Arc::new(sums),
+            sorted: Vec::new(),
+            deltas: Vec::new(),
+        };
+        let sorted: Vec<Arc<Vec<u32>>> = if inserts.is_empty() {
+            old.sorted.iter().map(Arc::clone).collect()
+        } else {
+            merge_projections(&entry_stub, &old.sorted, &new_ids, pool)
+        };
+
+        let mut entry = entry_stub;
+        entry.sorted = sorted;
+        refresh_stats(&mut entry);
+        let mut deltas = old.deltas.clone();
+        deltas.push(Arc::new(DeltaRecord {
+            from_version: old.version,
+            bound: old_total,
+            deleted: deleted_ids.to_vec(),
+        }));
+        if deltas.len() > DELTA_LOG_CAP {
+            let drop = deltas.len() - DELTA_LOG_CAP;
+            deltas.drain(..drop);
+        }
+        entry.deltas = deltas;
         entry
+    }
+
+    /// Builds a compacted successor: live survivors (in id order) plus
+    /// the inserts become the new base; ids are renumbered 0..n.
+    fn compacted_entry(
+        &self,
+        old: &DatasetEntry,
+        inserts: &[Vec<f32>],
+        deleted_ids: &[u32],
+        pool: &ThreadPool,
+        version: u64,
+    ) -> DatasetEntry {
+        let d = old.dims();
+        let survivors: Vec<u32> = old
+            .live
+            .iter()
+            .copied()
+            .filter(|id| deleted_ids.binary_search(id).is_err())
+            .collect();
+        let mut values = Vec::with_capacity((survivors.len() + inserts.len()) * d);
+        for &id in &survivors {
+            values.extend_from_slice(old.point(id));
+        }
+        for row in inserts {
+            values.extend_from_slice(row);
+        }
+        let data = Dataset::from_flat(values, d).expect("validated rows");
+        let (stats, sums) = compute_stats(&data);
+        let sorted = compute_sorted_projections(&data, pool);
+        let live = Arc::new((0..data.len() as u32).collect());
+        DatasetEntry {
+            name: old.name.clone(),
+            id: old.id,
+            version,
+            base: Arc::new(data),
+            segment: Arc::new(Vec::new()),
+            tombstones: Arc::new(Tombstones::default()),
+            live,
+            stats,
+            sums: Arc::new(sums),
+            sorted,
+            deltas: Vec::new(),
+        }
     }
 
     /// Looks a dataset up by name.
@@ -262,19 +704,24 @@ impl Catalog {
     }
 
     /// Removes `name`, returning its entry if it was registered. The id
-    /// stays reserved so late cache purges remain correct.
+    /// stays reserved so late cache purges remain correct. Serialized
+    /// against register/mutate of the same name — without the writer
+    /// lock an in-flight mutation could re-publish its successor entry
+    /// after the removal, resurrecting the dataset.
     pub fn evict(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        let writer = self.writer_lock(name);
+        let _serialized = writer.lock().unwrap_or_else(|e| e.into_inner());
         let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
         entries.remove(name)
     }
 
-    /// Names, versions, and sizes of all registered datasets, sorted by
-    /// name.
+    /// Names, versions, and live cardinalities of all registered
+    /// datasets, sorted by name.
     pub fn list(&self) -> Vec<(String, u64, usize)> {
         let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
         let mut out: Vec<(String, u64, usize)> = entries
             .values()
-            .map(|e| (e.name.clone(), e.version, e.data.len()))
+            .map(|e| (e.name.clone(), e.version, e.live_len()))
             .collect();
         out.sort();
         out
@@ -289,6 +736,94 @@ impl Catalog {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Per-dimension linear merge of `new_ids` (and removal of dead ids)
+/// into the existing sorted projections.
+fn merge_projections(
+    entry: &DatasetEntry,
+    old_sorted: &[Arc<Vec<u32>>],
+    new_ids: &[u32],
+    pool: &ThreadPool,
+) -> Vec<Arc<Vec<u32>>> {
+    let d = entry.dims();
+    let slots: Vec<std::sync::Mutex<Vec<u32>>> =
+        (0..d).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    parallel_for(pool, d, 1, |range| {
+        for c in range {
+            let mut incoming: Vec<u32> = new_ids.to_vec();
+            incoming.sort_unstable_by(|&a, &b| {
+                let (va, vb) = (entry.point(a)[c], entry.point(b)[c]);
+                va.partial_cmp(&vb)
+                    .expect("validated finite values")
+                    .then(a.cmp(&b))
+            });
+            let old = &old_sorted[c];
+            let mut merged = Vec::with_capacity(old.len() + incoming.len());
+            let mut next = incoming.into_iter().peekable();
+            for &id in old.iter() {
+                if entry.tombstones.contains(id) {
+                    continue;
+                }
+                let v = entry.point(id)[c];
+                while let Some(&n) = next.peek() {
+                    let nv = entry.point(n)[c];
+                    if nv < v || (nv == v && n < id) {
+                        merged.push(n);
+                        next.next();
+                    } else {
+                        break;
+                    }
+                }
+                merged.push(id);
+            }
+            merged.extend(next);
+            *slots[c].lock().expect("no panics while merging") = merged;
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| Arc::new(slot.into_inner().expect("no panics while merging")))
+        .collect()
+}
+
+/// Recomputes `per_dim` (from sums and the projections' live extremes)
+/// and the planner sample after a mutation batch.
+fn refresh_stats(entry: &mut DatasetEntry) {
+    let n = entry.live.len();
+    let d = entry.dims();
+    let mut per_dim = Vec::with_capacity(d);
+    for c in 0..d {
+        if n == 0 {
+            per_dim.push(DimStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            });
+            continue;
+        }
+        let order = &entry.sorted[c];
+        let first = order
+            .iter()
+            .copied()
+            .find(|&id| !entry.tombstones.contains(id))
+            .expect("n > 0 implies a live row");
+        let last = order
+            .iter()
+            .rev()
+            .copied()
+            .find(|&id| !entry.tombstones.contains(id))
+            .expect("n > 0 implies a live row");
+        per_dim.push(DimStats {
+            min: entry.point(first)[c],
+            max: entry.point(last)[c],
+            mean: (entry.sums[c] / n as f64) as f32,
+        });
+    }
+    entry.stats = DatasetStats {
+        per_dim,
+        sample: strided_sample_of(&entry.live),
+    };
 }
 
 #[cfg(test)]
@@ -314,6 +849,7 @@ mod tests {
         assert!((s.per_dim[0].mean - 2.0).abs() < 1e-6);
         assert!(s.per_dim[1].is_constant());
         assert_eq!(s.sample.len(), 3);
+        assert!(e.is_pristine());
     }
 
     #[test]
@@ -367,5 +903,177 @@ mod tests {
         let e = catalog.register("empty", Dataset::from_flat(vec![], 3).unwrap(), &pool);
         assert_eq!(e.stats().sample.len(), 0);
         assert_eq!(e.extreme_rows(1, false), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn insert_appends_segment_rows_with_stable_ids() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(2);
+        catalog.register("t", ds(&[vec![2.0, 5.0], vec![4.0, 1.0]]), &pool);
+        let out = catalog
+            .mutate("t", &[vec![1.0, 9.0], vec![3.0, 3.0]], &[], &pool, 0.25)
+            .unwrap();
+        assert_eq!(out.inserted_ids, vec![2, 3]);
+        assert!(!out.compacted);
+        let e = out.entry;
+        assert_eq!(e.live_len(), 4);
+        assert_eq!(e.total_rows(), 4);
+        assert_eq!(e.point(2), &[1.0, 9.0]);
+        assert_eq!(e.point(3), &[3.0, 3.0]);
+        assert!(!e.is_pristine());
+        // Stats patched: min on dim 0 now 1, max on dim 1 now 9.
+        assert_eq!(e.stats().per_dim[0].min, 1.0);
+        assert_eq!(e.stats().per_dim[1].max, 9.0);
+        assert!((e.stats().per_dim[0].mean - 2.5).abs() < 1e-6);
+        // Projections merged: sorted by (value, id).
+        assert_eq!(**e.sorted_projection(0), vec![2, 0, 3, 1]);
+        assert_eq!(e.extreme_rows(1, false), vec![1]);
+    }
+
+    #[test]
+    fn delete_tombstones_and_patches_stats() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(2);
+        catalog.register(
+            "t",
+            ds(&[
+                vec![1.0, 2.0],
+                vec![2.0, 1.0],
+                vec![3.0, 9.0],
+                vec![4.0, 4.0],
+            ]),
+            &pool,
+        );
+        let out = catalog.mutate("t", &[], &[0, 2], &pool, 0.9).unwrap();
+        assert!(!out.compacted);
+        let e = out.entry;
+        assert_eq!(e.live_len(), 2);
+        assert_eq!(e.tombstone_count(), 2);
+        assert!(!e.is_live(0) && e.is_live(1) && !e.is_live(2) && e.is_live(3));
+        assert_eq!(**e.live_ids(), vec![1, 3]);
+        // min/max/mean reflect the survivors only.
+        assert_eq!(e.stats().per_dim[0].min, 2.0);
+        assert_eq!(e.stats().per_dim[0].max, 4.0);
+        assert_eq!(e.stats().per_dim[1].max, 4.0);
+        assert!((e.stats().per_dim[1].mean - 2.5).abs() < 1e-6);
+        // Projection still shared with dead ids; reads filter them.
+        assert_eq!(e.extreme_rows(0, false), vec![1]);
+        assert_eq!(e.extreme_rows(1, true), vec![3]);
+        // Snapshot materializes the survivors in id order.
+        assert_eq!(
+            e.snapshot().rows().collect::<Vec<_>>(),
+            vec![&[2.0f32, 1.0][..], &[4.0, 4.0]]
+        );
+    }
+
+    #[test]
+    fn mutation_validates_rows_and_ids() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(1);
+        catalog.register("t", ds(&[vec![1.0, 2.0]]), &pool);
+        assert!(matches!(
+            catalog.mutate("t", &[vec![1.0]], &[], &pool, 0.25),
+            Err(EngineError::RowArity {
+                row: 0,
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            catalog.mutate("t", &[vec![1.0, f32::NAN]], &[], &pool, 0.25),
+            Err(EngineError::NonFiniteValue { row: 0, col: 1 })
+        ));
+        assert!(matches!(
+            catalog.mutate("t", &[], &[7], &pool, 0.25),
+            Err(EngineError::UnknownRow { id: 7 })
+        ));
+        // Duplicate delete within one batch.
+        assert!(matches!(
+            catalog.mutate("t", &[], &[0, 0], &pool, 0.25),
+            Err(EngineError::UnknownRow { id: 0 })
+        ));
+        assert!(matches!(
+            catalog.mutate("missing", &[], &[], &pool, 0.25),
+            Err(EngineError::UnknownDataset(_))
+        ));
+        // Deleting an already-dead id fails too.
+        catalog
+            .mutate("t", &[vec![3.0, 4.0]], &[0], &pool, 0.9)
+            .unwrap();
+        assert!(matches!(
+            catalog.mutate("t", &[], &[0], &pool, 0.9),
+            Err(EngineError::UnknownRow { id: 0 })
+        ));
+    }
+
+    #[test]
+    fn compaction_renumbers_survivors_and_clears_the_log() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(2);
+        catalog.register(
+            "t",
+            ds(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]),
+            &pool,
+        );
+        // Deleting half trips a 0.25 threshold immediately.
+        let out = catalog
+            .mutate("t", &[vec![9.0]], &[0, 2], &pool, 0.25)
+            .unwrap();
+        assert!(out.compacted);
+        let e = out.entry;
+        assert!(e.is_pristine());
+        assert_eq!(e.live_len(), 3);
+        assert_eq!(e.total_rows(), 3);
+        // Survivors keep their order: old ids 1, 3 become 0, 1; the
+        // insert lands at the end.
+        assert_eq!(e.point(0), &[2.0]);
+        assert_eq!(e.point(1), &[4.0]);
+        assert_eq!(e.point(2), &[9.0]);
+        assert_eq!(out.inserted_ids, vec![2]);
+        assert!(e.oldest_delta_version().is_none());
+        assert!(e.delta_since(out.old_version).is_none());
+    }
+
+    #[test]
+    fn delta_log_accumulates_and_nets_out() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(1);
+        let v0 = catalog
+            .register("t", ds(&[vec![1.0], vec![2.0], vec![3.0]]), &pool)
+            .version();
+        // Batch 1: insert two rows (ids 3, 4).
+        catalog
+            .mutate("t", &[vec![4.0], vec![5.0]], &[], &pool, 0.9)
+            .unwrap();
+        // Batch 2: delete one original row and one fresh row.
+        let out2 = catalog.mutate("t", &[], &[1, 4], &pool, 0.9).unwrap();
+        let e = &out2.entry;
+        let delta = e.delta_since(v0).unwrap();
+        assert_eq!(delta.bound, 3);
+        // Row 4 was created after v0: its delete nets out. Row 1 is a
+        // genuine deletion relative to v0.
+        assert_eq!(delta.deleted, vec![1]);
+        assert_eq!(e.inserted_since(delta.bound), &[3]);
+        // The identity delta is empty.
+        let same = e.delta_since(e.version()).unwrap();
+        assert!(same.deleted.is_empty());
+        assert_eq!(e.inserted_since(same.bound), &[0u32; 0]);
+        // Unknown versions are unreachable.
+        assert!(e.delta_since(v0 + 999).is_none());
+    }
+
+    #[test]
+    fn projection_merge_handles_ties_and_dead_ids() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(1);
+        catalog.register("t", ds(&[vec![2.0], vec![1.0], vec![2.0]]), &pool);
+        // Delete id 1, then insert values tying with the survivors:
+        // the merge must both drop the dead id and break ties by id.
+        catalog.mutate("t", &[], &[1], &pool, 0.9).unwrap();
+        let out = catalog
+            .mutate("t", &[vec![2.0], vec![0.5]], &[], &pool, 0.9)
+            .unwrap();
+        assert_eq!(**out.entry.sorted_projection(0), vec![4, 0, 2, 3]);
+        assert_eq!(out.entry.extreme_rows(0, false), vec![4]);
     }
 }

@@ -3,13 +3,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use skyline_core::maintain;
 use skyline_data::Dataset;
 use skyline_parallel::{available_threads, par_chunks_mut, ThreadPool};
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
-use crate::catalog::{Catalog, DatasetEntry};
+use crate::catalog::{Catalog, DatasetEntry, MutationOutcome};
 use crate::error::EngineError;
-use crate::planner::{Planner, PlannerConfig, QueryPlan, Strategy};
+use crate::planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
 use crate::query::{QueryResult, SkylineQuery};
 
 /// Construction-time knobs for [`Engine`].
@@ -17,8 +18,14 @@ use crate::query::{QueryResult, SkylineQuery};
 pub struct EngineConfig {
     /// Thread lanes of the shared pool; `0` uses every available core.
     pub threads: usize,
-    /// Result-cache capacity in entries; `0` disables caching.
-    pub cache_capacity: usize,
+    /// Result-cache budget in **bytes** (skylines range from one index
+    /// to ~n of them, so entries are charged their actual footprint);
+    /// `0` disables caching.
+    pub cache_bytes: usize,
+    /// Tombstone fraction above which a mutation batch compacts the
+    /// dataset (rebuilds the base, renumbering the surviving rows).
+    /// Values above `1.0` disable compaction.
+    pub compact_fraction: f32,
     /// Planner thresholds.
     pub planner: PlannerConfig,
 }
@@ -27,19 +34,51 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             threads: 0,
-            cache_capacity: 256,
+            cache_bytes: 8 << 20,
+            compact_fraction: 0.25,
             planner: PlannerConfig::default(),
         }
     }
 }
 
-/// A thread-safe skyline query engine.
+/// The outcome of one mutation batch applied through the engine.
+#[derive(Debug, Clone)]
+pub struct MutationReport {
+    /// The dataset's new version.
+    pub version: u64,
+    /// Stable row ids assigned to the inserted rows, in input order.
+    pub inserted_ids: Vec<u32>,
+    /// Number of rows deleted.
+    pub deleted: usize,
+    /// Whether the batch compacted the dataset: surviving rows were
+    /// renumbered contiguously (previously returned ids are void) and
+    /// every prior cached result was invalidated.
+    pub compacted: bool,
+    /// Cached results patched forward to the new version by applying
+    /// the delta kernels instead of recomputing.
+    pub cache_patched: usize,
+    /// Cached results dropped by this batch: the delta was too large
+    /// to ever patch through, the delta log rotated past their
+    /// version, or a compaction voided everything. (Deletes within
+    /// the patchable window drop nothing — their entries stay for
+    /// query-time delta plans.)
+    pub cache_dropped: usize,
+}
+
+/// A thread-safe skyline query engine over **mutable** datasets.
 ///
 /// Owns a dataset [catalog](Catalog), an adaptive [planner](Planner),
-/// an LRU [result cache](ResultCache), and one shared
+/// a byte-bounded LRU [result cache](ResultCache), and one shared
 /// [`ThreadPool`] that every query executes on — concurrent callers
 /// share the pool (the pool serialises parallel regions internally)
 /// instead of oversubscribing the machine with per-query pools.
+///
+/// Datasets evolve in place through [`insert`](Engine::insert),
+/// [`delete`](Engine::delete), and
+/// [`update_batch`](Engine::update_batch): each batch bumps the
+/// version, patches the catalog's statistics incrementally, and
+/// carries cached results forward through the delta kernels instead of
+/// discarding them.
 ///
 /// ```
 /// use skyline_engine::{Engine, SkylineQuery};
@@ -61,6 +100,14 @@ impl Default for EngineConfig {
 /// // Same query again: served from the cache.
 /// let again = engine.execute(&SkylineQuery::new("hotels")).unwrap();
 /// assert!(again.cache_hit);
+///
+/// // A new hotel joins the skyline without recomputation: the cached
+/// // result is patched forward and the next query still hits.
+/// let report = engine.insert("hotels", &[vec![100.0, 3.0]]).unwrap();
+/// assert_eq!(report.inserted_ids, vec![4]);
+/// let fresh = engine.execute(&SkylineQuery::new("hotels")).unwrap();
+/// assert!(fresh.cache_hit);
+/// assert_eq!(fresh.indices(), &[0, 1, 2, 4]);
 /// ```
 #[derive(Debug)]
 pub struct Engine {
@@ -68,6 +115,7 @@ pub struct Engine {
     catalog: Catalog,
     cache: ResultCache,
     planner: Planner,
+    compact_fraction: f32,
 }
 
 impl Default for Engine {
@@ -87,7 +135,7 @@ struct Prepared {
 }
 
 impl Engine {
-    /// An engine with default configuration (all cores, 256-entry
+    /// An engine with default configuration (all cores, 8 MiB result
     /// cache).
     pub fn new() -> Self {
         Self::with_config(EngineConfig::default())
@@ -109,8 +157,9 @@ impl Engine {
         Self {
             pool,
             catalog: Catalog::new(),
-            cache: ResultCache::new(cfg.cache_capacity),
+            cache: ResultCache::new(cfg.cache_bytes),
             planner: Planner::new(cfg.planner),
+            compact_fraction: cfg.compact_fraction,
         }
     }
 
@@ -130,6 +179,125 @@ impl Engine {
         entry.version()
     }
 
+    /// Appends `rows` to a registered dataset; equivalent to
+    /// [`update_batch`](Self::update_batch) with no deletes.
+    pub fn insert(&self, name: &str, rows: &[Vec<f32>]) -> Result<MutationReport, EngineError> {
+        self.update_batch(name, rows, &[])
+    }
+
+    /// Deletes rows by stable id; equivalent to
+    /// [`update_batch`](Self::update_batch) with no inserts.
+    pub fn delete(&self, name: &str, ids: &[u32]) -> Result<MutationReport, EngineError> {
+        self.update_batch(name, &[], ids)
+    }
+
+    /// Applies one mutation batch to a registered dataset: `deletes`
+    /// are tombstoned, then `inserts` appended (the report carries
+    /// their assigned stable ids). One version bump covers the batch.
+    ///
+    /// Catalog statistics and sorted projections are patched
+    /// incrementally. Cached results are carried across the version:
+    /// insert-only batches under the planner's
+    /// [`delta_cap`](PlannerConfig::delta_cap) are patched **eagerly**
+    /// (the next identical query is a hit); batches with deletes leave
+    /// prior results in place for the planner's query-time
+    /// [`Strategy::Delta`] — the repair pass then runs only for
+    /// subspaces actually queried again. When tombstones exceed
+    /// [`EngineConfig::compact_fraction`], the batch compacts the
+    /// dataset instead: surviving rows are renumbered and prior cached
+    /// results (keyed to the old ids) are invalidated.
+    pub fn update_batch(
+        &self,
+        name: &str,
+        inserts: &[Vec<f32>],
+        deletes: &[u32],
+    ) -> Result<MutationReport, EngineError> {
+        if inserts.is_empty() && deletes.is_empty() {
+            // An empty batch must not bump the version (that would
+            // orphan every cached result for nothing).
+            let entry = self
+                .catalog
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+            return Ok(MutationReport {
+                version: entry.version(),
+                inserted_ids: Vec::new(),
+                deleted: 0,
+                compacted: false,
+                cache_patched: 0,
+                cache_dropped: 0,
+            });
+        }
+        let out = self
+            .catalog
+            .mutate(name, inserts, deletes, &self.pool, self.compact_fraction)?;
+        let (patched, dropped) = if out.compacted {
+            let dropped = self
+                .cache
+                .purge_dataset_below(out.entry.id(), out.entry.version());
+            (0, dropped)
+        } else {
+            let (patched, dropped) = self.patch_cache_forward(&out);
+            // Entries older than the delta log's reach can never be
+            // patched again; stop them squatting in the budget.
+            let horizon = out
+                .entry
+                .oldest_delta_version()
+                .unwrap_or_else(|| out.entry.version());
+            let rotated = self.cache.purge_dataset_below(out.entry.id(), horizon);
+            (patched, dropped + rotated)
+        };
+        Ok(MutationReport {
+            version: out.entry.version(),
+            inserted_ids: out.inserted_ids,
+            deleted: out.deleted_ids.len(),
+            compacted: out.compacted,
+            cache_patched: patched,
+            cache_dropped: dropped,
+        })
+    }
+
+    /// Carries cached results of the pre-mutation version forward to
+    /// the new one. Insert-only deltas are cheap (each new point tests
+    /// against the cached skyline only); anything involving deletes is
+    /// left at the old version for the query-time delta strategy, so
+    /// the repair scan runs only for subspaces that are queried again.
+    fn patch_cache_forward(&self, out: &MutationOutcome) -> (usize, usize) {
+        let entry = &out.entry;
+        let delta = out.inserted_ids.len() + out.deleted_ids.len();
+        if delta > self.planner.config().delta_cap {
+            // Cumulative deltas only grow, so no future query can
+            // patch across this batch either: drop every prior entry
+            // now instead of letting it squat until the log rotates.
+            let dropped = self.cache.purge_dataset_below(entry.id(), entry.version());
+            return (0, dropped);
+        }
+        if !out.deleted_ids.is_empty() {
+            // Deletes defer to Strategy::Delta: the repair pass over
+            // the live rows then runs only for subspaces that are
+            // actually queried again. The old-version entries stay.
+            return (0, 0);
+        }
+        let stale = self.cache.take_dataset_version(entry.id(), out.old_version);
+        let mut patched = 0usize;
+        for (key, value) in stale {
+            let dims = mask_dims(key.dim_mask);
+            let mut sky = (*value).clone();
+            for &id in &out.inserted_ids {
+                maintain::insert_point(entry.as_ref(), &mut sky, id, &dims, key.max_mask);
+            }
+            self.cache.insert_patched(
+                CacheKey {
+                    version: entry.version(),
+                    ..key
+                },
+                Arc::new(sky),
+            );
+            patched += 1;
+        }
+        (patched, 0)
+    }
+
     /// Removes a dataset; its cached results are dropped too. Returns
     /// whether it was registered.
     pub fn evict(&self, name: &str) -> bool {
@@ -147,7 +315,8 @@ impl Engine {
         self.catalog.get(name)
     }
 
-    /// Names, versions, and cardinalities of all registered datasets.
+    /// Names, versions, and live cardinalities of all registered
+    /// datasets.
     pub fn datasets(&self) -> Vec<(String, u64, usize)> {
         self.catalog.list()
     }
@@ -158,15 +327,11 @@ impl Engine {
     }
 
     /// Plans a query without executing it (introspection; no cache
-    /// probe, no side effects beyond the planner's sampling pass).
+    /// probe beyond the prior-version lookup, no side effects beyond
+    /// the planner's sampling pass).
     pub fn plan(&self, query: &SkylineQuery) -> Result<QueryPlan, EngineError> {
         let prepared = self.prepare(query)?;
-        Ok(self.planner.plan(
-            &prepared.entry,
-            &prepared.dims,
-            prepared.max_mask,
-            self.threads(),
-        ))
+        Ok(self.plan_prepared(&prepared, self.threads()))
     }
 
     /// Executes one query: cache probe, then plan + run on a miss.
@@ -179,8 +344,8 @@ impl Engine {
     /// per-query results in order.
     ///
     /// Scheduling: cache hits are answered immediately; misses whose
-    /// plan is sequential (BNL/SFS/BSkyTree/min-scan) run **next to
-    /// each other**, one query per lane, so the pool is saturated by
+    /// plan is sequential (BNL/SFS/BSkyTree/min-scan/delta) run **next
+    /// to each other**, one query per lane, so the pool is saturated by
     /// inter-query parallelism; misses with parallel plans (Q-Flow/
     /// Hybrid) then run one at a time, each spanning the whole pool.
     /// Either way the pool is never oversubscribed.
@@ -208,12 +373,7 @@ impl Engine {
                 out[i] = Some(Ok(hit));
                 continue;
             }
-            let plan = self.planner.plan(
-                &prepared.entry,
-                &prepared.dims,
-                prepared.max_mask,
-                self.threads(),
-            );
+            let plan = self.plan_prepared(&prepared, self.threads());
             if matches!(plan.strategy, Strategy::Algorithm(a) if a.is_parallel()) {
                 par.push((i, prepared, plan));
             } else {
@@ -268,7 +428,7 @@ impl Engine {
             .catalog
             .get(query.dataset())
             .ok_or_else(|| EngineError::UnknownDataset(query.dataset().to_string()))?;
-        let (dims, max_mask) = query.canonicalize(entry.data().dims())?;
+        let (dims, max_mask) = query.canonicalize(entry.dims())?;
         let dim_mask = dims.iter().fold(0u32, |m, &d| m | (1 << d));
         let key = CacheKey {
             dataset_id: entry.id(),
@@ -283,6 +443,35 @@ impl Engine {
             max_mask,
             limit: query.result_limit(),
         })
+    }
+
+    /// Plans a prepared query, offering the planner any prior-version
+    /// cached result that the dataset's delta log can still reach.
+    fn plan_prepared(&self, prepared: &Prepared, threads: usize) -> QueryPlan {
+        // Only pay the cache scan when a delta could exist at all:
+        // unmutated datasets (the common case) have an empty log.
+        if prepared.entry.oldest_delta_version().is_none() {
+            return self
+                .planner
+                .plan(&prepared.entry, &prepared.dims, prepared.max_mask, threads);
+        }
+        let prior = self.cache.find_prior(&prepared.key).and_then(|(ver, len)| {
+            let delta = prepared.entry.delta_since(ver)?;
+            let inserted = prepared.entry.inserted_since(delta.bound).len();
+            Some(PriorResult {
+                from_version: ver,
+                len,
+                inserted,
+                deleted: delta.deleted.len(),
+            })
+        });
+        self.planner.plan_with_prior(
+            &prepared.entry,
+            &prepared.dims,
+            prepared.max_mask,
+            threads,
+            prior,
+        )
     }
 
     /// Counted cache probe; on a hit builds the full result without
@@ -315,13 +504,38 @@ impl Engine {
         if let Some(hit) = self.probe(prepared, Instant::now()) {
             return hit;
         }
-        let plan = self.planner.plan(
-            &prepared.entry,
+        let plan = self.plan_prepared(prepared, pool.threads());
+        self.run_plan(prepared, plan, pool)
+    }
+
+    /// Applies a `Strategy::Delta` plan: seeds from the prior cached
+    /// skyline and replays the accumulated delta through the
+    /// maintenance kernels. `None` when the prior result or the delta
+    /// window vanished between planning and execution.
+    fn run_delta(&self, prepared: &Prepared, from_version: u64) -> Option<Vec<u32>> {
+        let entry = &prepared.entry;
+        let prior = self.cache.get_uncounted(&CacheKey {
+            version: from_version,
+            ..prepared.key
+        })?;
+        let delta = entry.delta_since(from_version)?;
+        let inserted = entry.inserted_since(delta.bound);
+        // Rows live now and below the bound are exactly the prior
+        // version's survivors — the live set the repair scan needs.
+        let survivors = entry
+            .live_ids()
+            .iter()
+            .copied()
+            .take_while(|&id| id < delta.bound);
+        Some(maintain::apply_delta(
+            entry.as_ref(),
+            survivors,
+            &prior,
+            &delta.deleted,
+            inserted,
             &prepared.dims,
             prepared.max_mask,
-            pool.threads(),
-        );
-        self.run_plan(prepared, plan, pool)
+        ))
     }
 
     /// Runs an already-made plan on `pool` (the shared pool, or a
@@ -333,26 +547,41 @@ impl Engine {
         let (indices, stats) = match &plan.strategy {
             Strategy::Cached => unreachable!("planner never emits Cached"),
             Strategy::Trivial => {
-                // No discriminating dimension: every row is in the
+                // No discriminating dimension: every live row is in the
                 // skyline (vacuously non-dominated), or none on an
                 // empty dataset.
-                ((0..entry.data().len() as u32).collect::<Vec<u32>>(), None)
+                ((**entry.live_ids()).clone(), None)
             }
             Strategy::MinScan { dim } => {
                 let max = prepared.max_mask & (1 << dim) != 0;
                 (entry.extreme_rows(*dim, max), None)
             }
+            Strategy::Delta { from_version } => match self.run_delta(prepared, *from_version) {
+                Some(indices) => (indices, None),
+                None => {
+                    // The prior entry was evicted (or the log rotated)
+                    // between planning and execution: replan without
+                    // it. A fresh plan can never be Delta again.
+                    let plan =
+                        self.planner
+                            .plan(entry, &prepared.dims, prepared.max_mask, pool.threads());
+                    return self.run_plan(prepared, plan, pool);
+                }
+            },
             Strategy::Algorithm(algo) => {
-                let result = match self.materialized_view(
-                    entry,
-                    &plan.effective_dims,
-                    prepared.max_mask,
-                    pool,
-                ) {
-                    Some(view) => algo.run(&view, pool, &plan.config),
-                    None => algo.run(entry.data(), pool, &plan.config),
+                let (view, id_map) =
+                    self.algorithm_input(entry, &plan.effective_dims, prepared.max_mask, pool);
+                let result = match &view {
+                    Some(projected) => algo.run(projected, pool, &plan.config),
+                    None => algo.run(entry.base_data(), pool, &plan.config),
                 };
-                (result.indices, Some(result.stats))
+                let indices = match id_map {
+                    // Positions in the materialized live view map back
+                    // to stable ids; `live` ascending keeps order.
+                    Some(live) => result.indices.iter().map(|&i| live[i as usize]).collect(),
+                    None => result.indices,
+                };
+                (indices, Some(result.stats))
             }
         };
 
@@ -380,37 +609,51 @@ impl Engine {
         }
     }
 
-    /// Builds the projected (and preference-negated) dataset a plan's
-    /// algorithm runs on, or `None` when the stored rows can be used
-    /// as-is (all dimensions selected, all minimised).
-    fn materialized_view(
+    /// Builds the dataset a plan's algorithm runs on, plus the
+    /// position → stable-id map when rows had to be gathered.
+    ///
+    /// Returns `(None, None)` when the stored base rows can be used
+    /// as-is (pristine entry, all dimensions selected, all minimised);
+    /// otherwise materializes the live rows projected onto `dims` with
+    /// maximised dimensions negated. The id map is `None` whenever
+    /// positions already equal stable ids.
+    fn algorithm_input(
         &self,
-        entry: &DatasetEntry,
+        entry: &Arc<DatasetEntry>,
         dims: &[usize],
         max_mask: u32,
         pool: &ThreadPool,
-    ) -> Option<Dataset> {
-        let data = entry.data();
-        let d = data.dims();
-        if dims.len() == d && max_mask == 0 {
-            return None;
+    ) -> (Option<Dataset>, Option<Arc<Vec<u32>>>) {
+        let d = entry.dims();
+        let pristine = entry.is_pristine();
+        if pristine && dims.len() == d && max_mask == 0 {
+            return (None, None);
         }
-        let n = data.len();
-        let mut values = vec![0.0f32; n * dims.len()];
+        let live = Arc::clone(entry.live_ids());
+        let n = live.len();
         let width = dims.len();
+        let mut values = vec![0.0f32; n * width];
         par_chunks_mut(pool, &mut values, 4096 * width.max(1), |offset, chunk| {
             debug_assert_eq!(offset % width, 0);
             let first_row = offset / width;
             for (k, out) in chunk.chunks_mut(width).enumerate() {
-                let src = data.row(first_row + k);
+                let src = entry.point(live[first_row + k]);
                 for (slot, &c) in out.iter_mut().zip(dims) {
                     let v = src[c];
                     *slot = if max_mask & (1 << c) != 0 { -v } else { v };
                 }
             }
         });
-        Some(Dataset::from_flat(values, width).expect("projection of a valid dataset is valid"))
+        let view =
+            Dataset::from_flat(values, width).expect("projection of a valid dataset is valid");
+        // In a pristine entry live[i] == i: positions are stable ids.
+        (Some(view), if pristine { None } else { Some(live) })
     }
+}
+
+/// Decodes a dimension bitmask into the ascending dimension list.
+fn mask_dims(dim_mask: u32) -> Vec<usize> {
+    (0..32).filter(|c| dim_mask & (1 << c) != 0).collect()
 }
 
 #[cfg(test)]
@@ -438,6 +681,10 @@ mod tests {
         let engine = small_engine();
         assert_eq!(
             engine.execute(&SkylineQuery::new("nope")).unwrap_err(),
+            EngineError::UnknownDataset("nope".into())
+        );
+        assert_eq!(
+            engine.insert("nope", &[vec![1.0]]).unwrap_err(),
             EngineError::UnknownDataset("nope".into())
         );
     }
@@ -588,5 +835,149 @@ mod tests {
             let expect = verify::naive_skyline_on(&reference, dims);
             assert_eq!(r.indices(), expect.as_slice(), "{dims:?}");
         }
+    }
+
+    #[test]
+    fn insert_patches_cached_results_eagerly() {
+        let engine = small_engine();
+        let data = Dataset::from_rows(&[
+            vec![1.0, 9.0],
+            vec![9.0, 1.0],
+            vec![5.0, 5.0], // skyline (incomparable)
+        ])
+        .unwrap();
+        engine.register("d", data);
+        let cold = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert_eq!(cold.indices(), &[0, 1, 2]);
+
+        // New point dominates row 2 and joins.
+        let report = engine.insert("d", &[vec![4.0, 4.0]]).unwrap();
+        assert_eq!(report.inserted_ids, vec![3]);
+        assert_eq!(report.cache_patched, 1);
+        assert!(!report.compacted);
+
+        let warm = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert!(warm.cache_hit, "patched entry must serve the new version");
+        assert_eq!(warm.indices(), &[0, 1, 3]);
+        assert_eq!(warm.dataset_version, report.version);
+        assert_eq!(engine.cache_stats().patches, 1);
+    }
+
+    #[test]
+    fn delete_defers_to_query_time_delta() {
+        let engine = small_engine();
+        let pool = ThreadPool::new(2);
+        let data = generate(Distribution::Independent, 20_000, 4, 19, &pool);
+        let reference = data.clone();
+        engine.register("d", data);
+        let cold = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert!(!cold.cache_hit);
+
+        // Delete one skyline member: the cached entry stays at the old
+        // version and the next query patches it via Strategy::Delta.
+        let victim = cold.indices()[0];
+        let report = engine.delete("d", &[victim]).unwrap();
+        assert_eq!(report.cache_patched, 0);
+        assert!(!report.compacted);
+
+        let after = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert!(!after.cache_hit);
+        assert!(
+            matches!(after.plan.strategy, Strategy::Delta { .. }),
+            "{:?}",
+            after.plan.strategy
+        );
+        // Ground truth: naive skyline over the survivors, with stable
+        // ids (= original row numbers, no compaction happened).
+        let entry = engine.dataset("d").unwrap();
+        let expect: Vec<u32> = verify::naive_skyline(&entry.snapshot())
+            .iter()
+            .map(|&k| entry.live_ids()[k as usize])
+            .collect();
+        assert_eq!(after.indices(), expect.as_slice());
+        let _ = reference;
+
+        // And the delta result is cached at the new version.
+        let warm = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.indices(), expect.as_slice());
+    }
+
+    #[test]
+    fn mutations_on_subspace_and_preference_queries_stay_correct() {
+        let engine = small_engine();
+        let pool = ThreadPool::new(2);
+        let data = generate(Distribution::Anticorrelated, 1_000, 3, 23, &pool);
+        engine.register("d", data);
+        let q = SkylineQuery::new("d")
+            .dims([0, 2])
+            .preference([Preference::Min, Preference::Max]);
+        engine.execute(&q).unwrap();
+        engine
+            .update_batch("d", &[vec![0.01, 0.5, 0.99], vec![0.5, 0.5, 0.01]], &[3, 8])
+            .unwrap();
+        let got = engine.execute(&q).unwrap();
+        let entry = engine.dataset("d").unwrap();
+        let expect: Vec<u32> = verify::naive_skyline_on_pref(&entry.snapshot(), &[0, 2], 0b100)
+            .iter()
+            .map(|&k| entry.live_ids()[k as usize])
+            .collect();
+        assert_eq!(got.indices(), expect.as_slice());
+    }
+
+    #[test]
+    fn compaction_voids_prior_results_and_renumbers() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 2,
+            compact_fraction: 0.3,
+            ..EngineConfig::default()
+        });
+        let data = Dataset::from_rows(&[
+            vec![1.0, 4.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.0],
+            vec![4.0, 1.0],
+        ])
+        .unwrap();
+        engine.register("d", data);
+        engine.execute(&SkylineQuery::new("d")).unwrap();
+        // Deleting half the rows trips the 0.3 threshold.
+        let report = engine.delete("d", &[0, 2]).unwrap();
+        assert!(report.compacted);
+        let entry = engine.dataset("d").unwrap();
+        assert!(entry.is_pristine());
+        assert_eq!(entry.live_len(), 2);
+        let r = engine.execute(&SkylineQuery::new("d")).unwrap();
+        assert!(!r.cache_hit, "compaction must void prior results");
+        // Survivors renumbered 0..n in old id order.
+        assert_eq!(r.indices(), &[0, 1]);
+    }
+
+    #[test]
+    fn mutation_validation_errors_surface() {
+        let engine = small_engine();
+        engine.register("d", Dataset::from_rows(&[vec![1.0, 2.0]]).unwrap());
+        assert_eq!(
+            engine.insert("d", &[vec![1.0]]).unwrap_err(),
+            EngineError::RowArity {
+                row: 0,
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            engine.delete("d", &[5]).unwrap_err(),
+            EngineError::UnknownRow { id: 5 }
+        );
+        assert_eq!(
+            engine.insert("d", &[vec![1.0, f32::INFINITY]]).unwrap_err(),
+            EngineError::NonFiniteValue { row: 0, col: 1 }
+        );
+    }
+
+    #[test]
+    fn mask_dims_round_trips() {
+        assert_eq!(mask_dims(0b1011), vec![0, 1, 3]);
+        assert_eq!(mask_dims(0), Vec::<usize>::new());
     }
 }

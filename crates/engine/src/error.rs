@@ -30,6 +30,29 @@ pub enum EngineError {
         /// Length of the supplied preference vector.
         got: usize,
     },
+    /// An inserted row's length does not match the dataset's
+    /// dimensionality.
+    RowArity {
+        /// Index of the offending row within the batch.
+        row: usize,
+        /// The dataset's dimensionality.
+        expected: usize,
+        /// Length of the supplied row.
+        got: usize,
+    },
+    /// An inserted row contains a non-finite value (NaN or ±∞).
+    NonFiniteValue {
+        /// Index of the offending row within the batch.
+        row: usize,
+        /// Column of the offending value.
+        col: usize,
+    },
+    /// A delete names a row id that is not live: out of range, already
+    /// deleted, or repeated within the batch.
+    UnknownRow {
+        /// The offending row id.
+        id: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -54,6 +77,21 @@ impl fmt::Display for EngineError {
                     "preference vector length {got} does not match the {expected} selected dimension(s)"
                 )
             }
+            EngineError::RowArity { row, expected, got } => {
+                write!(
+                    f,
+                    "inserted row {row} has {got} value(s), dataset has {expected} dimension(s)"
+                )
+            }
+            EngineError::NonFiniteValue { row, col } => {
+                write!(
+                    f,
+                    "inserted row {row} has a non-finite value at column {col}"
+                )
+            }
+            EngineError::UnknownRow { id } => {
+                write!(f, "row id {id} is not live (unknown, deleted, or repeated)")
+            }
         }
     }
 }
@@ -75,5 +113,18 @@ mod tests {
         assert!(EngineError::ConflictingPreference { dim: 2 }
             .to_string()
             .contains("Min and Max"));
+        assert!(EngineError::RowArity {
+            row: 1,
+            expected: 4,
+            got: 3
+        }
+        .to_string()
+        .contains("3 value(s)"));
+        assert!(EngineError::NonFiniteValue { row: 0, col: 2 }
+            .to_string()
+            .contains("column 2"));
+        assert!(EngineError::UnknownRow { id: 11 }
+            .to_string()
+            .contains("11"));
     }
 }

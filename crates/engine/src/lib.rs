@@ -2,23 +2,31 @@
 //!
 //! The algorithm crates answer *one* skyline computation as fast as the
 //! hardware allows. This crate turns them into a **query engine** for
-//! repeated, concurrent workloads over registered datasets:
+//! repeated, concurrent workloads over registered, **mutable**
+//! datasets:
 //!
 //! * [`Catalog`] — named, versioned datasets with per-dimension
-//!   statistics and sorted projections precomputed at registration;
+//!   statistics and sorted projections precomputed at registration and
+//!   *patched incrementally* under mutation: inserts land in an append
+//!   segment, deletes tombstone stable row ids, and a compaction
+//!   threshold rebuilds the base when tombstones pile up;
 //! * [`Planner`] — picks the strategy per query (direct sorted-
-//!   projection scans, sequential BNL/SFS/BSkyTree, or parallel
-//!   Q-Flow/Hybrid with tuned α) from cardinality, subspace
-//!   dimensionality, thread budget, and a sampled skyline density;
+//!   projection scans, delta maintenance over a prior cached result,
+//!   sequential BNL/SFS/BSkyTree, or parallel Q-Flow/Hybrid with tuned
+//!   α) from cardinality, subspace dimensionality, thread budget, a
+//!   sampled skyline density, and the dataset's mutation delta log;
 //! * [`SkylineQuery`] — subspace selection (`dims`), per-dimension
 //!   `Min`/`Max` preferences, and result limits, so one registered
 //!   dataset serves many projections;
-//! * [`ResultCache`] — an LRU of full skyline index lists keyed by
-//!   `(dataset version, dimension mask, preference mask)`, invalidated
-//!   by re-registration;
+//! * [`ResultCache`] — a byte-bounded LRU of full skyline index lists
+//!   keyed by `(dataset version, dimension mask, preference mask)`;
+//!   mutation batches *patch entries forward* across versions through
+//!   the `skyline_core::maintain` kernels instead of purging them;
 //! * [`Engine`] — ties it together over one shared thread pool, with
-//!   batched submission ([`Engine::execute_batch`]) that schedules
-//!   sequential plans lane-parallel and parallel plans pool-wide.
+//!   mutation ([`Engine::insert`], [`Engine::delete`],
+//!   [`Engine::update_batch`]) and batched submission
+//!   ([`Engine::execute_batch`]) that schedules sequential plans
+//!   lane-parallel and parallel plans pool-wide.
 //!
 //! ## Quick example
 //!
@@ -54,6 +62,13 @@
 //! let again = engine.execute(&SkylineQuery::new("cars")).unwrap();
 //! assert!(again.cache_hit);
 //! assert_eq!(again.plan.strategy, Strategy::Cached);
+//!
+//! // The catalog is mutable: a new car is tested against the cached
+//! // skylines only — no recomputation, and the cache stays warm.
+//! engine.insert("cars", &[vec![18_000.0, 1_250.0, 8.9]]).unwrap();
+//! let fresh = engine.execute(&SkylineQuery::new("cars")).unwrap();
+//! assert!(fresh.cache_hit);
+//! assert_eq!(fresh.indices(), &[1, 2, 4]); // row 0 is now dominated
 //! ```
 
 #![warn(missing_docs)]
@@ -67,8 +82,8 @@ mod planner;
 mod query;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use catalog::{Catalog, DatasetEntry, DatasetStats, DimStats};
-pub use engine::{Engine, EngineConfig};
+pub use catalog::{Catalog, DatasetEntry, DatasetStats, DeltaSummary, DimStats, MutationOutcome};
+pub use engine::{Engine, EngineConfig, MutationReport};
 pub use error::EngineError;
-pub use planner::{Planner, PlannerConfig, QueryPlan, Strategy};
+pub use planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
 pub use query::{QueryResult, SkylineQuery};

@@ -13,11 +13,14 @@
 //!    never decide a dominance test;
 //! 2. one surviving dimension → **min-scan** over the catalog's sorted
 //!    projection, no algorithm at all;
-//! 3. tiny inputs → **BNL** (any setup cost dwarfs the scan);
-//! 4. small inputs → **SFS** (one sort, then a cheap filter pass);
-//! 5. one thread → **BSkyTree** (the paper's best sequential
+//! 3. a prior-version cached result reachable through a small mutation
+//!    delta → **delta maintenance** (patch the cached skyline with the
+//!    `skyline_core::maintain` kernels instead of recomputing);
+//! 4. tiny inputs → **BNL** (any setup cost dwarfs the scan);
+//! 5. small inputs → **SFS** (one sort, then a cheap filter pass);
+//! 6. one thread → **BSkyTree** (the paper's best sequential
 //!    algorithm);
-//! 6. otherwise **Q-Flow** when the sampled skyline density is low (the
+//! 7. otherwise **Q-Flow** when the sampled skyline density is low (the
 //!    shared global skyline stays small, so its block flow is all
 //!    overhead saved) and **Hybrid** when it is high or the subspace is
 //!    high-dimensional (point-based partitioning and the two-level
@@ -35,13 +38,19 @@ pub enum Strategy {
     /// Served from the result cache; nothing was recomputed.
     Cached,
     /// Empty dataset or no discriminating dimensions: the answer is
-    /// definitional (every row, or none).
+    /// definitional (every live row, or none).
     Trivial,
     /// One effective dimension: read the minima off the catalog's
     /// sorted projection.
     MinScan {
         /// The scanned dimension.
         dim: usize,
+    },
+    /// Patch a prior-version cached result forward through the
+    /// dataset's mutation delta instead of recomputing.
+    Delta {
+        /// The version whose cached result seeds the patch.
+        from_version: u64,
     },
     /// Run a skyline algorithm over the (projected) data.
     Algorithm(Algorithm),
@@ -67,7 +76,10 @@ pub struct QueryPlan {
     /// Algorithm tuning (α etc.) for `Strategy::Algorithm` plans.
     pub config: SkylineConfig,
     /// The dimensions that actually participate after dropping
-    /// constant ones (ascending, full-space indices).
+    /// constant ones (ascending, full-space indices). Delta plans keep
+    /// every requested dimension: the prior result they patch was
+    /// defined over all of them, and a once-constant dimension may
+    /// have grown discriminating since.
     pub effective_dims: Vec<usize>,
     /// Skyline fraction observed on the catalog's sample (0..=1);
     /// `None` when no sampling was needed to decide.
@@ -95,6 +107,20 @@ impl QueryPlan {
     }
 }
 
+/// A prior-version cached result the planner may patch forward: where
+/// it lives and how big the accumulated mutation delta is.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorResult {
+    /// Version of the cached result.
+    pub from_version: u64,
+    /// Its skyline size (indices).
+    pub len: usize,
+    /// Rows inserted between that version and now (still live).
+    pub inserted: usize,
+    /// Rows deleted between that version and now (netted).
+    pub deleted: usize,
+}
+
 /// Thresholds steering the planner. The defaults fall out of the
 /// paper's evaluation plus the constant factors of this codebase; they
 /// are exposed so deployments can re-tune from their own traces.
@@ -109,6 +135,11 @@ pub struct PlannerConfig {
     pub high_d: usize,
     /// Sampled skyline fraction above which Hybrid replaces Q-Flow.
     pub dense_frac: f32,
+    /// Largest mutation delta (inserts + deletes) worth patching a
+    /// cached result through instead of recomputing — both at query
+    /// time (`Strategy::Delta`) and when the engine patches cache
+    /// entries forward eagerly after a mutation batch.
+    pub delta_cap: usize,
 }
 
 impl Default for PlannerConfig {
@@ -122,6 +153,10 @@ impl Default for PlannerConfig {
             // correlated workloads (~0.15 at d = 4) from independent
             // and anticorrelated ones (0.2–0.9).
             dense_frac: 0.2,
+            // An insert costs O(|SKY|·d), a delete of a member one
+            // filtered pass over the data; 256 keeps the worst patch
+            // well under any recomputation the tiers below would pick.
+            delta_cap: 256,
         }
     }
 }
@@ -139,6 +174,11 @@ impl Planner {
         Self { cfg }
     }
 
+    /// The planner's thresholds.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
     /// Plans a query over `entry` restricted to the canonical
     /// (sorted, deduplicated) `dims`, with `threads` lanes available.
     ///
@@ -153,8 +193,21 @@ impl Planner {
         max_mask: u32,
         threads: usize,
     ) -> QueryPlan {
-        let data = entry.data();
-        let n = data.len();
+        self.plan_with_prior(entry, dims, max_mask, threads, None)
+    }
+
+    /// Like [`plan`](Self::plan), but additionally offered a
+    /// prior-version cached result: when the accumulated delta is
+    /// small, patching it forward beats every recomputation tier.
+    pub fn plan_with_prior(
+        &self,
+        entry: &DatasetEntry,
+        dims: &[usize],
+        max_mask: u32,
+        threads: usize,
+        prior: Option<PriorResult>,
+    ) -> QueryPlan {
+        let n = entry.live_len();
         if n == 0 {
             return QueryPlan::trivial("empty dataset");
         }
@@ -185,7 +238,27 @@ impl Planner {
             };
         }
 
-        // 3./4. Sequential baselines for small work.
+        // 3. A reachable prior result with a small delta: maintenance
+        //    beats recomputation. Capped against both the configured
+        //    ceiling and the live cardinality so a delta comparable to
+        //    the dataset falls through to a fresh run.
+        if let Some(p) = prior {
+            let delta = p.inserted + p.deleted;
+            if delta > 0 && delta <= self.cfg.delta_cap && delta * 4 <= n {
+                return QueryPlan {
+                    strategy: Strategy::Delta {
+                        from_version: p.from_version,
+                    },
+                    threads: 1,
+                    config: SkylineConfig::default(),
+                    effective_dims: dims.to_vec(),
+                    sample_skyline_frac: None,
+                    reason: "small delta over a prior cached result",
+                };
+            }
+        }
+
+        // 4./5. Sequential baselines for small work.
         if n <= self.cfg.tiny_n {
             return QueryPlan {
                 strategy: Strategy::Algorithm(Algorithm::Bnl),
@@ -207,7 +280,7 @@ impl Planner {
             };
         }
 
-        // 5. No parallelism available: best sequential algorithm.
+        // 6. No parallelism available: best sequential algorithm.
         if threads == 1 {
             return QueryPlan {
                 strategy: Strategy::Algorithm(Algorithm::BSkyTree),
@@ -219,7 +292,7 @@ impl Planner {
             };
         }
 
-        // 6. Parallel: estimate skyline density on the sample, using
+        // 7. Parallel: estimate skyline density on the sample, using
         //    the subspace kernels directly on full-space rows.
         let frac = sample_skyline_frac(entry, &effective);
         let config = SkylineConfig::tuned(n, threads);
@@ -260,13 +333,12 @@ fn sample_skyline_frac(entry: &DatasetEntry, dims: &[usize]) -> f32 {
     if sample.len() < 2 {
         return 1.0;
     }
-    let data = entry.data();
     use skyline_core::dominance::strictly_dominates_on;
     let mut survivors = 0usize;
     'outer: for &i in sample {
-        let p = data.row(i as usize);
+        let p = entry.point(i);
         for &j in sample {
-            if i != j && strictly_dominates_on(data.row(j as usize), p, dims) {
+            if i != j && strictly_dominates_on(entry.point(j), p, dims) {
                 continue 'outer;
             }
         }
@@ -358,6 +430,74 @@ mod tests {
     }
 
     #[test]
+    fn small_delta_over_prior_wins_every_tier() {
+        let planner = Planner::default();
+        let pool = ThreadPool::new(2);
+        let e = entry_of(generate(Distribution::Independent, 20_000, 4, 7, &pool));
+        let prior = PriorResult {
+            from_version: 3,
+            len: 120,
+            inserted: 2,
+            deleted: 1,
+        };
+        let plan = planner.plan_with_prior(&e, &[0, 1, 2, 3], 0, 4, Some(prior));
+        assert_eq!(plan.strategy, Strategy::Delta { from_version: 3 });
+        assert_eq!(plan.effective_dims, vec![0, 1, 2, 3]);
+        assert_eq!(plan.threads, 1);
+    }
+
+    #[test]
+    fn oversized_or_empty_delta_falls_through() {
+        let planner = Planner::default();
+        let pool = ThreadPool::new(2);
+        let e = entry_of(generate(Distribution::Independent, 20_000, 4, 7, &pool));
+        // Delta above the cap: recompute.
+        let big = PriorResult {
+            from_version: 3,
+            len: 120,
+            inserted: planner.cfg.delta_cap + 1,
+            deleted: 0,
+        };
+        let plan = planner.plan_with_prior(&e, &[0, 1, 2, 3], 0, 4, Some(big));
+        assert!(matches!(plan.strategy, Strategy::Algorithm(_)));
+        // Empty delta means the prior IS current; the cache probe
+        // handles that — the planner must not loop through Delta.
+        let none = PriorResult {
+            from_version: 3,
+            len: 120,
+            inserted: 0,
+            deleted: 0,
+        };
+        let plan = planner.plan_with_prior(&e, &[0, 1, 2, 3], 0, 4, Some(none));
+        assert!(matches!(plan.strategy, Strategy::Algorithm(_)));
+        // A delta comparable to a small dataset: recompute too.
+        let small = entry_of(generate(Distribution::Independent, 300, 3, 7, &pool));
+        let wide = PriorResult {
+            from_version: 1,
+            len: 10,
+            inserted: 100,
+            deleted: 0,
+        };
+        let plan = planner.plan_with_prior(&small, &[0, 1, 2], 0, 4, Some(wide));
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Bnl));
+    }
+
+    #[test]
+    fn minscan_outranks_delta() {
+        let planner = Planner::default();
+        let pool = ThreadPool::new(2);
+        let e = entry_of(generate(Distribution::Independent, 5_000, 3, 7, &pool));
+        let prior = PriorResult {
+            from_version: 1,
+            len: 4,
+            inserted: 1,
+            deleted: 0,
+        };
+        let plan = planner.plan_with_prior(&e, &[2], 0, 4, Some(prior));
+        assert_eq!(plan.strategy, Strategy::MinScan { dim: 2 });
+    }
+
+    #[test]
     fn sample_estimator_matches_reference_on_the_sample() {
         let pool = ThreadPool::new(2);
         let e = entry_of(generate(Distribution::Independent, 2_000, 3, 11, &pool));
@@ -368,7 +508,7 @@ mod tests {
             .stats()
             .sample
             .iter()
-            .map(|&i| e.data().row(i as usize).to_vec())
+            .map(|&i| e.point(i).to_vec())
             .collect();
         let sample_ds = Dataset::from_rows(&sample_rows).unwrap();
         let expect =

