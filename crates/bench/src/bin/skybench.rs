@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! skybench <experiment> [--scale laptop|paper] [--threads N]
-//!                       [--update-frac F]
+//!                       [--update-frac F] [--feedback]
 //!
 //! experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!              table1 table2 table3 engine all
@@ -11,6 +11,10 @@
 //! --update-frac F   mutation share of the `engine` experiment's mixed
 //!                   read/write phase (0..=1, default 0.3; capped at
 //!                   0.9 so each round still issues the query batch)
+//! --feedback        append the `engine` experiment's adaptive-planning
+//!                   phase: run the workload cold across several epochs
+//!                   with the planner feedback loop enabled and report
+//!                   plan-choice drift and before/after latency
 //! ```
 
 use skyline_bench::experiments::ExpCtx;
@@ -18,7 +22,7 @@ use skyline_bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F]\n\
+        "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F] [--feedback]\n\
          experiments: {}",
         ExpCtx::ALL_EXPERIMENTS.join(" ")
     );
@@ -34,10 +38,14 @@ fn main() {
     let mut scale = Scale::Laptop;
     let mut threads = skyline_parallel::available_threads();
     let mut update_frac = 0.3f64;
+    let mut feedback = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--feedback" => {
+                feedback = true;
+            }
             "--update-frac" => {
                 i += 1;
                 update_frac = args
@@ -78,6 +86,7 @@ fn main() {
     );
     let mut ctx = ExpCtx::new(scale, threads);
     ctx.update_frac = update_frac;
+    ctx.feedback = feedback;
     if !ctx.run(&experiment) {
         eprintln!("unknown experiment '{experiment}'");
         usage();

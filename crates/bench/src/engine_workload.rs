@@ -4,11 +4,16 @@
 //! and — since datasets are mutable — a mixed **read/write** phase
 //! measuring how the cache survives point inserts and deletes
 //! (eager patching and query-time delta plans versus recomputation).
+//!
+//! With `--feedback`, a final phase runs the workload on a
+//! feedback-enabled engine across several cold epochs and reports
+//! **plan-choice drift** (which queries the re-fitted thresholds
+//! re-routed) and before/after latency.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use skyline_data::{generate, Distribution, Preference};
-use skyline_engine::{Engine, EngineConfig, SkylineQuery, Strategy};
+use skyline_engine::{Engine, EngineConfig, FeedbackConfig, SkylineQuery, Strategy};
 use skyline_parallel::ThreadPool;
 
 use crate::{fmt_secs, print_table, Scale};
@@ -59,8 +64,9 @@ impl Lcg {
 }
 
 /// Runs the engine workload at `scale` on `threads` lanes, with
-/// `update_frac` of the mixed phase's operations being mutations.
-pub fn run(scale: Scale, threads: usize, update_frac: f64) {
+/// `update_frac` of the mixed phase's operations being mutations;
+/// `feedback` appends the adaptive-planning phase.
+pub fn run(scale: Scale, threads: usize, update_frac: f64, feedback: bool) {
     let (n, d) = scale.default_workload();
     let d = d.max(4);
     let engine = Engine::with_config(EngineConfig {
@@ -246,5 +252,129 @@ pub fn run(scale: Scale, threads: usize, update_frac: f64) {
         stats.entries,
         stats.bytes / 1024,
         stats.budget_bytes / 1024
+    );
+
+    if feedback {
+        feedback_phase(scale, threads, n, d, &gen_pool);
+    }
+}
+
+/// The adaptive-planning phase: a feedback-enabled engine replans the
+/// same workload cold across several epochs (each epoch re-registers
+/// the datasets, so every query is planned and computed afresh) while
+/// the loop re-fits the thresholds from what it measured. Reports per-
+/// query plan drift between the first and last epoch, the latency
+/// movement, and the fitted thresholds.
+fn feedback_phase(scale: Scale, threads: usize, n: usize, d: usize, gen_pool: &ThreadPool) {
+    let engine = Engine::with_config(EngineConfig {
+        threads,
+        feedback: FeedbackConfig {
+            enabled: true,
+            refit_interval: Duration::from_millis(100),
+            min_observations: 4,
+            hysteresis: 0.15,
+        },
+        ..EngineConfig::default()
+    });
+    let epochs: usize = match scale {
+        Scale::Smoke => 3,
+        Scale::Laptop => 6,
+        Scale::Paper => 10,
+    };
+    println!(
+        "\n## feedback phase — online cost-model refit ({epochs} cold epochs, refit every 100 ms)\n"
+    );
+    let before_cfg = (*engine.planner_config()).clone();
+    let labels = ["corr", "indep", "anti"];
+    let dists = [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::Anticorrelated,
+    ];
+    let names: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
+    let queries = workload(&names, d);
+
+    let mut epoch_plans: Vec<Vec<String>> = Vec::new();
+    let mut epoch_times: Vec<Duration> = Vec::new();
+    for _ in 0..epochs {
+        // Fresh registration: new version, cold cache, full replanning
+        // under whatever thresholds are live right now.
+        for (name, dist) in labels.iter().zip(dists) {
+            engine.register(name, generate(dist, n, d, 42, gen_pool));
+        }
+        let started = Instant::now();
+        let results = engine.execute_batch(&queries);
+        epoch_times.push(started.elapsed());
+        epoch_plans.push(
+            results
+                .iter()
+                .map(|r| strategy_label(&r.as_ref().expect("valid workload").plan.strategy))
+                .collect(),
+        );
+        // Guarantee at least one fit per epoch even when an epoch runs
+        // faster than the refit interval (smoke scale).
+        engine.refit_feedback();
+    }
+
+    let (first_plans, last_plans) = (&epoch_plans[0], &epoch_plans[epochs - 1]);
+    let header: Vec<String> = ["query", "epoch 1 plan", "final plan", "drift"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut drifted = 0usize;
+    for ((q, before), after) in queries.iter().zip(first_plans).zip(last_plans) {
+        let dims = match q.selected_dims() {
+            Some(dims) => format!("{dims:?}"),
+            None => "full".to_string(),
+        };
+        let drift = if before == after {
+            "-".to_string()
+        } else {
+            drifted += 1;
+            "→".to_string()
+        };
+        rows.push(vec![
+            format!("{} {}", q.dataset(), dims),
+            before.clone(),
+            after.clone(),
+            drift,
+        ]);
+    }
+    print_table(
+        "plan-choice drift (first vs final cold epoch)",
+        &header,
+        &rows,
+    );
+    println!(
+        "\n{drifted}/{} queries re-routed by the fitted thresholds",
+        queries.len()
+    );
+    println!(
+        "cold-epoch latency: {} before → {} after refits",
+        fmt_secs(epoch_times[0]),
+        fmt_secs(epoch_times[epochs - 1])
+    );
+
+    let stats = engine.feedback_stats();
+    println!(
+        "feedback: {} observations into {} buckets, {} refits, {} installs",
+        stats.observations, stats.buckets, stats.refits, stats.installs
+    );
+    let after_cfg = engine.planner_config();
+    println!(
+        "thresholds: tiny_n {} → {}, small_n {} → {}, dense_frac {:.3} → {:.3}, delta_cap {} → {}, α(Q-Flow) {:?} → {:?}, α(Hybrid) {:?} → {:?}",
+        before_cfg.tiny_n,
+        after_cfg.tiny_n,
+        before_cfg.small_n,
+        after_cfg.small_n,
+        before_cfg.dense_frac,
+        after_cfg.dense_frac,
+        before_cfg.delta_cap,
+        after_cfg.delta_cap,
+        before_cfg.alpha_qflow,
+        after_cfg.alpha_qflow,
+        before_cfg.alpha_hybrid,
+        after_cfg.alpha_hybrid,
     );
 }

@@ -27,6 +27,9 @@ pub struct ExpCtx {
     /// Fraction of the `engine` experiment's mixed phase that mutates
     /// (inserts/deletes) rather than queries.
     pub update_frac: f64,
+    /// Whether the `engine` experiment appends the adaptive-planning
+    /// feedback phase (plan drift + before/after latency).
+    pub feedback: bool,
     pools: HashMap<usize, Arc<ThreadPool>>,
     cache: WorkloadCache,
 }
@@ -38,6 +41,7 @@ impl ExpCtx {
             scale,
             threads: threads.max(1),
             update_frac: 0.3,
+            feedback: false,
             pools: HashMap::new(),
             cache: WorkloadCache::new(),
         }
@@ -72,7 +76,12 @@ impl ExpCtx {
             "table1" => table1(self),
             "table2" => table2(self),
             "table3" => table3(self),
-            "engine" => crate::engine_workload::run(self.scale, self.threads, self.update_frac),
+            "engine" => crate::engine_workload::run(
+                self.scale,
+                self.threads,
+                self.update_frac,
+                self.feedback,
+            ),
             "all" => {
                 for e in Self::ALL_EXPERIMENTS {
                     if *e != "all" {

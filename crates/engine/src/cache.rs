@@ -223,9 +223,15 @@ impl ResultCache {
     /// entries until the byte budget holds. A single result larger
     /// than the whole budget is not cached at all.
     pub fn insert(&self, key: CacheKey, value: Arc<Vec<u32>>) {
+        self.insert_inner(key, value);
+    }
+
+    /// [`insert`](Self::insert), reporting whether the value is now
+    /// resident (false: zero budget, or the result alone exceeds it).
+    fn insert_inner(&self, key: CacheKey, value: Arc<Vec<u32>>) -> bool {
         let cost = cost_of(&value);
         if self.budget_bytes == 0 || cost > self.budget_bytes {
-            return;
+            return false;
         }
         let mut inner = self.lock();
         if let Some(&slot) = inner.map.get(&key) {
@@ -270,13 +276,17 @@ impl ResultCache {
             inner.remove_slot(victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        true
     }
 
-    /// Inserts a result produced by patching a prior version forward
-    /// (counts toward [`CacheStats::patches`]).
+    /// Inserts a result produced by patching a prior version forward.
+    /// Counts toward [`CacheStats::patches`] only when the patched
+    /// entry actually becomes resident — a zero-budget cache (or an
+    /// oversized result) drops the patch and must not report it.
     pub fn insert_patched(&self, key: CacheKey, value: Arc<Vec<u32>>) {
-        self.insert(key, value);
-        self.patches.fetch_add(1, Ordering::Relaxed);
+        if self.insert_inner(key, value) {
+            self.patches.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Removes and returns every entry of `dataset_id` at exactly
@@ -581,6 +591,102 @@ mod tests {
         for i in 47..50u32 {
             assert_eq!(*c.get(&key(1, 1, i)).unwrap(), vec![i]);
         }
+    }
+
+    #[test]
+    fn zero_budget_drops_patches_without_counting_them() {
+        let c = ResultCache::new(0);
+        c.insert_patched(key(1, 2, 1), val(&[1, 2]));
+        assert!(c.get_uncounted(&key(1, 2, 1)).is_none());
+        assert_eq!(c.stats().patches, 0, "a dropped patch is not a patch");
+        assert_eq!(c.len(), 0);
+        // The whole patch-forward flow is a clean no-op at zero budget.
+        assert!(c.take_dataset_version(1, 2).is_empty());
+        assert!(c.find_prior(&key(1, 3, 1)).is_none());
+        assert_eq!(c.purge_dataset_below(1, 9), 0);
+    }
+
+    #[test]
+    fn oversized_patched_result_is_dropped_not_counted() {
+        let c = ResultCache::new(budget_for(1));
+        let huge: Vec<u32> = (0..64).collect();
+        c.insert_patched(key(1, 2, 1), val(&huge));
+        assert_eq!(c.stats().patches, 0);
+        // A fitting patch still counts.
+        c.insert_patched(key(1, 2, 2), val(&[7]));
+        assert_eq!(c.stats().patches, 1);
+    }
+
+    #[test]
+    fn patch_chain_across_three_versions_tracks_the_newest() {
+        // v1 → v2 → v3 → v4: each hop takes the prior version's entry
+        // and re-inserts it patched; find_prior must always surface
+        // the newest reachable ancestor for delta planning.
+        let c = ResultCache::new(budget_for(8));
+        c.insert(key(1, 1, 1), val(&[10]));
+        for ver in 1..=3u64 {
+            let taken = c.take_dataset_version(1, ver);
+            assert_eq!(taken.len(), 1, "v{ver} entry present");
+            let (k, v) = &taken[0];
+            let mut sky = (**v).clone();
+            sky.push(10 + ver as u32);
+            c.insert_patched(
+                CacheKey {
+                    version: ver + 1,
+                    ..*k
+                },
+                val(&sky),
+            );
+            // The old version is gone; only the patched one remains.
+            assert!(c.get_uncounted(&key(1, ver, 1)).is_none());
+            assert_eq!(c.find_prior(&key(1, 99, 1)), Some((ver + 1, sky.len())));
+        }
+        assert_eq!(c.stats().patches, 3);
+        assert_eq!(*c.get(&key(1, 4, 1)).unwrap(), vec![10, 11, 12, 13]);
+        assert_eq!(c.len(), 1, "the chain never duplicates entries");
+    }
+
+    #[test]
+    fn eviction_pressure_racing_insert_patched_stays_consistent() {
+        // Patching threads re-insert under a budget so small that every
+        // insert evicts, while probe threads churn recency and a purger
+        // invalidates versions — the invariants (bytes within budget,
+        // counters balanced, no deadlock) must hold throughout.
+        let c = Arc::new(ResultCache::new(budget_for(4)));
+        let patched_total = 6 * 200;
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let ver = i % 8;
+                    c.insert_patched(key(1, ver, (t as u32 % 4) + 1), val(&[t as u32, i as u32]));
+                    if i % 3 == 0 {
+                        c.get_uncounted(&key(1, ver, 1));
+                    }
+                }
+            }));
+        }
+        for t in 0..2u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    c.purge_dataset_below(1, (i + t) % 8);
+                    c.find_prior(&key(1, 8, 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert!(s.bytes <= s.budget_bytes, "{s:?}");
+        assert_eq!(s.patches, patched_total, "every fitting patch counted");
+        assert_eq!(
+            s.entries as u64 + s.evictions + s.invalidations,
+            s.insertions,
+            "inserted entries are resident, evicted, or invalidated: {s:?}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The engine: catalog + planner + cache + shared thread pool.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use skyline_core::maintain;
 use skyline_data::Dataset;
@@ -9,7 +9,11 @@ use skyline_parallel::{available_threads, par_chunks_mut, ThreadPool};
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::catalog::{Catalog, DatasetEntry, MutationOutcome};
+use crate::clock::{Clock, MonotonicClock};
 use crate::error::EngineError;
+use crate::planner::feedback::{
+    FeedbackConfig, FeedbackLoop, FeedbackStats, Observation, PlanKind,
+};
 use crate::planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
 use crate::query::{QueryResult, SkylineQuery};
 
@@ -26,8 +30,13 @@ pub struct EngineConfig {
     /// dataset (rebuilds the base, renumbering the surviving rows).
     /// Values above `1.0` disable compaction.
     pub compact_fraction: f32,
-    /// Planner thresholds.
+    /// Planner thresholds — the *starting point*; with feedback
+    /// enabled they are re-fitted online from observed runtimes.
     pub planner: PlannerConfig,
+    /// The planner feedback loop: whether completed queries are
+    /// recorded and the planner thresholds re-fitted from them, and at
+    /// what cadence. Disabled by default.
+    pub feedback: FeedbackConfig,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +46,7 @@ impl Default for EngineConfig {
             cache_bytes: 8 << 20,
             compact_fraction: 0.25,
             planner: PlannerConfig::default(),
+            feedback: FeedbackConfig::default(),
         }
     }
 }
@@ -116,6 +126,9 @@ pub struct Engine {
     cache: ResultCache,
     planner: Planner,
     compact_fraction: f32,
+    /// Present iff [`FeedbackConfig::enabled`]: records completed
+    /// queries and periodically re-fits the planner's thresholds.
+    feedback: Option<Arc<FeedbackLoop>>,
 }
 
 impl Default for Engine {
@@ -143,23 +156,40 @@ impl Engine {
 
     /// An engine with explicit configuration.
     pub fn with_config(cfg: EngineConfig) -> Self {
+        Self::with_clock(cfg, Arc::new(MonotonicClock::new()))
+    }
+
+    /// An engine with explicit configuration and time source. The
+    /// clock drives the feedback loop's runtime measurements and refit
+    /// cadence; hand in a [`ManualClock`](crate::ManualClock) to test
+    /// adaptive behaviour deterministically.
+    pub fn with_clock(cfg: EngineConfig, clock: Arc<dyn Clock>) -> Self {
         let threads = if cfg.threads == 0 {
             available_threads()
         } else {
             cfg.threads
         };
-        Self::with_pool(cfg, Arc::new(ThreadPool::new(threads)))
+        Self::build(cfg, Arc::new(ThreadPool::new(threads)), clock)
     }
 
     /// An engine sharing an existing pool (e.g. with a surrounding
     /// application that also runs parallel work).
     pub fn with_pool(cfg: EngineConfig, pool: Arc<ThreadPool>) -> Self {
+        Self::build(cfg, pool, Arc::new(MonotonicClock::new()))
+    }
+
+    fn build(cfg: EngineConfig, pool: Arc<ThreadPool>, clock: Arc<dyn Clock>) -> Self {
+        let feedback = cfg
+            .feedback
+            .enabled
+            .then(|| Arc::new(FeedbackLoop::new(cfg.feedback, clock)));
         Self {
             pool,
             catalog: Catalog::new(),
             cache: ResultCache::new(cfg.cache_bytes),
             planner: Planner::new(cfg.planner),
             compact_fraction: cfg.compact_fraction,
+            feedback,
         }
     }
 
@@ -326,6 +356,44 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// The feedback loop, when enabled. Tests and tooling use it to
+    /// inject synthetic observations and inspect the aggregates.
+    pub fn feedback(&self) -> Option<&Arc<FeedbackLoop>> {
+        self.feedback.as_ref()
+    }
+
+    /// Feedback activity counters; all zero when feedback is disabled.
+    pub fn feedback_stats(&self) -> FeedbackStats {
+        self.feedback
+            .as_ref()
+            .map(|fb| fb.stats())
+            .unwrap_or_default()
+    }
+
+    /// Forces a feedback refit right now, ignoring the cadence.
+    /// Returns whether the planner's live thresholds changed; always
+    /// `false` when feedback is disabled.
+    pub fn refit_feedback(&self) -> bool {
+        self.feedback
+            .as_ref()
+            .is_some_and(|fb| fb.refit_now(&self.planner))
+    }
+
+    /// A consistent snapshot of the planner's live thresholds (the
+    /// fitted config once feedback has installed one).
+    pub fn planner_config(&self) -> Arc<PlannerConfig> {
+        self.planner.config()
+    }
+
+    /// Feeds one completed query into the feedback loop and gives the
+    /// refitter its time-gated chance to run.
+    fn observe(&self, obs: Observation) {
+        if let Some(fb) = &self.feedback {
+            fb.record(obs);
+            fb.maybe_refit(&self.planner);
+        }
+    }
+
     /// Plans a query without executing it (introspection; no cache
     /// probe beyond the prior-version lookup, no side effects beyond
     /// the planner's sampling pass).
@@ -369,7 +437,7 @@ impl Engine {
                     continue;
                 }
             };
-            if let Some(hit) = self.probe(&prepared, Instant::now()) {
+            if let Some(hit) = self.probe(&prepared, Instant::now(), self.clock_now()) {
                 out[i] = Some(Ok(hit));
                 continue;
             }
@@ -394,8 +462,11 @@ impl Engine {
                 for (_, prepared, plan, result) in chunk.iter_mut() {
                     // Uncounted de-duplication probe: an identical
                     // query may have completed in another lane.
+                    let clock_started = self.clock_now();
                     *result = Some(match self.cache.get_uncounted(&prepared.key) {
-                        Some(full) => self.hit_result(prepared, full, Instant::now()),
+                        Some(full) => {
+                            self.hit_result(prepared, full, Instant::now(), clock_started)
+                        }
                         None => self.run_plan(prepared, plan.clone(), &lane_pool),
                     });
                 }
@@ -410,8 +481,9 @@ impl Engine {
         // uncounted — this query's miss is already in the stats.
         for (i, prepared, plan) in par {
             let started = Instant::now();
+            let clock_started = self.clock_now();
             let result = match self.cache.get_uncounted(&prepared.key) {
-                Some(full) => self.hit_result(&prepared, full, started),
+                Some(full) => self.hit_result(&prepared, full, started, clock_started),
                 None => self.run_plan(&prepared, plan, &self.pool),
             };
             out[i] = Some(Ok(result));
@@ -474,11 +546,22 @@ impl Engine {
         )
     }
 
+    /// A reading of the feedback clock, when feedback is enabled —
+    /// taken at the start of a path whose runtime will be observed.
+    fn clock_now(&self) -> Option<Duration> {
+        self.feedback.as_ref().map(|fb| fb.clock().now())
+    }
+
     /// Counted cache probe; on a hit builds the full result without
     /// planning.
-    fn probe(&self, prepared: &Prepared, started: Instant) -> Option<QueryResult> {
+    fn probe(
+        &self,
+        prepared: &Prepared,
+        started: Instant,
+        clock_started: Option<Duration>,
+    ) -> Option<QueryResult> {
         let full = self.cache.get(&prepared.key)?;
-        Some(self.hit_result(prepared, full, started))
+        Some(self.hit_result(prepared, full, started, clock_started))
     }
 
     /// Wraps a cached index list as a hit result.
@@ -487,7 +570,24 @@ impl Engine {
         prepared: &Prepared,
         full: Arc<Vec<u32>>,
         started: Instant,
+        clock_started: Option<Duration>,
     ) -> QueryResult {
+        // Hits are observed too (the feedback report shows how much of
+        // the workload never reaches an algorithm). Like run_plan, the
+        // observed runtime comes off the engine's clock — never
+        // `Instant` — so `ManualClock` tests stay deterministic;
+        // `Cached` buckets never participate in threshold fits.
+        if let (Some(fb), Some(t0)) = (&self.feedback, clock_started) {
+            self.observe(Observation {
+                kind: PlanKind::Cached,
+                n: prepared.entry.live_len(),
+                d: prepared.dims.len(),
+                max_mask: prepared.max_mask,
+                sample_skyline_frac: None,
+                alpha: None,
+                runtime: fb.clock().now().saturating_sub(t0),
+            });
+        }
         QueryResult {
             full,
             limit: prepared.limit,
@@ -501,7 +601,7 @@ impl Engine {
 
     /// Probes (counted), plans, and runs a prepared query on `pool`.
     fn execute_prepared(&self, prepared: &Prepared, pool: &ThreadPool) -> QueryResult {
-        if let Some(hit) = self.probe(prepared, Instant::now()) {
+        if let Some(hit) = self.probe(prepared, Instant::now(), self.clock_now()) {
             return hit;
         }
         let plan = self.plan_prepared(prepared, pool.threads());
@@ -543,6 +643,11 @@ impl Engine {
     /// fills the cache with the result.
     fn run_plan(&self, prepared: &Prepared, plan: QueryPlan, pool: &ThreadPool) -> QueryResult {
         let started = Instant::now();
+        // Runtime observed for the feedback loop is measured on the
+        // engine's clock (not `Instant`), so a `ManualClock` makes the
+        // recorded runtimes — and therefore every refit decision —
+        // fully deterministic in tests.
+        let clock_started = self.feedback.as_ref().map(|fb| fb.clock().now());
         let entry = &prepared.entry;
         let (indices, stats) = match &plan.strategy {
             Strategy::Cached => unreachable!("planner never emits Cached"),
@@ -584,6 +689,13 @@ impl Engine {
                 (indices, Some(result.stats))
             }
         };
+
+        if let (Some(fb), Some(t0)) = (&self.feedback, clock_started) {
+            let runtime = fb.clock().now().saturating_sub(t0);
+            let obs = Observation::from_plan(&plan, entry.live_len(), prepared.max_mask, runtime);
+            fb.record(obs);
+            fb.maybe_refit(&self.planner);
+        }
 
         let full = Arc::new(indices);
         // Don't cache results for a version that was replaced or

@@ -14,7 +14,11 @@
 //!   projection scans, delta maintenance over a prior cached result,
 //!   sequential BNL/SFS/BSkyTree, or parallel Q-Flow/Hybrid with tuned
 //!   α) from cardinality, subspace dimensionality, thread budget, a
-//!   sampled skyline density, and the dataset's mutation delta log;
+//!   sampled skyline density, and the dataset's mutation delta log —
+//!   its thresholds start at the paper's constants and, with the
+//!   [`planner::feedback`] loop enabled, are **re-fitted online** from
+//!   observed runtimes and swapped in atomically (the [`Clock`] seam
+//!   makes every refit decision deterministic under test);
 //! * [`SkylineQuery`] — subspace selection (`dims`), per-dimension
 //!   `Min`/`Max` preferences, and result limits, so one registered
 //!   dataset serves many projections;
@@ -76,14 +80,17 @@
 
 mod cache;
 mod catalog;
+mod clock;
 mod engine;
 mod error;
-mod planner;
+pub mod planner;
 mod query;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use catalog::{Catalog, DatasetEntry, DatasetStats, DeltaSummary, DimStats, MutationOutcome};
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use engine::{Engine, EngineConfig, MutationReport};
 pub use error::EngineError;
+pub use planner::feedback::{FeedbackConfig, FeedbackLoop, FeedbackStats, Observation, PlanKind};
 pub use planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
 pub use query::{QueryResult, SkylineQuery};

@@ -25,7 +25,28 @@
 //!    overhead saved) and **Hybrid** when it is high or the subspace is
 //!    high-dimensional (point-based partitioning and the two-level
 //!    `M(S)` structure pay for themselves), with α tuned to `n` and the
-//!    thread count via [`SkylineConfig::tuned`].
+//!    thread count via [`SkylineConfig::tuned`] unless the live
+//!    [`PlannerConfig`] carries fitted overrides.
+//!
+//! Every decision path estimates the sampled skyline fraction (the
+//! sample is precomputed and capped, so the estimate is microseconds)
+//! and reports it in the plan — the [feedback loop](feedback) buckets
+//! observed runtimes by that fraction, so even min-scan, tiny-input,
+//! and delta plans must carry the feature.
+//!
+//! ## Live thresholds
+//!
+//! The planner's thresholds are not fixed: [`Planner::install`] swaps
+//! in a replacement [`PlannerConfig`] atomically (each planning pass
+//! takes one consistent snapshot up front, so in-flight decisions never
+//! see a half-updated config). The [`feedback`] module re-fits the
+//! config from observed runtimes; its hysteresis band ensures a
+//! threshold only moves when the observed advantage is decisive, so
+//! plan choices do not thrash between near-equal strategies.
+
+pub mod feedback;
+
+use std::sync::{Arc, RwLock};
 
 use skyline_core::algo::Algorithm;
 use skyline_core::SkylineConfig;
@@ -82,7 +103,7 @@ pub struct QueryPlan {
     /// have grown discriminating since.
     pub effective_dims: Vec<usize>,
     /// Skyline fraction observed on the catalog's sample (0..=1);
-    /// `None` when no sampling was needed to decide.
+    /// `None` only when there was nothing to sample (trivial plans).
     pub sample_skyline_frac: Option<f32>,
     /// One-line human-readable justification.
     pub reason: &'static str,
@@ -123,8 +144,10 @@ pub struct PriorResult {
 
 /// Thresholds steering the planner. The defaults fall out of the
 /// paper's evaluation plus the constant factors of this codebase; they
-/// are exposed so deployments can re-tune from their own traces.
-#[derive(Debug, Clone)]
+/// are exposed so deployments can re-tune from their own traces — or
+/// let the [feedback loop](feedback) re-fit them online from observed
+/// runtimes.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlannerConfig {
     /// At or below this cardinality, BNL wins outright.
     pub tiny_n: usize,
@@ -140,6 +163,13 @@ pub struct PlannerConfig {
     /// time (`Strategy::Delta`) and when the engine patches cache
     /// entries forward eagerly after a mutation batch.
     pub delta_cap: usize,
+    /// Fitted Q-Flow block size; `None` defers to
+    /// [`SkylineConfig::tuned`]. Installed by the feedback loop when
+    /// observed runtimes show a different α winning on this machine.
+    pub alpha_qflow: Option<usize>,
+    /// Fitted Hybrid block size; `None` defers to
+    /// [`SkylineConfig::tuned`].
+    pub alpha_hybrid: Option<usize>,
 }
 
 impl Default for PlannerConfig {
@@ -157,26 +187,55 @@ impl Default for PlannerConfig {
             // filtered pass over the data; 256 keeps the worst patch
             // well under any recomputation the tiers below would pick.
             delta_cap: 256,
+            alpha_qflow: None,
+            alpha_hybrid: None,
         }
     }
 }
 
-/// The adaptive planner. Stateless apart from its thresholds; safe to
-/// share across threads.
-#[derive(Debug, Clone, Default)]
+/// The adaptive planner: stateless decision logic over an atomically
+/// swappable [`PlannerConfig`]. Safe to share across threads; each
+/// planning pass snapshots the config once, so an [`install`]
+/// (Planner::install) mid-flight never mixes old and new thresholds
+/// within one decision.
+///
+/// [`install`]: Planner::install
+#[derive(Debug, Default)]
 pub struct Planner {
-    cfg: PlannerConfig,
+    cfg: RwLock<Arc<PlannerConfig>>,
+}
+
+impl Clone for Planner {
+    fn clone(&self) -> Self {
+        Self {
+            cfg: RwLock::new(self.config()),
+        }
+    }
 }
 
 impl Planner {
     /// A planner with the given thresholds.
     pub fn new(cfg: PlannerConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg: RwLock::new(Arc::new(cfg)),
+        }
     }
 
-    /// The planner's thresholds.
-    pub fn config(&self) -> &PlannerConfig {
-        &self.cfg
+    /// A consistent snapshot of the live thresholds.
+    pub fn config(&self) -> Arc<PlannerConfig> {
+        Arc::clone(&self.cfg.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Atomically replaces the live thresholds. Plans already being
+    /// made keep the snapshot they took. Returns whether the config
+    /// actually changed.
+    pub fn install(&self, cfg: PlannerConfig) -> bool {
+        let mut live = self.cfg.write().unwrap_or_else(|e| e.into_inner());
+        if **live == cfg {
+            return false;
+        }
+        *live = Arc::new(cfg);
+        true
     }
 
     /// Plans a query over `entry` restricted to the canonical
@@ -207,6 +266,7 @@ impl Planner {
         threads: usize,
         prior: Option<PriorResult>,
     ) -> QueryPlan {
+        let cfg = self.config();
         let n = entry.live_len();
         if n == 0 {
             return QueryPlan::trivial("empty dataset");
@@ -224,6 +284,11 @@ impl Planner {
         }
         let d = effective.len();
         let threads = threads.max(1);
+        // The sampled density is both a decision input (Q-Flow vs
+        // Hybrid) and a feedback feature: every non-trivial plan
+        // carries it so the observed runtime lands in the right
+        // bucket. The sample is capped, so this is microseconds.
+        let frac = sample_skyline_frac(entry, &effective);
 
         // 2. One effective dimension: the skyline is the set of minima,
         //    already sitting at one end of the sorted projection.
@@ -233,7 +298,7 @@ impl Planner {
                 threads: 1,
                 config: SkylineConfig::default(),
                 effective_dims: effective,
-                sample_skyline_frac: None,
+                sample_skyline_frac: Some(frac),
                 reason: "one effective dimension: scan the sorted projection",
             };
         }
@@ -244,7 +309,7 @@ impl Planner {
         //    the dataset falls through to a fresh run.
         if let Some(p) = prior {
             let delta = p.inserted + p.deleted;
-            if delta > 0 && delta <= self.cfg.delta_cap && delta * 4 <= n {
+            if delta > 0 && delta <= cfg.delta_cap && delta * 4 <= n {
                 return QueryPlan {
                     strategy: Strategy::Delta {
                         from_version: p.from_version,
@@ -252,30 +317,30 @@ impl Planner {
                     threads: 1,
                     config: SkylineConfig::default(),
                     effective_dims: dims.to_vec(),
-                    sample_skyline_frac: None,
+                    sample_skyline_frac: Some(frac),
                     reason: "small delta over a prior cached result",
                 };
             }
         }
 
         // 4./5. Sequential baselines for small work.
-        if n <= self.cfg.tiny_n {
+        if n <= cfg.tiny_n {
             return QueryPlan {
                 strategy: Strategy::Algorithm(Algorithm::Bnl),
                 threads: 1,
                 config: SkylineConfig::default(),
                 effective_dims: effective,
-                sample_skyline_frac: None,
+                sample_skyline_frac: Some(frac),
                 reason: "tiny input: window scan beats any setup cost",
             };
         }
-        if n <= self.cfg.small_n {
+        if n <= cfg.small_n {
             return QueryPlan {
                 strategy: Strategy::Algorithm(Algorithm::Sfs),
                 threads: 1,
                 config: SkylineConfig::default(),
                 effective_dims: effective,
-                sample_skyline_frac: None,
+                sample_skyline_frac: Some(frac),
                 reason: "small input: sort-filter-skyline, no parallel setup",
             };
         }
@@ -287,21 +352,27 @@ impl Planner {
                 threads: 1,
                 config: SkylineConfig::default(),
                 effective_dims: effective,
-                sample_skyline_frac: None,
+                sample_skyline_frac: Some(frac),
                 reason: "single thread: BSkyTree is the best sequential algorithm",
             };
         }
 
-        // 7. Parallel: estimate skyline density on the sample, using
-        //    the subspace kernels directly on full-space rows.
-        let frac = sample_skyline_frac(entry, &effective);
-        let config = SkylineConfig::tuned(n, threads);
-        let (algo, reason) = if d >= self.cfg.high_d {
+        // 7. Parallel: split on the sampled skyline density, with α
+        //    from the workload-tuned formula unless the feedback loop
+        //    installed a fitted override.
+        let mut config = SkylineConfig::tuned(n, threads);
+        if let Some(a) = cfg.alpha_qflow {
+            config.alpha_qflow = a;
+        }
+        if let Some(a) = cfg.alpha_hybrid {
+            config.alpha_hybrid = a;
+        }
+        let (algo, reason) = if d >= cfg.high_d {
             (
                 Algorithm::Hybrid,
                 "high-dimensional subspace: partitioning and M(S) pay off",
             )
-        } else if frac > self.cfg.dense_frac {
+        } else if frac > cfg.dense_frac {
             (
                 Algorithm::Hybrid,
                 "dense sampled skyline: partition to cut comparisons",
@@ -368,11 +439,16 @@ mod tests {
         let tiny = entry_of(generate(Distribution::Independent, 300, 3, 7, &pool));
         let plan = planner.plan(&tiny, &[0, 1, 2], 0, 4);
         assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Bnl));
+        assert!(
+            plan.sample_skyline_frac.is_some(),
+            "frac must be bucketable"
+        );
 
         let small = entry_of(generate(Distribution::Independent, 5_000, 3, 7, &pool));
         let plan = planner.plan(&small, &[0, 1, 2], 0, 4);
         assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Sfs));
         assert_eq!(plan.threads, 1);
+        assert!(plan.sample_skyline_frac.is_some());
     }
 
     #[test]
@@ -381,6 +457,7 @@ mod tests {
         let e = entry_of(generate(Distribution::Independent, 20_000, 4, 7, &pool));
         let plan = Planner::default().plan(&e, &[0, 1, 2, 3], 0, 1);
         assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::BSkyTree));
+        assert!(plan.sample_skyline_frac.is_some());
     }
 
     #[test]
@@ -391,13 +468,13 @@ mod tests {
         let corr = entry_of(generate(Distribution::Correlated, 20_000, 4, 7, &pool));
         let plan = planner.plan(&corr, &[0, 1, 2, 3], 0, 4);
         assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::QFlow));
-        assert!(plan.sample_skyline_frac.unwrap() <= planner.cfg.dense_frac);
+        assert!(plan.sample_skyline_frac.unwrap() <= planner.config().dense_frac);
 
         // Anticorrelated data: huge skyline → Hybrid.
         let anti = entry_of(generate(Distribution::Anticorrelated, 20_000, 6, 7, &pool));
         let plan = planner.plan(&anti, &[0, 1, 2, 3, 4, 5], 0, 4);
         assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Hybrid));
-        assert!(plan.sample_skyline_frac.unwrap() > planner.cfg.dense_frac);
+        assert!(plan.sample_skyline_frac.unwrap() > planner.config().dense_frac);
         // α was tuned down from the paper's 1M-point default.
         assert!(plan.config.alpha_hybrid <= SkylineConfig::default().alpha_hybrid);
     }
@@ -421,9 +498,11 @@ mod tests {
         // Dim 0 is constant: a {0,1} query degenerates to a 1-d scan.
         let plan = Planner::default().plan(&e, &[0, 1], 0, 4);
         assert_eq!(plan.strategy, Strategy::MinScan { dim: 1 });
+        assert!(plan.sample_skyline_frac.is_some());
         // All-constant selection is trivial.
         let plan = Planner::default().plan(&e, &[0], 0, 4);
         assert_eq!(plan.strategy, Strategy::Trivial);
+        assert!(plan.sample_skyline_frac.is_none());
         // Dims 1+2 survive.
         let plan = Planner::default().plan(&e, &[0, 1, 2], 0, 4);
         assert_eq!(plan.effective_dims, vec![1, 2]);
@@ -444,6 +523,7 @@ mod tests {
         assert_eq!(plan.strategy, Strategy::Delta { from_version: 3 });
         assert_eq!(plan.effective_dims, vec![0, 1, 2, 3]);
         assert_eq!(plan.threads, 1);
+        assert!(plan.sample_skyline_frac.is_some(), "delta plans bucket too");
     }
 
     #[test]
@@ -455,7 +535,7 @@ mod tests {
         let big = PriorResult {
             from_version: 3,
             len: 120,
-            inserted: planner.cfg.delta_cap + 1,
+            inserted: planner.config().delta_cap + 1,
             deleted: 0,
         };
         let plan = planner.plan_with_prior(&e, &[0, 1, 2, 3], 0, 4, Some(big));
@@ -515,5 +595,46 @@ mod tests {
             verify::naive_skyline_on(&sample_ds, &dims).len() as f32 / sample_rows.len() as f32;
         let got = sample_skyline_frac(&e, &dims);
         assert!((got - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn install_swaps_thresholds_atomically() {
+        let planner = Planner::default();
+        let pool = ThreadPool::new(2);
+        let e = entry_of(generate(Distribution::Independent, 5_000, 3, 7, &pool));
+        assert_eq!(
+            planner.plan(&e, &[0, 1, 2], 0, 4).strategy,
+            Strategy::Algorithm(Algorithm::Sfs)
+        );
+        // Raise the BNL ceiling above n: the same query replans to BNL.
+        let mut cfg = (*planner.config()).clone();
+        cfg.tiny_n = 10_000;
+        assert!(planner.install(cfg.clone()));
+        assert!(!planner.install(cfg), "identical config is a no-op");
+        assert_eq!(
+            planner.plan(&e, &[0, 1, 2], 0, 4).strategy,
+            Strategy::Algorithm(Algorithm::Bnl)
+        );
+        // A clone snapshots the live config at clone time.
+        let snap = planner.clone();
+        assert_eq!(snap.config().tiny_n, 10_000);
+    }
+
+    #[test]
+    fn alpha_overrides_replace_tuned_values() {
+        let planner = Planner::default();
+        let pool = ThreadPool::new(2);
+        let anti = entry_of(generate(Distribution::Anticorrelated, 20_000, 6, 7, &pool));
+        let corr = entry_of(generate(Distribution::Correlated, 20_000, 4, 7, &pool));
+        let mut cfg = (*planner.config()).clone();
+        cfg.alpha_hybrid = Some(128);
+        cfg.alpha_qflow = Some(4_096);
+        planner.install(cfg);
+        let plan = planner.plan(&anti, &[0, 1, 2, 3, 4, 5], 0, 4);
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::Hybrid));
+        assert_eq!(plan.config.alpha_hybrid, 128);
+        let plan = planner.plan(&corr, &[0, 1, 2, 3], 0, 4);
+        assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::QFlow));
+        assert_eq!(plan.config.alpha_qflow, 4_096);
     }
 }

@@ -382,3 +382,82 @@ fn byte_budget_bounds_resident_results() {
     );
     assert!(stats.entries < 8, "all eight results cannot fit: {stats:?}");
 }
+
+#[test]
+fn cache_patches_forward_across_three_insert_batches() {
+    // Three insert batches in a row: the cached full-space result must
+    // be carried across every version hop (a chain of patches, not one),
+    // staying a cache hit and staying correct throughout.
+    let engine = engine(2);
+    let pool = ThreadPool::new(2);
+    engine.register(
+        "d",
+        generate(Distribution::Independent, 2_000, 3, 77, &pool),
+    );
+    let q = SkylineQuery::new("d");
+    let cold = engine.execute(&q).unwrap();
+    assert!(!cold.cache_hit);
+
+    for batch in 0..3u32 {
+        let rows: Vec<Vec<f32>> = (0..2)
+            .map(|k| {
+                let v = 0.01 + 0.001 * (batch * 2 + k) as f32;
+                vec![v, 1.0 - v, v]
+            })
+            .collect();
+        let report = engine.insert("d", &rows).unwrap();
+        assert_eq!(report.cache_patched, 1, "batch {batch} patches the entry");
+        assert_eq!(report.cache_dropped, 0);
+
+        let warm = engine.execute(&q).unwrap();
+        assert!(warm.cache_hit, "batch {batch} keeps the entry servable");
+        assert_eq!(warm.dataset_version, report.version);
+        let entry = engine.dataset("d").unwrap();
+        let expect: Vec<u32> = verify::naive_skyline(&entry.snapshot())
+            .iter()
+            .map(|&k| entry.live_ids()[k as usize])
+            .collect();
+        assert_eq!(warm.indices(), expect.as_slice(), "batch {batch}");
+    }
+    assert!(engine.cache_stats().patches >= 3);
+}
+
+#[test]
+fn zero_budget_engine_survives_mutations_and_stays_correct() {
+    // cache_bytes = 0 disables caching entirely: no hits, no patches,
+    // no delta plans — but mutations and queries must keep agreeing
+    // with the naive reference.
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        cache_bytes: 0,
+        ..EngineConfig::default()
+    });
+    let pool = ThreadPool::new(2);
+    engine.register(
+        "d",
+        generate(Distribution::Independent, 1_500, 3, 99, &pool),
+    );
+    let q = SkylineQuery::new("d");
+    let first = engine.execute(&q).unwrap();
+    assert!(!first.cache_hit);
+
+    let report = engine.insert("d", &[vec![0.001, 0.001, 0.001]]).unwrap();
+    assert_eq!(report.cache_patched, 0);
+    let victim = first.indices()[0];
+    engine.delete("d", &[victim]).unwrap();
+
+    let after = engine.execute(&q).unwrap();
+    assert!(!after.cache_hit);
+    assert!(
+        !matches!(after.plan.strategy, Strategy::Delta { .. }),
+        "no cache means no prior result to patch from"
+    );
+    let entry = engine.dataset("d").unwrap();
+    let expect: Vec<u32> = verify::naive_skyline(&entry.snapshot())
+        .iter()
+        .map(|&k| entry.live_ids()[k as usize])
+        .collect();
+    assert_eq!(after.indices(), expect.as_slice());
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.patches, stats.entries), (0, 0, 0));
+}

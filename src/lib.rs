@@ -93,8 +93,9 @@ pub use skyline_data::{
     RealDataset, Rng,
 };
 pub use skyline_engine::{
-    CacheStats, DatasetEntry, Engine, EngineConfig, EngineError, MutationReport, PlannerConfig,
-    QueryPlan, QueryResult, SkylineQuery, Strategy,
+    CacheStats, Clock, DatasetEntry, Engine, EngineConfig, EngineError, FeedbackConfig,
+    FeedbackLoop, FeedbackStats, ManualClock, MonotonicClock, MutationReport, Observation,
+    PlanKind, PlannerConfig, QueryPlan, QueryResult, SkylineQuery, Strategy,
 };
 pub use skyline_parallel::{available_threads, ThreadPool};
 

@@ -1,0 +1,264 @@
+//! Deterministic integration tests for the planner feedback loop.
+//!
+//! Everything time-driven runs on a [`ManualClock`]: the tests inject
+//! synthetic (skewed) runtime observations, advance the clock by hand,
+//! and trigger refits through the engine's own production path (a
+//! recorded observation gives the refitter its time-gated chance) — no
+//! sleeps, no real measurements, no flaky timing assertions. Strategy
+//! checks go through [`Engine::plan`], which records nothing, so the
+//! observation stream is exactly what the test injected.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skybench::prelude::*;
+use skybench::{
+    generate, verify, Clock, FeedbackConfig, ManualClock, Observation, PlanKind, PlannerConfig,
+    Strategy,
+};
+
+const REFIT_INTERVAL: Duration = Duration::from_secs(1);
+
+/// A feedback-enabled engine on a shared manual clock, plus the tick
+/// fixture: a minuscule extra dataset whose cache-hit queries drive the
+/// time-gated refit check without polluting any fitted bucket
+/// (`Cached` observations never participate in fits).
+fn feedback_engine(threads: usize) -> (Engine, Arc<ManualClock>) {
+    let clock = ManualClock::shared();
+    let engine = Engine::with_clock(
+        EngineConfig {
+            threads,
+            feedback: FeedbackConfig {
+                enabled: true,
+                refit_interval: REFIT_INTERVAL,
+                min_observations: 8,
+                hysteresis: 0.15,
+            },
+            ..EngineConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+    engine.register(
+        "tick",
+        Dataset::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(),
+    );
+    // Warm the tick query: every later execution is a cache hit.
+    engine.execute(&SkylineQuery::new("tick")).unwrap();
+    (engine, clock)
+}
+
+/// Runs one query whose only purpose is to let the engine's
+/// observation path call `maybe_refit` — the production trigger.
+fn tick(engine: &Engine) {
+    let r = engine.execute(&SkylineQuery::new("tick")).unwrap();
+    assert!(r.cache_hit, "the tick query must stay a hit");
+}
+
+fn algo_obs(
+    algo: Algorithm,
+    n: usize,
+    d: usize,
+    frac: f32,
+    alpha: usize,
+    micros: u64,
+) -> Observation {
+    Observation {
+        kind: PlanKind::Algo(algo),
+        n,
+        d,
+        max_mask: 0,
+        sample_skyline_frac: Some(frac),
+        alpha: Some(alpha),
+        runtime: Duration::from_micros(micros),
+    }
+}
+
+#[test]
+fn skewed_runtimes_migrate_qflow_to_hybrid_within_bounded_refits() {
+    let (engine, clock) = feedback_engine(4);
+    let pool = ThreadPool::new(2);
+    // Correlated data: sparse sampled skyline → the static thresholds
+    // choose Q-Flow.
+    engine.register("d", generate(Distribution::Correlated, 20_000, 4, 7, &pool));
+    let q = SkylineQuery::new("d");
+    let before = engine.plan(&q).unwrap();
+    assert_eq!(before.strategy, Strategy::Algorithm(Algorithm::QFlow));
+    let frac = before.sample_skyline_frac.expect("parallel plans sample");
+    let alpha_q = before.config.alpha_qflow;
+
+    // Synthetic truth on "this machine": Hybrid is 3× faster at this
+    // exact shape. Feed both sides of the comparison each round and
+    // give the refitter its chance; the planner must migrate within a
+    // bounded number of refits.
+    const MAX_REFITS: u64 = 3;
+    let fb = engine.feedback().expect("feedback is enabled");
+    let mut migrated_after = None;
+    for round in 1..=MAX_REFITS {
+        for _ in 0..8 {
+            fb.record(algo_obs(Algorithm::QFlow, 20_000, 4, frac, alpha_q, 900));
+            fb.record(algo_obs(Algorithm::Hybrid, 20_000, 4, frac, 1_024, 300));
+        }
+        clock.advance(REFIT_INTERVAL);
+        tick(&engine);
+        assert_eq!(fb.stats().refits, round, "one refit per elapsed interval");
+        if engine.plan(&q).unwrap().strategy == Strategy::Algorithm(Algorithm::Hybrid) {
+            migrated_after = Some(round);
+            break;
+        }
+    }
+    let rounds = migrated_after.expect("planner never migrated to the observed winner");
+    assert!(rounds <= MAX_REFITS);
+    // The fitted threshold moved below the observed fraction — that is
+    // *why* the plan changed.
+    assert!(engine.planner_config().dense_frac < frac);
+
+    // The migrated plan still answers correctly.
+    let entry = engine.dataset("d").unwrap();
+    let expect = verify::naive_skyline(&entry.snapshot());
+    let got = engine.execute(&q).unwrap();
+    assert_eq!(got.plan.strategy, Strategy::Algorithm(Algorithm::Hybrid));
+    assert_eq!(got.indices(), expect.as_slice());
+}
+
+#[test]
+fn skewed_runtimes_raise_the_bnl_ceiling() {
+    let (engine, clock) = feedback_engine(4);
+    let pool = ThreadPool::new(2);
+    // n = 5000 sits between tiny_n (512) and small_n (8192): SFS.
+    engine.register("d", generate(Distribution::Independent, 5_000, 3, 7, &pool));
+    let q = SkylineQuery::new("d");
+    assert_eq!(
+        engine.plan(&q).unwrap().strategy,
+        Strategy::Algorithm(Algorithm::Sfs)
+    );
+
+    // Observed truth: BNL is decisively faster at this cardinality.
+    let fb = engine.feedback().expect("feedback is enabled");
+    for _ in 0..8 {
+        fb.record(Observation {
+            kind: PlanKind::Algo(Algorithm::Bnl),
+            n: 5_000,
+            d: 3,
+            max_mask: 0,
+            sample_skyline_frac: Some(0.3),
+            alpha: None,
+            runtime: Duration::from_micros(150),
+        });
+        fb.record(Observation {
+            kind: PlanKind::Algo(Algorithm::Sfs),
+            n: 5_000,
+            d: 3,
+            max_mask: 0,
+            sample_skyline_frac: Some(0.3),
+            alpha: None,
+            runtime: Duration::from_micros(600),
+        });
+    }
+    clock.advance(REFIT_INTERVAL);
+    tick(&engine);
+    assert_eq!(
+        engine.plan(&q).unwrap().strategy,
+        Strategy::Algorithm(Algorithm::Bnl),
+        "one decisive refit moves the crossover"
+    );
+    assert!(engine.planner_config().tiny_n >= 5_000);
+}
+
+#[test]
+fn hysteresis_holds_plans_when_strategies_are_within_the_band() {
+    let (engine, clock) = feedback_engine(4);
+    let pool = ThreadPool::new(2);
+    engine.register("d", generate(Distribution::Correlated, 20_000, 4, 7, &pool));
+    let q = SkylineQuery::new("d");
+    let before = engine.plan(&q).unwrap();
+    assert_eq!(before.strategy, Strategy::Algorithm(Algorithm::QFlow));
+    let frac = before.sample_skyline_frac.unwrap();
+    let alpha_q = before.config.alpha_qflow;
+
+    // Hybrid and Q-Flow trade a ~6 % advantage back and forth — well
+    // inside the 15 % band. Refits run, but nothing may move: no
+    // config installs, no plan oscillation.
+    let fb = engine.feedback().expect("feedback is enabled");
+    let baseline = (*engine.planner_config()).clone();
+    for round in 0..6u64 {
+        let (q_us, h_us) = if round % 2 == 0 {
+            (106, 100)
+        } else {
+            (100, 106)
+        };
+        for _ in 0..8 {
+            fb.record(algo_obs(Algorithm::QFlow, 20_000, 4, frac, alpha_q, q_us));
+            fb.record(algo_obs(Algorithm::Hybrid, 20_000, 4, frac, 1_024, h_us));
+        }
+        clock.advance(REFIT_INTERVAL);
+        tick(&engine);
+        assert_eq!(
+            engine.plan(&q).unwrap().strategy,
+            Strategy::Algorithm(Algorithm::QFlow),
+            "round {round}: plan must not oscillate inside the band"
+        );
+    }
+    let stats = fb.stats();
+    assert_eq!(stats.refits, 6, "refits ran on schedule");
+    assert_eq!(stats.installs, 0, "no refit beat the hysteresis band");
+    assert_eq!(*engine.planner_config(), baseline);
+}
+
+#[test]
+fn refits_fire_only_when_the_manual_clock_says_so() {
+    let (engine, clock) = feedback_engine(2);
+    let fb = engine.feedback().expect("feedback is enabled");
+
+    // Observations without elapsed time: never a refit.
+    for _ in 0..32 {
+        fb.record(algo_obs(Algorithm::QFlow, 20_000, 4, 0.1, 8_192, 500));
+        tick(&engine);
+    }
+    assert_eq!(fb.stats().refits, 0);
+    assert!(!fb.due());
+
+    // One interval elapses: exactly one refit, however many
+    // observations arrive afterwards within the same interval.
+    clock.advance(REFIT_INTERVAL);
+    assert!(fb.due());
+    tick(&engine);
+    tick(&engine);
+    assert_eq!(fb.stats().refits, 1);
+
+    // Advancing step by step: a refit per full interval, no drift.
+    clock.advance(REFIT_INTERVAL / 2);
+    tick(&engine);
+    assert_eq!(fb.stats().refits, 1, "half an interval is not enough");
+    clock.advance(REFIT_INTERVAL / 2);
+    tick(&engine);
+    assert_eq!(fb.stats().refits, 2);
+}
+
+#[test]
+fn engine_records_observations_for_computed_and_cached_plans() {
+    let (engine, _clock) = feedback_engine(2);
+    let pool = ThreadPool::new(2);
+    engine.register("d", generate(Distribution::Independent, 2_000, 3, 5, &pool));
+    let before = engine.feedback_stats().observations;
+    engine.execute(&SkylineQuery::new("d")).unwrap(); // cold: Sfs
+    engine.execute(&SkylineQuery::new("d")).unwrap(); // warm: Cached
+    engine.execute(&SkylineQuery::new("d").dims([1])).unwrap(); // min-scan
+    let after = engine.feedback_stats().observations;
+    assert_eq!(after - before, 3, "every completion is observed");
+}
+
+#[test]
+fn disabled_feedback_keeps_the_engine_static() {
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    let pool = ThreadPool::new(2);
+    engine.register("d", generate(Distribution::Independent, 5_000, 3, 7, &pool));
+    assert!(engine.feedback().is_none());
+    engine.execute(&SkylineQuery::new("d")).unwrap();
+    engine.execute(&SkylineQuery::new("d")).unwrap();
+    assert_eq!(engine.feedback_stats(), Default::default());
+    assert!(!engine.refit_feedback(), "nothing to refit");
+    assert_eq!(*engine.planner_config(), PlannerConfig::default());
+}

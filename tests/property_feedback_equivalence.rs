@@ -1,0 +1,191 @@
+//! Property: the feedback loop may change *plans*, never *results*.
+//!
+//! Two engines replay identical random mutate/query interleavings: one
+//! with feedback disabled (the static planner), one with feedback
+//! enabled at its most aggressive — every bucket fits from a single
+//! observation, no hysteresis band, a refit due on every clock tick —
+//! while the driver injects skewed synthetic observations and advances
+//! a [`ManualClock`] between operations, forcing the fitted thresholds
+//! (and therefore the plan choices) to churn as hard as they can.
+//! Whatever the planner ends up choosing, every query's result must be
+//! identical across the two engines.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use skybench::prelude::*;
+use skybench::{Clock, FeedbackConfig, ManualClock, Observation, PlanKind, Strategy};
+
+/// Deterministic driver (splitmix-ish), seeded per case.
+struct Driver(u64);
+
+impl Driver {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    /// Small integer alphabet: ties and coincident points on purpose.
+    fn coord(&mut self) -> f32 {
+        (self.next() % 5) as f32
+    }
+
+    /// A synthetic observation skewing some strategy's cost, pushing
+    /// the fitted thresholds around between refits.
+    fn skewed_observation(&mut self) -> Observation {
+        let kind = match self.next() % 6 {
+            0 => PlanKind::Algo(Algorithm::Bnl),
+            1 => PlanKind::Algo(Algorithm::Sfs),
+            2 => PlanKind::Algo(Algorithm::QFlow),
+            3 => PlanKind::Algo(Algorithm::Hybrid),
+            4 => PlanKind::Delta,
+            _ => PlanKind::MinScan,
+        };
+        Observation {
+            kind,
+            n: 1 << (4 + self.below(14)),
+            d: 1 + self.below(5),
+            max_mask: (self.next() % 8) as u32,
+            sample_skyline_frac: Some((self.next() % 100) as f32 / 100.0),
+            alpha: matches!(
+                kind,
+                PlanKind::Algo(Algorithm::QFlow) | PlanKind::Algo(Algorithm::Hybrid)
+            )
+            .then(|| 1 << (6 + self.below(8))),
+            runtime: Duration::from_nanos(1 + self.next() % 10_000_000),
+        }
+    }
+}
+
+/// One scenario: identical operation streams against a static engine
+/// and a maximally adaptive one; every query must agree.
+fn check_equivalence(d: usize, n0: usize, ops: usize, seed: u64) {
+    let mut drv = Driver(seed);
+    let base = EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    };
+    let off = Engine::with_config(base.clone());
+    let clock = ManualClock::shared();
+    let on = Engine::with_clock(
+        EngineConfig {
+            feedback: FeedbackConfig {
+                enabled: true,
+                refit_interval: Duration::from_millis(1),
+                min_observations: 1,
+                hysteresis: 0.0,
+            },
+            ..base
+        },
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+
+    let rows: Vec<Vec<f32>> = (0..n0)
+        .map(|_| (0..d).map(|_| drv.coord()).collect())
+        .collect();
+    off.register("m", Dataset::from_rows(&rows).unwrap());
+    on.register("m", Dataset::from_rows(&rows).unwrap());
+
+    let mut diverged_plans = 0usize;
+    for op in 0..ops {
+        // Skew the adaptive engine's cost model and let time pass, so
+        // a refit is due practically every operation.
+        let fb = on.feedback().expect("enabled");
+        for _ in 0..1 + drv.below(3) {
+            fb.record(drv.skewed_observation());
+        }
+        clock.advance(Duration::from_millis(1 + drv.below(5) as u64));
+
+        match drv.next() % 4 {
+            0 | 1 => {
+                let k = 1 + drv.below(3);
+                let batch: Vec<Vec<f32>> = (0..k)
+                    .map(|_| (0..d).map(|_| drv.coord()).collect())
+                    .collect();
+                let a = off.insert("m", &batch).expect("valid insert");
+                let b = on.insert("m", &batch).expect("valid insert");
+                prop_assert_eq!(&a.inserted_ids, &b.inserted_ids, "op {}", op);
+            }
+            2 => {
+                let entry = off.dataset("m").expect("registered");
+                if entry.live_len() == 0 {
+                    continue;
+                }
+                let live = entry.live_ids();
+                let victim = live[drv.below(live.len())];
+                off.delete("m", &[victim]).expect("live victim");
+                on.delete("m", &[victim]).expect("live victim");
+            }
+            _ => {
+                let dims: Vec<usize> = (0..d).filter(|_| drv.next() % 2 == 0).collect();
+                let dims = if dims.is_empty() {
+                    vec![drv.below(d)]
+                } else {
+                    dims
+                };
+                let prefs: Vec<Preference> = dims
+                    .iter()
+                    .map(|_| {
+                        if drv.next() % 2 == 0 {
+                            Preference::Min
+                        } else {
+                            Preference::Max
+                        }
+                    })
+                    .collect();
+                let q = SkylineQuery::new("m")
+                    .dims(dims.iter().copied())
+                    .preference(prefs.iter().copied());
+                let a = off.execute(&q).expect("valid query");
+                let b = on.execute(&q).expect("valid query");
+                prop_assert_eq!(
+                    a.indices(),
+                    b.indices(),
+                    "op {}: dims {:?} plans {:?} / {:?}",
+                    op,
+                    dims,
+                    a.plan.strategy,
+                    b.plan.strategy
+                );
+                if plan_kind(&a.plan.strategy) != plan_kind(&b.plan.strategy) {
+                    diverged_plans += 1;
+                }
+            }
+        }
+    }
+    // Final full-space check, and the adaptive engine really adapted.
+    let a = off.execute(&SkylineQuery::new("m")).expect("valid");
+    let b = on.execute(&SkylineQuery::new("m")).expect("valid");
+    prop_assert_eq!(a.indices(), b.indices(), "final full-space state");
+    let stats = on.feedback_stats();
+    prop_assert!(stats.refits > 0, "the loop must actually have refitted");
+    // Plans are *allowed* to diverge (that is the loop working); the
+    // counter only documents it. Results never may.
+    let _ = diverged_plans;
+}
+
+fn plan_kind(s: &Strategy) -> PlanKind {
+    PlanKind::from(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn feedback_changes_plans_never_results(
+        d in 1usize..=4,
+        n0 in 0usize..=40,
+        ops in 8usize..=28,
+        seed in 0u64..=u64::MAX / 2,
+    ) {
+        check_equivalence(d, n0, ops, seed);
+    }
+}
