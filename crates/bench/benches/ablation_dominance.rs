@@ -1,13 +1,34 @@
 //! Ablation: dominance-test kernels (paper §VII-A2).
 //!
-//! The paper vectorises its DTs with AVX for 1.25–2× end-to-end speedups.
-//! Our stand-in is the branch-free 8-lane kernel; this bench reproduces
-//! the scalar-versus-vectorised comparison on raw DT throughput across
-//! dimensionalities, on pairs with *late* failure (worst case for the
-//! scalar early exit — the case vectorisation is for).
+//! The paper vectorises its DTs with AVX for 1.25–2× end-to-end
+//! speedups. This bench compares, on pairs with *late* failure (worst
+//! case for the scalar early exit — the case vectorisation is for):
+//!
+//! * `scalar` — early-exit one-vs-one loop;
+//! * `lanes` — the branch-free auto-vectorised one-vs-one kernel;
+//! * `simd` — the explicit one-vs-one kernel at the active level
+//!   (AVX2/SSE2/NEON; scalar when `SKYLINE_FORCE_SCALAR` is set);
+//! * `batch` — the batched one-vs-many tile scan (`TileStore`), the
+//!   shape the window loops actually run.
+//!
+//! Besides the criterion groups it prints one machine-readable line per
+//! dimensionality:
+//!
+//! ```text
+//! ABLATION_DOMINANCE level=avx2 d=8 window=512 scalar_ns=.. lanes_ns=.. simd_ns=.. batch_ns=.. batch_vs_lanes=..x
+//! ```
+//!
+//! (`*_ns` are per-DT nanoseconds; `batch_vs_lanes` is the speedup of
+//! the batched kernel over the `lanes` window scan.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use skyline_core::dominance::{dt, strictly_dominates, strictly_dominates_lanes};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skyline_core::dominance::{
+    dt,
+    simd::{self, TileStore},
+    strictly_dominates, strictly_dominates_lanes,
+};
 use skyline_data::Rng;
 
 /// Pairs where p ≤ q on every dimension except possibly the last —
@@ -27,8 +48,92 @@ fn late_failure_pairs(d: usize, count: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
         .collect()
 }
 
+/// A window-scan workload: `window` points scanned by each of `cands`
+/// candidates — the access pattern of SFS/Q-Flow Phase I. Window points
+/// model anticorrelated skyline members: better than every candidate on
+/// all dimensions except the last, where they collapse — so every
+/// dominance test fails *late* and every kernel runs the full scan (the
+/// worst case for early exits, the case vectorisation is for).
+fn window_workload(d: usize, window: usize, cands: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    let mut rng = Rng::seed_from(11);
+    let win: Vec<Vec<f32>> = (0..window)
+        .map(|_| {
+            let mut row: Vec<f32> = (0..d).map(|_| 0.5 * rng.next_f64() as f32).collect();
+            row[d - 1] = 2.0 + rng.next_f64() as f32;
+            row
+        })
+        .collect();
+    let cand: Vec<Vec<f32>> = (0..cands)
+        .map(|_| (0..d).map(|_| 0.6 + 0.4 * rng.next_f64() as f32).collect())
+        .collect();
+    (win, cand)
+}
+
+/// Mean nanoseconds per call of `f`, measured over a fixed budget.
+fn measure_ns(mut f: impl FnMut() -> usize) -> f64 {
+    // Warm up, then time enough rounds to dwarf timer overhead.
+    let mut sink = 0usize;
+    for _ in 0..3 {
+        sink = sink.wrapping_add(f());
+    }
+    let mut rounds = 0u32;
+    let started = Instant::now();
+    while started.elapsed().as_millis() < 200 {
+        sink = sink.wrapping_add(f());
+        rounds += 1;
+    }
+    black_box(sink);
+    started.elapsed().as_nanos() as f64 / rounds.max(1) as f64
+}
+
+/// Prints the machine-readable scalar/lanes/simd/batch summary for one
+/// dimensionality, returning the batch-vs-lanes speedup.
+fn summarize(d: usize, window: usize, cands: usize) -> f64 {
+    let (win, cand) = window_workload(d, window, cands);
+    let dts = (win.len() * cand.len()) as f64;
+
+    // All variants use window-scan (`any`) semantics so early-exit
+    // behaviour is compared like for like.
+    let scalar_ns = measure_ns(|| {
+        cand.iter()
+            .filter(|q| win.iter().any(|w| strictly_dominates(w, q)))
+            .count()
+    }) / dts;
+    let lanes_ns = measure_ns(|| {
+        cand.iter()
+            .filter(|q| win.iter().any(|w| strictly_dominates_lanes(w, q)))
+            .count()
+    }) / dts;
+    let simd_ns = measure_ns(|| {
+        cand.iter()
+            .filter(|q| win.iter().any(|w| simd::strictly_dominates(w, q)))
+            .count()
+    }) / dts;
+    let mut tiles = TileStore::with_capacity(d, win.len());
+    for w in &win {
+        tiles.push(w);
+    }
+    let batch_ns = measure_ns(|| {
+        let mut dts_ctr = 0u64;
+        cand.iter()
+            .filter(|q| tiles.any_dominates(q, &mut dts_ctr))
+            .count()
+    }) / dts;
+
+    let speedup = lanes_ns / batch_ns;
+    println!(
+        "ABLATION_DOMINANCE level={} d={d} window={window} \
+         scalar_ns={scalar_ns:.3} lanes_ns={lanes_ns:.3} simd_ns={simd_ns:.3} \
+         batch_ns={batch_ns:.3} batch_vs_lanes={speedup:.2}x",
+        simd::active_level().name(),
+    );
+    speedup
+}
+
 fn bench(c: &mut Criterion) {
     for d in [4usize, 8, 16] {
+        summarize(d, 512, 256);
+
         let pairs = late_failure_pairs(d, 4_096);
         let mut g = c.benchmark_group(format!("ablation_dominance_d{d}"));
         g.throughput(Throughput::Elements(pairs.len() as u64));
@@ -48,9 +153,21 @@ fn bench(c: &mut Criterion) {
                     .count()
             })
         });
+        g.bench_with_input(BenchmarkId::new("simd", d), &pairs, |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(p, q)| simd::strictly_dominates(p, q))
+                    .count()
+            })
+        });
         g.bench_with_input(BenchmarkId::new("dispatched", d), &pairs, |b, pairs| {
             b.iter(|| pairs.iter().filter(|(p, q)| dt(p, q)).count())
         });
+        // The batched one-vs-many kernel is compared in the
+        // `ABLATION_DOMINANCE` summary lines above: it needs a window
+        // workload (many points scanned per candidate), not independent
+        // pairs, to be measured fairly.
         g.finish();
     }
 }

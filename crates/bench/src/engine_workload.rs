@@ -273,6 +273,7 @@ fn feedback_phase(scale: Scale, threads: usize, n: usize, d: usize, gen_pool: &T
             refit_interval: Duration::from_millis(100),
             min_observations: 4,
             hysteresis: 0.15,
+            explore_every: 4,
         },
         ..EngineConfig::default()
     });

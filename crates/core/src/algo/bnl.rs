@@ -8,11 +8,15 @@
 //! Not part of the paper's evaluation (it is strictly dominated by SFS on
 //! main-memory workloads) but included as the classic baseline; it is also
 //! the only algorithm here that needs *two-way* dominance tests, since the
-//! input is unsorted.
+//! input is unsorted. The window lives in a [`TileStore`], whose
+//! [`offer`](TileStore::offer) runs both directions against 8 window
+//! points at a time with the batched SIMD compare (the window is mutually
+//! incomparable, so a dominator anywhere rules out evictions — one pass
+//! resolves the whole update).
 
 use std::time::Instant;
 
-use crate::dominance::{compare, DomRelation};
+use crate::dominance::simd::TileStore;
 use crate::{RunStats, SkylineConfig, SkylineResult};
 use skyline_data::Dataset;
 use skyline_parallel::ThreadPool;
@@ -22,41 +26,23 @@ pub fn run(data: &Dataset, _pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineR
     let started = Instant::now();
     let mut stats = RunStats::default();
     let mut dts: u64 = 0;
-    let mut window: Vec<u32> = Vec::new();
+    let mut window = TileStore::new(data.dims());
+    let mut ids: Vec<u32> = Vec::new();
 
     for i in 0..data.len() {
         let p = data.row(i);
-        let mut dominated = false;
-        let mut k = 0;
-        while k < window.len() {
-            let w = data.row(window[k] as usize);
-            dts += 1;
-            match compare(w, p) {
-                DomRelation::PDominatesQ => {
-                    // Window point dominates p: discard p. Self-organise
-                    // the window by promoting the successful pruner
-                    // towards the front (classic BNL heuristic).
-                    dominated = true;
-                    if k > 0 {
-                        window.swap(k, k / 2);
-                    }
-                    break;
-                }
-                DomRelation::QDominatesP => {
-                    // p dominates the window point: evict it. swap_remove
-                    // keeps the scan position valid.
-                    window.swap_remove(k);
-                }
-                DomRelation::Equal | DomRelation::Incomparable => k += 1,
-            }
-        }
+        let dominated = window.offer(p, &mut dts, |evicted| {
+            // Mirror the store's swap_remove so ids track lanes.
+            ids.swap_remove(evicted);
+        });
         if !dominated {
-            window.push(i as u32);
+            window.push(p);
+            ids.push(i as u32);
         }
     }
 
     stats.dominance_tests = dts;
-    SkylineResult::finish(window, stats, started)
+    SkylineResult::finish(ids, stats, started)
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use super::skystruct::SkyStructure;
 use crate::dominance::dt;
+use crate::dominance::simd::{TileStore, TILE_LANES};
 use crate::masks::{can_dominate, full_mask, level, mask_and_eq, CompoundKey, Mask};
 use crate::norms::f32_order_bits;
 use crate::pivot::select_pivot;
@@ -177,14 +178,38 @@ pub fn run_with_progress(
         let survivors = compress(&mut ws, blk_start, blk_len, &flags);
         clock.lap(&mut stats.compress);
 
-        // Phase II: compareToPeers (Algorithm 4).
+        // Phase II: compareToPeers (Algorithm 4). The compressed
+        // survivors are tiled once so the same-partition loop (the one
+        // with no mask filter to hide behind) can run the batched
+        // kernel — but only when the block actually contains a
+        // same-partition run long enough to batch (one O(survivors)
+        // pass over the sorted masks); fine-grained blocks skip the
+        // build and keep the scalar loop.
         reset_flags(&flags, survivors);
+        let tile_from = 2 * TILE_LANES;
+        let mut max_run = 0usize;
+        let mut run = 0usize;
+        for j in 0..survivors {
+            if j > 0 && ws.masks[blk_start + j] == ws.masks[blk_start + j - 1] {
+                run += 1;
+            } else {
+                run = 1;
+            }
+            max_run = max_run.max(run);
+        }
+        let tiled = max_run >= tile_from;
+        let mut peer_tiles = TileStore::with_capacity(d, if tiled { survivors } else { 0 });
+        if tiled {
+            for j in 0..survivors {
+                peer_tiles.push(ws.row(blk_start + j));
+            }
+        }
         {
-            let (ws, flags, counters) = (&ws, &flags, &counters);
+            let (ws, peer_tiles, flags, counters) = (&ws, &peer_tiles, &flags, &counters);
             parallel_for_in_lane(pool, survivors, 8, |lane, range| {
                 let mut dts = 0u64;
                 for r in range {
-                    if dominated_by_peers(ws, blk_start, r, flags, &mut dts) {
+                    if dominated_by_peers(ws, peer_tiles, blk_start, r, flags, &mut dts) {
                         flags[r].store(true, Ordering::Relaxed);
                     }
                 }
@@ -221,13 +246,20 @@ pub fn run_with_progress(
 ///
 /// The peer scan decomposes into three consecutive loops over the
 /// (level, mask, L1)-sorted block:
-/// 1. peers at strictly lower levels — mask filter, then DT;
+/// 1. peers at strictly lower levels — mask filter, then DT (scalar:
+///    the mask filter rejects most peers before any coordinate is
+///    read, which a gathered tile could not exploit);
 /// 2. peers at the same level but a different (smaller) mask — all
 ///    incomparable by Property 1, skipped wholesale;
-/// 3. peers in the same partition — full DTs.
+/// 3. peers in the same partition — full DTs; *long* runs are batched
+///    through `peer_tiles` (tile `t` holds survivors `8t..8t+8`, so
+///    the run `[i, me)` is covered by masked head/tail tiles and whole
+///    tiles in between), short runs stay scalar with per-peer early
+///    exit and flag skip.
 #[inline]
 fn dominated_by_peers(
     ws: &HybridWork,
+    peer_tiles: &TileStore,
     blk_start: usize,
     me: usize,
     flags: &[AtomicBool],
@@ -259,11 +291,18 @@ fn dominated_by_peers(
     while i < me && ws.masks[blk_start + i] != me_mask {
         i += 1;
     }
-    // Same partition: no assumption possible.
+    // Same partition: no assumption possible. Long runs go through the
+    // batched kernel (flagged peers are tested too; harmless by
+    // transitivity); short runs keep the scalar early exit.
+    if me - i >= 2 * TILE_LANES && !peer_tiles.is_empty() {
+        return peer_tiles.any_dominates_range(i, me, q, dts);
+    }
     while i < me {
-        *dts += 1;
-        if dt(ws.row(blk_start + i), q) {
-            return true;
+        if !flags[i].load(Ordering::Relaxed) {
+            *dts += 1;
+            if dt(ws.row(blk_start + i), q) {
+                return true;
+            }
         }
         i += 1;
     }

@@ -6,12 +6,16 @@
 //! there is no parallel Phase II: the block's survivors are resolved
 //! against each other *sequentially*, which caps scalability when blocks
 //! retain many survivors.
+//!
+//! Both the global skyline and the per-block survivor window are held as
+//! [`TileStore`] tiles, so every scan runs the batched one-vs-many SIMD
+//! kernel.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use crate::config::SortKey;
-use crate::dominance::dt;
+use crate::dominance::simd::TileStore;
 use crate::sorted::build_workset;
 use crate::stats::PhaseClock;
 use crate::{RunStats, SkylineConfig, SkylineResult};
@@ -31,7 +35,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
 
     let n = ws.len();
     let counters = LaneCounters::new(pool.threads());
-    let mut sky_values: Vec<f32> = Vec::new();
+    let mut sky_tiles = TileStore::new(d);
     let mut sky_orig: Vec<u32> = Vec::new();
     let flags: Vec<AtomicBool> = (0..alpha).map(|_| AtomicBool::new(false)).collect();
 
@@ -43,19 +47,16 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
             f.store(false, Ordering::Relaxed);
         }
 
-        // Parallel phase: prune against the known skyline.
+        // Parallel phase: prune against the known skyline (batched
+        // one-vs-many over the shared tiles).
         {
-            let (ws, sky_values, flags, counters) = (&ws, &sky_values, &flags, &counters);
+            let (ws, sky_tiles, flags, counters) = (&ws, &sky_tiles, &flags, &counters);
             parallel_for_in_lane(pool, blk_len, 16, |lane, range| {
                 let mut dts = 0u64;
                 for r in range {
                     let q = ws.row(blk_start + r);
-                    for s in sky_values.chunks_exact(d) {
-                        dts += 1;
-                        if dt(s, q) {
-                            flags[r].store(true, Ordering::Relaxed);
-                            break;
-                        }
+                    if sky_tiles.any_dominates(q, &mut dts) {
+                        flags[r].store(true, Ordering::Relaxed);
                     }
                 }
                 counters.add(lane, dts);
@@ -66,24 +67,23 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
         // Sequential resolution of the block's survivors (the "weaker"
         // part): a plain SFS window over the survivors.
         let mut dts = 0u64;
+        let mut block_tiles = TileStore::new(d);
         let mut block_sky: Vec<usize> = Vec::new(); // positions in ws
         #[allow(clippy::needless_range_loop)]
-        'surv: for r in 0..blk_len {
+        for r in 0..blk_len {
             if flags[r].load(Ordering::Relaxed) {
                 continue;
             }
             let q = ws.row(blk_start + r);
-            for &s in &block_sky {
-                dts += 1;
-                if dt(ws.row(s), q) {
-                    continue 'surv;
-                }
+            if block_tiles.any_dominates(q, &mut dts) {
+                continue;
             }
+            block_tiles.push(q);
             block_sky.push(blk_start + r);
         }
         counters.add(0, dts);
         for &s in &block_sky {
-            sky_values.extend_from_slice(ws.row(s));
+            sky_tiles.push(ws.row(s));
             sky_orig.push(ws.orig[s]);
         }
         clock.lap(&mut stats.phase2);

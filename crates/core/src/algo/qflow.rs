@@ -15,12 +15,21 @@
 //! * Survivors are appended to the global skyline; the sort order
 //!   guarantees no later point can dominate them, so results stream out
 //!   progressively and the skyline is always correct to within α points.
+//!
+//! The global skyline and each block's survivor set are held as
+//! [`TileStore`] tiles: Phase I tests a candidate against 8 skyline
+//! points per iteration with the batched SIMD kernel, and Phase II runs
+//! the peer-prefix scan the same way. Phase II no longer skips peers
+//! flagged by concurrent workers — testing a flagged (dominated) peer is
+//! harmless by transitivity of dominance, and the batched scan more than
+//! pays for the handful of redundant lane tests.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use crate::config::SortKey;
 use crate::dominance::dt;
+use crate::dominance::simd::TileStore;
 use crate::sorted::{build_workset, WorkSet};
 use crate::stats::PhaseClock;
 use crate::{RunStats, SkylineConfig, SkylineResult};
@@ -53,7 +62,7 @@ pub fn run_with_progress(
 
     let n = ws.len();
     let counters = LaneCounters::new(pool.threads());
-    let mut sky_values: Vec<f32> = Vec::new();
+    let mut sky_tiles = TileStore::new(d);
     let mut sky_orig: Vec<u32> = Vec::new();
     let flags: Vec<AtomicBool> = (0..alpha).map(|_| AtomicBool::new(false)).collect();
 
@@ -64,19 +73,16 @@ pub fn run_with_progress(
 
         // ---- Phase I: compare to known skyline points (Fig. 2a) -------
         {
-            let (ws, sky_values, flags, counters) = (&ws, &sky_values, &flags, &counters);
+            let (ws, sky_tiles, flags, counters) = (&ws, &sky_tiles, &flags, &counters);
             parallel_for_in_lane(pool, blk_len, 16, |lane, range| {
                 let mut dts = 0u64;
                 for r in range {
                     let q = ws.row(blk_start + r);
-                    // Identical iteration order to a sequential algorithm:
-                    // most-likely pruners (smallest L1) first.
-                    for s in sky_values.chunks_exact(d) {
-                        dts += 1;
-                        if dt(s, q) {
-                            flags[r].store(true, Ordering::Relaxed);
-                            break;
-                        }
+                    // Identical iteration order to a sequential algorithm
+                    // — most-likely pruners (smallest L1) first — at
+                    // 8-point tile granularity.
+                    if sky_tiles.any_dominates(q, &mut dts) {
+                        flags[r].store(true, Ordering::Relaxed);
                     }
                 }
                 counters.add(lane, dts);
@@ -89,24 +95,39 @@ pub fn run_with_progress(
 
         // ---- Phase II: compare to surviving peers (Fig. 2b) -----------
         reset_flags(&flags, survivors);
+        // Tile the (compressed, contiguous) survivors once — when the
+        // block kept enough of them for batching to pay; tiny blocks
+        // fall back to the scalar peer loop with its per-peer early
+        // exit and flag skip.
+        let tiled = survivors >= 2 * crate::dominance::simd::TILE_LANES;
+        let mut peer_tiles = TileStore::with_capacity(d, if tiled { survivors } else { 0 });
+        if tiled {
+            for j in 0..survivors {
+                peer_tiles.push(ws.row(blk_start + j));
+            }
+        }
         {
-            let (ws, flags, counters) = (&ws, &flags, &counters);
+            let (ws, peer_tiles, flags, counters) = (&ws, &peer_tiles, &flags, &counters);
             parallel_for_in_lane(pool, survivors, 8, |lane, range| {
                 let mut dts = 0u64;
                 for r in range {
                     let q = ws.row(blk_start + r);
-                    for j in 0..r {
-                        // Peers already flagged by concurrent Phase II work
-                        // can be skipped: their dominator chain terminates
-                        // at an unflagged earlier peer that we still test.
-                        if flags[j].load(Ordering::Relaxed) {
-                            continue;
-                        }
-                        dts += 1;
-                        if dt(ws.row(blk_start + j), q) {
-                            flags[r].store(true, Ordering::Relaxed);
-                            break;
-                        }
+                    let dominated = if tiled {
+                        peer_tiles.any_dominates_first(r, q, &mut dts)
+                    } else {
+                        (0..r).any(|j| {
+                            // Peers flagged by concurrent Phase II work
+                            // can be skipped: their dominator chain
+                            // ends at an unflagged earlier peer.
+                            if flags[j].load(Ordering::Relaxed) {
+                                return false;
+                            }
+                            dts += 1;
+                            dt(ws.row(blk_start + j), q)
+                        })
+                    };
+                    if dominated {
+                        flags[r].store(true, Ordering::Relaxed);
                     }
                 }
                 counters.add(lane, dts);
@@ -116,8 +137,9 @@ pub fn run_with_progress(
 
         let confirmed = compress_block(&mut ws, blk_start, survivors, &flags);
         // Append the compressed block to the global skyline.
-        let row_range = blk_start * d..(blk_start + confirmed) * d;
-        sky_values.extend_from_slice(&ws.values[row_range]);
+        for j in 0..confirmed {
+            sky_tiles.push(ws.row(blk_start + j));
+        }
         let first_new = sky_orig.len();
         sky_orig.extend_from_slice(&ws.orig[blk_start..blk_start + confirmed]);
         clock.lap(&mut stats.compress);

@@ -6,10 +6,14 @@
 //! point can only be dominated by an *earlier* point, and every survivor
 //! is immediately known to be a skyline point, so the window is exactly
 //! the skyline-so-far and only one dominance direction is ever tested.
+//!
+//! The window is held as a [`TileStore`] of transposed 8-point tiles, so
+//! each scan step tests the candidate against 8 window points with the
+//! batched SIMD kernel instead of 8 one-vs-one row scans.
 
 use std::time::Instant;
 
-use crate::dominance::dt;
+use crate::dominance::simd::TileStore;
 use crate::sorted::build_workset;
 use crate::stats::PhaseClock;
 use crate::{RunStats, SkylineConfig, SkylineResult};
@@ -28,14 +32,15 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
 
     let mut dts: u64 = 0;
     let mut sky: Vec<u32> = Vec::new(); // positions into ws, ascending
-    'points: for i in 0..ws.len() {
+    let mut window = TileStore::new(data.dims());
+    for i in 0..ws.len() {
         let p = ws.row(i);
-        for &s in &sky {
-            dts += 1;
-            if dt(ws.row(s as usize), p) {
-                continue 'points;
-            }
+        // Sort order means insertion order is "most likely pruners
+        // first"; the tile scan preserves it at 8-lane granularity.
+        if window.any_dominates(p, &mut dts) {
+            continue;
         }
+        window.push(p);
         sky.push(i as u32);
     }
     clock.lap(&mut stats.phase1);

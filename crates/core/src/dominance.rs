@@ -6,19 +6,29 @@
 //!
 //! * [`strictly_dominates`] — early-exit scalar test of Definition 2
 //!   (`p ≺ q ⟺ ∀i p[i] ≤ q[i] ∧ ∃i p[i] < q[i]`);
-//! * [`strictly_dominates_lanes`] — a branch-free 8-lane form of the same
-//!   test written so that LLVM auto-vectorises it, standing in for the
-//!   paper's hand-written AVX kernels (§VII-A2, "8-degree data-level
-//!   parallelism");
+//! * [`strictly_dominates_lanes`] — a branch-free 8-lane form of the
+//!   same test that LLVM auto-vectorises; it is the portable fallback
+//!   behind the explicit kernels in [`simd`] and the scalar baseline the
+//!   ablation bench compares against;
+//! * [`simd`] — the real hardware-acceleration layer: explicit AVX2 /
+//!   SSE2 / NEON implementations of the paper's hand-written vectorized
+//!   DT (§VII-A2, "8-degree data-level parallelism") behind one-time
+//!   runtime CPU dispatch, plus the batched one-vs-many
+//!   [`DtBlock`](simd::DtBlock)/[`TileStore`](simd::TileStore) tiles the
+//!   window scans consume;
 //! * [`dominates_or_equal`] — potential dominance `p ⪯ q` (Definition 1);
 //! * [`compare`] — both directions in one pass, for the window algorithms
 //!   (BNL) that need them simultaneously.
 //!
-//! All algorithms route through [`dt`], which picks a kernel by
-//! dimensionality — exactly as the paper gives the *same* optimised DT to
-//! every algorithm "for a fair comparison". The ablation bench
+//! All algorithms route through [`dt`] (or through [`simd::TileStore`]
+//! windows, which batch the same test), so every algorithm gets the same
+//! optimised DT — exactly as the paper demands "for a fair comparison".
+//! Set `SKYLINE_FORCE_SCALAR=1` to pin the process to the portable
+//! kernels (see [`simd::active_level`]). The ablation bench
 //! `ablation_dominance` reproduces the scalar-versus-vectorised
 //! comparison.
+
+pub mod simd;
 
 /// Outcome of a two-way comparison; see [`compare`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +92,16 @@ pub fn strictly_dominates_lanes(p: &[f32], q: &[f32]) -> bool {
 
 /// The dispatching DT used by every algorithm: lane kernel once a full
 /// 8-block exists, scalar below that.
+///
+/// The one-vs-one path deliberately stays on the *inlineable*
+/// [`strictly_dominates_lanes`] rather than the explicit
+/// [`simd::strictly_dominates`]: `#[target_feature]` kernels cannot
+/// inline into ordinary callers, and the measured dispatch-call cost
+/// (~1.5 ns/DT on AVX2) exceeds what explicit vectorisation buys over
+/// LLVM's codegen of the lanes form (see the `ABLATION_DOMINANCE`
+/// summary: `lanes` vs `simd` columns). The explicit kernels win where
+/// the call is amortised — the batched [`simd::TileStore`] window
+/// scans, which is where the hot loops live.
 #[inline]
 pub fn dt(p: &[f32], q: &[f32]) -> bool {
     if p.len() >= 8 {
@@ -131,13 +151,14 @@ pub fn strictly_dominates_on_pref(p: &[f32], q: &[f32], dims: &[usize], max_mask
     debug_assert_eq!(p.len(), q.len());
     let mut lt = false;
     for &d in dims {
-        // On a maximised dimension "p better than q" means p[d] > q[d];
-        // swapping the operands reuses the minimising comparisons.
-        let (a, b) = if max_mask & (1 << d) != 0 {
-            (q[d], p[d])
-        } else {
-            (p[d], q[d])
-        };
+        // Negating an IEEE-754 float is a sign-bit flip, so the
+        // maximised-dimension direction folds into an XOR on the bits —
+        // branch-free — instead of an operand swap the predictor pays
+        // for. `simd::DtBlock::set_lane_pref` applies the same
+        // `flip_pref` once at tile-build time.
+        let flip = max_mask & (1 << d) != 0;
+        let a = simd::flip_pref(p[d], flip);
+        let b = simd::flip_pref(q[d], flip);
         if a > b {
             return false;
         }
@@ -147,10 +168,15 @@ pub fn strictly_dominates_on_pref(p: &[f32], q: &[f32], dims: &[usize], max_mask
 }
 
 /// Potential dominance `p ⪯ q` (Definition 1): `∀i p[i] ≤ q[i]`.
+/// Wide rows dispatch to the explicit SIMD kernel.
 #[inline]
 pub fn dominates_or_equal(p: &[f32], q: &[f32]) -> bool {
     debug_assert_eq!(p.len(), q.len());
-    p.iter().zip(q).all(|(a, b)| a <= b)
+    if p.len() >= 8 {
+        simd::dominates_or_equal(p, q)
+    } else {
+        p.iter().zip(q).all(|(a, b)| a <= b)
+    }
 }
 
 /// Coordinate-wise equality `p ≡ q`.
@@ -161,10 +187,14 @@ pub fn coincident(p: &[f32], q: &[f32]) -> bool {
 }
 
 /// Single-pass two-way comparison, for algorithms that need both
-/// directions (window maintenance in BNL).
+/// directions (window maintenance in BNL). Wide rows dispatch to the
+/// explicit SIMD kernel.
 #[inline]
 pub fn compare(p: &[f32], q: &[f32]) -> DomRelation {
     debug_assert_eq!(p.len(), q.len());
+    if p.len() >= 8 {
+        return simd::compare(p, q);
+    }
     let mut p_le = true;
     let mut q_le = true;
     for (a, b) in p.iter().zip(q) {

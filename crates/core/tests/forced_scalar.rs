@@ -1,0 +1,80 @@
+//! Dispatch behaviour of the SIMD layer: one process exercises *both*
+//! the forced-scalar dispatch path and the native kernels.
+//!
+//! This suite is a single `#[test]` on purpose: `active_level()` caches
+//! its decision in a `OnceLock`, so the environment variable must be in
+//! place before anything in the process touches the dispatcher, and no
+//! second test may race the first call. The native vector paths are
+//! still covered here — the `*_with(level)` kernels take an explicit
+//! level and bypass the override — so this binary proves scalar and
+//! native agree in the same process that pinned dispatch to scalar.
+
+use skyline_core::algo::Algorithm;
+use skyline_core::dominance::simd::{self, Level};
+use skyline_core::verify::naive_skyline;
+use skyline_core::SkylineConfig;
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+
+#[test]
+fn forced_scalar_dispatch_and_native_agree_in_one_process() {
+    // Must precede the first `active_level()` call in this process.
+    std::env::set_var("SKYLINE_FORCE_SCALAR", "1");
+    assert_eq!(
+        simd::active_level(),
+        Level::Scalar,
+        "SKYLINE_FORCE_SCALAR must pin dispatch to the scalar kernels"
+    );
+    // Detection still reports the hardware truth; the override only
+    // affects dispatch.
+    assert!(Level::available().contains(&simd::detected_level()));
+
+    // Every algorithm, running through the (now scalar) dispatcher,
+    // still produces the exact skyline.
+    let pool = ThreadPool::new(4);
+    let cfg = SkylineConfig::default();
+    for dist in [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::Anticorrelated,
+    ] {
+        let data = generate(dist, 1_500, 9, 23, &pool);
+        let expect = naive_skyline(&data);
+        for algo in Algorithm::ALL {
+            let r = algo.run(&data, &pool, &cfg);
+            assert_eq!(r.indices, expect, "{algo} under forced scalar ({dist:?})");
+        }
+    }
+
+    // And the native kernels (explicit level, bypassing the override)
+    // agree with the scalar dispatch bit-for-bit on hostile values.
+    let hostile = [
+        0.0f32,
+        -0.0,
+        1.0e-45,
+        f32::MIN_POSITIVE,
+        -1.0,
+        1.0,
+        1.0e30,
+        -1.0e30,
+    ];
+    let mut rng = 0x5CA1EDu64;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        hostile[(rng >> 33) as usize % hostile.len()]
+    };
+    for d in [1usize, 4, 8, 11, 16, 24] {
+        for _ in 0..500 {
+            let p: Vec<f32> = (0..d).map(|_| next()).collect();
+            let q: Vec<f32> = (0..d).map(|_| next()).collect();
+            let want = simd::strictly_dominates(&p, &q); // scalar dispatch
+            for lv in Level::available() {
+                assert_eq!(
+                    simd::strictly_dominates_with(lv, &p, &q),
+                    want,
+                    "{lv:?} disagrees with forced-scalar dispatch (d={d})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Cache-line/vector-register aligned buffers.
+//!
+//! The SIMD dominance kernels in `skyline-core` read transposed tiles
+//! with *aligned* vector loads (`_mm256_load_ps` and friends), which
+//! require the backing storage to start on a 32-byte boundary. A plain
+//! `Vec<f32>` only guarantees 4-byte alignment, so tiles allocate
+//! through [`AlignedF32`] instead: a fixed-length `f32` buffer whose
+//! first element is always 32-byte aligned.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// A fixed-length, heap-allocated `f32` buffer aligned to
+/// [`AlignedF32::ALIGN`] bytes (one AVX ymm register / half a cache
+/// line).
+///
+/// Dereferences to `[f32]`; the length is fixed at construction.
+///
+/// ```
+/// use skyline_data::AlignedF32;
+/// let buf = AlignedF32::filled(16, 0.5);
+/// assert_eq!(buf.len(), 16);
+/// assert_eq!(buf.as_ptr() as usize % AlignedF32::ALIGN, 0);
+/// assert!(buf.iter().all(|&v| v == 0.5));
+/// ```
+pub struct AlignedF32 {
+    ptr: NonNull<f32>,
+    len: usize,
+}
+
+// The buffer is uniquely owned; shared references only read it. This is
+// exactly the `Vec<f32>` contract with a different allocator call.
+unsafe impl Send for AlignedF32 {}
+unsafe impl Sync for AlignedF32 {}
+
+impl AlignedF32 {
+    /// Guaranteed alignment, in bytes, of the first element.
+    pub const ALIGN: usize = 32;
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<f32>(), Self::ALIGN)
+            .expect("aligned buffer layout")
+    }
+
+    /// Allocates a buffer of `len` elements, every one set to `value`.
+    pub fn filled(len: usize, value: f32) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0); the region is
+        // fully initialised below before any read.
+        let raw = unsafe { alloc(layout) } as *mut f32;
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        for i in 0..len {
+            // SAFETY: i < len, within the fresh allocation.
+            unsafe { ptr.as_ptr().add(i).write(value) };
+        }
+        Self { ptr, len }
+    }
+
+    /// The buffer as an immutable slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: ptr/len describe an owned, initialised allocation.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The buffer as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as above, plus unique access through `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedF32 {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated in `filled` with the identical layout.
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Clone for AlignedF32 {
+    fn clone(&self) -> Self {
+        let mut out = Self::filled(self.len, 0.0);
+        out.as_mut_slice().copy_from_slice(self.as_slice());
+        out
+    }
+}
+
+impl Deref for AlignedF32 {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedF32 {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for AlignedF32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedF32")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for AlignedF32 {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_holds_across_sizes() {
+        for len in [1usize, 7, 8, 64, 1000] {
+            let buf = AlignedF32::filled(len, 1.25);
+            assert_eq!(buf.as_ptr() as usize % AlignedF32::ALIGN, 0, "len {len}");
+            assert_eq!(buf.len(), len);
+            assert!(buf.iter().all(|&v| v == 1.25));
+        }
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        let buf = AlignedF32::filled(0, 9.0);
+        assert!(buf.is_empty());
+        let cloned = buf.clone();
+        assert!(cloned.is_empty());
+    }
+
+    #[test]
+    fn clone_copies_and_stays_aligned() {
+        let mut buf = AlignedF32::filled(12, 0.0);
+        for (i, v) in buf.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let cloned = buf.clone();
+        assert_eq!(cloned, buf);
+        assert_eq!(cloned.as_ptr() as usize % AlignedF32::ALIGN, 0);
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut buf = AlignedF32::filled(4, 0.0);
+        buf[2] = 7.0;
+        assert_eq!(&buf[..], &[0.0, 0.0, 7.0, 0.0]);
+    }
+}

@@ -9,16 +9,20 @@
 //!   skyline generator (correlated / independent / anticorrelated), plus a
 //!   calibration blend;
 //! * [`quantize`] — grid rounding to break the distinct-value condition;
-//! * [`RealDataset`] — NBA / HOUSE / WEATHER loaders and stand-ins.
+//! * [`RealDataset`] — NBA / HOUSE / WEATHER loaders and stand-ins;
+//! * [`AlignedF32`] — 32-byte-aligned `f32` buffers backing the SIMD
+//!   dominance tiles in `skyline-core`.
 
 #![warn(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod aligned;
 mod dataset;
 mod generator;
 mod realdata;
 mod rng;
 
+pub use aligned::AlignedF32;
 pub use dataset::{DataError, Dataset, Preference};
 pub use generator::{generate, quantize, Distribution};
 pub use realdata::{load_csv, write_csv, RealDataset};

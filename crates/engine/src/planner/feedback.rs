@@ -55,6 +55,20 @@
 //! with fewer than [`FeedbackConfig::min_observations`] samples are
 //! ignored entirely.
 //!
+//! ### Exploration
+//!
+//! The α fitter can only compare block sizes that plans actually ran
+//! with — and plans run with the incumbent α, so without intervention
+//! the evidence never widens. Every
+//! [`FeedbackConfig::explore_every`]-th refit therefore *perturbs* the
+//! incumbent block size by one log₂ step (direction alternating on a
+//! deterministic exploration counter — no wall clock, no randomness),
+//! installs the perturbed value for exactly one refit interval, and
+//! rolls it back at the next refit. Observations gathered under the
+//! perturbed α land in their own bucket, so later fits see at least two
+//! block sizes and can move the override on evidence (under the usual
+//! hysteresis band). Set `explore_every` to 0 to disable.
+//!
 //! ### The Clock seam
 //!
 //! All of the above is driven through the [`Clock`] trait rather than
@@ -91,6 +105,11 @@ pub struct FeedbackConfig {
     /// this fraction to win a bucket. `0.15` means "at least 15 %
     /// faster or it's a tie".
     pub hysteresis: f32,
+    /// Every this-many-th refit perturbs the incumbent α by ±1 log₂
+    /// step for one refit interval, so the fitter sees block sizes
+    /// other than the one plans keep running with (see the module docs,
+    /// "Exploration"). `0` disables exploration.
+    pub explore_every: u32,
 }
 
 impl Default for FeedbackConfig {
@@ -100,6 +119,7 @@ impl Default for FeedbackConfig {
             refit_interval: Duration::from_secs(2),
             min_observations: 16,
             hysteresis: 0.15,
+            explore_every: 8,
         }
     }
 }
@@ -214,6 +234,8 @@ const TINY_N_BOUNDS: (usize, usize) = (64, 1 << 15);
 const SMALL_N_BOUNDS: (usize, usize) = (256, 1 << 17);
 const DENSE_FRAC_BOUNDS: (f32, f32) = (0.01, 0.95);
 const DELTA_CAP_BOUNDS: (usize, usize) = (16, 4096);
+/// log₂ bounds exploration keeps a perturbed α within (64 .. 1 Mi).
+const ALPHA_LOG2_BOUNDS: (u8, u8) = (6, 20);
 
 fn n_bucket(n: usize) -> u8 {
     (usize::BITS - 1).saturating_sub(n.leading_zeros()).min(62) as u8
@@ -293,6 +315,8 @@ pub struct FeedbackStats {
     pub refits: u64,
     /// Fit passes that actually changed the live config.
     pub installs: u64,
+    /// α explorations performed (each lasts one refit interval).
+    pub explorations: u64,
     /// Distinct aggregate buckets currently held.
     pub buckets: usize,
 }
@@ -309,6 +333,11 @@ pub struct FeedbackLoop {
     observations: AtomicU64,
     refits: AtomicU64,
     installs: AtomicU64,
+    explorations: AtomicU64,
+    /// Saved pre-exploration α overrides `[qflow, hybrid]`: `Some(v)`
+    /// means an exploration is standing and `v` must be restored at the
+    /// next refit.
+    explore_restore: Mutex<[Option<Option<usize>>; 2]>,
 }
 
 impl FeedbackLoop {
@@ -322,6 +351,8 @@ impl FeedbackLoop {
             observations: AtomicU64::new(0),
             refits: AtomicU64::new(0),
             installs: AtomicU64::new(0),
+            explorations: AtomicU64::new(0),
+            explore_restore: Mutex::new([None, None]),
         }
     }
 
@@ -388,14 +419,63 @@ impl FeedbackLoop {
     }
 
     fn run_fit(&self, planner: &Planner) -> bool {
-        self.refits.fetch_add(1, Ordering::Relaxed);
+        let refit_no = self.refits.fetch_add(1, Ordering::Relaxed);
         let current = planner.config();
-        let fitted = self.fit(&current);
+        // Roll back a standing exploration first, so a perturbed α
+        // lives exactly one refit interval and never becomes the
+        // incumbent by inertia; the fit below re-adopts it only if the
+        // gathered evidence is decisive.
+        let mut base = (*current).clone();
+        {
+            let mut restore = self
+                .explore_restore
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(saved) = restore[0].take() {
+                base.alpha_qflow = saved;
+            }
+            if let Some(saved) = restore[1].take() {
+                base.alpha_hybrid = saved;
+            }
+        }
+        let mut fitted = self.fit(&base);
+        self.maybe_explore(&mut fitted, refit_no);
         let changed = planner.install(fitted);
         if changed {
             self.installs.fetch_add(1, Ordering::Relaxed);
         }
         changed
+    }
+
+    /// Every `explore_every`-th refit, perturbs the incumbent α of each
+    /// parallel algorithm by one log₂ step (direction alternating on
+    /// the exploration counter — fully deterministic) and remembers the
+    /// value to restore at the next refit.
+    fn maybe_explore(&self, fitted: &mut PlannerConfig, refit_no: u64) {
+        let every = self.cfg.explore_every as u64;
+        if every == 0 || (refit_no + 1) % every != 0 {
+            return;
+        }
+        let buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let qflow = incumbent_alpha_bucket(&buckets, Algorithm::QFlow);
+        let hybrid = incumbent_alpha_bucket(&buckets, Algorithm::Hybrid);
+        drop(buckets);
+        if qflow.is_none() && hybrid.is_none() {
+            return; // nothing observed yet — nothing to explore around
+        }
+        let up = self.explorations.fetch_add(1, Ordering::Relaxed) % 2 == 0;
+        let mut restore = self
+            .explore_restore
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(b) = qflow {
+            restore[0] = Some(fitted.alpha_qflow);
+            fitted.alpha_qflow = Some(1usize << perturbed_bucket(b, up));
+        }
+        if let Some(b) = hybrid {
+            restore[1] = Some(fitted.alpha_hybrid);
+            fitted.alpha_hybrid = Some(1usize << perturbed_bucket(b, up));
+        }
     }
 
     /// Activity counters.
@@ -404,6 +484,7 @@ impl FeedbackLoop {
             observations: self.observations.load(Ordering::Relaxed),
             refits: self.refits.load(Ordering::Relaxed),
             installs: self.installs.load(Ordering::Relaxed),
+            explorations: self.explorations.load(Ordering::Relaxed),
             buckets: self.buckets.lock().unwrap_or_else(|e| e.into_inner()).len(),
         }
     }
@@ -591,6 +672,33 @@ fn fit_dense_frac(snapshot: &[(BucketKey, Aggregate)], current: f32, band: f64) 
     }
 }
 
+/// The block-size bucket `algo` plans have mostly been running with
+/// (ties break to the smaller α for determinism). Unlike the fitter
+/// this reads *all* buckets — exploration wants to know what runs, not
+/// what is statistically settled.
+fn incumbent_alpha_bucket(buckets: &HashMap<BucketKey, Aggregate>, algo: Algorithm) -> Option<u8> {
+    let mut acc: HashMap<u8, u64> = HashMap::new();
+    for (key, agg) in buckets {
+        if key.kind == PlanKind::Algo(algo) && key.alpha_log2 != NONE_BUCKET {
+            *acc.entry(key.alpha_log2).or_default() += agg.count;
+        }
+    }
+    acc.into_iter()
+        .max_by(|(a, x), (b, y)| x.cmp(y).then(b.cmp(a)))
+        .map(|(b, _)| b)
+}
+
+/// One log₂ step away from `bucket`, clamped to [`ALPHA_LOG2_BOUNDS`].
+fn perturbed_bucket(bucket: u8, up: bool) -> u8 {
+    if up {
+        (bucket + 1).clamp(ALPHA_LOG2_BOUNDS.0, ALPHA_LOG2_BOUNDS.1)
+    } else {
+        bucket
+            .saturating_sub(1)
+            .clamp(ALPHA_LOG2_BOUNDS.0, ALPHA_LOG2_BOUNDS.1)
+    }
+}
+
 /// Fits an α override for `algo`: the observed block-size bucket with
 /// the best per-row throughput, provided it decisively beats the
 /// block size plans have mostly been running with.
@@ -702,6 +810,7 @@ mod tests {
                 refit_interval: Duration::from_secs(1),
                 min_observations: min_obs,
                 hysteresis: 0.15,
+                explore_every: 0, // fitter tests want pure fits
             },
             Arc::clone(&clock) as Arc<dyn Clock>,
         );
@@ -1083,5 +1192,139 @@ mod tests {
         let stats = fb.stats();
         assert_eq!(stats.observations, (MAX_BUCKETS + 64) as u64);
         assert!(stats.buckets <= MAX_BUCKETS);
+    }
+
+    fn exploring_loop(every: u32) -> FeedbackLoop {
+        FeedbackLoop::new(
+            FeedbackConfig {
+                enabled: true,
+                refit_interval: Duration::from_secs(1),
+                min_observations: 1,
+                hysteresis: 0.15,
+                explore_every: every,
+            },
+            ManualClock::shared() as Arc<dyn Clock>,
+        )
+    }
+
+    #[test]
+    fn exploration_perturbs_then_rolls_back_and_alternates() {
+        let fb = exploring_loop(2);
+        let planner = Planner::default();
+        // All observed plans ran Q-Flow at α = 1024 (bucket 10): the
+        // fitter alone can never move the override.
+        feed(
+            &fb,
+            obs(
+                PlanKind::Algo(Algorithm::QFlow),
+                100_000,
+                Some(0.1),
+                Some(1024),
+                500,
+            ),
+            8,
+        );
+        // Refit #0: (0+1) % 2 ≠ 0 — no exploration, no override.
+        fb.refit_now(&planner);
+        assert_eq!(planner.config().alpha_qflow, None);
+        // Refit #1: explores up → 2048 installed for one interval.
+        fb.refit_now(&planner);
+        assert_eq!(planner.config().alpha_qflow, Some(2048));
+        assert_eq!(fb.stats().explorations, 1);
+        // Refit #2: rolls the exploration back.
+        fb.refit_now(&planner);
+        assert_eq!(planner.config().alpha_qflow, None);
+        // Refit #3: explores again, the other direction → 512.
+        fb.refit_now(&planner);
+        assert_eq!(planner.config().alpha_qflow, Some(512));
+        assert_eq!(fb.stats().explorations, 2);
+        // Hybrid was never observed, so it is never perturbed.
+        assert_eq!(planner.config().alpha_hybrid, None);
+    }
+
+    #[test]
+    fn exploration_evidence_lets_the_fitter_adopt_a_better_alpha() {
+        let fb = exploring_loop(2);
+        let planner = Planner::default();
+        feed(
+            &fb,
+            obs(
+                PlanKind::Algo(Algorithm::QFlow),
+                100_000,
+                Some(0.1),
+                Some(1024),
+                500,
+            ),
+            8,
+        );
+        fb.refit_now(&planner); // #0
+        fb.refit_now(&planner); // #1: explores → 2048
+        assert_eq!(planner.config().alpha_qflow, Some(2048));
+        // The explored block size turns out decisively faster.
+        feed(
+            &fb,
+            obs(
+                PlanKind::Algo(Algorithm::QFlow),
+                100_000,
+                Some(0.1),
+                Some(2048),
+                100,
+            ),
+            8,
+        );
+        // Refit #2: rollback happens first, but the fitter now has two
+        // buckets and adopts 2048 on the evidence.
+        fb.refit_now(&planner);
+        assert_eq!(planner.config().alpha_qflow, Some(2048));
+    }
+
+    #[test]
+    fn exploration_disabled_and_unobserved_cases_are_inert() {
+        let fb = exploring_loop(0);
+        let planner = Planner::default();
+        feed(
+            &fb,
+            obs(
+                PlanKind::Algo(Algorithm::QFlow),
+                100_000,
+                Some(0.1),
+                Some(1024),
+                500,
+            ),
+            8,
+        );
+        for _ in 0..6 {
+            fb.refit_now(&planner);
+        }
+        assert_eq!(fb.stats().explorations, 0);
+        assert_eq!(planner.config().alpha_qflow, None);
+        // With exploration on but no α observations at all, every
+        // exploration tick is a no-op too.
+        let fb = exploring_loop(1);
+        feed(
+            &fb,
+            obs(PlanKind::Algo(Algorithm::Sfs), 5_000, Some(0.1), None, 500),
+            8,
+        );
+        for _ in 0..4 {
+            fb.refit_now(&planner);
+        }
+        assert_eq!(fb.stats().explorations, 0);
+    }
+
+    #[test]
+    fn perturbation_respects_bounds() {
+        assert_eq!(perturbed_bucket(10, true), 11);
+        assert_eq!(perturbed_bucket(10, false), 9);
+        assert_eq!(
+            perturbed_bucket(ALPHA_LOG2_BOUNDS.1, true),
+            ALPHA_LOG2_BOUNDS.1
+        );
+        assert_eq!(
+            perturbed_bucket(ALPHA_LOG2_BOUNDS.0, false),
+            ALPHA_LOG2_BOUNDS.0
+        );
+        // Below-bounds incumbents are pulled back into range.
+        assert_eq!(perturbed_bucket(2, true), ALPHA_LOG2_BOUNDS.0);
     }
 }

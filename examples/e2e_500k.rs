@@ -1,0 +1,47 @@
+//! End-to-end timing of the core algorithms on the standard 500k-point
+//! workload (best of 3 per cell) — the harness used to validate that
+//! the SIMD dominance layer moves whole-algorithm runtimes, not just
+//! kernel microbenchmarks. Run it before and after touching the DT
+//! path:
+//!
+//! ```text
+//! cargo run --release --example e2e_500k
+//! ```
+
+use skyline_core::{algo::Algorithm, SkylineConfig};
+use skyline_data::{generate, Distribution};
+use skyline_parallel::ThreadPool;
+use std::time::Instant;
+
+fn main() {
+    let gen_pool = ThreadPool::new(2);
+    for (dist, d) in [
+        (Distribution::Independent, 8usize),
+        (Distribution::Correlated, 12),
+        (Distribution::Anticorrelated, 6),
+    ] {
+        let data = generate(dist, 500_000, d, 42, &gen_pool);
+        for algo in [
+            Algorithm::QFlow,
+            Algorithm::Hybrid,
+            Algorithm::Sfs,
+            Algorithm::Bnl,
+        ] {
+            let pool = ThreadPool::new(2);
+            let cfg = SkylineConfig::tuned(data.len(), 2);
+            // Warm once, then best of 3.
+            let mut best = f64::INFINITY;
+            let mut sky = 0usize;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let r = algo.run(&data, &pool, &cfg);
+                best = best.min(t0.elapsed().as_secs_f64());
+                sky = r.indices.len();
+            }
+            println!(
+                "E2E dist={dist:?} n=500000 d={d} algo={} best_s={best:.3} sky={sky}",
+                algo.name()
+            );
+        }
+    }
+}

@@ -33,6 +33,10 @@ fn feedback_engine(threads: usize) -> (Engine, Arc<ManualClock>) {
                 refit_interval: REFIT_INTERVAL,
                 min_observations: 8,
                 hysteresis: 0.15,
+                // These tests pin the migration cadence exactly;
+                // exploration is covered by the planner unit tests and
+                // the equivalence property suite.
+                explore_every: 0,
             },
             ..EngineConfig::default()
         },

@@ -82,6 +82,9 @@ fn check_equivalence(d: usize, n0: usize, ops: usize, seed: u64) {
                 refit_interval: Duration::from_millis(1),
                 min_observations: 1,
                 hysteresis: 0.0,
+                // Maximum churn: explore on every refit. Results must
+                // still match the feedback-off engine exactly.
+                explore_every: 1,
             },
             ..base
         },
