@@ -4,6 +4,7 @@
 //! ```text
 //! skybench <experiment> [--scale laptop|paper] [--threads N]
 //!                       [--update-frac F] [--feedback]
+//!                       [--tenants N] [--qps-cap Q]
 //!
 //! experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!              table1 table2 table3 engine all
@@ -15,6 +16,13 @@
 //!                   phase: run the workload cold across several epochs
 //!                   with the planner feedback loop enabled and report
 //!                   plan-choice drift and before/after latency
+//! --tenants N       append the `engine` experiment's admission phase:
+//!                   1 high-priority tenant races N-1 low-priority
+//!                   flooders through the session front door; per class
+//!                   a machine-readable ADMISSION line reports queue-
+//!                   wait p50/p99 and rejection rates (needs N >= 2)
+//! --qps-cap Q       per-flooder submission-rate cap in the admission
+//!                   phase (default 256/s)
 //! ```
 
 use skyline_bench::experiments::ExpCtx;
@@ -22,7 +30,8 @@ use skyline_bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F] [--feedback]\n\
+        "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F] \
+         [--feedback] [--tenants N] [--qps-cap Q]\n\
          experiments: {}",
         ExpCtx::ALL_EXPERIMENTS.join(" ")
     );
@@ -39,12 +48,30 @@ fn main() {
     let mut threads = skyline_parallel::available_threads();
     let mut update_frac = 0.3f64;
     let mut feedback = false;
+    let mut tenants = 0usize;
+    let mut qps_cap = 256u32;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--feedback" => {
                 feedback = true;
+            }
+            "--tenants" => {
+                i += 1;
+                tenants = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &usize| t >= 2)
+                    .unwrap_or_else(|| usage());
+            }
+            "--qps-cap" => {
+                i += 1;
+                qps_cap = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&q: &u32| q > 0)
+                    .unwrap_or_else(|| usage());
             }
             "--update-frac" => {
                 i += 1;
@@ -87,6 +114,8 @@ fn main() {
     let mut ctx = ExpCtx::new(scale, threads);
     ctx.update_frac = update_frac;
     ctx.feedback = feedback;
+    ctx.tenants = tenants;
+    ctx.qps_cap = qps_cap;
     if !ctx.run(&experiment) {
         eprintln!("unknown experiment '{experiment}'");
         usage();

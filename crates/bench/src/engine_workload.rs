@@ -9,11 +9,22 @@
 //! feedback-enabled engine across several cold epochs and reports
 //! **plan-choice drift** (which queries the re-fitted thresholds
 //! re-routed) and before/after latency.
+//!
+//! With `--tenants N`, an **admission-control phase** drives the
+//! session front door: one high-priority tenant issues closed-loop
+//! queries while `N − 1` low-priority tenants (each capped at
+//! `--qps-cap` submissions/s) flood the queue. Per class it prints a
+//! machine-readable `ADMISSION` line — queue-wait percentiles and
+//! rejection rates — showing the flood cannot starve high-priority
+//! latency.
 
 use std::time::{Duration, Instant};
 
 use skyline_data::{generate, Distribution, Preference};
-use skyline_engine::{Engine, EngineConfig, FeedbackConfig, SkylineQuery, Strategy};
+use skyline_engine::{
+    Engine, EngineConfig, EngineError, FeedbackConfig, Priority, SessionOptions, SkylineQuery,
+    Strategy,
+};
 use skyline_parallel::ThreadPool;
 
 use crate::{fmt_secs, print_table, Scale};
@@ -65,8 +76,17 @@ impl Lcg {
 
 /// Runs the engine workload at `scale` on `threads` lanes, with
 /// `update_frac` of the mixed phase's operations being mutations;
-/// `feedback` appends the adaptive-planning phase.
-pub fn run(scale: Scale, threads: usize, update_frac: f64, feedback: bool) {
+/// `feedback` appends the adaptive-planning phase and `tenants >= 2`
+/// the multi-tenant admission-control phase (flooders capped at
+/// `qps_cap` submissions/s).
+pub fn run(
+    scale: Scale,
+    threads: usize,
+    update_frac: f64,
+    feedback: bool,
+    tenants: usize,
+    qps_cap: u32,
+) {
     let (n, d) = scale.default_workload();
     let d = d.max(4);
     let engine = Engine::with_config(EngineConfig {
@@ -257,6 +277,204 @@ pub fn run(scale: Scale, threads: usize, update_frac: f64, feedback: bool) {
     if feedback {
         feedback_phase(scale, threads, n, d, &gen_pool);
     }
+    if tenants >= 2 {
+        admission_phase(scale, threads, n, d, &gen_pool, tenants, qps_cap);
+    }
+}
+
+/// Queue-wait samples and rejection counts for one priority class.
+#[derive(Default)]
+struct ClassReport {
+    waits: Vec<Duration>,
+    submitted: u64,
+    rejected_queue: u64,
+    rejected_quota: u64,
+    expired: u64,
+}
+
+/// Percentile over an ascending-sorted sample (zero when empty).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    match sorted.len() {
+        0 => Duration::ZERO,
+        n => sorted[((n - 1) as f64 * p).round() as usize],
+    }
+}
+
+/// The admission-control phase: one closed-loop high-priority tenant
+/// versus a low-priority flood, on a cache-disabled engine so every
+/// query really computes and the queue actually fills.
+fn admission_phase(
+    scale: Scale,
+    threads: usize,
+    n: usize,
+    d: usize,
+    gen_pool: &ThreadPool,
+    tenants: usize,
+    qps_cap: u32,
+) {
+    // No result cache: hits would short-circuit admission and the
+    // phase would measure nothing. A small queue keeps rejections
+    // observable at smoke scale.
+    let engine = Engine::with_config(EngineConfig {
+        threads,
+        cache_bytes: 0,
+        admission: skyline_engine::AdmissionConfig {
+            queue_capacity: 64,
+            ..Default::default()
+        },
+        ..EngineConfig::default()
+    });
+    engine.register(
+        "serve",
+        generate(Distribution::Independent, n, d, 77, gen_pool),
+    );
+    let floods = tenants - 1;
+    let per_flood: usize = match scale {
+        Scale::Smoke => 150,
+        Scale::Laptop => 600,
+        Scale::Paper => 2_000,
+    };
+    let vip_total = (per_flood / 4).max(20);
+    println!(
+        "\n## admission phase — 1 high-priority tenant vs {floods} low-priority flooder(s) \
+         (qps cap {qps_cap}/s each, {per_flood} submissions each, cache off)\n"
+    );
+
+    /// A rotating spread of subspace queries so plans vary.
+    fn query_for(k: usize, d: usize) -> SkylineQuery {
+        match k % 4 {
+            0 => SkylineQuery::new("serve"),
+            1 => SkylineQuery::new("serve").dims(0..d.min(3)),
+            2 => SkylineQuery::new("serve").dims([0, d - 1]),
+            _ => SkylineQuery::new("serve").dims([1, 2]),
+        }
+    }
+
+    let started = Instant::now();
+    let (vip_report, flood_report) = std::thread::scope(|scope| {
+        // The flood: open-loop bursts of low-priority submissions, each
+        // tenant rate-capped; tickets are awaited in chunks.
+        let mut flood_handles = Vec::new();
+        for f in 0..floods {
+            let engine = &engine;
+            flood_handles.push(scope.spawn(move || {
+                let session = engine.open_session(
+                    SessionOptions::new(format!("bulk{f}"))
+                        .priority(Priority::Low)
+                        .qps_cap(qps_cap),
+                );
+                let mut report = ClassReport::default();
+                let mut inflight = Vec::new();
+                for k in 0..per_flood {
+                    report.submitted += 1;
+                    match session.submit(&query_for(k, d)) {
+                        Ok(ticket) => inflight.push(ticket),
+                        Err(EngineError::Rejected(reason)) => {
+                            use skyline_engine::RejectReason::*;
+                            match reason {
+                                QueueFull { .. } => report.rejected_queue += 1,
+                                QuotaExceeded { .. } => report.rejected_quota += 1,
+                                Shutdown => unreachable!("engine is live"),
+                            }
+                        }
+                        Err(e) => panic!("unexpected flood error: {e}"),
+                    }
+                    if inflight.len() >= 32 {
+                        for ticket in inflight.drain(..) {
+                            match ticket.wait() {
+                                Ok(_) => report.waits.push(
+                                    ticket.queue_wait().expect("terminal tickets report waits"),
+                                ),
+                                Err(EngineError::DeadlineExceeded) => report.expired += 1,
+                                Err(e) => panic!("unexpected flood outcome: {e}"),
+                            }
+                        }
+                    }
+                }
+                for ticket in inflight {
+                    if ticket.wait().is_ok() {
+                        report
+                            .waits
+                            .push(ticket.queue_wait().expect("terminal tickets report waits"));
+                    }
+                }
+                report
+            }));
+        }
+
+        // The VIP: closed-loop high-priority requests racing the flood.
+        let vip_handle = scope.spawn(|| {
+            let session = engine.open_session(SessionOptions::new("vip").priority(Priority::High));
+            let mut report = ClassReport::default();
+            for k in 0..vip_total {
+                report.submitted += 1;
+                match session.submit(&query_for(k, d)) {
+                    Ok(ticket) => match ticket.wait() {
+                        Ok(_) => report
+                            .waits
+                            .push(ticket.queue_wait().expect("terminal tickets report waits")),
+                        Err(e) => panic!("unexpected vip outcome: {e}"),
+                    },
+                    Err(e) => panic!("vip submissions are never rejected here: {e}"),
+                }
+            }
+            report
+        });
+
+        let mut flood_report = ClassReport::default();
+        for h in flood_handles {
+            let r = h.join().expect("flood thread");
+            flood_report.waits.extend(r.waits);
+            flood_report.submitted += r.submitted;
+            flood_report.rejected_queue += r.rejected_queue;
+            flood_report.rejected_quota += r.rejected_quota;
+            flood_report.expired += r.expired;
+        }
+        (vip_handle.join().expect("vip thread"), flood_report)
+    });
+    let elapsed = started.elapsed();
+
+    let print_class = |class: &str, tenants: u64, mut report: ClassReport| -> Duration {
+        let rejected = report.rejected_queue + report.rejected_quota;
+        report.waits.sort_unstable();
+        let p50 = percentile(&report.waits, 0.50);
+        let p99 = percentile(&report.waits, 0.99);
+        println!(
+            "ADMISSION class={class} tenants={tenants} submitted={} completed={} \
+             rejected_queue={} rejected_quota={} rejected_rate={:.3} \
+             p50_wait_us={} p99_wait_us={}",
+            report.submitted,
+            report.waits.len(),
+            report.rejected_queue,
+            report.rejected_quota,
+            rejected as f64 / report.submitted.max(1) as f64,
+            p50.as_micros(),
+            p99.as_micros(),
+        );
+        p99
+    };
+    let vip_p99 = print_class("high", 1, vip_report);
+    let flood_p99 = print_class("low", floods as u64, flood_report);
+    println!(
+        "\nadmission phase: {} total on {} lanes — high-priority p99 queue wait {} vs \
+         low-priority p99 {} under flood",
+        fmt_secs(elapsed),
+        engine.threads(),
+        fmt_secs(vip_p99),
+        fmt_secs(flood_p99),
+    );
+    let stats = engine.session_stats();
+    println!(
+        "sessions: {} admitted, {} cache short-circuits, {} completed, {} expired, \
+         {} queue-full + {} quota rejections",
+        stats.submitted,
+        stats.short_circuits,
+        stats.completed,
+        stats.deadline_expired,
+        stats.rejected_queue_full,
+        stats.rejected_quota,
+    );
+    engine.shutdown();
 }
 
 /// The adaptive-planning phase: a feedback-enabled engine replans the

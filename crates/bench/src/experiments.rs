@@ -30,6 +30,13 @@ pub struct ExpCtx {
     /// Whether the `engine` experiment appends the adaptive-planning
     /// feedback phase (plan drift + before/after latency).
     pub feedback: bool,
+    /// Tenants of the `engine` experiment's admission-control phase
+    /// (1 high-priority + the rest low-priority flooders); below 2 the
+    /// phase is skipped.
+    pub tenants: usize,
+    /// Per-flooder submission-rate cap (per second) in the admission
+    /// phase.
+    pub qps_cap: u32,
     pools: HashMap<usize, Arc<ThreadPool>>,
     cache: WorkloadCache,
 }
@@ -42,6 +49,8 @@ impl ExpCtx {
             threads: threads.max(1),
             update_frac: 0.3,
             feedback: false,
+            tenants: 0,
+            qps_cap: 256,
             pools: HashMap::new(),
             cache: WorkloadCache::new(),
         }
@@ -81,6 +90,8 @@ impl ExpCtx {
                 self.threads,
                 self.update_frac,
                 self.feedback,
+                self.tenants,
+                self.qps_cap,
             ),
             "all" => {
                 for e in Self::ALL_EXPERIMENTS {

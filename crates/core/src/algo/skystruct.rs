@@ -10,11 +10,19 @@
 //! incomparability filter during Phase I without recursion or trees.
 
 use crate::dominance::dt;
+use crate::dominance::simd::{TileStore, TILE_LANES};
 use crate::masks::{can_dominate, full_mask, mask_and_eq, Mask};
 
 /// Sentinel mask terminating `M(S)` (the paper uses `2^d`; any value that
 /// can never equal a real level-1 mask works).
 const SENTINEL: Mask = Mask::MAX;
+
+/// Partitions at least this long are scanned through the batched tile
+/// kernels instead of the masked scalar loop. Below it the level-2 mask
+/// filter (which rejects most members before any coordinate is read)
+/// wins; above it the one-vs-many vector scan amortizes the filter it
+/// gives up — the same crossover Hybrid Phase II uses for its peer runs.
+const TILE_GATE: usize = 2 * TILE_LANES;
 
 /// Contiguous skyline storage plus the two-level partition map `M(S)`.
 #[derive(Debug)]
@@ -23,6 +31,10 @@ pub(crate) struct SkyStructure {
     full: Mask,
     /// Skyline rows, row-major, in append order.
     values: Vec<f32>,
+    /// The same rows tiled for the batched one-vs-many scans (tile `t`
+    /// holds rows `8t..8t+8`), kept in lockstep with `values` so a
+    /// partition's span maps directly to a tile range.
+    tiles: TileStore,
     /// Stored mask per row: level-2 (relative to the partition's first
     /// point) for members, level-1 for the partition pivots themselves —
     /// whose stored mask is never consulted (Algorithm 3 reaches pivots
@@ -40,6 +52,7 @@ impl SkyStructure {
             d,
             full: full_mask(d),
             values: Vec::new(),
+            tiles: TileStore::new(d),
             masks: Vec::new(),
             orig: Vec::new(),
             parts: vec![(SENTINEL, 0)],
@@ -103,6 +116,7 @@ impl SkyStructure {
                 self.parts.push((m, i));
             }
             self.values.extend_from_slice(row);
+            self.tiles.push(row);
             self.orig.push(block_orig[j]);
         }
         self.parts.push((SENTINEL, self.orig.len() as u32));
@@ -114,7 +128,11 @@ impl SkyStructure {
     /// Partitions whose mask cannot dominate `q_mask` are skipped whole;
     /// within a partition, `q` is first re-partitioned against the pivot
     /// (one DT — detecting pivot dominance for free) and the resulting
-    /// level-2 mask filters the members.
+    /// level-2 mask filters the members. Partitions of [`TILE_GATE`] or
+    /// more rows skip the re-partitioning entirely and run the batched
+    /// tile scan over the whole span (pivot included) instead — every
+    /// member is tested, but 8 lanes per compare beat the per-member
+    /// filter once the span is long.
     pub fn dominates(&self, q: &[f32], q_mask: Mask, dts: &mut u64) -> bool {
         for w in self.parts.windows(2) {
             let (m, s) = w[0];
@@ -123,6 +141,12 @@ impl SkyStructure {
                 continue;
             }
             let s = s as usize;
+            if t as usize - s >= TILE_GATE {
+                if self.tiles.any_dominates_range(s, t as usize, q, dts) {
+                    return true;
+                }
+                continue;
+            }
             let pivot = self.row(s);
             *dts += 1;
             let (m2, eq) = mask_and_eq(q, pivot);
@@ -234,6 +258,48 @@ mod tests {
         // (0.55, 0.55) opens partition 11 and keeps its level-1 mask.
         assert_eq!(sky.masks[5], 0b11);
         assert_eq!(sky.parts[3], (0b11, 5));
+    }
+
+    #[test]
+    fn long_partitions_run_the_tiled_scan_and_agree_with_brute_force() {
+        // 40 mutually incomparable points share level-1 mask 0b01
+        // (x ≥ pivot.x, y < pivot.y), so the partition span crosses
+        // TILE_GATE and Phase-I probes take the batched branch. Every
+        // decision must match the scalar brute force, including the
+        // coincident and boundary cases the masked loop handles.
+        let pivot = vec![0.5f32, 0.5];
+        let n = 40usize;
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![0.5 + i as f32 * 0.01, 0.4 - i as f32 * 0.01])
+            .collect();
+        let values: Vec<f32> = rows.iter().flatten().copied().collect();
+        let masks = vec![0b01 as Mask; n];
+        let orig: Vec<u32> = (0..n as u32).collect();
+        let mut sky = SkyStructure::new(2);
+        let mut dts = 0;
+        sky.append_block(&values, &masks, &orig, &mut dts);
+        assert_eq!(sky.partitions(), 1);
+        assert!(n >= super::TILE_GATE);
+
+        let mut queries: Vec<Vec<f32>> = vec![
+            vec![0.7, 0.39],  // dominated by rows 1..=20
+            vec![0.5, 0.395], // better y than row 0 — not dominated
+            vec![0.55, 0.35], // coincident with row 5 — not dominated
+            vec![0.49, 0.6],  // other region, incomparable
+            vec![0.995, 0.005],
+        ];
+        for row in &rows {
+            // Nudged copies of every stored row, both directions.
+            queries.push(vec![row[0] + 0.001, row[1] + 0.001]);
+            queries.push(vec![row[0] - 0.001, row[1] - 0.001]);
+        }
+        for q in &queries {
+            let q_mask = partition_mask(q, &pivot);
+            let mut dts = 0;
+            let got = sky.dominates(q, q_mask, &mut dts);
+            let want = (0..sky.len()).any(|i| crate::dominance::strictly_dominates(sky.row(i), q));
+            assert_eq!(got, want, "q = {q:?}");
+        }
     }
 
     #[test]

@@ -25,8 +25,16 @@
 //! dataset serves every cached projection. All index lists are kept
 //! sorted ascending — the invariant the engine's cache relies on.
 
+use crate::dominance::simd::{flip_pref, TileStore, TILE_LANES};
 use crate::dominance::strictly_dominates_on_pref;
 use skyline_data::Dataset;
+
+/// Inserted-batch size from which [`insert_points`] gathers the cached
+/// skyline into pref-folded [`TileStore`] tiles (two tiles' worth of
+/// points): building the tiles costs one pass over the skyline, so the
+/// batch must be long enough to amortize it before the 8-lane scans pay
+/// off. Below it the scalar per-point kernel wins.
+pub const BATCH_TILE_MIN: usize = 2 * TILE_LANES;
 
 /// Random access to the points a skyline's indices refer to.
 ///
@@ -89,6 +97,58 @@ pub fn insert_point<R: RowSource + ?Sized>(
     let at = skyline.partition_point(|&s| s < id);
     skyline.insert(at, id);
     InsertOutcome::Joined { evicted }
+}
+
+/// Offers a batch of points to a skyline maintained over `dims` under
+/// `max_mask`, updating `skyline` in place — semantically identical to
+/// calling [`insert_point`] for each id of `inserted` in order.
+///
+/// Batches of [`BATCH_TILE_MIN`] or more points are routed through the
+/// batched dominance kernels: the cached skyline is gathered **once**
+/// into pref-folded [`TileStore`] tiles (projection and `Max` flips
+/// folded into the stored lanes), and each new point then runs one
+/// two-way tile [`offer`](TileStore::offer) — the dominated test and
+/// the eviction scan in a single 8-lane pass — instead of two scalar
+/// scans. Survivors are appended to the tiles so dominance among the
+/// batch's own points resolves exactly as the sequential kernel would.
+pub fn insert_points<R: RowSource + ?Sized>(
+    rows: &R,
+    skyline: &mut Vec<u32>,
+    inserted: &[u32],
+    dims: &[usize],
+    max_mask: u32,
+) {
+    if inserted.len() < BATCH_TILE_MIN {
+        for &id in inserted {
+            insert_point(rows, skyline, id, dims, max_mask);
+        }
+        return;
+    }
+    let d = dims.len();
+    let mut store = TileStore::with_capacity(d, skyline.len() + inserted.len());
+    for &s in skyline.iter() {
+        store.push_pref(rows.point_of(s), dims, max_mask);
+    }
+    // `members` mirrors the store's point order (swap_remove keeps the
+    // two in lockstep), so positions always map back to stable ids.
+    let mut members = std::mem::take(skyline);
+    let mut q = vec![0.0f32; d];
+    let mut dts = 0u64;
+    for &id in inserted {
+        let p = rows.point_of(id);
+        for (slot, &c) in q.iter_mut().zip(dims) {
+            *slot = flip_pref(p[c], max_mask & (1 << c) != 0);
+        }
+        let dominated = store.offer(&q, &mut dts, |i| {
+            members.swap_remove(i);
+        });
+        if !dominated {
+            store.push(&q);
+            members.push(id);
+        }
+    }
+    members.sort_unstable();
+    *skyline = members;
 }
 
 /// Removes `removed` rows from a skyline over `dims`/`max_mask` and
@@ -166,8 +226,9 @@ pub fn remove_points<R: RowSource + ?Sized>(
 ///
 /// `live` enumerates the rows alive after the batch **excluding**
 /// `inserted` (i.e. the surviving pre-batch rows); the inserted rows
-/// are then offered one at a time, so dominance among the batch's own
-/// points resolves exactly as a recomputation would.
+/// are then offered in order via [`insert_points`] (batched through the
+/// tile kernels when the batch is large), so dominance among the
+/// batch's own points resolves exactly as a recomputation would.
 pub fn apply_delta<R: RowSource + ?Sized>(
     rows: &R,
     live: impl IntoIterator<Item = u32>,
@@ -182,9 +243,7 @@ pub fn apply_delta<R: RowSource + ?Sized>(
     } else {
         remove_points(rows, live, skyline, removed, dims, max_mask)
     };
-    for &id in inserted {
-        insert_point(rows, &mut sky, id, dims, max_mask);
-    }
+    insert_points(rows, &mut sky, inserted, dims, max_mask);
     sky
 }
 
@@ -261,6 +320,60 @@ mod tests {
             InsertOutcome::Joined { evicted: vec![0] }
         );
         assert_eq!(sky, vec![1]);
+    }
+
+    #[test]
+    fn insert_points_matches_sequential_insert_point_across_the_gate() {
+        // The batched tile path must be indistinguishable from the
+        // scalar loop for every batch size straddling BATCH_TILE_MIN,
+        // under subspaces and Max preferences, including batches whose
+        // own points dominate each other and coincident duplicates.
+        let mut state = 0xbadc0de_u64 ^ 0x9e3779b97f4a7c15;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for d in [2usize, 3, 4] {
+            let dims: Vec<usize> = (0..d).collect();
+            let sub: Vec<usize> = (0..d).step_by(2).collect();
+            for max_mask in [0u32, 0b10 & ((1 << d) - 1)] {
+                for batch in [
+                    1usize,
+                    BATCH_TILE_MIN - 1,
+                    BATCH_TILE_MIN,
+                    BATCH_TILE_MIN + 9,
+                    40,
+                ] {
+                    let n0 = 30;
+                    let mut rows: Vec<Vec<f32>> = (0..n0 + batch)
+                        .map(|_| (0..d).map(|_| (rng() % 7) as f32).collect())
+                        .collect();
+                    // A coincident duplicate inside the batch.
+                    if batch >= 2 {
+                        rows[n0 + 1] = rows[n0].clone();
+                    }
+                    let data = Dataset::from_rows(&rows).unwrap();
+                    for dims in [&dims[..], &sub[..]] {
+                        // Seed skyline: sequential inserts of the base rows.
+                        let mut seed: Vec<u32> = Vec::new();
+                        for id in 0..n0 as u32 {
+                            insert_point(&data, &mut seed, id, dims, max_mask);
+                        }
+                        let ids: Vec<u32> = (n0 as u32..(n0 + batch) as u32).collect();
+                        let mut scalar = seed.clone();
+                        for &id in &ids {
+                            insert_point(&data, &mut scalar, id, dims, max_mask);
+                        }
+                        let mut batched = seed.clone();
+                        insert_points(&data, &mut batched, &ids, dims, max_mask);
+                        assert_eq!(
+                            batched, scalar,
+                            "d={d} mask={max_mask:#b} batch={batch} dims={dims:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

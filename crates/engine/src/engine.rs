@@ -1,5 +1,7 @@
-//! The engine: catalog + planner + cache + shared thread pool.
+//! The engine: catalog + planner + cache + shared thread pool, fronted
+//! by the [session](crate::session) layer's admission queue.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -16,6 +18,9 @@ use crate::planner::feedback::{
 };
 use crate::planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
 use crate::query::{QueryResult, SkylineQuery};
+use crate::session::{
+    AdmissionConfig, Session, SessionOptions, SessionRuntime, SessionStats, TicketState,
+};
 
 /// Construction-time knobs for [`Engine`].
 #[derive(Debug, Clone)]
@@ -37,6 +42,10 @@ pub struct EngineConfig {
     /// recorded and the planner thresholds re-fitted from them, and at
     /// what cadence. Disabled by default.
     pub feedback: FeedbackConfig,
+    /// The session layer's admission queue: per-class capacity, batch
+    /// size per dispatch pass, and whether a background dispatcher
+    /// thread runs.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +56,7 @@ impl Default for EngineConfig {
             compact_fraction: 0.25,
             planner: PlannerConfig::default(),
             feedback: FeedbackConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -121,14 +131,33 @@ pub struct MutationReport {
 /// ```
 #[derive(Debug)]
 pub struct Engine {
-    pool: Arc<ThreadPool>,
-    catalog: Catalog,
-    cache: ResultCache,
-    planner: Planner,
-    compact_fraction: f32,
+    shared: Arc<EngineShared>,
+    sessions: Arc<SessionRuntime>,
+    /// The engine's own session, backing the blocking
+    /// [`execute`](Engine::execute)/[`execute_batch`](Engine::execute_batch)
+    /// wrappers: anonymous tenant, [`Priority::Normal`](crate::Priority::Normal),
+    /// no quotas.
+    direct: Session,
+}
+
+/// Everything the engine's execution paths touch, shared between the
+/// public [`Engine`] handle, its [`Session`]s and tickets, and the
+/// dispatcher thread.
+#[derive(Debug)]
+pub(crate) struct EngineShared {
+    pub(crate) pool: Arc<ThreadPool>,
+    pub(crate) catalog: Catalog,
+    pub(crate) cache: ResultCache,
+    pub(crate) planner: Planner,
+    pub(crate) compact_fraction: f32,
     /// Present iff [`FeedbackConfig::enabled`]: records completed
     /// queries and periodically re-fits the planner's thresholds.
-    feedback: Option<Arc<FeedbackLoop>>,
+    pub(crate) feedback: Option<Arc<FeedbackLoop>>,
+    /// The engine's time source: drives deadline expiry, quota windows,
+    /// and the feedback loop's measurements. A
+    /// [`ManualClock`](crate::ManualClock) makes all three
+    /// deterministic under test.
+    pub(crate) clock: Arc<dyn Clock>,
 }
 
 impl Default for Engine {
@@ -137,14 +166,26 @@ impl Default for Engine {
     }
 }
 
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Close admission and drain whatever is queued, so the
+        // dispatcher thread exits and every outstanding ticket reaches
+        // a terminal outcome. Idempotent after an explicit shutdown.
+        self.sessions.shutdown(&self.shared);
+    }
+}
+
 /// A query resolved against the catalog and canonicalised, ready to
-/// probe the cache or execute.
-struct Prepared {
-    entry: Arc<DatasetEntry>,
-    key: CacheKey,
-    dims: Vec<usize>,
-    max_mask: u32,
-    limit: Option<usize>,
+/// probe the cache or execute. Holds the dataset entry `Arc` — an
+/// immutable snapshot — so a queued ticket observes a consistent
+/// version no matter what mutations land while it waits.
+#[derive(Debug)]
+pub(crate) struct Prepared {
+    pub(crate) entry: Arc<DatasetEntry>,
+    pub(crate) key: CacheKey,
+    pub(crate) dims: Vec<usize>,
+    pub(crate) max_mask: u32,
+    pub(crate) limit: Option<usize>,
 }
 
 impl Engine {
@@ -182,20 +223,78 @@ impl Engine {
         let feedback = cfg
             .feedback
             .enabled
-            .then(|| Arc::new(FeedbackLoop::new(cfg.feedback, clock)));
-        Self {
+            .then(|| Arc::new(FeedbackLoop::new(cfg.feedback, Arc::clone(&clock))));
+        let shared = Arc::new(EngineShared {
             pool,
             catalog: Catalog::new(),
             cache: ResultCache::new(cfg.cache_bytes),
             planner: Planner::new(cfg.planner),
             compact_fraction: cfg.compact_fraction,
             feedback,
+            clock,
+        });
+        let sessions = Arc::new(SessionRuntime::new(cfg.admission));
+        sessions.spawn_worker(&shared);
+        let direct = Session::open_internal(&shared, &sessions, SessionOptions::new(""));
+        Self {
+            shared,
+            sessions,
+            direct,
         }
     }
 
     /// Lanes of the shared pool.
     pub fn threads(&self) -> usize {
-        self.pool.threads()
+        self.shared.threads()
+    }
+
+    /// Opens a [`Session`] for a tenant: the non-blocking submission
+    /// surface with priority classes, quotas, and tickets. See the
+    /// [`session`](crate::session) module for the full walkthrough.
+    pub fn open_session(&self, options: SessionOptions) -> Session {
+        Session::open(&self.shared, &self.sessions, options)
+    }
+
+    /// [`open_session`](Self::open_session) with default options:
+    /// normal priority, no quotas.
+    pub fn session(&self, tenant: impl Into<String>) -> Session {
+        self.open_session(SessionOptions::new(tenant))
+    }
+
+    /// Closes admission and drains the queue: submissions from this
+    /// point are rejected with
+    /// [`RejectReason::Shutdown`](crate::RejectReason::Shutdown), while
+    /// every ticket already admitted runs to a terminal outcome before
+    /// this returns. Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        self.sessions.shutdown(&self.shared);
+    }
+
+    /// Runs one dispatch pass on the calling thread: pops up to
+    /// [`AdmissionConfig::max_batch`] tickets (highest priority class
+    /// first) and executes them. Returns how many tickets terminated.
+    /// The deterministic-dispatch primitive for engines configured with
+    /// [`AdmissionConfig::background_dispatcher`] `= false`.
+    pub fn pump(&self) -> usize {
+        self.sessions.dispatch_batch(&self.shared)
+    }
+
+    /// Dispatches until the admission queue is empty, returning how
+    /// many tickets terminated.
+    pub fn dispatch_now(&self) -> usize {
+        let mut n = 0;
+        loop {
+            let step = self.pump();
+            if step == 0 {
+                return n;
+            }
+            n += step;
+        }
+    }
+
+    /// Admission-queue activity counters.
+    pub fn session_stats(&self) -> SessionStats {
+        self.sessions.stats()
     }
 
     /// Registers (or replaces) a dataset under `name`, precomputing
@@ -204,8 +303,11 @@ impl Engine {
     /// result of older versions (results a concurrent query already
     /// computed against the *new* version survive).
     pub fn register(&self, name: &str, data: Dataset) -> u64 {
-        let entry = self.catalog.register(name, data, &self.pool);
-        self.cache.purge_dataset_below(entry.id(), entry.version());
+        let shared = &self.shared;
+        let entry = shared.catalog.register(name, data, &shared.pool);
+        shared
+            .cache
+            .purge_dataset_below(entry.id(), entry.version());
         entry.version()
     }
 
@@ -242,10 +344,11 @@ impl Engine {
         inserts: &[Vec<f32>],
         deletes: &[u32],
     ) -> Result<MutationReport, EngineError> {
+        let shared = &self.shared;
         if inserts.is_empty() && deletes.is_empty() {
             // An empty batch must not bump the version (that would
             // orphan every cached result for nothing).
-            let entry = self
+            let entry = shared
                 .catalog
                 .get(name)
                 .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
@@ -258,23 +361,27 @@ impl Engine {
                 cache_dropped: 0,
             });
         }
-        let out = self
-            .catalog
-            .mutate(name, inserts, deletes, &self.pool, self.compact_fraction)?;
+        let out = shared.catalog.mutate(
+            name,
+            inserts,
+            deletes,
+            &shared.pool,
+            shared.compact_fraction,
+        )?;
         let (patched, dropped) = if out.compacted {
-            let dropped = self
+            let dropped = shared
                 .cache
                 .purge_dataset_below(out.entry.id(), out.entry.version());
             (0, dropped)
         } else {
-            let (patched, dropped) = self.patch_cache_forward(&out);
+            let (patched, dropped) = shared.patch_cache_forward(&out);
             // Entries older than the delta log's reach can never be
             // patched again; stop them squatting in the budget.
             let horizon = out
                 .entry
                 .oldest_delta_version()
                 .unwrap_or_else(|| out.entry.version());
-            let rotated = self.cache.purge_dataset_below(out.entry.id(), horizon);
+            let rotated = shared.cache.purge_dataset_below(out.entry.id(), horizon);
             (patched, dropped + rotated)
         };
         Ok(MutationReport {
@@ -287,12 +394,153 @@ impl Engine {
         })
     }
 
+    /// Removes a dataset; its cached results are dropped too. Returns
+    /// whether it was registered.
+    pub fn evict(&self, name: &str) -> bool {
+        match self.shared.catalog.evict(name) {
+            Some(entry) => {
+                self.shared.cache.purge_dataset(entry.id());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The catalog entry for `name`, if registered.
+    pub fn dataset(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.shared.catalog.get(name)
+    }
+
+    /// Names, versions, and live cardinalities of all registered
+    /// datasets.
+    pub fn datasets(&self) -> Vec<(String, u64, usize)> {
+        self.shared.catalog.list()
+    }
+
+    /// Cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The feedback loop, when enabled. Tests and tooling use it to
+    /// inject synthetic observations and inspect the aggregates.
+    pub fn feedback(&self) -> Option<&Arc<FeedbackLoop>> {
+        self.shared.feedback.as_ref()
+    }
+
+    /// Feedback activity counters; all zero when feedback is disabled.
+    pub fn feedback_stats(&self) -> FeedbackStats {
+        self.shared
+            .feedback
+            .as_ref()
+            .map(|fb| fb.stats())
+            .unwrap_or_default()
+    }
+
+    /// Forces a feedback refit right now, ignoring the cadence.
+    /// Returns whether the planner's live thresholds changed; always
+    /// `false` when feedback is disabled.
+    pub fn refit_feedback(&self) -> bool {
+        self.shared
+            .feedback
+            .as_ref()
+            .is_some_and(|fb| fb.refit_now(&self.shared.planner))
+    }
+
+    /// A consistent snapshot of the planner's live thresholds (the
+    /// fitted config once feedback has installed one).
+    pub fn planner_config(&self) -> Arc<PlannerConfig> {
+        self.shared.planner.config()
+    }
+
+    /// Plans a query without executing it (introspection; no cache
+    /// probe beyond the prior-version lookup, no side effects beyond
+    /// the planner's sampling pass).
+    pub fn plan(&self, query: &SkylineQuery) -> Result<QueryPlan, EngineError> {
+        let prepared = self.shared.prepare(query)?;
+        Ok(self.shared.plan_prepared(&prepared, self.threads()))
+    }
+
+    /// Executes one query and blocks for its result.
+    ///
+    /// A thin submit-and-wait wrapper over the [session
+    /// layer](crate::session): the query goes through the engine's own
+    /// session (anonymous tenant, normal priority, no quotas), so cache
+    /// hits are answered at submission and misses take one trip through
+    /// the admission queue. Equivalent to
+    /// `engine.session("").submit(query)?.wait()`.
+    pub fn execute(&self, query: &SkylineQuery) -> Result<QueryResult, EngineError> {
+        self.submit_direct_blocking(query)?.wait()
+    }
+
+    /// Submits through the engine's own session, absorbing transient
+    /// `QueueFull` backpressure by helping drain the queue — the
+    /// blocking wrappers must not surface a rejection the caller never
+    /// opted into. (Quota rejections cannot occur: the direct session
+    /// bypasses quota enforcement, even if a user session caps the
+    /// same tenant name. Shutdown still surfaces.)
+    fn submit_direct_blocking(
+        &self,
+        query: &SkylineQuery,
+    ) -> Result<crate::session::QueryTicket, EngineError> {
+        loop {
+            match self.direct.submit(query) {
+                Ok(ticket) => return Ok(ticket),
+                Err(EngineError::Rejected(crate::error::RejectReason::QueueFull { .. })) => {
+                    if self.pump() == 0 {
+                        // The dispatcher owns everything queued; give
+                        // it a moment to free a slot.
+                        std::thread::yield_now();
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Executes a batch of queries and returns per-query results in
+    /// order: every query is submitted through the engine's own session
+    /// first, then the tickets are awaited together.
+    ///
+    /// Scheduling (inside the dispatcher's batch core): cache hits are
+    /// answered at submission; misses whose plan is sequential
+    /// (BNL/SFS/BSkyTree/min-scan/delta) run **next to each other**,
+    /// one query per lane, so the pool is saturated by inter-query
+    /// parallelism; misses with parallel plans (Q-Flow/Hybrid) then run
+    /// one at a time, each spanning the whole pool. Either way the pool
+    /// is never oversubscribed.
+    ///
+    /// Each query is planned once and probes the cache once for the
+    /// effectiveness counters; the extra de-duplication re-probe before
+    /// a plan runs (an identical earlier query in the batch may have
+    /// filled the cache already) is uncounted.
+    pub fn execute_batch(&self, queries: &[SkylineQuery]) -> Vec<Result<QueryResult, EngineError>> {
+        // Blocking submission: a batch larger than the queue capacity
+        // drains itself instead of partially failing.
+        let tickets: Vec<Result<crate::session::QueryTicket, EngineError>> = queries
+            .iter()
+            .map(|q| self.submit_direct_blocking(q))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|ticket| ticket.and_then(|t| t.wait()))
+            .collect()
+    }
+}
+
+impl EngineShared {
+    /// Lanes of the shared pool.
+    pub(crate) fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
     /// Carries cached results of the pre-mutation version forward to
-    /// the new one. Insert-only deltas are cheap (each new point tests
-    /// against the cached skyline only); anything involving deletes is
-    /// left at the old version for the query-time delta strategy, so
-    /// the repair scan runs only for subspaces that are queried again.
-    fn patch_cache_forward(&self, out: &MutationOutcome) -> (usize, usize) {
+    /// the new one. Insert-only deltas are cheap (the batch is offered
+    /// to the cached skyline only, through the tile kernels when it is
+    /// large); anything involving deletes is left at the old version
+    /// for the query-time delta strategy, so the repair scan runs only
+    /// for subspaces that are queried again.
+    pub(crate) fn patch_cache_forward(&self, out: &MutationOutcome) -> (usize, usize) {
         let entry = &out.entry;
         let delta = out.inserted_ids.len() + out.deleted_ids.len();
         if delta > self.planner.config().delta_cap {
@@ -313,9 +561,13 @@ impl Engine {
         for (key, value) in stale {
             let dims = mask_dims(key.dim_mask);
             let mut sky = (*value).clone();
-            for &id in &out.inserted_ids {
-                maintain::insert_point(entry.as_ref(), &mut sky, id, &dims, key.max_mask);
-            }
+            maintain::insert_points(
+                entry.as_ref(),
+                &mut sky,
+                &out.inserted_ids,
+                &dims,
+                key.max_mask,
+            );
             self.cache.insert_patched(
                 CacheKey {
                     version: entry.version(),
@@ -328,63 +580,6 @@ impl Engine {
         (patched, 0)
     }
 
-    /// Removes a dataset; its cached results are dropped too. Returns
-    /// whether it was registered.
-    pub fn evict(&self, name: &str) -> bool {
-        match self.catalog.evict(name) {
-            Some(entry) => {
-                self.cache.purge_dataset(entry.id());
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// The catalog entry for `name`, if registered.
-    pub fn dataset(&self, name: &str) -> Option<Arc<DatasetEntry>> {
-        self.catalog.get(name)
-    }
-
-    /// Names, versions, and live cardinalities of all registered
-    /// datasets.
-    pub fn datasets(&self) -> Vec<(String, u64, usize)> {
-        self.catalog.list()
-    }
-
-    /// Cache effectiveness counters.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
-    /// The feedback loop, when enabled. Tests and tooling use it to
-    /// inject synthetic observations and inspect the aggregates.
-    pub fn feedback(&self) -> Option<&Arc<FeedbackLoop>> {
-        self.feedback.as_ref()
-    }
-
-    /// Feedback activity counters; all zero when feedback is disabled.
-    pub fn feedback_stats(&self) -> FeedbackStats {
-        self.feedback
-            .as_ref()
-            .map(|fb| fb.stats())
-            .unwrap_or_default()
-    }
-
-    /// Forces a feedback refit right now, ignoring the cadence.
-    /// Returns whether the planner's live thresholds changed; always
-    /// `false` when feedback is disabled.
-    pub fn refit_feedback(&self) -> bool {
-        self.feedback
-            .as_ref()
-            .is_some_and(|fb| fb.refit_now(&self.planner))
-    }
-
-    /// A consistent snapshot of the planner's live thresholds (the
-    /// fitted config once feedback has installed one).
-    pub fn planner_config(&self) -> Arc<PlannerConfig> {
-        self.planner.config()
-    }
-
     /// Feeds one completed query into the feedback loop and gives the
     /// refitter its time-gated chance to run.
     fn observe(&self, obs: Observation) {
@@ -394,108 +589,111 @@ impl Engine {
         }
     }
 
-    /// Plans a query without executing it (introspection; no cache
-    /// probe beyond the prior-version lookup, no side effects beyond
-    /// the planner's sampling pass).
-    pub fn plan(&self, query: &SkylineQuery) -> Result<QueryPlan, EngineError> {
-        let prepared = self.prepare(query)?;
-        Ok(self.plan_prepared(&prepared, self.threads()))
-    }
-
-    /// Executes one query: cache probe, then plan + run on a miss.
-    pub fn execute(&self, query: &SkylineQuery) -> Result<QueryResult, EngineError> {
-        let prepared = self.prepare(query)?;
-        Ok(self.execute_prepared(&prepared, &self.pool))
-    }
-
-    /// Executes a batch of queries against the shared pool and returns
-    /// per-query results in order.
+    /// Executes one dispatch batch of admitted tickets against the
+    /// shared pool — the batch core behind both
+    /// [`Engine::execute_batch`] and the session dispatcher.
     ///
-    /// Scheduling: cache hits are answered immediately; misses whose
-    /// plan is sequential (BNL/SFS/BSkyTree/min-scan/delta) run **next
-    /// to each other**, one query per lane, so the pool is saturated by
-    /// inter-query parallelism; misses with parallel plans (Q-Flow/
-    /// Hybrid) then run one at a time, each spanning the whole pool.
-    /// Either way the pool is never oversubscribed.
-    ///
-    /// Each query is planned once and probes the cache once for the
-    /// effectiveness counters; the extra de-duplication re-probe before
-    /// a parallel plan runs (an identical earlier query in the batch
-    /// may have filled the cache already) is uncounted.
-    pub fn execute_batch(&self, queries: &[SkylineQuery]) -> Vec<Result<QueryResult, EngineError>> {
-        let mut out: Vec<Option<Result<QueryResult, EngineError>>> =
-            (0..queries.len()).map(|_| None).collect();
-
-        // Resolve, probe the cache, and plan everything up front.
-        let mut seq: Vec<(usize, Prepared, QueryPlan)> = Vec::new();
-        let mut par: Vec<(usize, Prepared, QueryPlan)> = Vec::new();
-        for (i, query) in queries.iter().enumerate() {
-            let prepared = match self.prepare(query) {
-                Ok(p) => p,
-                Err(e) => {
-                    out[i] = Some(Err(e));
-                    continue;
-                }
-            };
-            if let Some(hit) = self.probe(&prepared, Instant::now(), self.clock_now()) {
-                out[i] = Some(Ok(hit));
+    /// Per ticket: cancellation and deadline are checked **at dequeue**
+    /// (an expired or cancelled ticket terminates without planning),
+    /// then an uncounted de-duplication cache probe (the counted probe
+    /// ran at submission), then the plan. Sequential plans run one per
+    /// pool lane, parallel plans span the whole pool afterwards; both
+    /// re-check cancellation/deadline **between the plan and the run**.
+    pub(crate) fn run_ticket_batch(&self, runtime: &SessionRuntime, batch: Vec<Arc<TicketState>>) {
+        let mut seq: Vec<(Arc<TicketState>, QueryPlan, Duration)> = Vec::new();
+        let mut par: Vec<(Arc<TicketState>, QueryPlan, Duration)> = Vec::new();
+        for ticket in batch {
+            let wait = self.clock.now().saturating_sub(ticket.submitted_at);
+            if let Some(outcome) = self.preflight(&ticket) {
+                runtime.complete(&ticket, outcome, wait);
                 continue;
             }
-            let plan = self.plan_prepared(&prepared, self.threads());
+            if let Some(full) = self.cache.get_uncounted(&ticket.prepared.key) {
+                let hit = self.hit_result(
+                    &ticket.prepared,
+                    full,
+                    Instant::now(),
+                    self.clock_now(),
+                    wait,
+                );
+                runtime.complete(&ticket, Ok(hit), wait);
+                continue;
+            }
+            let plan = self.plan_prepared(&ticket.prepared, self.threads());
             if matches!(plan.strategy, Strategy::Algorithm(a) if a.is_parallel()) {
-                par.push((i, prepared, plan));
+                par.push((ticket, plan, wait));
             } else {
-                seq.push((i, prepared, plan));
+                seq.push((ticket, plan, wait));
             }
         }
 
-        // Sequential plans: one query per lane. Each lane runs its
-        // queries on a single-threaded pool (spawns no workers), so
-        // total concurrency stays at `threads()`.
-        if !seq.is_empty() {
-            let mut slots: Vec<(usize, Prepared, QueryPlan, Option<QueryResult>)> = seq
-                .into_iter()
-                .map(|(i, prepared, plan)| (i, prepared, plan, None))
-                .collect();
+        // Sequential plans: a lone one runs directly on the shared pool
+        // (the single-query fast path); several run one per lane, each
+        // on a single-threaded pool, so total concurrency stays at
+        // `threads()`.
+        if seq.len() == 1 {
+            let (ticket, plan, wait) = seq.pop().expect("len checked");
+            self.finish_ticket(runtime, &ticket, plan, wait, &self.pool);
+        } else if !seq.is_empty() {
+            let mut slots = seq;
             par_chunks_mut(&self.pool, &mut slots, 1, |_, chunk| {
                 let lane_pool = ThreadPool::new(1);
-                for (_, prepared, plan, result) in chunk.iter_mut() {
-                    // Uncounted de-duplication probe: an identical
-                    // query may have completed in another lane.
-                    let clock_started = self.clock_now();
-                    *result = Some(match self.cache.get_uncounted(&prepared.key) {
-                        Some(full) => {
-                            self.hit_result(prepared, full, Instant::now(), clock_started)
-                        }
-                        None => self.run_plan(prepared, plan.clone(), &lane_pool),
-                    });
+                for (ticket, plan, wait) in chunk.iter_mut() {
+                    self.finish_ticket(runtime, ticket, plan.clone(), *wait, &lane_pool);
                 }
             });
-            for (i, _, _, result) in slots {
-                out[i] = Some(Ok(result.expect("filled by the parallel region")));
-            }
         }
 
         // Parallel plans: whole pool, one at a time, reusing the plan
-        // from classification. The de-duplication re-probe is
-        // uncounted — this query's miss is already in the stats.
-        for (i, prepared, plan) in par {
-            let started = Instant::now();
-            let clock_started = self.clock_now();
-            let result = match self.cache.get_uncounted(&prepared.key) {
-                Some(full) => self.hit_result(&prepared, full, started, clock_started),
-                None => self.run_plan(&prepared, plan, &self.pool),
-            };
-            out[i] = Some(Ok(result));
+        // from classification.
+        for (ticket, plan, wait) in par {
+            self.finish_ticket(runtime, &ticket, plan, wait, &self.pool);
         }
+    }
 
-        out.into_iter()
-            .map(|slot| slot.expect("every query produced a result"))
-            .collect()
+    /// Terminal outcome for a ticket that must not run: cancelled, or
+    /// past its deadline on the engine clock.
+    fn preflight(&self, ticket: &TicketState) -> Option<Result<QueryResult, EngineError>> {
+        if ticket.cancelled.load(Ordering::SeqCst) {
+            return Some(Err(EngineError::Cancelled));
+        }
+        if ticket.expired(self.clock.now()) {
+            return Some(Err(EngineError::DeadlineExceeded));
+        }
+        None
+    }
+
+    /// Runs one planned ticket on `pool` after the between-phases
+    /// cancellation/deadline re-check, with an uncounted de-duplication
+    /// probe first.
+    fn finish_ticket(
+        &self,
+        runtime: &SessionRuntime,
+        ticket: &TicketState,
+        plan: QueryPlan,
+        queue_wait: Duration,
+        pool: &ThreadPool,
+    ) {
+        if let Some(outcome) = self.preflight(ticket) {
+            runtime.complete(ticket, outcome, queue_wait);
+            return;
+        }
+        let clock_started = self.clock_now();
+        let outcome = match self.cache.get_uncounted(&ticket.prepared.key) {
+            Some(full) => self.hit_result(
+                &ticket.prepared,
+                full,
+                Instant::now(),
+                clock_started,
+                queue_wait,
+            ),
+            None => self.run_plan(&ticket.prepared, plan, pool, queue_wait),
+        };
+        runtime.complete(ticket, Ok(outcome), queue_wait);
     }
 
     /// Resolves the dataset and canonicalises the query.
-    fn prepare(&self, query: &SkylineQuery) -> Result<Prepared, EngineError> {
+    pub(crate) fn prepare(&self, query: &SkylineQuery) -> Result<Prepared, EngineError> {
         let entry = self
             .catalog
             .get(query.dataset())
@@ -519,7 +717,7 @@ impl Engine {
 
     /// Plans a prepared query, offering the planner any prior-version
     /// cached result that the dataset's delta log can still reach.
-    fn plan_prepared(&self, prepared: &Prepared, threads: usize) -> QueryPlan {
+    pub(crate) fn plan_prepared(&self, prepared: &Prepared, threads: usize) -> QueryPlan {
         // Only pay the cache scan when a delta could exist at all:
         // unmutated datasets (the common case) have an empty log.
         if prepared.entry.oldest_delta_version().is_none() {
@@ -548,20 +746,20 @@ impl Engine {
 
     /// A reading of the feedback clock, when feedback is enabled —
     /// taken at the start of a path whose runtime will be observed.
-    fn clock_now(&self) -> Option<Duration> {
+    pub(crate) fn clock_now(&self) -> Option<Duration> {
         self.feedback.as_ref().map(|fb| fb.clock().now())
     }
 
     /// Counted cache probe; on a hit builds the full result without
     /// planning.
-    fn probe(
+    pub(crate) fn probe(
         &self,
         prepared: &Prepared,
         started: Instant,
         clock_started: Option<Duration>,
     ) -> Option<QueryResult> {
         let full = self.cache.get(&prepared.key)?;
-        Some(self.hit_result(prepared, full, started, clock_started))
+        Some(self.hit_result(prepared, full, started, clock_started, Duration::ZERO))
     }
 
     /// Wraps a cached index list as a hit result.
@@ -571,6 +769,7 @@ impl Engine {
         full: Arc<Vec<u32>>,
         started: Instant,
         clock_started: Option<Duration>,
+        queue_wait: Duration,
     ) -> QueryResult {
         // Hits are observed too (the feedback report shows how much of
         // the workload never reaches an algorithm). Like run_plan, the
@@ -586,6 +785,7 @@ impl Engine {
                 sample_skyline_frac: None,
                 alpha: None,
                 runtime: fb.clock().now().saturating_sub(t0),
+                queue_wait,
             });
         }
         QueryResult {
@@ -597,15 +797,6 @@ impl Engine {
             dataset_version: prepared.entry.version(),
             elapsed: started.elapsed(),
         }
-    }
-
-    /// Probes (counted), plans, and runs a prepared query on `pool`.
-    fn execute_prepared(&self, prepared: &Prepared, pool: &ThreadPool) -> QueryResult {
-        if let Some(hit) = self.probe(prepared, Instant::now(), self.clock_now()) {
-            return hit;
-        }
-        let plan = self.plan_prepared(prepared, pool.threads());
-        self.run_plan(prepared, plan, pool)
     }
 
     /// Applies a `Strategy::Delta` plan: seeds from the prior cached
@@ -639,9 +830,18 @@ impl Engine {
     }
 
     /// Runs an already-made plan on `pool` (the shared pool, or a
-    /// lane-local single-threaded pool inside `execute_batch`) and
-    /// fills the cache with the result.
-    fn run_plan(&self, prepared: &Prepared, plan: QueryPlan, pool: &ThreadPool) -> QueryResult {
+    /// lane-local single-threaded pool inside a dispatch batch) and
+    /// fills the cache with the result. `queue_wait` is the time the
+    /// ticket spent in the admission queue — recorded on the feedback
+    /// observation *separately* from the compute runtime, so threshold
+    /// fits are never polluted by queueing delay.
+    fn run_plan(
+        &self,
+        prepared: &Prepared,
+        plan: QueryPlan,
+        pool: &ThreadPool,
+        queue_wait: Duration,
+    ) -> QueryResult {
         let started = Instant::now();
         // Runtime observed for the feedback loop is measured on the
         // engine's clock (not `Instant`), so a `ManualClock` makes the
@@ -670,7 +870,7 @@ impl Engine {
                     let plan =
                         self.planner
                             .plan(entry, &prepared.dims, prepared.max_mask, pool.threads());
-                    return self.run_plan(prepared, plan, pool);
+                    return self.run_plan(prepared, plan, pool, queue_wait);
                 }
             },
             Strategy::Algorithm(algo) => {
@@ -692,7 +892,8 @@ impl Engine {
 
         if let (Some(fb), Some(t0)) = (&self.feedback, clock_started) {
             let runtime = fb.clock().now().saturating_sub(t0);
-            let obs = Observation::from_plan(&plan, entry.live_len(), prepared.max_mask, runtime);
+            let obs = Observation::from_plan(&plan, entry.live_len(), prepared.max_mask, runtime)
+                .queued(queue_wait);
             fb.record(obs);
             fb.maybe_refit(&self.planner);
         }

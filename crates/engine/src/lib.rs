@@ -30,7 +30,14 @@
 //!   mutation ([`Engine::insert`], [`Engine::delete`],
 //!   [`Engine::update_batch`]) and batched submission
 //!   ([`Engine::execute_batch`]) that schedules sequential plans
-//!   lane-parallel and parallel plans pool-wide.
+//!   lane-parallel and parallel plans pool-wide;
+//! * [`session`] — the serving front door: tenants open a [`Session`]
+//!   and [`submit`](Session::submit) **without blocking**, getting a
+//!   [`QueryTicket`] (`poll`/`wait`/`wait_timeout`/`cancel`) backed by
+//!   a bounded multi-priority admission queue with per-tenant quotas,
+//!   per-query deadlines, and dataset-version pinning; the blocking
+//!   [`Engine::execute`]/[`Engine::execute_batch`] are thin
+//!   submit-and-wait wrappers over it.
 //!
 //! ## Quick example
 //!
@@ -77,6 +84,7 @@
 
 #![warn(missing_docs)]
 #![deny(missing_debug_implementations)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod cache;
 mod catalog;
@@ -85,12 +93,14 @@ mod engine;
 mod error;
 pub mod planner;
 mod query;
+pub mod session;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use catalog::{Catalog, DatasetEntry, DatasetStats, DeltaSummary, DimStats, MutationOutcome};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use engine::{Engine, EngineConfig, MutationReport};
-pub use error::EngineError;
+pub use error::{EngineError, QuotaKind, RejectReason};
 pub use planner::feedback::{FeedbackConfig, FeedbackLoop, FeedbackStats, Observation, PlanKind};
 pub use planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
-pub use query::{QueryResult, SkylineQuery};
+pub use query::{QueryOptions, QueryResult, SkylineQuery};
+pub use session::{AdmissionConfig, Priority, QueryTicket, Session, SessionOptions, SessionStats};

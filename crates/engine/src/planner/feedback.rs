@@ -191,8 +191,15 @@ pub struct Observation {
     pub sample_skyline_frac: Option<f32>,
     /// The block size the algorithm ran with (parallel plans only).
     pub alpha: Option<usize>,
-    /// Measured runtime.
+    /// Measured **compute** runtime: plan execution only, queueing
+    /// excluded. This is the value every threshold fit reads.
     pub runtime: Duration,
+    /// Time the query spent in the admission queue before running
+    /// (zero for directly executed or cache-short-circuited queries).
+    /// Tracked as separate telemetry ([`FeedbackStats::queue_wait`])
+    /// and **never** folded into the fitted runtimes — a loaded queue
+    /// must not masquerade as a slow algorithm.
+    pub queue_wait: Duration,
 }
 
 impl Observation {
@@ -214,7 +221,15 @@ impl Observation {
             sample_skyline_frac: plan.sample_skyline_frac,
             alpha,
             runtime,
+            queue_wait: Duration::ZERO,
         }
+    }
+
+    /// Stamps the time the query waited in the admission queue before
+    /// its plan ran.
+    pub fn queued(mut self, queue_wait: Duration) -> Self {
+        self.queue_wait = queue_wait;
+        self
     }
 }
 
@@ -311,6 +326,13 @@ impl Aggregate {
 pub struct FeedbackStats {
     /// Observations recorded.
     pub observations: u64,
+    /// Observations that arrived through the admission queue (nonzero
+    /// queue wait).
+    pub queued_observations: u64,
+    /// Total admission-queue wait across all observations. Telemetry
+    /// only: queue wait never enters the bucket aggregates, so fits see
+    /// pure compute time.
+    pub queue_wait: Duration,
     /// Fit passes run (time-gated or forced).
     pub refits: u64,
     /// Fit passes that actually changed the live config.
@@ -331,6 +353,8 @@ pub struct FeedbackLoop {
     /// Clock reading (ns) of the last refit election.
     last_refit_ns: AtomicU64,
     observations: AtomicU64,
+    queued_observations: AtomicU64,
+    queue_wait_ns: AtomicU64,
     refits: AtomicU64,
     installs: AtomicU64,
     explorations: AtomicU64,
@@ -349,6 +373,8 @@ impl FeedbackLoop {
             buckets: Mutex::new(HashMap::new()),
             last_refit_ns: AtomicU64::new(0),
             observations: AtomicU64::new(0),
+            queued_observations: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
             refits: AtomicU64::new(0),
             installs: AtomicU64::new(0),
             explorations: AtomicU64::new(0),
@@ -370,6 +396,16 @@ impl FeedbackLoop {
     /// work.
     pub fn record(&self, obs: Observation) {
         self.observations.fetch_add(1, Ordering::Relaxed);
+        if !obs.queue_wait.is_zero() {
+            // Queue wait stays out of the aggregates entirely: the fit
+            // must compare algorithms on compute time, not on how
+            // congested the admission queue happened to be.
+            self.queued_observations.fetch_add(1, Ordering::Relaxed);
+            self.queue_wait_ns.fetch_add(
+                obs.queue_wait.as_nanos().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
+        }
         let key = BucketKey::of(&obs);
         let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
         if buckets.len() >= MAX_BUCKETS && !buckets.contains_key(&key) {
@@ -482,6 +518,8 @@ impl FeedbackLoop {
     pub fn stats(&self) -> FeedbackStats {
         FeedbackStats {
             observations: self.observations.load(Ordering::Relaxed),
+            queued_observations: self.queued_observations.load(Ordering::Relaxed),
+            queue_wait: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
             refits: self.refits.load(Ordering::Relaxed),
             installs: self.installs.load(Ordering::Relaxed),
             explorations: self.explorations.load(Ordering::Relaxed),
@@ -799,6 +837,7 @@ mod tests {
             sample_skyline_frac: frac,
             alpha,
             runtime: Duration::from_micros(us),
+            queue_wait: Duration::ZERO,
         }
     }
 
@@ -821,6 +860,27 @@ mod tests {
         for _ in 0..times {
             fb.record(o.clone());
         }
+    }
+
+    #[test]
+    fn queue_wait_is_telemetry_only_and_never_pollutes_the_fit() {
+        let (fb, _clock) = quick_loop(1);
+        // Two observations of the same shape and compute runtime; one
+        // waited 5 ms in the admission queue, the other didn't.
+        let base = obs(PlanKind::Algo(Algorithm::Bnl), 4_000, Some(0.2), None, 120);
+        fb.record(base.clone());
+        fb.record(base.clone().queued(Duration::from_millis(5)));
+        let stats = fb.stats();
+        assert_eq!(stats.observations, 2);
+        assert_eq!(stats.queued_observations, 1);
+        assert_eq!(stats.queue_wait, Duration::from_millis(5));
+        // Both landed in ONE bucket with identical runtime folds: the
+        // aggregate mean is the compute time, wait excluded.
+        let buckets = fb.buckets.lock().unwrap();
+        assert_eq!(buckets.len(), 1);
+        let agg = buckets.values().next().unwrap();
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.mean_ns(), Duration::from_micros(120).as_nanos() as f64);
     }
 
     #[test]
@@ -1187,6 +1247,7 @@ mod tests {
                 sample_skyline_frac: Some((i % 8) as f32 / 8.0),
                 alpha: None,
                 runtime: Duration::from_micros(1),
+                queue_wait: Duration::ZERO,
             });
         }
         let stats = fb.stats();

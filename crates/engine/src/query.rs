@@ -8,6 +8,41 @@ use skyline_data::Preference;
 
 use crate::error::EngineError;
 use crate::planner::QueryPlan;
+use crate::session::Priority;
+
+/// Submission-time options of a query: how urgently it should run, how
+/// long it may wait, and which dataset version it must observe. All
+/// optional; the zero value means "no deadline, the session's priority,
+/// whatever version is current at submission".
+///
+/// Set through the [`SkylineQuery`] builder methods
+/// ([`deadline`](SkylineQuery::deadline),
+/// [`priority`](SkylineQuery::priority),
+/// [`pin_version`](SkylineQuery::pin_version)); read back through
+/// [`SkylineQuery::options`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) priority: Option<Priority>,
+    pub(crate) pin_version: Option<u64>,
+}
+
+impl QueryOptions {
+    /// Maximum time from submission to completion, if bounded.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The per-query priority override, if any.
+    pub fn priority(&self) -> Option<Priority> {
+        self.priority
+    }
+
+    /// The dataset version the query insists on, if pinned.
+    pub fn pin_version(&self) -> Option<u64> {
+        self.pin_version
+    }
+}
 
 /// A subspace skyline query against a registered dataset.
 ///
@@ -34,6 +69,7 @@ pub struct SkylineQuery {
     dims: Option<Vec<usize>>,
     preference: Option<Vec<Preference>>,
     limit: Option<usize>,
+    options: QueryOptions,
 }
 
 impl SkylineQuery {
@@ -44,6 +80,7 @@ impl SkylineQuery {
             dims: None,
             preference: None,
             limit: None,
+            options: QueryOptions::default(),
         }
     }
 
@@ -67,6 +104,39 @@ impl SkylineQuery {
     pub fn limit(mut self, limit: usize) -> Self {
         self.limit = Some(limit);
         self
+    }
+
+    /// Bounds the query's total time in the engine, measured on the
+    /// engine's clock from submission: a ticket still queued (or
+    /// between plan phases) when the deadline passes terminates with
+    /// [`EngineError::DeadlineExceeded`] instead of executing.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Lowers the priority class for this query alone (a high-priority
+    /// tenant demoting bulk work). A request *above* the session's
+    /// class is clamped to it — a tenant cannot self-elevate past the
+    /// class it was opened with.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.options.priority = Some(priority);
+        self
+    }
+
+    /// Requires the query to observe exactly dataset version `version`.
+    /// Submission fails with [`EngineError::VersionUnavailable`] when
+    /// the catalog serves a different version; on success the ticket
+    /// holds the version's snapshot, so mutations landing while it
+    /// waits in the queue cannot change its result.
+    pub fn pin_version(mut self, version: u64) -> Self {
+        self.options.pin_version = Some(version);
+        self
+    }
+
+    /// The query's submission-time options.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
     }
 
     /// The queried dataset's name.
@@ -237,6 +307,19 @@ mod tests {
                 .canonicalize(3),
             Err(EngineError::ConflictingPreference { dim: 1 })
         );
+    }
+
+    #[test]
+    fn options_builders_round_trip() {
+        let q = SkylineQuery::new("d");
+        assert_eq!(q.options(), &QueryOptions::default());
+        let q = q
+            .deadline(Duration::from_millis(25))
+            .priority(Priority::High)
+            .pin_version(7);
+        assert_eq!(q.options().deadline(), Some(Duration::from_millis(25)));
+        assert_eq!(q.options().priority(), Some(Priority::High));
+        assert_eq!(q.options().pin_version(), Some(7));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! The serving front door end to end: open per-tenant sessions, submit
+//! queries without blocking, and watch admission control shed load —
+//! priority classes, per-tenant quotas, deadlines, cancellation, and a
+//! graceful drain at shutdown.
+//!
+//! ```text
+//! cargo run --release --example engine_sessions
+//! ```
+
+use std::time::Duration;
+
+use skybench::prelude::*;
+use skybench::{generate, EngineError, RejectReason};
+
+fn main() {
+    let threads = skybench::available_threads().max(4);
+    let gen_pool = ThreadPool::new(threads);
+    let engine = Engine::with_config(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    engine.register(
+        "flights",
+        generate(Distribution::Anticorrelated, 200_000, 4, 3, &gen_pool),
+    );
+    println!("registered 'flights': 200k points × 4 dims\n");
+
+    // Two tenants: an interactive dashboard (high priority) and a bulk
+    // exporter capped at 100 submissions/s and 8 queued-or-running
+    // tickets.
+    let dashboard = engine.open_session(SessionOptions::new("dashboard").priority(Priority::High));
+    let exporter = engine.open_session(
+        SessionOptions::new("exporter")
+            .priority(Priority::Low)
+            .qps_cap(100)
+            .max_in_flight(8),
+    );
+
+    // Non-blocking submission: the exporter queues a burst of subspace
+    // scans and keeps the tickets.
+    let mut tickets = Vec::new();
+    let mut shed = 0;
+    for k in 0..32 {
+        let dims = [[0usize, 1], [1, 2], [2, 3], [0, 3]][k % 4];
+        match exporter.submit(&SkylineQuery::new("flights").dims(dims)) {
+            Ok(ticket) => tickets.push(ticket),
+            // Backpressure is a structured, retryable error — not a
+            // stall.
+            Err(EngineError::Rejected(reason)) => {
+                shed += 1;
+                if shed == 1 {
+                    println!("exporter sheds load: {reason}");
+                }
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    println!(
+        "exporter: {} tickets admitted, {shed} shed by quota/queue",
+        tickets.len()
+    );
+
+    // The dashboard cuts the line (higher class) and bounds its wait.
+    let urgent = dashboard
+        .submit(
+            &SkylineQuery::new("flights")
+                .dims([0, 1])
+                .deadline(Duration::from_millis(250))
+                .limit(10),
+        )
+        .unwrap();
+    match urgent.wait() {
+        Ok(r) => println!(
+            "dashboard: top-{} of {} skyline points in {:?} (queued {:?})",
+            r.len(),
+            r.total_skyline_size(),
+            r.elapsed,
+            urgent.queue_wait().unwrap(),
+        ),
+        Err(EngineError::DeadlineExceeded) => println!("dashboard: deadline exceeded"),
+        Err(e) => panic!("unexpected: {e}"),
+    }
+
+    // Cancel whatever the exporter no longer needs; the rest drains.
+    if let Some(ticket) = tickets.last() {
+        ticket.cancel();
+    }
+    let mut done = 0;
+    let mut cancelled = 0;
+    for ticket in &tickets {
+        match ticket.wait() {
+            Ok(_) => done += 1,
+            Err(EngineError::Cancelled) => cancelled += 1,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    println!("exporter: {done} completed, {cancelled} cancelled");
+
+    // Graceful shutdown: admission closes, queued work drains.
+    engine.shutdown();
+    let late = exporter.submit(&SkylineQuery::new("flights"));
+    assert!(matches!(
+        late,
+        Err(EngineError::Rejected(RejectReason::Shutdown))
+    ));
+    let stats = engine.session_stats();
+    println!(
+        "\nshutdown: {} admitted total, {} completed, {} cancelled, queue empty = {}",
+        stats.submitted,
+        stats.completed,
+        stats.cancelled,
+        stats.queued == 0
+    );
+}

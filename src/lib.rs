@@ -78,6 +78,29 @@
 //! // Identical queries are cache hits and recompute nothing.
 //! assert!(engine.execute(&SkylineQuery::new("hotels")).unwrap().cache_hit);
 //! ```
+//!
+//! ## Serving many tenants: sessions and tickets
+//!
+//! `execute` blocks; a serving tier submits **without blocking**
+//! through a per-tenant [`Session`] and gets a [`QueryTicket`] back,
+//! with admission control (bounded priority-class queues, per-tenant
+//! in-flight/QPS quotas), per-query deadlines, and version pinning.
+//!
+//! ```
+//! use skybench::prelude::*;
+//!
+//! let engine = Engine::new();
+//! engine.register(
+//!     "hotels",
+//!     Dataset::from_rows(&[vec![90.0, 5.0], vec![120.0, 2.0], vec![160.0, 6.0]]).unwrap(),
+//! );
+//! let session = engine.open_session(
+//!     SessionOptions::new("acme").priority(Priority::High).max_in_flight(32),
+//! );
+//! let ticket = session.submit(&SkylineQuery::new("hotels")).unwrap();
+//! assert_eq!(ticket.wait().unwrap().indices(), &[0, 1]);
+//! engine.shutdown(); // closes admission, drains the queue
+//! ```
 
 #![warn(missing_docs)]
 
@@ -93,9 +116,11 @@ pub use skyline_data::{
     RealDataset, Rng,
 };
 pub use skyline_engine::{
-    CacheStats, Clock, DatasetEntry, Engine, EngineConfig, EngineError, FeedbackConfig,
-    FeedbackLoop, FeedbackStats, ManualClock, MonotonicClock, MutationReport, Observation,
-    PlanKind, PlannerConfig, QueryPlan, QueryResult, SkylineQuery, Strategy,
+    AdmissionConfig, CacheStats, Clock, DatasetEntry, Engine, EngineConfig, EngineError,
+    FeedbackConfig, FeedbackLoop, FeedbackStats, ManualClock, MonotonicClock, MutationReport,
+    Observation, PlanKind, PlannerConfig, Priority, QueryOptions, QueryPlan, QueryResult,
+    QueryTicket, QuotaKind, RejectReason, Session, SessionOptions, SessionStats, SkylineQuery,
+    Strategy,
 };
 pub use skyline_parallel::{available_threads, ThreadPool};
 
@@ -107,7 +132,8 @@ pub use skyline_parallel::{available_threads, ThreadPool};
 pub mod prelude {
     pub use crate::{
         skyline, Algorithm, Dataset, Distribution, Engine, EngineConfig, PivotStrategy, Preference,
-        Skyline, SkylineBuilder, SkylineQuery, SortKey, ThreadPool,
+        Priority, Session, SessionOptions, Skyline, SkylineBuilder, SkylineQuery, SortKey,
+        ThreadPool,
     };
 }
 

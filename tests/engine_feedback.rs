@@ -74,6 +74,7 @@ fn algo_obs(
         sample_skyline_frac: Some(frac),
         alpha: Some(alpha),
         runtime: Duration::from_micros(micros),
+        queue_wait: Duration::ZERO,
     }
 }
 
@@ -147,6 +148,7 @@ fn skewed_runtimes_raise_the_bnl_ceiling() {
             sample_skyline_frac: Some(0.3),
             alpha: None,
             runtime: Duration::from_micros(150),
+            queue_wait: Duration::ZERO,
         });
         fb.record(Observation {
             kind: PlanKind::Algo(Algorithm::Sfs),
@@ -156,6 +158,7 @@ fn skewed_runtimes_raise_the_bnl_ceiling() {
             sample_skyline_frac: Some(0.3),
             alpha: None,
             runtime: Duration::from_micros(600),
+            queue_wait: Duration::ZERO,
         });
     }
     clock.advance(REFIT_INTERVAL);

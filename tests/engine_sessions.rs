@@ -1,0 +1,430 @@
+//! Deterministic tests of the session layer: admission, priorities,
+//! quotas, deadlines, cancellation, pinning, and shutdown.
+//!
+//! Every test runs the engine in **manual dispatch mode**
+//! (`background_dispatcher: false`) on a [`ManualClock`], so queue
+//! order, quota windows, and deadline expiry are exact: nothing
+//! happens until the test calls [`Engine::pump`] /
+//! [`Engine::dispatch_now`] or advances the clock.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skybench::{
+    AdmissionConfig, Dataset, Engine, EngineConfig, EngineError, ManualClock, Priority, QuotaKind,
+    RejectReason, SessionOptions, SkylineQuery,
+};
+
+/// A 2-lane manual-dispatch engine on a shared manual clock, with a
+/// small registered dataset.
+fn manual_engine(queue_capacity: usize, max_batch: usize) -> (Engine, Arc<ManualClock>) {
+    let clock = ManualClock::shared();
+    let engine = Engine::with_clock(
+        EngineConfig {
+            threads: 2,
+            admission: AdmissionConfig {
+                queue_capacity,
+                max_batch,
+                background_dispatcher: false,
+            },
+            ..EngineConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn skybench::Clock>,
+    );
+    engine.register(
+        "d",
+        Dataset::from_rows(&[
+            vec![1.0, 9.0, 2.0, 8.0],
+            vec![9.0, 1.0, 8.0, 2.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+            vec![2.0, 8.0, 1.0, 9.0],
+        ])
+        .unwrap(),
+    );
+    (engine, clock)
+}
+
+/// Distinct queries (different subspaces) so none is a cache duplicate
+/// of another.
+fn distinct_query(i: usize) -> SkylineQuery {
+    let subspaces: [&[usize]; 6] = [&[0], &[1], &[0, 1], &[1, 2], &[2, 3], &[0, 3]];
+    SkylineQuery::new("d").dims(subspaces[i % subspaces.len()].iter().copied())
+}
+
+#[test]
+fn dispatch_pops_highest_priority_class_first() {
+    let (engine, _clock) = manual_engine(8, 1);
+    let low = engine.open_session(SessionOptions::new("bulk").priority(Priority::Low));
+    let normal = engine.open_session(SessionOptions::new("web"));
+    let high = engine.open_session(SessionOptions::new("vip").priority(Priority::High));
+
+    let l1 = low.submit(&distinct_query(0)).unwrap();
+    let l2 = low.submit(&distinct_query(1)).unwrap();
+    let n1 = normal.submit(&distinct_query(2)).unwrap();
+    let h1 = high.submit(&distinct_query(3)).unwrap();
+    assert!(l1.poll().is_none(), "nothing dispatches until pumped");
+
+    // max_batch = 1: each pump pops exactly the head of the highest
+    // non-empty class.
+    assert_eq!(engine.pump(), 1);
+    assert!(h1.poll().is_some() && n1.poll().is_none() && l1.poll().is_none());
+    assert_eq!(engine.pump(), 1);
+    assert!(n1.poll().is_some() && l1.poll().is_none());
+    assert_eq!(engine.pump(), 1);
+    assert!(
+        l1.poll().is_some() && l2.poll().is_none(),
+        "FIFO within a class"
+    );
+    assert_eq!(engine.pump(), 1);
+    assert!(l2.poll().is_some());
+    assert_eq!(engine.pump(), 0, "queue drained");
+
+    for t in [&l1, &l2, &n1, &h1] {
+        assert!(t.poll().unwrap().is_ok());
+        assert_eq!(
+            t.queue_wait(),
+            Some(Duration::ZERO),
+            "manual clock never advanced"
+        );
+    }
+}
+
+#[test]
+fn per_query_priority_lowers_but_never_raises_the_class() {
+    let (engine, _clock) = manual_engine(8, 1);
+    let high = engine.open_session(SessionOptions::new("vip").priority(Priority::High));
+    let low = engine.open_session(SessionOptions::new("bulk").priority(Priority::Low));
+
+    // A high-priority tenant may demote bulk work…
+    let demoted = high
+        .submit(&distinct_query(0).priority(Priority::Low))
+        .unwrap();
+    assert_eq!(demoted.priority(), Priority::Low);
+    // …but a low-priority tenant cannot self-elevate into High.
+    let sneak = low
+        .submit(&distinct_query(1).priority(Priority::High))
+        .unwrap();
+    assert_eq!(
+        sneak.priority(),
+        Priority::Low,
+        "clamped to the session's class"
+    );
+
+    let urgent = high.submit(&distinct_query(2)).unwrap();
+    engine.pump();
+    assert!(urgent.poll().is_some() && demoted.poll().is_none() && sneak.poll().is_none());
+    engine.dispatch_now();
+}
+
+#[test]
+fn tenant_bookkeeping_is_released_when_sessions_and_tickets_are_gone() {
+    let (engine, _clock) = manual_engine(8, 64);
+    let before = engine.session_stats().tenants;
+    let session = engine.session("ephemeral");
+    let clone = session.clone();
+    assert_eq!(engine.session_stats().tenants, before + 1);
+
+    let ticket = session.submit(&distinct_query(0)).unwrap();
+    drop(session);
+    drop(clone);
+    // The in-flight ticket keeps the tenant's quota state alive…
+    assert_eq!(engine.session_stats().tenants, before + 1);
+    engine.dispatch_now();
+    assert!(ticket.wait().is_ok());
+    // …and termination releases it: no unbounded registry growth.
+    assert_eq!(engine.session_stats().tenants, before);
+}
+
+#[test]
+fn blocking_wrappers_ignore_caps_a_user_put_on_the_anonymous_tenant() {
+    // A user session may (oddly) claim tenant "" with zero quotas; the
+    // engine's internal session shares the name but bypasses quota
+    // enforcement, so execute() keeps its no-rejection contract.
+    let (engine, _clock) = manual_engine(16, 64);
+    let throttled = engine.open_session(SessionOptions::new("").qps_cap(0).max_in_flight(0));
+    assert!(throttled.submit(&distinct_query(0)).is_err());
+    assert!(engine.execute(&distinct_query(1)).is_ok());
+}
+
+#[test]
+fn deadline_of_duration_max_never_panics_or_expires() {
+    let (engine, _clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+    let t = session
+        .submit(&distinct_query(0).deadline(Duration::MAX))
+        .unwrap();
+    engine.dispatch_now();
+    assert!(t.wait().is_ok());
+}
+
+#[test]
+fn blocking_wrappers_absorb_queue_full_backpressure() {
+    // Queue capacity 2, manual dispatch: a 10-query batch through the
+    // blocking wrapper must still answer everything (the old
+    // execute_batch contract), draining the queue itself instead of
+    // surfacing QueueFull.
+    let (engine, _clock) = manual_engine(2, 1);
+    let queries: Vec<SkylineQuery> = (0..10).map(distinct_query).collect();
+    let results = engine.execute_batch(&queries);
+    assert_eq!(results.len(), 10);
+    for r in results {
+        assert!(r.is_ok());
+    }
+    assert_eq!(engine.session_stats().queued, 0);
+}
+
+#[test]
+fn full_priority_class_rejects_without_blocking_other_classes() {
+    let (engine, _clock) = manual_engine(2, 64);
+    let low = engine.open_session(SessionOptions::new("bulk").priority(Priority::Low));
+    let high = engine.open_session(SessionOptions::new("vip").priority(Priority::High));
+
+    let _a = low.submit(&distinct_query(0)).unwrap();
+    let _b = low.submit(&distinct_query(1)).unwrap();
+    let err = low.submit(&distinct_query(2)).unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::Rejected(RejectReason::QueueFull { queued: 2 })
+    );
+    assert!(err.is_retryable());
+
+    // The low-priority flood cannot block high-priority admission.
+    let h = high.submit(&distinct_query(3)).unwrap();
+    engine.dispatch_now();
+    assert!(h.wait().is_ok());
+    let stats = engine.session_stats();
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.submitted, 3);
+}
+
+#[test]
+fn qps_quota_rejects_at_the_cap_and_rolls_with_the_clock() {
+    let (engine, clock) = manual_engine(16, 64);
+    let session = engine.open_session(SessionOptions::new("acme").qps_cap(2));
+
+    let _t1 = session.submit(&distinct_query(0)).unwrap();
+    let _t2 = session.submit(&distinct_query(1)).unwrap();
+    let err = session.submit(&distinct_query(2)).unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::Rejected(RejectReason::QuotaExceeded {
+            tenant: "acme".into(),
+            quota: QuotaKind::Rate,
+        })
+    );
+    assert!(err.is_retryable());
+
+    // Same window: still rejected. One second later: admitted again.
+    clock.advance(Duration::from_millis(999));
+    assert!(session.submit(&distinct_query(2)).is_err());
+    clock.advance(Duration::from_millis(1));
+    assert!(session.submit(&distinct_query(2)).is_ok());
+    assert_eq!(engine.session_stats().rejected_quota, 2);
+    engine.dispatch_now();
+}
+
+#[test]
+fn in_flight_quota_releases_when_tickets_terminate() {
+    let (engine, _clock) = manual_engine(16, 64);
+    let session = engine.open_session(SessionOptions::new("acme").max_in_flight(1));
+
+    let t = session.submit(&distinct_query(0)).unwrap();
+    let err = session.submit(&distinct_query(1)).unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::Rejected(RejectReason::QuotaExceeded {
+            tenant: "acme".into(),
+            quota: QuotaKind::InFlight,
+        })
+    );
+    engine.dispatch_now();
+    assert!(t.poll().unwrap().is_ok());
+    // The slot is free again.
+    let t2 = session.submit(&distinct_query(1)).unwrap();
+    engine.dispatch_now();
+    assert!(t2.poll().unwrap().is_ok());
+}
+
+#[test]
+fn cache_hits_short_circuit_admission_and_quotas() {
+    let (engine, _clock) = manual_engine(16, 64);
+    // Warm the cache through the direct path.
+    let q = distinct_query(0);
+    engine.execute(&q).unwrap();
+
+    // A tenant that could never queue anything still gets hits.
+    let session = engine.open_session(SessionOptions::new("throttled").qps_cap(0));
+    let err = session.submit(&distinct_query(1)).unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Rejected(RejectReason::QuotaExceeded { .. })
+    ));
+    let hit = session.submit(&q).unwrap();
+    let result = hit.poll().expect("hits complete at submission").unwrap();
+    assert!(result.cache_hit);
+    assert_eq!(hit.queue_wait(), Some(Duration::ZERO));
+    assert_eq!(engine.session_stats().short_circuits, 1);
+}
+
+#[test]
+fn deadline_expiry_terminates_without_executing() {
+    let (engine, clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+
+    let t = session
+        .submit(&distinct_query(0).deadline(Duration::from_millis(10)))
+        .unwrap();
+    clock.advance(Duration::from_millis(20));
+    engine.dispatch_now();
+    assert_eq!(
+        t.poll().unwrap().unwrap_err(),
+        EngineError::DeadlineExceeded
+    );
+    assert_eq!(t.wait().unwrap_err(), EngineError::DeadlineExceeded);
+    // The plan never ran: nothing was computed or cached.
+    assert_eq!(engine.cache_stats().insertions, 0);
+    assert_eq!(engine.session_stats().deadline_expired, 1);
+
+    // An unexpired deadline executes normally.
+    let t2 = session
+        .submit(&distinct_query(1).deadline(Duration::from_millis(10)))
+        .unwrap();
+    clock.advance(Duration::from_millis(9));
+    engine.dispatch_now();
+    let r = t2.poll().unwrap().unwrap();
+    assert!(!r.cache_hit);
+    assert_eq!(t2.queue_wait(), Some(Duration::from_millis(9)));
+}
+
+#[test]
+fn cancel_before_dispatch_never_runs_the_plan() {
+    let (engine, _clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+    let t = session.submit(&distinct_query(0)).unwrap();
+    assert!(t.cancel(), "no outcome yet: cancellation registered");
+    engine.dispatch_now();
+    assert_eq!(t.poll().unwrap().unwrap_err(), EngineError::Cancelled);
+    assert_eq!(engine.cache_stats().insertions, 0, "plan never ran");
+    assert_eq!(engine.session_stats().cancelled, 1);
+    assert!(!t.cancel(), "already terminal");
+}
+
+#[test]
+fn shutdown_drains_admitted_tickets_then_rejects() {
+    let (engine, _clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+    let tickets: Vec<_> = (0..3)
+        .map(|i| session.submit(&distinct_query(i)).unwrap())
+        .collect();
+    assert!(tickets.iter().all(|t| t.poll().is_none()));
+
+    engine.shutdown();
+    for t in &tickets {
+        assert!(t.poll().unwrap().is_ok(), "shutdown drains, not drops");
+        assert!(t.wait().is_ok());
+    }
+    assert_eq!(
+        session.submit(&distinct_query(4)).unwrap_err(),
+        EngineError::Rejected(RejectReason::Shutdown)
+    );
+    assert_eq!(
+        engine.execute(&distinct_query(5)).unwrap_err(),
+        EngineError::Rejected(RejectReason::Shutdown)
+    );
+    assert!(!EngineError::Rejected(RejectReason::Shutdown).is_retryable());
+    // Idempotent.
+    engine.shutdown();
+    assert_eq!(engine.session_stats().rejected_shutdown, 2);
+}
+
+#[test]
+fn tickets_observe_the_snapshot_current_at_submission() {
+    let (engine, _clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+
+    // Submit against v1, then mutate to v2 before dispatching.
+    let t = session.submit(&SkylineQuery::new("d")).unwrap();
+    assert_eq!(t.dataset_version(), 1);
+    engine.insert("d", &[vec![0.5, 0.5, 0.5, 0.5]]).unwrap();
+    assert_eq!(engine.dataset("d").unwrap().version(), 2);
+    engine.dispatch_now();
+    let r = t.poll().unwrap().unwrap();
+    assert_eq!(
+        r.dataset_version, 1,
+        "queued mutations cannot tear the result"
+    );
+    assert_eq!(r.indices(), &[0, 1, 2, 3], "v1 skyline, without the v2 row");
+
+    // Fresh submissions see v2.
+    let r2 = session.execute(&SkylineQuery::new("d")).unwrap();
+    assert_eq!(r2.dataset_version, 2);
+    assert_eq!(r2.indices(), &[4], "the new point dominates everything");
+}
+
+#[test]
+fn pin_version_asserts_the_submission_snapshot() {
+    let (engine, _clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+
+    let v1 = engine.dataset("d").unwrap().version();
+    let t = session
+        .submit(&SkylineQuery::new("d").pin_version(v1))
+        .unwrap();
+    engine.insert("d", &[vec![0.5, 0.5, 0.5, 0.5]]).unwrap();
+
+    // The pin no longer matches the current version: rejected at
+    // submission, structured error says which versions.
+    assert_eq!(
+        session
+            .submit(&SkylineQuery::new("d").pin_version(v1))
+            .unwrap_err(),
+        EngineError::VersionUnavailable {
+            requested: v1,
+            current: v1 + 1,
+        }
+    );
+
+    // The already-admitted pinned ticket still serves its snapshot.
+    engine.dispatch_now();
+    assert_eq!(t.poll().unwrap().unwrap().dataset_version, v1);
+}
+
+#[test]
+fn wait_timeout_in_manual_mode_drives_the_queue() {
+    let (engine, _clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+    let t = session.submit(&distinct_query(0)).unwrap();
+    // The waiting thread dispatches the batch itself.
+    let out = t
+        .wait_timeout(Duration::from_secs(5))
+        .expect("dispatched inline");
+    assert!(out.is_ok());
+}
+
+#[test]
+fn invalid_queries_fail_at_submission_without_a_ticket() {
+    let (engine, _clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+    assert_eq!(
+        session.submit(&SkylineQuery::new("missing")).unwrap_err(),
+        EngineError::UnknownDataset("missing".into())
+    );
+    assert_eq!(
+        session
+            .submit(&SkylineQuery::new("d").dims([9]))
+            .unwrap_err(),
+        EngineError::DimOutOfRange { dim: 9, dims: 4 }
+    );
+    let stats = engine.session_stats();
+    assert_eq!((stats.submitted, stats.queued), (0, 0));
+}
+
+#[test]
+fn queue_wait_is_measured_on_the_engine_clock() {
+    let (engine, clock) = manual_engine(16, 64);
+    let session = engine.session("acme");
+    let t = session.submit(&distinct_query(0)).unwrap();
+    clock.advance(Duration::from_millis(250));
+    engine.dispatch_now();
+    assert_eq!(t.queue_wait(), Some(Duration::from_millis(250)));
+}

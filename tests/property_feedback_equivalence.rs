@@ -61,6 +61,7 @@ impl Driver {
             )
             .then(|| 1 << (6 + self.below(8))),
             runtime: Duration::from_nanos(1 + self.next() % 10_000_000),
+            queue_wait: Duration::ZERO,
         }
     }
 }
