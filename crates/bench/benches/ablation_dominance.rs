@@ -20,6 +20,11 @@
 //!
 //! (`*_ns` are per-DT nanoseconds; `batch_vs_lanes` is the speedup of
 //! the batched kernel over the `lanes` window scan.)
+//!
+//! The measurements are routed through a telemetry
+//! [`MetricsRegistry`] (gauges `ablation.dominance.ns{d=..,impl=..}`)
+//! and the line renders from the registry snapshot, so the printed
+//! numbers are exactly what a scraper of the registry would see.
 
 use std::time::Instant;
 
@@ -30,6 +35,7 @@ use skyline_core::dominance::{
     strictly_dominates, strictly_dominates_lanes,
 };
 use skyline_data::Rng;
+use skyline_engine::MetricsRegistry;
 
 /// Pairs where p ≤ q on every dimension except possibly the last —
 /// forcing full-length scans.
@@ -86,9 +92,11 @@ fn measure_ns(mut f: impl FnMut() -> usize) -> f64 {
     started.elapsed().as_nanos() as f64 / rounds.max(1) as f64
 }
 
-/// Prints the machine-readable scalar/lanes/simd/batch summary for one
-/// dimensionality, returning the batch-vs-lanes speedup.
-fn summarize(d: usize, window: usize, cands: usize) -> f64 {
+/// Records the scalar/lanes/simd/batch per-DT costs for one
+/// dimensionality into `registry`, prints the machine-readable summary
+/// line from the registry's snapshot, and returns the batch-vs-lanes
+/// speedup.
+fn summarize(registry: &MetricsRegistry, d: usize, window: usize, cands: usize) -> f64 {
     let (win, cand) = window_workload(d, window, cands);
     let dts = (win.len() * cand.len()) as f64;
 
@@ -120,6 +128,28 @@ fn summarize(d: usize, window: usize, cands: usize) -> f64 {
             .count()
     }) / dts;
 
+    // Route the measurements through the registry, then read them back
+    // from a snapshot: the line reports the registry's view, not bench
+    // locals.
+    let dim = d.to_string();
+    for (impl_name, ns) in [
+        ("scalar", scalar_ns),
+        ("lanes", lanes_ns),
+        ("simd", simd_ns),
+        ("batch", batch_ns),
+    ] {
+        registry
+            .gauge("ablation.dominance.ns", &[("d", &dim), ("impl", impl_name)])
+            .set(ns);
+    }
+    let snap = registry.snapshot();
+    let ns = |impl_name: &str| {
+        snap.gauge("ablation.dominance.ns", &[("d", &dim), ("impl", impl_name)])
+            .expect("gauge was just set")
+    };
+    let (scalar_ns, lanes_ns, simd_ns, batch_ns) =
+        (ns("scalar"), ns("lanes"), ns("simd"), ns("batch"));
+
     let speedup = lanes_ns / batch_ns;
     println!(
         "ABLATION_DOMINANCE level={} d={d} window={window} \
@@ -131,8 +161,9 @@ fn summarize(d: usize, window: usize, cands: usize) -> f64 {
 }
 
 fn bench(c: &mut Criterion) {
+    let registry = MetricsRegistry::new();
     for d in [4usize, 8, 16] {
-        summarize(d, 512, 256);
+        summarize(&registry, d, 512, 256);
 
         let pairs = late_failure_pairs(d, 4_096);
         let mut g = c.benchmark_group(format!("ablation_dominance_d{d}"));

@@ -1,0 +1,134 @@
+//! CI gate for the machine-readable telemetry exposition.
+//!
+//! Reads `skybench engine --metrics` output on stdin and validates
+//! every `METRICS` line against the exposition grammar:
+//!
+//! ```text
+//! METRICS phase=<phase> <name>[{k="v",...}] <value>
+//! ```
+//!
+//! where `<name>` is dotted lowercase (histogram series carry a
+//! `_bucket` / `_sum` / `_count` suffix) and `<value>` parses as a
+//! finite number. After parsing, the checker requires that the stream
+//! covered the registry's stable metric names, so a rename or a
+//! dropped registration fails CI rather than silently vanishing from
+//! dashboards. Exits non-zero with a diagnostic on the first malformed
+//! line or any missing required name.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader};
+use std::process::exit;
+
+/// Metric names (suffix-stripped) that every `--metrics` dump must
+/// contain. These are the engine's documented stable names.
+const REQUIRED: &[&str] = &[
+    "engine.query.latency",
+    "session.queue_wait",
+    "cache.hits",
+    "cache.misses",
+    "cache.patches",
+    "cache.bytes",
+    "dominance.tests",
+    "feedback.refits",
+];
+
+/// Parses one sample body (`name[{labels}] value`), returning the
+/// suffix-stripped metric name, or an error describing the defect.
+fn parse_sample(body: &str) -> Result<String, String> {
+    let (series, value) = body
+        .rsplit_once(' ')
+        .ok_or("expected `<name>[{labels}] <value>`")?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("value `{value}` is not a number"))?;
+    if !value.is_finite() {
+        return Err(format!("value `{value}` is not finite"));
+    }
+
+    let name = match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or("label set is missing its closing `}`")?;
+            for pair in labels.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("label `{pair}` is not `k=\"v\"`"))?;
+                if k.is_empty()
+                    || !k.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+                    || !v.starts_with('"')
+                    || !v.ends_with('"')
+                    || v.len() < 2
+                {
+                    return Err(format!("label `{pair}` is not `k=\"v\"`"));
+                }
+            }
+            name
+        }
+        None => series,
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+    {
+        return Err(format!("metric name `{name}` is malformed"));
+    }
+    let base = name
+        .strip_suffix("_bucket")
+        .or_else(|| name.strip_suffix("_sum"))
+        .or_else(|| name.strip_suffix("_count"))
+        .unwrap_or(name);
+    Ok(base.to_string())
+}
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut seen_names = BTreeSet::new();
+    let mut seen_phases = BTreeSet::new();
+    let mut lines = 0u64;
+
+    for (no, line) in BufReader::new(stdin.lock()).lines().enumerate() {
+        let line = line.expect("stdin is readable");
+        let Some(rest) = line.strip_prefix("METRICS ") else {
+            continue;
+        };
+        lines += 1;
+        let Some((phase, body)) = rest
+            .strip_prefix("phase=")
+            .and_then(|r| r.split_once(' '))
+            .filter(|(phase, _)| !phase.is_empty())
+        else {
+            eprintln!("metrics_check: line {}: missing `phase=<phase>`", no + 1);
+            exit(1);
+        };
+        match parse_sample(body) {
+            Ok(name) => {
+                seen_names.insert(name);
+                seen_phases.insert(phase.to_string());
+            }
+            Err(why) => {
+                eprintln!("metrics_check: line {}: {why}: `{line}`", no + 1);
+                exit(1);
+            }
+        }
+    }
+
+    if lines == 0 {
+        eprintln!("metrics_check: no METRICS lines on stdin (run skybench engine --metrics)");
+        exit(1);
+    }
+    let missing: Vec<&&str> = REQUIRED
+        .iter()
+        .filter(|name| !seen_names.contains(**name))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("metrics_check: required metric names missing from the dump: {missing:?}");
+        exit(1);
+    }
+    println!(
+        "metrics_check: OK — {lines} samples, {} distinct metrics across phases {:?}",
+        seen_names.len(),
+        seen_phases
+    );
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! skybench <experiment> [--scale laptop|paper] [--threads N]
 //!                       [--update-frac F] [--feedback]
-//!                       [--tenants N] [--qps-cap Q]
+//!                       [--tenants N] [--qps-cap Q] [--metrics]
 //!
 //! experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!              table1 table2 table3 engine all
@@ -23,6 +23,12 @@
 //!                   wait p50/p99 and rejection rates (needs N >= 2)
 //! --qps-cap Q       per-flooder submission-rate cap in the admission
 //!                   phase (default 256/s)
+//! --metrics         after each `engine` experiment phase, dump the
+//!                   engine's telemetry registry as machine-parseable
+//!                   `METRICS phase=<phase> name{labels} value` lines
+//!                   (validated by the `metrics_check` binary), plus a
+//!                   `TRACE` line for one cold query and a `SLOWLOG`
+//!                   summary
 //! ```
 
 use skyline_bench::experiments::ExpCtx;
@@ -31,7 +37,7 @@ use skyline_bench::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F] \
-         [--feedback] [--tenants N] [--qps-cap Q]\n\
+         [--feedback] [--tenants N] [--qps-cap Q] [--metrics]\n\
          experiments: {}",
         ExpCtx::ALL_EXPERIMENTS.join(" ")
     );
@@ -50,12 +56,16 @@ fn main() {
     let mut feedback = false;
     let mut tenants = 0usize;
     let mut qps_cap = 256u32;
+    let mut metrics = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--feedback" => {
                 feedback = true;
+            }
+            "--metrics" => {
+                metrics = true;
             }
             "--tenants" => {
                 i += 1;
@@ -116,6 +126,7 @@ fn main() {
     ctx.feedback = feedback;
     ctx.tenants = tenants;
     ctx.qps_cap = qps_cap;
+    ctx.metrics = metrics;
     if !ctx.run(&experiment) {
         eprintln!("unknown experiment '{experiment}'");
         usage();

@@ -16,14 +16,23 @@
 //! `--qps-cap` submissions/s) flood the queue. Per class it prints a
 //! machine-readable `ADMISSION` line — queue-wait percentiles and
 //! rejection rates — showing the flood cannot starve high-priority
-//! latency.
+//! latency. The line renders from the engine's telemetry registry (the
+//! same `session.*` counters and queue-wait histograms every consumer
+//! sees), not from a bench-side tally.
+//!
+//! With `--metrics`, each phase additionally dumps the registry as
+//! machine-parseable `METRICS phase=<phase> name{labels} value` lines
+//! (validated in CI by the `metrics_check` binary), one cold query is
+//! rendered as a `TRACE` line via
+//! [`Engine::explain_analyze`], and a `SLOWLOG` summary reports the
+//! slow-query ring.
 
 use std::time::{Duration, Instant};
 
 use skyline_data::{generate, Distribution, Preference};
 use skyline_engine::{
     Engine, EngineConfig, EngineError, FeedbackConfig, Priority, SessionOptions, SkylineQuery,
-    Strategy,
+    Strategy, TelemetryConfig,
 };
 use skyline_parallel::ThreadPool;
 
@@ -74,11 +83,21 @@ impl Lcg {
     }
 }
 
+/// Prints the engine's telemetry registry as machine-parseable
+/// `METRICS phase=<phase> name{labels} value` lines (one registry
+/// sample per line; the `metrics_check` binary validates them in CI).
+fn emit_metrics(engine: &Engine, phase: &str) {
+    for line in engine.metrics().render().lines() {
+        println!("METRICS phase={phase} {line}");
+    }
+}
+
 /// Runs the engine workload at `scale` on `threads` lanes, with
 /// `update_frac` of the mixed phase's operations being mutations;
 /// `feedback` appends the adaptive-planning phase and `tenants >= 2`
 /// the multi-tenant admission-control phase (flooders capped at
-/// `qps_cap` submissions/s).
+/// `qps_cap` submissions/s). With `metrics`, every phase dumps the
+/// telemetry registry as `METRICS` lines.
 pub fn run(
     scale: Scale,
     threads: usize,
@@ -86,11 +105,22 @@ pub fn run(
     feedback: bool,
     tenants: usize,
     qps_cap: u32,
+    metrics: bool,
 ) {
     let (n, d) = scale.default_workload();
     let d = d.max(4);
     let engine = Engine::with_config(EngineConfig {
         threads,
+        telemetry: TelemetryConfig {
+            // Under --metrics the slow ring retains every query so the
+            // SLOWLOG summary has content even at smoke scale.
+            slow_query_threshold: if metrics {
+                Duration::ZERO
+            } else {
+                TelemetryConfig::default().slow_query_threshold
+            },
+            ..TelemetryConfig::default()
+        },
         ..EngineConfig::default()
     });
     println!(
@@ -153,6 +183,15 @@ pub fn run(
         &rows,
     );
     println!("\ncold batch total: {}", fmt_secs(cold_elapsed));
+    if metrics {
+        emit_metrics(&engine, "cold");
+        // One fully traced cold query — a subspace the workload never
+        // touches — rendered as a machine-readable TRACE line.
+        let (_, trace) = engine
+            .explain_analyze(&SkylineQuery::new(&names[1]).dims([0, 2, 3]))
+            .expect("telemetry is enabled");
+        println!("{}", trace.render());
+    }
 
     // Warm passes: everything hits the cache.
     let reps: usize = match scale {
@@ -176,6 +215,9 @@ pub fn run(
         fmt_secs(warm_elapsed),
         total_queries as f64 / warm_elapsed.as_secs_f64()
     );
+    if metrics {
+        emit_metrics(&engine, "warm");
+    }
 
     // Mixed read/write phase: each round interleaves mutation batches
     // (point inserts / deletes on random datasets) with the query
@@ -273,36 +315,30 @@ pub fn run(
         stats.bytes / 1024,
         stats.budget_bytes / 1024
     );
+    if metrics {
+        emit_metrics(&engine, "mixed");
+        let slow = engine.slow_queries();
+        let slowest = slow.iter().map(|t| t.total).max().unwrap_or(Duration::ZERO);
+        println!(
+            "SLOWLOG retained={} slowest_us={}",
+            slow.len(),
+            slowest.as_micros()
+        );
+    }
 
     if feedback {
-        feedback_phase(scale, threads, n, d, &gen_pool);
+        feedback_phase(scale, threads, n, d, &gen_pool, metrics);
     }
     if tenants >= 2 {
-        admission_phase(scale, threads, n, d, &gen_pool, tenants, qps_cap);
-    }
-}
-
-/// Queue-wait samples and rejection counts for one priority class.
-#[derive(Default)]
-struct ClassReport {
-    waits: Vec<Duration>,
-    submitted: u64,
-    rejected_queue: u64,
-    rejected_quota: u64,
-    expired: u64,
-}
-
-/// Percentile over an ascending-sorted sample (zero when empty).
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    match sorted.len() {
-        0 => Duration::ZERO,
-        n => sorted[((n - 1) as f64 * p).round() as usize],
+        admission_phase(scale, threads, n, d, &gen_pool, tenants, qps_cap, metrics);
     }
 }
 
 /// The admission-control phase: one closed-loop high-priority tenant
 /// versus a low-priority flood, on a cache-disabled engine so every
-/// query really computes and the queue actually fills.
+/// query really computes and the queue actually fills. The per-class
+/// `ADMISSION` lines render from the engine's telemetry registry.
+#[allow(clippy::too_many_arguments)]
 fn admission_phase(
     scale: Scale,
     threads: usize,
@@ -311,6 +347,7 @@ fn admission_phase(
     gen_pool: &ThreadPool,
     tenants: usize,
     qps_cap: u32,
+    metrics: bool,
 ) {
     // No result cache: hits would short-circuit admission and the
     // phase would measure nothing. A small queue keeps rejections
@@ -351,110 +388,98 @@ fn admission_phase(
     }
 
     let started = Instant::now();
-    let (vip_report, flood_report) = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // The flood: open-loop bursts of low-priority submissions, each
-        // tenant rate-capped; tickets are awaited in chunks.
-        let mut flood_handles = Vec::new();
+        // tenant rate-capped; tickets are awaited in chunks. Every
+        // outcome (completion, rejection, deadline expiry) lands in the
+        // engine's telemetry registry — no bench-side tally.
         for f in 0..floods {
             let engine = &engine;
-            flood_handles.push(scope.spawn(move || {
+            scope.spawn(move || {
                 let session = engine.open_session(
                     SessionOptions::new(format!("bulk{f}"))
                         .priority(Priority::Low)
                         .qps_cap(qps_cap),
                 );
-                let mut report = ClassReport::default();
                 let mut inflight = Vec::new();
                 for k in 0..per_flood {
-                    report.submitted += 1;
                     match session.submit(&query_for(k, d)) {
                         Ok(ticket) => inflight.push(ticket),
-                        Err(EngineError::Rejected(reason)) => {
-                            use skyline_engine::RejectReason::*;
-                            match reason {
-                                QueueFull { .. } => report.rejected_queue += 1,
-                                QuotaExceeded { .. } => report.rejected_quota += 1,
-                                Shutdown => unreachable!("engine is live"),
-                            }
-                        }
+                        Err(EngineError::Rejected(_)) => {}
                         Err(e) => panic!("unexpected flood error: {e}"),
                     }
                     if inflight.len() >= 32 {
                         for ticket in inflight.drain(..) {
                             match ticket.wait() {
-                                Ok(_) => report.waits.push(
-                                    ticket.queue_wait().expect("terminal tickets report waits"),
-                                ),
-                                Err(EngineError::DeadlineExceeded) => report.expired += 1,
+                                Ok(_) | Err(EngineError::DeadlineExceeded) => {}
                                 Err(e) => panic!("unexpected flood outcome: {e}"),
                             }
                         }
                     }
                 }
                 for ticket in inflight {
-                    if ticket.wait().is_ok() {
-                        report
-                            .waits
-                            .push(ticket.queue_wait().expect("terminal tickets report waits"));
-                    }
+                    let _ = ticket.wait();
                 }
-                report
-            }));
+            });
         }
 
         // The VIP: closed-loop high-priority requests racing the flood.
-        let vip_handle = scope.spawn(|| {
+        scope.spawn(|| {
             let session = engine.open_session(SessionOptions::new("vip").priority(Priority::High));
-            let mut report = ClassReport::default();
             for k in 0..vip_total {
-                report.submitted += 1;
                 match session.submit(&query_for(k, d)) {
-                    Ok(ticket) => match ticket.wait() {
-                        Ok(_) => report
-                            .waits
-                            .push(ticket.queue_wait().expect("terminal tickets report waits")),
-                        Err(e) => panic!("unexpected vip outcome: {e}"),
-                    },
+                    Ok(ticket) => {
+                        ticket.wait().expect("vip queries complete");
+                    }
                     Err(e) => panic!("vip submissions are never rejected here: {e}"),
                 }
             }
-            report
         });
-
-        let mut flood_report = ClassReport::default();
-        for h in flood_handles {
-            let r = h.join().expect("flood thread");
-            flood_report.waits.extend(r.waits);
-            flood_report.submitted += r.submitted;
-            flood_report.rejected_queue += r.rejected_queue;
-            flood_report.rejected_quota += r.rejected_quota;
-            flood_report.expired += r.expired;
-        }
-        (vip_handle.join().expect("vip thread"), flood_report)
     });
     let elapsed = started.elapsed();
 
-    let print_class = |class: &str, tenants: u64, mut report: ClassReport| -> Duration {
-        let rejected = report.rejected_queue + report.rejected_quota;
-        report.waits.sort_unstable();
-        let p50 = percentile(&report.waits, 0.50);
-        let p99 = percentile(&report.waits, 0.99);
+    // Render the per-class lines from the registry snapshot — the same
+    // counters and `session.queue_wait{class}` histograms any scraper
+    // of `Engine::metrics` sees. Percentiles are histogram quantiles
+    // (log-bucket upper bounds), not exact order statistics.
+    let snapshot = engine.metrics();
+    let print_class = |class: &str, tenants: u64| -> Duration {
+        let by_class = [("class", class)];
+        let submitted = snapshot
+            .counter("session.submitted", &by_class)
+            .unwrap_or(0);
+        let completed = snapshot
+            .counter("session.completed", &by_class)
+            .unwrap_or(0);
+        let rejected_queue = snapshot
+            .counter(
+                "session.rejected",
+                &[("class", class), ("reason", "queue_full")],
+            )
+            .unwrap_or(0);
+        let rejected_quota = snapshot
+            .counter("session.rejected", &[("class", class), ("reason", "quota")])
+            .unwrap_or(0);
+        let (p50, p99) = snapshot
+            .histogram("session.queue_wait", &by_class)
+            .map(|h| (h.quantile(0.50), h.quantile(0.99)))
+            .unwrap_or((Duration::ZERO, Duration::ZERO));
         println!(
             "ADMISSION class={class} tenants={tenants} submitted={} completed={} \
              rejected_queue={} rejected_quota={} rejected_rate={:.3} \
              p50_wait_us={} p99_wait_us={}",
-            report.submitted,
-            report.waits.len(),
-            report.rejected_queue,
-            report.rejected_quota,
-            rejected as f64 / report.submitted.max(1) as f64,
+            submitted,
+            completed,
+            rejected_queue,
+            rejected_quota,
+            (rejected_queue + rejected_quota) as f64 / submitted.max(1) as f64,
             p50.as_micros(),
             p99.as_micros(),
         );
         p99
     };
-    let vip_p99 = print_class("high", 1, vip_report);
-    let flood_p99 = print_class("low", floods as u64, flood_report);
+    let vip_p99 = print_class("high", 1);
+    let flood_p99 = print_class("low", floods as u64);
     println!(
         "\nadmission phase: {} total on {} lanes — high-priority p99 queue wait {} vs \
          low-priority p99 {} under flood",
@@ -474,6 +499,9 @@ fn admission_phase(
         stats.rejected_queue_full,
         stats.rejected_quota,
     );
+    if metrics {
+        emit_metrics(&engine, "admission");
+    }
     engine.shutdown();
 }
 
@@ -483,7 +511,14 @@ fn admission_phase(
 /// the loop re-fits the thresholds from what it measured. Reports per-
 /// query plan drift between the first and last epoch, the latency
 /// movement, and the fitted thresholds.
-fn feedback_phase(scale: Scale, threads: usize, n: usize, d: usize, gen_pool: &ThreadPool) {
+fn feedback_phase(
+    scale: Scale,
+    threads: usize,
+    n: usize,
+    d: usize,
+    gen_pool: &ThreadPool,
+    metrics: bool,
+) {
     let engine = Engine::with_config(EngineConfig {
         threads,
         feedback: FeedbackConfig {
@@ -596,4 +631,7 @@ fn feedback_phase(scale: Scale, threads: usize, n: usize, d: usize, gen_pool: &T
         before_cfg.alpha_hybrid,
         after_cfg.alpha_hybrid,
     );
+    if metrics {
+        emit_metrics(&engine, "feedback");
+    }
 }

@@ -37,6 +37,10 @@ pub struct ExpCtx {
     /// Per-flooder submission-rate cap (per second) in the admission
     /// phase.
     pub qps_cap: u32,
+    /// Whether the `engine` experiment dumps the telemetry registry as
+    /// machine-parseable `METRICS` lines after each phase, plus a
+    /// `TRACE` line and a `SLOWLOG` summary.
+    pub metrics: bool,
     pools: HashMap<usize, Arc<ThreadPool>>,
     cache: WorkloadCache,
 }
@@ -51,6 +55,7 @@ impl ExpCtx {
             feedback: false,
             tenants: 0,
             qps_cap: 256,
+            metrics: false,
             pools: HashMap::new(),
             cache: WorkloadCache::new(),
         }
@@ -92,6 +97,7 @@ impl ExpCtx {
                 self.feedback,
                 self.tenants,
                 self.qps_cap,
+                self.metrics,
             ),
             "all" => {
                 for e in Self::ALL_EXPERIMENTS {

@@ -19,17 +19,18 @@ use crate::algo::sskyline::sskyline_in_place;
 use crate::stats::PhaseClock;
 use crate::{RunStats, SkylineConfig, SkylineResult};
 use skyline_data::Dataset;
-use skyline_parallel::{par_chunks_mut, parallel_for_in_lane, LaneCounters, ThreadPool};
+use skyline_parallel::{par_chunks_mut, parallel_for_in_lane, ThreadPool};
 
 /// Runs APSkyline with `pool.threads()` angular partitions.
-pub fn run(data: &Dataset, pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineResult {
+pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineResult {
     let started = Instant::now();
     let mut stats = RunStats::default();
     let mut clock = PhaseClock::start();
     let n = data.len();
     let d = data.dims();
     let t = pool.threads();
-    let counters = LaneCounters::new(t);
+    let counters = cfg.lane_counters(t);
+    let dt_base = counters.total();
 
     if n == 0 {
         return SkylineResult::finish(Vec::new(), stats, started);
@@ -105,7 +106,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineRe
     }
     clock.lap(&mut stats.phase2);
 
-    stats.dominance_tests = counters.total();
+    stats.dominance_tests = counters.total() - dt_base;
     SkylineResult::finish(merged, stats, started)
 }
 

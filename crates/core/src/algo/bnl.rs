@@ -21,8 +21,9 @@ use crate::{RunStats, SkylineConfig, SkylineResult};
 use skyline_data::Dataset;
 use skyline_parallel::ThreadPool;
 
-/// Runs BNL. `pool`/`cfg` are unused (sequential, parameter-free).
-pub fn run(data: &Dataset, _pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineResult {
+/// Runs BNL. `pool` is unused (sequential); `cfg` only carries the
+/// telemetry hooks.
+pub fn run(data: &Dataset, _pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineResult {
     let started = Instant::now();
     let mut stats = RunStats::default();
     let mut dts: u64 = 0;
@@ -41,6 +42,8 @@ pub fn run(data: &Dataset, _pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineR
         }
     }
 
+    cfg.credit_dts(dts);
+    cfg.emit_phase(crate::telemetry::AlgoPhase::PhaseOne, dts);
     stats.dominance_tests = dts;
     SkylineResult::finish(ids, stats, started)
 }

@@ -148,6 +148,8 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
     };
     build(root, d, &mut out, &mut dts, 0, cfg, pool);
 
+    cfg.credit_dts(dts);
+    cfg.emit_phase(crate::telemetry::AlgoPhase::PhaseOne, dts);
     stats.dominance_tests = dts;
     SkylineResult::finish(out.orig, stats, started)
 }

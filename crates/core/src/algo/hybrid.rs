@@ -27,10 +27,11 @@ use crate::norms::f32_order_bits;
 use crate::pivot::select_pivot;
 use crate::prefilter::prefilter;
 use crate::stats::PhaseClock;
+use crate::telemetry::{AlgoPhase, PhaseProbe};
 use crate::{RunStats, SkylineConfig, SkylineResult};
 use skyline_data::Dataset;
 use skyline_parallel::{
-    par_chunks_mut, par_sort_unstable_by_key, parallel_for_in_lane, LaneCounters, ThreadPool,
+    par_chunks_mut, par_sort_unstable_by_key, parallel_for_in_lane, ThreadPool,
 };
 
 /// Hybrid's working set after initialization: rows gathered in
@@ -69,13 +70,16 @@ pub fn run_with_progress(
     let d = data.dims();
     let full = full_mask(d);
     let alpha = cfg.alpha_hybrid.max(1);
-    let counters = LaneCounters::new(pool.threads());
+    let counters = cfg.lane_counters(pool.threads());
+    let dt_base = counters.total();
+    let mut probe = PhaseProbe::new(cfg, &counters);
 
     // ---- 1. Pre-filter --------------------------------------------------
     let pf = prefilter(data.values(), d, cfg.prefilter_beta, pool, &counters);
     clock.lap(&mut stats.prefilter);
+    probe.lap(AlgoPhase::Prefilter);
     if pf.orig.is_empty() {
-        stats.dominance_tests = counters.total();
+        stats.dominance_tests = counters.total() - dt_base;
         return SkylineResult::finish(Vec::new(), stats, started);
     }
 
@@ -107,6 +111,7 @@ pub fn run_with_progress(
         counters.add(0, npf as u64);
     }
     clock.lap(&mut stats.pivot);
+    probe.lap(AlgoPhase::Pivot);
 
     // ---- 3. Sort by (level, mask, L1) -------------------------------------
     // Packed key: [compound (level,mask) : 32][L1 order bits : 32], with
@@ -148,6 +153,7 @@ pub fn run_with_progress(
     drop(items);
     drop(masks);
     clock.lap(&mut stats.init);
+    probe.lap(AlgoPhase::Init);
 
     // ---- 4. α-block processing -------------------------------------------
     let mut sky = SkyStructure::new(d);
@@ -174,9 +180,11 @@ pub fn run_with_progress(
             });
         }
         clock.lap(&mut stats.phase1);
+        probe.lap(AlgoPhase::PhaseOne);
 
         let survivors = compress(&mut ws, blk_start, blk_len, &flags);
         clock.lap(&mut stats.compress);
+        probe.lap(AlgoPhase::Compress);
 
         // Phase II: compareToPeers (Algorithm 4). The compressed
         // survivors are tiled once so the same-partition loop (the one
@@ -217,9 +225,11 @@ pub fn run_with_progress(
             });
         }
         clock.lap(&mut stats.phase2);
+        probe.lap(AlgoPhase::PhaseTwo);
 
         let confirmed = compress(&mut ws, blk_start, survivors, &flags);
         clock.lap(&mut stats.compress);
+        probe.lap(AlgoPhase::Compress);
 
         // Update S and M(S) (Algorithm 2).
         let mut dts = 0u64;
@@ -237,7 +247,8 @@ pub fn run_with_progress(
         blk_start += blk_len;
     }
 
-    stats.dominance_tests = counters.total();
+    probe.lap(AlgoPhase::Compress); // trailing structure updates
+    stats.dominance_tests = counters.total() - dt_base;
     SkylineResult::finish(sky.into_indices(), stats, started)
 }
 

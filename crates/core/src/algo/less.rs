@@ -18,7 +18,7 @@ use crate::sorted::build_workset;
 use crate::stats::PhaseClock;
 use crate::{RunStats, SkylineConfig, SkylineResult};
 use skyline_data::Dataset;
-use skyline_parallel::{LaneCounters, ThreadPool};
+use skyline_parallel::ThreadPool;
 
 /// Runs LESS with an EF window of `cfg.prefilter_beta` points per thread.
 pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineResult {
@@ -26,7 +26,8 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
     let mut stats = RunStats::default();
     let mut clock = PhaseClock::start();
     let d = data.dims();
-    let counters = LaneCounters::new(pool.threads());
+    let counters = cfg.lane_counters(pool.threads());
+    let dt_base = counters.total();
 
     // Elimination-filter pass: drops the easily dominated bulk during the
     // "sort's first pass" (here: before the sort).
@@ -52,7 +53,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
     clock.lap(&mut stats.phase1);
 
     counters.add(0, dts);
-    stats.dominance_tests = counters.total();
+    stats.dominance_tests = counters.total() - dt_base;
     let indices = sky.into_iter().map(|s| ws.orig[s as usize]).collect();
     SkylineResult::finish(indices, stats, started)
 }

@@ -44,7 +44,8 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
     let started = Instant::now();
     let mut stats = RunStats::default();
     let d = data.dims();
-    let counters = LaneCounters::new(pool.threads());
+    let counters = cfg.lane_counters(pool.threads());
+    let dt_base = counters.total();
 
     let l1: Vec<f32> = data.rows().map(crate::norms::l1).collect();
     let root = subset_from_parts(data.values().to_vec(), (0..data.len() as u32).collect(), l1);
@@ -71,7 +72,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
     stats.pivot = state.pivot_time;
     stats.phase1 = state.phase1;
     stats.phase2 = state.phase2;
-    stats.dominance_tests = counters.total();
+    stats.dominance_tests = counters.total() - dt_base;
     SkylineResult::finish(state.out.orig, stats, started)
 }
 

@@ -20,7 +20,7 @@ use crate::sorted::build_workset;
 use crate::stats::PhaseClock;
 use crate::{RunStats, SkylineConfig, SkylineResult};
 use skyline_data::Dataset;
-use skyline_parallel::{parallel_for_in_lane, LaneCounters, ThreadPool};
+use skyline_parallel::{parallel_for_in_lane, ThreadPool};
 
 /// Runs PSFS with block size `cfg.alpha_qflow`.
 pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineResult {
@@ -34,7 +34,8 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
     clock.lap(&mut stats.init);
 
     let n = ws.len();
-    let counters = LaneCounters::new(pool.threads());
+    let counters = cfg.lane_counters(pool.threads());
+    let dt_base = counters.total();
     let mut sky_tiles = TileStore::new(d);
     let mut sky_orig: Vec<u32> = Vec::new();
     let flags: Vec<AtomicBool> = (0..alpha).map(|_| AtomicBool::new(false)).collect();
@@ -91,7 +92,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
         blk_start = blk_end;
     }
 
-    stats.dominance_tests = counters.total();
+    stats.dominance_tests = counters.total() - dt_base;
     SkylineResult::finish(sky_orig, stats, started)
 }
 

@@ -20,13 +20,14 @@ use skyline_data::Dataset;
 use skyline_parallel::{parallel_for_in_lane, LaneCounters, ThreadPool};
 
 /// Runs PSkyline on `pool.threads()` blocks.
-pub fn run(data: &Dataset, pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineResult {
+pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineResult {
     let started = Instant::now();
     let mut stats = RunStats::default();
     let mut clock = PhaseClock::start();
     let n = data.len();
     let t = pool.threads();
-    let counters = LaneCounters::new(t);
+    let counters = cfg.lane_counters(t);
+    let dt_base = counters.total();
 
     // ---- Phase I: local skylines, one block per thread ----------------
     let block_len = n.div_ceil(t.max(1)).max(1);
@@ -64,7 +65,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineRe
     }
     clock.lap(&mut stats.phase2);
 
-    stats.dominance_tests = counters.total();
+    stats.dominance_tests = counters.total() - dt_base;
     SkylineResult::finish(merged, stats, started)
 }
 

@@ -32,9 +32,10 @@ use crate::dominance::dt;
 use crate::dominance::simd::TileStore;
 use crate::sorted::{build_workset, WorkSet};
 use crate::stats::PhaseClock;
+use crate::telemetry::{AlgoPhase, PhaseProbe};
 use crate::{RunStats, SkylineConfig, SkylineResult};
 use skyline_data::Dataset;
-use skyline_parallel::{parallel_for_in_lane, LaneCounters, ThreadPool};
+use skyline_parallel::{parallel_for_in_lane, ThreadPool};
 
 /// Runs Q-Flow with block size `cfg.alpha_qflow`.
 pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineResult {
@@ -56,12 +57,16 @@ pub fn run_with_progress(
     let d = data.dims();
     let alpha = cfg.alpha_qflow.max(1);
 
+    let counters = cfg.lane_counters(pool.threads());
+    let dt_base = counters.total();
+    let mut probe = PhaseProbe::new(cfg, &counters);
+
     // Initialization: compute L1 norms and sort (paper: "Init.").
     let mut ws = build_workset(data.values(), d, None, SortKey::L1, pool);
     clock.lap(&mut stats.init);
+    probe.lap(AlgoPhase::Init);
 
     let n = ws.len();
-    let counters = LaneCounters::new(pool.threads());
     let mut sky_tiles = TileStore::new(d);
     let mut sky_orig: Vec<u32> = Vec::new();
     let flags: Vec<AtomicBool> = (0..alpha).map(|_| AtomicBool::new(false)).collect();
@@ -89,9 +94,11 @@ pub fn run_with_progress(
             });
         }
         clock.lap(&mut stats.phase1);
+        probe.lap(AlgoPhase::PhaseOne);
 
         let survivors = compress_block(&mut ws, blk_start, blk_len, &flags);
         clock.lap(&mut stats.compress);
+        probe.lap(AlgoPhase::Compress);
 
         // ---- Phase II: compare to surviving peers (Fig. 2b) -----------
         reset_flags(&flags, survivors);
@@ -134,6 +141,7 @@ pub fn run_with_progress(
             });
         }
         clock.lap(&mut stats.phase2);
+        probe.lap(AlgoPhase::PhaseTwo);
 
         let confirmed = compress_block(&mut ws, blk_start, survivors, &flags);
         // Append the compressed block to the global skyline.
@@ -143,12 +151,13 @@ pub fn run_with_progress(
         let first_new = sky_orig.len();
         sky_orig.extend_from_slice(&ws.orig[blk_start..blk_start + confirmed]);
         clock.lap(&mut stats.compress);
+        probe.lap(AlgoPhase::Compress);
         on_block(&sky_orig[first_new..]);
 
         blk_start += blk_len;
     }
 
-    stats.dominance_tests = counters.total();
+    stats.dominance_tests = counters.total() - dt_base;
     SkylineResult::finish(sky_orig, stats, started)
 }
 

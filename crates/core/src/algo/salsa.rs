@@ -19,7 +19,7 @@ use skyline_data::Dataset;
 use skyline_parallel::ThreadPool;
 
 /// Runs SaLSa (sequential scan; the sort uses `pool`).
-pub fn run(data: &Dataset, pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineResult {
+pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineResult {
     let started = Instant::now();
     let mut stats = RunStats::default();
     let mut clock = PhaseClock::start();
@@ -51,6 +51,8 @@ pub fn run(data: &Dataset, pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineRe
     }
     clock.lap(&mut stats.phase1);
 
+    cfg.credit_dts(dts);
+    cfg.emit_phase(crate::telemetry::AlgoPhase::PhaseOne, dts);
     stats.dominance_tests = dts;
     let indices = sky.into_iter().map(|s| ws.orig[s as usize]).collect();
     SkylineResult::finish(indices, stats, started)

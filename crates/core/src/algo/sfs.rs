@@ -29,6 +29,7 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
 
     let ws = build_workset(data.values(), data.dims(), None, cfg.sort_key, pool);
     clock.lap(&mut stats.init);
+    cfg.emit_phase(crate::telemetry::AlgoPhase::Init, 0);
 
     let mut dts: u64 = 0;
     let mut sky: Vec<u32> = Vec::new(); // positions into ws, ascending
@@ -45,6 +46,8 @@ pub fn run(data: &Dataset, pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineRes
     }
     clock.lap(&mut stats.phase1);
 
+    cfg.credit_dts(dts);
+    cfg.emit_phase(crate::telemetry::AlgoPhase::PhaseOne, dts);
     stats.dominance_tests = dts;
     let indices = sky.into_iter().map(|s| ws.orig[s as usize]).collect();
     SkylineResult::finish(indices, stats, started)

@@ -43,12 +43,15 @@ pub(crate) fn sskyline_in_place(data: &Dataset, idxs: &mut Vec<u32>) -> u64 {
     dts
 }
 
-/// Runs SSkyline over the whole dataset (sequential; `pool`/`cfg` unused).
-pub fn run(data: &Dataset, _pool: &ThreadPool, _cfg: &SkylineConfig) -> SkylineResult {
+/// Runs SSkyline over the whole dataset (sequential; `pool` unused,
+/// `cfg` only carries the telemetry hooks).
+pub fn run(data: &Dataset, _pool: &ThreadPool, cfg: &SkylineConfig) -> SkylineResult {
     let started = Instant::now();
     let mut stats = RunStats::default();
     let mut idxs: Vec<u32> = (0..data.len() as u32).collect();
     stats.dominance_tests = sskyline_in_place(data, &mut idxs);
+    cfg.credit_dts(stats.dominance_tests);
+    cfg.emit_phase(crate::telemetry::AlgoPhase::PhaseOne, stats.dominance_tests);
     SkylineResult::finish(idxs, stats, started)
 }
 

@@ -1,5 +1,11 @@
 //! Runtime configuration shared by all algorithms.
 
+use std::sync::Arc;
+
+use skyline_parallel::LaneCounters;
+
+use crate::telemetry::SpanSink;
+
 /// Pivot-selection strategies for Hybrid's point-based partitioning
 /// (paper §VII-C2). All five are performance heuristics: Hybrid's
 /// correctness never depends on which pivot is chosen.
@@ -106,6 +112,17 @@ pub struct SkylineConfig {
     pub batch_factor: usize,
     /// Seed for the `Random` pivot strategy.
     pub seed: u64,
+    /// External dominance-test counter handle. When set, algorithms
+    /// accumulate DTs here instead of a run-local counter set, letting a
+    /// caller scope DT totals to one query even under concurrency (see
+    /// [`SkylineConfig::lane_counters`]). `None` (the default) keeps the
+    /// historical run-local behaviour.
+    pub dt_counters: Option<Arc<LaneCounters>>,
+    /// Phase-boundary observer (see [`crate::telemetry`]). When set,
+    /// algorithms report each phase boundary with the DTs spent since
+    /// the previous one; the sink supplies its own timestamps. `None`
+    /// (the default) costs nothing.
+    pub span_sink: Option<Arc<dyn SpanSink>>,
 }
 
 impl SkylineConfig {
@@ -146,6 +163,8 @@ impl Default for SkylineConfig {
             recursion_leaf: 64,
             batch_factor: 16,
             seed: 0x0053_5942_454e_4348, // "SKYBENCH"
+            dt_counters: None,
+            span_sink: None,
         }
     }
 }

@@ -57,7 +57,9 @@ pub mod pivot;
 pub mod prefilter;
 mod sorted;
 pub mod stats;
+pub mod telemetry;
 pub mod verify;
 
 pub use config::{PivotStrategy, SkylineConfig, SortKey};
 pub use stats::{RunStats, SkylineResult};
+pub use telemetry::{AlgoPhase, PhaseProbe, SpanSink};

@@ -1,0 +1,233 @@
+//! Phase-boundary hooks for external observers.
+//!
+//! The paper's analysis (Figures 7–8) is all about *where* time and
+//! dominance tests go — Phase I versus Phase II, pre-filtering versus
+//! compression. [`RunStats`](crate::RunStats) already reports per-phase
+//! wall time, but it is measured on [`Instant`](std::time::Instant) and
+//! only carries a single whole-run DT total. A query engine that wants
+//! deterministic, per-span traces needs two extra seams, both threaded
+//! through [`SkylineConfig`]:
+//!
+//! * **an external DT counter handle** ([`SkylineConfig::dt_counters`]):
+//!   when present, algorithms accumulate dominance tests into the
+//!   caller's [`LaneCounters`] instead of a run-local set, so the caller
+//!   can attribute DTs to exactly one query even when several run
+//!   concurrently;
+//! * **a span sink** ([`SkylineConfig::span_sink`]): algorithms report
+//!   each phase boundary as they cross it, together with the DTs spent
+//!   since the previous boundary. The *sink* supplies the timestamps
+//!   (on whatever clock it likes), which is what makes externally
+//!   driven manual-clock tests exact.
+//!
+//! Both hooks default to `None` and cost nothing when absent.
+
+use skyline_parallel::LaneCounters;
+use std::sync::Arc;
+
+use crate::SkylineConfig;
+
+/// A named execution phase of a skyline algorithm, mirroring the
+/// categories of [`RunStats`](crate::RunStats) (the paper's "Init.",
+/// "Pre-filter", "Pivot", "Phase I", "Phase II", "Compress").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoPhase {
+    /// Sort-key computation, sorting, and working-set gathering.
+    Init,
+    /// β-queue pre-filtering (Hybrid).
+    Prefilter,
+    /// Pivot selection and partitioning (Hybrid, (P)BSkyTree).
+    Pivot,
+    /// Comparisons against the known skyline (or the sequential scan of
+    /// a one-phase algorithm).
+    PhaseOne,
+    /// Comparisons against not-yet-confirmed block peers.
+    PhaseTwo,
+    /// α-block compression and result merging.
+    Compress,
+}
+
+impl AlgoPhase {
+    /// Every phase, in canonical pipeline order.
+    pub const ALL: [AlgoPhase; 6] = [
+        AlgoPhase::Init,
+        AlgoPhase::Prefilter,
+        AlgoPhase::Pivot,
+        AlgoPhase::PhaseOne,
+        AlgoPhase::PhaseTwo,
+        AlgoPhase::Compress,
+    ];
+
+    /// Stable lower-case name, as used in trace renderings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoPhase::Init => "init",
+            AlgoPhase::Prefilter => "prefilter",
+            AlgoPhase::Pivot => "pivot",
+            AlgoPhase::PhaseOne => "phase1",
+            AlgoPhase::PhaseTwo => "phase2",
+            AlgoPhase::Compress => "compress",
+        }
+    }
+}
+
+/// Receiver for phase-boundary events.
+///
+/// An algorithm calls [`phase_end`](Self::phase_end) every time it
+/// finishes (a block's worth of) work attributable to one phase, in
+/// execution order. `dominance_tests` is the number of DTs spent since
+/// the previous event (not a running total). Implementations timestamp
+/// the events themselves; repeated events for the same phase (α-block
+/// algorithms cross each boundary once per block) are expected to be
+/// aggregated by the sink.
+pub trait SpanSink: Send + Sync + std::fmt::Debug {
+    /// Reports that work for `phase` just finished, having spent
+    /// `dominance_tests` DTs since the previous reported boundary.
+    fn phase_end(&self, phase: AlgoPhase, dominance_tests: u64);
+}
+
+/// Per-run helper that mirrors the internal `PhaseClock` laps as
+/// [`SpanSink`] events, attributing DT deltas by snapshotting a
+/// [`LaneCounters`] total at each boundary.
+///
+/// Free when no sink is configured: `lap` is a no-op without even a
+/// counter read.
+#[derive(Debug)]
+pub struct PhaseProbe<'a> {
+    sink: Option<&'a dyn SpanSink>,
+    counters: &'a LaneCounters,
+    dt_mark: u64,
+}
+
+impl<'a> PhaseProbe<'a> {
+    /// A probe for one algorithm run: reports to `cfg.span_sink` (if
+    /// any) and reads DT totals from `counters`.
+    pub fn new(cfg: &'a SkylineConfig, counters: &'a LaneCounters) -> Self {
+        let sink = cfg.span_sink.as_deref();
+        let dt_mark = if sink.is_some() { counters.total() } else { 0 };
+        Self {
+            sink,
+            counters,
+            dt_mark,
+        }
+    }
+
+    /// Marks the end of (one block's) `phase` work.
+    #[inline]
+    pub fn lap(&mut self, phase: AlgoPhase) {
+        if let Some(sink) = self.sink {
+            let total = self.counters.total();
+            sink.phase_end(phase, total.saturating_sub(self.dt_mark));
+            self.dt_mark = total;
+        }
+    }
+}
+
+impl SkylineConfig {
+    /// The DT counter set for one run: the externally supplied handle
+    /// when one is present (and wide enough for `lanes`), otherwise a
+    /// fresh run-local set. Algorithms must snapshot the total at run
+    /// start ([`LaneCounters::total`]) and report the *difference* in
+    /// their [`RunStats`](crate::RunStats), since a shared handle may
+    /// carry counts from an earlier run of the same query.
+    pub fn lane_counters(&self, lanes: usize) -> Arc<LaneCounters> {
+        match &self.dt_counters {
+            Some(handle) if handle.lanes() >= lanes.max(1) => Arc::clone(handle),
+            _ => Arc::new(LaneCounters::new(lanes)),
+        }
+    }
+
+    /// Credits `dts` dominance tests from a sequential (plain-`u64`)
+    /// algorithm to the external counter handle, if one is attached.
+    #[inline]
+    pub fn credit_dts(&self, dts: u64) {
+        if let Some(handle) = &self.dt_counters {
+            handle.add(0, dts);
+        }
+    }
+
+    /// Reports a phase boundary of a sequential algorithm directly to
+    /// the configured sink, if any.
+    #[inline]
+    pub fn emit_phase(&self, phase: AlgoPhase, dominance_tests: u64) {
+        if let Some(sink) = &self.span_sink {
+            sink.phase_end(phase, dominance_tests);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        events: Mutex<Vec<(AlgoPhase, u64)>>,
+    }
+
+    impl SpanSink for Recorder {
+        fn phase_end(&self, phase: AlgoPhase, dominance_tests: u64) {
+            self.events.lock().unwrap().push((phase, dominance_tests));
+        }
+    }
+
+    #[test]
+    fn probe_reports_dt_deltas_not_totals() {
+        let sink = Arc::new(Recorder::default());
+        let cfg = SkylineConfig {
+            span_sink: Some(sink.clone() as Arc<dyn SpanSink>),
+            ..Default::default()
+        };
+        let counters = LaneCounters::new(2);
+        let mut probe = PhaseProbe::new(&cfg, &counters);
+        counters.add(0, 10);
+        probe.lap(AlgoPhase::PhaseOne);
+        counters.add(1, 5);
+        probe.lap(AlgoPhase::PhaseTwo);
+        probe.lap(AlgoPhase::Compress);
+        assert_eq!(
+            *sink.events.lock().unwrap(),
+            vec![
+                (AlgoPhase::PhaseOne, 10),
+                (AlgoPhase::PhaseTwo, 5),
+                (AlgoPhase::Compress, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn probe_accounts_for_preexisting_counts() {
+        let sink = Arc::new(Recorder::default());
+        let counters = LaneCounters::new(1);
+        counters.add(0, 100); // an earlier run of the same query
+        let cfg = SkylineConfig {
+            span_sink: Some(sink.clone() as Arc<dyn SpanSink>),
+            ..Default::default()
+        };
+        let mut probe = PhaseProbe::new(&cfg, &counters);
+        counters.add(0, 7);
+        probe.lap(AlgoPhase::PhaseOne);
+        assert_eq!(*sink.events.lock().unwrap(), vec![(AlgoPhase::PhaseOne, 7)]);
+    }
+
+    #[test]
+    fn config_helpers_respect_absent_hooks() {
+        let cfg = SkylineConfig::default();
+        // No handle: fresh counters of the requested width.
+        let c = cfg.lane_counters(4);
+        assert_eq!(c.lanes(), 4);
+        cfg.credit_dts(9); // no-op
+        cfg.emit_phase(AlgoPhase::PhaseOne, 3); // no-op
+
+        // A wide-enough handle is reused; a too-narrow one is not.
+        let handle = Arc::new(LaneCounters::new(2));
+        let cfg = SkylineConfig {
+            dt_counters: Some(Arc::clone(&handle)),
+            ..Default::default()
+        };
+        assert!(Arc::ptr_eq(&cfg.lane_counters(2), &handle));
+        assert!(!Arc::ptr_eq(&cfg.lane_counters(8), &handle));
+        cfg.credit_dts(11);
+        assert_eq!(handle.total(), 11);
+    }
+}

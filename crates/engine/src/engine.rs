@@ -5,9 +5,9 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use skyline_core::maintain;
+use skyline_core::{maintain, SpanSink};
 use skyline_data::Dataset;
-use skyline_parallel::{available_threads, par_chunks_mut, ThreadPool};
+use skyline_parallel::{available_threads, par_chunks_mut, LaneCounters, ThreadPool};
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::catalog::{Catalog, DatasetEntry, MutationOutcome};
@@ -20,6 +20,10 @@ use crate::planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
 use crate::query::{QueryResult, SkylineQuery};
 use crate::session::{
     AdmissionConfig, Session, SessionOptions, SessionRuntime, SessionStats, TicketState,
+};
+use crate::telemetry::{
+    ActiveTrace, MetricsSnapshot, QueryTrace, QueueWaitHistograms, SpanKind, Telemetry,
+    TelemetryConfig,
 };
 
 /// Construction-time knobs for [`Engine`].
@@ -46,6 +50,10 @@ pub struct EngineConfig {
     /// size per dispatch pass, and whether a background dispatcher
     /// thread runs.
     pub admission: AdmissionConfig,
+    /// The telemetry layer: metrics registry, per-query traces, and the
+    /// slow-query log. Enabled by default (see
+    /// [`TelemetryConfig::enabled`] for what disabling turns off).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +65,7 @@ impl Default for EngineConfig {
             planner: PlannerConfig::default(),
             feedback: FeedbackConfig::default(),
             admission: AdmissionConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -158,6 +167,14 @@ pub(crate) struct EngineShared {
     /// [`ManualClock`](crate::ManualClock) makes all three
     /// deterministic under test.
     pub(crate) clock: Arc<dyn Clock>,
+    /// Present iff [`TelemetryConfig::enabled`]: the metrics registry,
+    /// trace machinery, and slow-query ring.
+    pub(crate) telemetry: Option<Arc<Telemetry>>,
+    /// The per-class `session.queue_wait` histograms — the single
+    /// source of queue-wait truth, shared with the feedback loop and
+    /// (when enabled) exposed through the registry. Always present:
+    /// three lock-free histograms cost nothing measurable.
+    pub(crate) queue_waits: Arc<QueueWaitHistograms>,
 }
 
 impl Default for Engine {
@@ -220,10 +237,18 @@ impl Engine {
     }
 
     fn build(cfg: EngineConfig, pool: Arc<ThreadPool>, clock: Arc<dyn Clock>) -> Self {
-        let feedback = cfg
-            .feedback
+        let queue_waits = Arc::new(QueueWaitHistograms::new());
+        let feedback = cfg.feedback.enabled.then(|| {
+            Arc::new(FeedbackLoop::with_waits(
+                cfg.feedback,
+                Arc::clone(&clock),
+                Arc::clone(&queue_waits),
+            ))
+        });
+        let telemetry = cfg
+            .telemetry
             .enabled
-            .then(|| Arc::new(FeedbackLoop::new(cfg.feedback, Arc::clone(&clock))));
+            .then(|| Arc::new(Telemetry::new(cfg.telemetry.clone(), &queue_waits)));
         let shared = Arc::new(EngineShared {
             pool,
             catalog: Catalog::new(),
@@ -232,6 +257,8 @@ impl Engine {
             compact_fraction: cfg.compact_fraction,
             feedback,
             clock,
+            telemetry,
+            queue_waits,
         });
         let sessions = Arc::new(SessionRuntime::new(cfg.admission));
         sessions.spawn_worker(&shared);
@@ -453,6 +480,76 @@ impl Engine {
         self.shared.planner.config()
     }
 
+    /// A merged snapshot of every telemetry instrument — query latency,
+    /// per-class queue waits, per-algorithm dominance-test counters,
+    /// session activity — plus the derived `cache.*` and `feedback.*`
+    /// families. Empty when telemetry is disabled;
+    /// [`MetricsSnapshot::render`] turns it into the text exposition.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let Some(tel) = &self.shared.telemetry else {
+            return MetricsSnapshot::default();
+        };
+        let mut snap = tel.registry().snapshot();
+        let c = self.cache_stats();
+        snap.push_counter("cache.hits", &[], c.hits);
+        snap.push_counter("cache.misses", &[], c.misses);
+        snap.push_counter("cache.insertions", &[], c.insertions);
+        snap.push_counter("cache.evictions", &[], c.evictions);
+        snap.push_counter("cache.invalidations", &[], c.invalidations);
+        snap.push_counter("cache.patches", &[], c.patches);
+        snap.push_gauge("cache.entries", &[], c.entries as f64);
+        snap.push_gauge("cache.bytes", &[], c.bytes as f64);
+        snap.push_gauge("cache.budget_bytes", &[], c.budget_bytes as f64);
+        let f = self.feedback_stats();
+        snap.push_counter("feedback.observations", &[], f.observations);
+        snap.push_counter("feedback.refits", &[], f.refits);
+        snap.push_counter("feedback.installs", &[], f.installs);
+        snap.push_counter("feedback.explorations", &[], f.explorations);
+        snap.samples
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        snap
+    }
+
+    /// Removes and returns every trace retained by the slow-query ring
+    /// (queries whose end-to-end latency met
+    /// [`TelemetryConfig::slow_query_threshold`]), oldest first. Empty
+    /// when telemetry is disabled.
+    pub fn slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        self.shared
+            .telemetry
+            .as_ref()
+            .map(|tel| tel.slow_log().drain())
+            .unwrap_or_default()
+    }
+
+    /// Executes one query and returns its result **with** the full
+    /// execution trace: per-stage spans timed on the engine clock, the
+    /// planner's decision and rejected candidates, and per-span
+    /// dominance-test counts.
+    ///
+    /// The query runs exactly as [`execute`](Self::execute) runs it
+    /// (same session, cache, and scheduling), so the trace reflects
+    /// production behaviour rather than an instrumented replay.
+    ///
+    /// # Errors
+    /// [`EngineError::TelemetryDisabled`] when the engine was built
+    /// with [`TelemetryConfig::enabled`] `= false`, plus anything
+    /// [`execute`](Self::execute) can fail with.
+    pub fn explain_analyze(
+        &self,
+        query: &SkylineQuery,
+    ) -> Result<(QueryResult, Arc<QueryTrace>), EngineError> {
+        if self.shared.telemetry.is_none() {
+            return Err(EngineError::TelemetryDisabled);
+        }
+        let ticket = self.submit_direct_blocking(query)?;
+        let result = ticket.wait()?;
+        let trace = ticket
+            .trace()
+            .expect("telemetry is enabled: successful tickets carry a trace");
+        Ok((result, trace))
+    }
+
     /// Plans a query without executing it (introspection; no cache
     /// probe beyond the prior-version lookup, no side effects beyond
     /// the planner's sampling pass).
@@ -600,15 +697,23 @@ impl EngineShared {
     /// pool lane, parallel plans span the whole pool afterwards; both
     /// re-check cancellation/deadline **between the plan and the run**.
     pub(crate) fn run_ticket_batch(&self, runtime: &SessionRuntime, batch: Vec<Arc<TicketState>>) {
-        let mut seq: Vec<(Arc<TicketState>, QueryPlan, Duration)> = Vec::new();
-        let mut par: Vec<(Arc<TicketState>, QueryPlan, Duration)> = Vec::new();
+        type Planned = (
+            Arc<TicketState>,
+            QueryPlan,
+            Duration,
+            Option<Arc<ActiveTrace>>,
+        );
+        let mut seq: Vec<Planned> = Vec::new();
+        let mut par: Vec<Planned> = Vec::new();
         for ticket in batch {
             let wait = self.clock.now().saturating_sub(ticket.submitted_at);
             if let Some(outcome) = self.preflight(&ticket) {
-                runtime.complete(&ticket, outcome, wait);
+                self.complete_ticket(runtime, &ticket, outcome, wait, None);
                 continue;
             }
+            let trace = self.begin_trace(&ticket, wait);
             if let Some(full) = self.cache.get_uncounted(&ticket.prepared.key) {
+                let hit_started = self.clock.now();
                 let hit = self.hit_result(
                     &ticket.prepared,
                     full,
@@ -616,14 +721,32 @@ impl EngineShared {
                     self.clock_now(),
                     wait,
                 );
-                runtime.complete(&ticket, Ok(hit), wait);
+                if let Some(tr) = &trace {
+                    tr.add_span(
+                        SpanKind::CacheHit,
+                        hit_started,
+                        self.clock.now().saturating_sub(hit_started),
+                        0,
+                    );
+                }
+                let sealed = self.seal_trace(trace, &ticket, &hit, wait);
+                self.complete_ticket(runtime, &ticket, Ok(hit), wait, sealed);
                 continue;
             }
+            let plan_started = self.clock.now();
             let plan = self.plan_prepared(&ticket.prepared, self.threads());
+            if let Some(tr) = &trace {
+                tr.add_span(
+                    SpanKind::Plan,
+                    plan_started,
+                    self.clock.now().saturating_sub(plan_started),
+                    0,
+                );
+            }
             if matches!(plan.strategy, Strategy::Algorithm(a) if a.is_parallel()) {
-                par.push((ticket, plan, wait));
+                par.push((ticket, plan, wait, trace));
             } else {
-                seq.push((ticket, plan, wait));
+                seq.push((ticket, plan, wait, trace));
             }
         }
 
@@ -632,23 +755,86 @@ impl EngineShared {
         // on a single-threaded pool, so total concurrency stays at
         // `threads()`.
         if seq.len() == 1 {
-            let (ticket, plan, wait) = seq.pop().expect("len checked");
-            self.finish_ticket(runtime, &ticket, plan, wait, &self.pool);
+            let (ticket, plan, wait, trace) = seq.pop().expect("len checked");
+            self.finish_ticket(runtime, &ticket, plan, wait, &self.pool, trace);
         } else if !seq.is_empty() {
             let mut slots = seq;
             par_chunks_mut(&self.pool, &mut slots, 1, |_, chunk| {
                 let lane_pool = ThreadPool::new(1);
-                for (ticket, plan, wait) in chunk.iter_mut() {
-                    self.finish_ticket(runtime, ticket, plan.clone(), *wait, &lane_pool);
+                for (ticket, plan, wait, trace) in chunk.iter_mut() {
+                    self.finish_ticket(
+                        runtime,
+                        ticket,
+                        plan.clone(),
+                        *wait,
+                        &lane_pool,
+                        trace.clone(),
+                    );
                 }
             });
         }
 
         // Parallel plans: whole pool, one at a time, reusing the plan
         // from classification.
-        for (ticket, plan, wait) in par {
-            self.finish_ticket(runtime, &ticket, plan, wait, &self.pool);
+        for (ticket, plan, wait, trace) in par {
+            self.finish_ticket(runtime, &ticket, plan, wait, &self.pool, trace);
         }
+    }
+
+    /// Starts a trace for an admitted ticket (telemetry enabled only),
+    /// seeded with its admission-wait span.
+    fn begin_trace(&self, ticket: &TicketState, wait: Duration) -> Option<Arc<ActiveTrace>> {
+        self.telemetry.as_ref().map(|_| {
+            let tr = Arc::new(ActiveTrace::new(Arc::clone(&self.clock)));
+            tr.add_span(SpanKind::AdmissionWait, ticket.submitted_at, wait, 0);
+            tr
+        })
+    }
+
+    /// Seals an active trace against the finished result.
+    fn seal_trace(
+        &self,
+        trace: Option<Arc<ActiveTrace>>,
+        ticket: &TicketState,
+        result: &QueryResult,
+        queue_wait: Duration,
+    ) -> Option<Arc<QueryTrace>> {
+        trace.map(|tr| {
+            tr.finish(
+                ticket.id,
+                ticket.prepared.entry.name(),
+                PlanKind::from(&result.plan.strategy).name(),
+                result.plan.reason,
+                result.plan.candidates.clone(),
+                queue_wait,
+                self.clock.now().saturating_sub(ticket.submitted_at),
+                result.cache_hit,
+            )
+        })
+    }
+
+    /// Terminates a ticket: records its queue wait and (on success) the
+    /// completion counters, end-to-end latency, and slow-log offer,
+    /// then publishes the outcome and trace to the waiter.
+    fn complete_ticket(
+        &self,
+        runtime: &SessionRuntime,
+        ticket: &TicketState,
+        outcome: Result<QueryResult, EngineError>,
+        queue_wait: Duration,
+        trace: Option<Arc<QueryTrace>>,
+    ) {
+        if outcome.is_ok() {
+            self.queue_waits.record(ticket.priority, queue_wait);
+            if let Some(tel) = &self.telemetry {
+                tel.on_completed(ticket.priority);
+                tel.record_latency(self.clock.now().saturating_sub(ticket.submitted_at));
+                if let Some(tr) = &trace {
+                    tel.slow_log().offer(tr);
+                }
+            }
+        }
+        runtime.complete(ticket, outcome, queue_wait, trace);
     }
 
     /// Terminal outcome for a ticket that must not run: cancelled, or
@@ -673,23 +859,37 @@ impl EngineShared {
         plan: QueryPlan,
         queue_wait: Duration,
         pool: &ThreadPool,
+        trace: Option<Arc<ActiveTrace>>,
     ) {
         if let Some(outcome) = self.preflight(ticket) {
-            runtime.complete(ticket, outcome, queue_wait);
+            self.complete_ticket(runtime, ticket, outcome, queue_wait, None);
             return;
         }
         let clock_started = self.clock_now();
         let outcome = match self.cache.get_uncounted(&ticket.prepared.key) {
-            Some(full) => self.hit_result(
-                &ticket.prepared,
-                full,
-                Instant::now(),
-                clock_started,
-                queue_wait,
-            ),
-            None => self.run_plan(&ticket.prepared, plan, pool, queue_wait),
+            Some(full) => {
+                let hit_started = self.clock.now();
+                let hit = self.hit_result(
+                    &ticket.prepared,
+                    full,
+                    Instant::now(),
+                    clock_started,
+                    queue_wait,
+                );
+                if let Some(tr) = &trace {
+                    tr.add_span(
+                        SpanKind::CacheHit,
+                        hit_started,
+                        self.clock.now().saturating_sub(hit_started),
+                        0,
+                    );
+                }
+                hit
+            }
+            None => self.run_plan(&ticket.prepared, plan, pool, queue_wait, trace.as_ref()),
         };
-        runtime.complete(ticket, Ok(outcome), queue_wait);
+        let sealed = self.seal_trace(trace, ticket, &outcome, queue_wait);
+        self.complete_ticket(runtime, ticket, Ok(outcome), queue_wait, sealed);
     }
 
     /// Resolves the dataset and canonicalises the query.
@@ -838,9 +1038,10 @@ impl EngineShared {
     fn run_plan(
         &self,
         prepared: &Prepared,
-        plan: QueryPlan,
+        mut plan: QueryPlan,
         pool: &ThreadPool,
         queue_wait: Duration,
+        trace: Option<&Arc<ActiveTrace>>,
     ) -> QueryResult {
         let started = Instant::now();
         // Runtime observed for the feedback loop is measured on the
@@ -848,6 +1049,15 @@ impl EngineShared {
         // recorded runtimes — and therefore every refit decision —
         // fully deterministic in tests.
         let clock_started = self.feedback.as_ref().map(|fb| fb.clock().now());
+        if let Some(tr) = trace {
+            // Give the algorithm a query-scoped dominance tally and the
+            // span sink, and re-base the trace's phase mark so the
+            // first phase is not charged for engine-side time.
+            plan.config.dt_counters = Some(Arc::new(LaneCounters::new(pool.threads())));
+            plan.config.span_sink = Some(Arc::clone(tr) as Arc<dyn SpanSink>);
+            tr.set_mark();
+        }
+        let exec_started = trace.map(|_| self.clock.now());
         let entry = &prepared.entry;
         let (indices, stats) = match &plan.strategy {
             Strategy::Cached => unreachable!("planner never emits Cached"),
@@ -870,7 +1080,7 @@ impl EngineShared {
                     let plan =
                         self.planner
                             .plan(entry, &prepared.dims, prepared.max_mask, pool.threads());
-                    return self.run_plan(prepared, plan, pool, queue_wait);
+                    return self.run_plan(prepared, plan, pool, queue_wait, trace);
                 }
             },
             Strategy::Algorithm(algo) => {
@@ -886,9 +1096,25 @@ impl EngineShared {
                     Some(live) => result.indices.iter().map(|&i| live[i as usize]).collect(),
                     None => result.indices,
                 };
+                if let Some(tel) = &self.telemetry {
+                    tel.record_dominance(*algo, result.stats.dominance_tests);
+                }
                 (indices, Some(result.stats))
             }
         };
+
+        if let (Some(tr), Some(t0)) = (trace, exec_started) {
+            // Algorithms stream their own phase spans through the sink;
+            // the non-algorithmic strategies get one covering span here.
+            let kind = match &plan.strategy {
+                Strategy::Trivial | Strategy::MinScan { .. } => Some(SpanKind::Execute),
+                Strategy::Delta { .. } => Some(SpanKind::CachePatch),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                tr.add_span(kind, t0, self.clock.now().saturating_sub(t0), 0);
+            }
+        }
 
         if let (Some(fb), Some(t0)) = (&self.feedback, clock_started) {
             let runtime = fb.clock().now().saturating_sub(t0);
@@ -909,7 +1135,16 @@ impl EngineShared {
             .get(entry.name())
             .is_some_and(|current| current.version() == entry.version());
         if still_current {
+            let insert_started = trace.map(|_| self.clock.now());
             self.cache.insert(prepared.key, Arc::clone(&full));
+            if let (Some(tr), Some(t0)) = (trace, insert_started) {
+                tr.add_span(
+                    SpanKind::CacheInsert,
+                    t0,
+                    self.clock.now().saturating_sub(t0),
+                    0,
+                );
+            }
         }
         QueryResult {
             full,

@@ -143,6 +143,10 @@ pub enum EngineError {
     /// recovers and later tickets run normally), but this query's
     /// outcome is unknown.
     Internal,
+    /// A telemetry entry point was used on an engine built with
+    /// [`TelemetryConfig::enabled`](crate::TelemetryConfig::enabled)
+    /// set to `false`.
+    TelemetryDisabled,
 }
 
 impl EngineError {
@@ -208,6 +212,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Internal => {
                 write!(f, "internal error: the dispatch batch panicked mid-run")
+            }
+            EngineError::TelemetryDisabled => {
+                write!(f, "telemetry is disabled on this engine")
             }
         }
     }
@@ -275,5 +282,6 @@ mod tests {
         assert!(!EngineError::Cancelled.is_retryable());
         assert!(!EngineError::DeadlineExceeded.is_retryable());
         assert!(!EngineError::UnknownDataset("x".into()).is_retryable());
+        assert!(!EngineError::TelemetryDisabled.is_retryable());
     }
 }

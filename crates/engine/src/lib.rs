@@ -37,7 +37,13 @@
 //!   a bounded multi-priority admission queue with per-tenant quotas,
 //!   per-query deadlines, and dataset-version pinning; the blocking
 //!   [`Engine::execute`]/[`Engine::execute_batch`] are thin
-//!   submit-and-wait wrappers over it.
+//!   submit-and-wait wrappers over it;
+//! * [`telemetry`] — the unified observability layer: a lock-free
+//!   [`MetricsRegistry`] behind [`Engine::metrics`] (Prometheus-style
+//!   [`MetricsSnapshot::render`]), per-query [`QueryTrace`]s with typed
+//!   spans timed on the engine [`Clock`]
+//!   ([`QueryTicket::trace`], [`Engine::explain_analyze`]), and a
+//!   bounded [`SlowQueryLog`] drained via [`Engine::slow_queries`].
 //!
 //! ## Quick example
 //!
@@ -94,6 +100,7 @@ mod error;
 pub mod planner;
 mod query;
 pub mod session;
+pub mod telemetry;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use catalog::{Catalog, DatasetEntry, DatasetStats, DeltaSummary, DimStats, MutationOutcome};
@@ -101,6 +108,11 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use engine::{Engine, EngineConfig, MutationReport};
 pub use error::{EngineError, QuotaKind, RejectReason};
 pub use planner::feedback::{FeedbackConfig, FeedbackLoop, FeedbackStats, Observation, PlanKind};
-pub use planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
+pub use planner::{PlanCandidate, Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
 pub use query::{QueryOptions, QueryResult, SkylineQuery};
 pub use session::{AdmissionConfig, Priority, QueryTicket, Session, SessionOptions, SessionStats};
+pub use telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, MetricsRegistry,
+    MetricsSnapshot, QueryTrace, QueueWaitHistograms, SlowQueryLog, SpanKind, TelemetryConfig,
+    TraceSpan,
+};

@@ -107,6 +107,61 @@ pub struct QueryPlan {
     pub sample_skyline_frac: Option<f32>,
     /// One-line human-readable justification.
     pub reason: &'static str,
+    /// Every strategy the final cost comparison considered, with its
+    /// estimated cost, the chosen one flagged. Empty for plans decided
+    /// by an earlier structural rule (trivial, min-scan, delta, the
+    /// sequential size tiers), where no cost comparison happens.
+    pub candidates: Vec<PlanCandidate>,
+}
+
+/// One strategy considered by the planner's final cost comparison,
+/// surfaced in [`QueryTrace`](crate::QueryTrace) so `explain`-style
+/// output can show what was rejected and at what estimated price.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCandidate {
+    /// The candidate's stable strategy name (an
+    /// [`Algorithm::name`](skyline_core::algo::Algorithm::name)).
+    pub strategy: &'static str,
+    /// Coarse estimated cost in dominance-test units. Comparable only
+    /// within one plan's candidate list; informational — the decision
+    /// itself is made by the planner's (feedback-refitted) rules.
+    pub estimated_cost: f64,
+    /// Whether this candidate became the plan.
+    pub chosen: bool,
+}
+
+/// The coarse candidate cost sheet for a parallel-tier decision.
+///
+/// Estimates are in dominance-test units with `s = frac·n` as the
+/// expected skyline size: BNL pays the full `n·s` window scan, SFS
+/// halves it by sort order, BSkyTree prunes to a log factor, Q-Flow
+/// divides the scan across threads plus per-block overhead, and Hybrid
+/// additionally cuts comparisons by partitioning at a β-queue
+/// pre-filter price.
+fn candidate_costs(
+    n: usize,
+    frac: f32,
+    threads: usize,
+    chosen: &'static str,
+) -> Vec<PlanCandidate> {
+    let n = n as f64;
+    let t = threads.max(1) as f64;
+    let s = (frac as f64 * n).max(1.0);
+    let sheet = [
+        ("bnl", n * s),
+        ("sfs", 0.5 * n * s),
+        ("bskytree", n * (s + 2.0).log2()),
+        ("qflow", 0.5 * n * s / t + n),
+        ("hybrid", 0.25 * n * s / t + 8.0 * n),
+    ];
+    sheet
+        .into_iter()
+        .map(|(strategy, estimated_cost)| PlanCandidate {
+            strategy,
+            estimated_cost,
+            chosen: strategy == chosen,
+        })
+        .collect()
 }
 
 impl QueryPlan {
@@ -118,6 +173,7 @@ impl QueryPlan {
             effective_dims: Vec::new(),
             sample_skyline_frac: None,
             reason,
+            candidates: Vec::new(),
         }
     }
 
@@ -300,6 +356,7 @@ impl Planner {
                 effective_dims: effective,
                 sample_skyline_frac: Some(frac),
                 reason: "one effective dimension: scan the sorted projection",
+                candidates: Vec::new(),
             };
         }
 
@@ -319,6 +376,7 @@ impl Planner {
                     effective_dims: dims.to_vec(),
                     sample_skyline_frac: Some(frac),
                     reason: "small delta over a prior cached result",
+                    candidates: Vec::new(),
                 };
             }
         }
@@ -332,6 +390,7 @@ impl Planner {
                 effective_dims: effective,
                 sample_skyline_frac: Some(frac),
                 reason: "tiny input: window scan beats any setup cost",
+                candidates: Vec::new(),
             };
         }
         if n <= cfg.small_n {
@@ -342,6 +401,7 @@ impl Planner {
                 effective_dims: effective,
                 sample_skyline_frac: Some(frac),
                 reason: "small input: sort-filter-skyline, no parallel setup",
+                candidates: Vec::new(),
             };
         }
 
@@ -354,6 +414,7 @@ impl Planner {
                 effective_dims: effective,
                 sample_skyline_frac: Some(frac),
                 reason: "single thread: BSkyTree is the best sequential algorithm",
+                candidates: Vec::new(),
             };
         }
 
@@ -384,6 +445,10 @@ impl Planner {
             )
         };
         let _ = max_mask; // direction never changes the plan, see doc
+        let chosen = match algo {
+            Algorithm::Hybrid => "hybrid",
+            _ => "qflow",
+        };
         QueryPlan {
             strategy: Strategy::Algorithm(algo),
             threads,
@@ -391,6 +456,7 @@ impl Planner {
             effective_dims: effective,
             sample_skyline_frac: Some(frac),
             reason,
+            candidates: candidate_costs(n, frac, threads, chosen),
         }
     }
 }

@@ -88,6 +88,7 @@ use skyline_core::algo::Algorithm;
 
 use crate::clock::Clock;
 use crate::planner::{Planner, PlannerConfig, QueryPlan, Strategy};
+use crate::telemetry::QueueWaitHistograms;
 
 /// Knobs for the [`FeedbackLoop`], carried by
 /// [`EngineConfig`](crate::EngineConfig).
@@ -196,9 +197,11 @@ pub struct Observation {
     pub runtime: Duration,
     /// Time the query spent in the admission queue before running
     /// (zero for directly executed or cache-short-circuited queries).
-    /// Tracked as separate telemetry ([`FeedbackStats::queue_wait`])
-    /// and **never** folded into the fitted runtimes — a loaded queue
-    /// must not masquerade as a slow algorithm.
+    /// Informational: wait telemetry lives in the engine's
+    /// `session.queue_wait` histograms (the single source
+    /// [`FeedbackStats::queue_wait`] is derived from), and is **never**
+    /// folded into the fitted runtimes — a loaded queue must not
+    /// masquerade as a slow algorithm.
     pub queue_wait: Duration,
 }
 
@@ -326,12 +329,14 @@ impl Aggregate {
 pub struct FeedbackStats {
     /// Observations recorded.
     pub observations: u64,
-    /// Observations that arrived through the admission queue (nonzero
-    /// queue wait).
+    /// Completed queries that waited a nonzero time in the admission
+    /// queue, read off the shared `session.queue_wait` histograms
+    /// ([`QueueWaitHistograms`]) — the loop keeps no wait tally of its
+    /// own.
     pub queued_observations: u64,
-    /// Total admission-queue wait across all observations. Telemetry
-    /// only: queue wait never enters the bucket aggregates, so fits see
-    /// pure compute time.
+    /// Total admission-queue wait across those completions, from the
+    /// same histograms. Telemetry only: queue wait never enters the
+    /// bucket aggregates, so fits see pure compute time.
     pub queue_wait: Duration,
     /// Fit passes run (time-gated or forced).
     pub refits: u64,
@@ -353,8 +358,9 @@ pub struct FeedbackLoop {
     /// Clock reading (ns) of the last refit election.
     last_refit_ns: AtomicU64,
     observations: AtomicU64,
-    queued_observations: AtomicU64,
-    queue_wait_ns: AtomicU64,
+    /// The engine-shared per-class queue-wait histograms; the single
+    /// source of the wait aggregates [`stats`](Self::stats) reports.
+    waits: Arc<QueueWaitHistograms>,
     refits: AtomicU64,
     installs: AtomicU64,
     explorations: AtomicU64,
@@ -365,21 +371,37 @@ pub struct FeedbackLoop {
 }
 
 impl FeedbackLoop {
-    /// A loop reading time from `clock`.
+    /// A loop reading time from `clock`, with its own (private)
+    /// queue-wait histograms. An engine shares its histograms instead
+    /// via [`with_waits`](Self::with_waits).
     pub fn new(cfg: FeedbackConfig, clock: Arc<dyn Clock>) -> Self {
+        Self::with_waits(cfg, clock, Arc::new(QueueWaitHistograms::new()))
+    }
+
+    /// A loop whose wait aggregates read from the caller's shared
+    /// `session.queue_wait` histograms.
+    pub fn with_waits(
+        cfg: FeedbackConfig,
+        clock: Arc<dyn Clock>,
+        waits: Arc<QueueWaitHistograms>,
+    ) -> Self {
         Self {
             cfg,
             clock,
             buckets: Mutex::new(HashMap::new()),
             last_refit_ns: AtomicU64::new(0),
             observations: AtomicU64::new(0),
-            queued_observations: AtomicU64::new(0),
-            queue_wait_ns: AtomicU64::new(0),
+            waits,
             refits: AtomicU64::new(0),
             installs: AtomicU64::new(0),
             explorations: AtomicU64::new(0),
             explore_restore: Mutex::new([None, None]),
         }
+    }
+
+    /// The queue-wait histograms this loop derives its wait stats from.
+    pub fn waits(&self) -> &Arc<QueueWaitHistograms> {
+        &self.waits
     }
 
     /// The loop's configuration.
@@ -396,16 +418,11 @@ impl FeedbackLoop {
     /// work.
     pub fn record(&self, obs: Observation) {
         self.observations.fetch_add(1, Ordering::Relaxed);
-        if !obs.queue_wait.is_zero() {
-            // Queue wait stays out of the aggregates entirely: the fit
-            // must compare algorithms on compute time, not on how
-            // congested the admission queue happened to be.
-            self.queued_observations.fetch_add(1, Ordering::Relaxed);
-            self.queue_wait_ns.fetch_add(
-                obs.queue_wait.as_nanos().min(u64::MAX as u128) as u64,
-                Ordering::Relaxed,
-            );
-        }
+        // Queue wait stays out of the aggregates entirely: the fit must
+        // compare algorithms on compute time, not on how congested the
+        // admission queue happened to be. Wait telemetry lives in the
+        // shared `session.queue_wait` histograms, written at ticket
+        // completion.
         let key = BucketKey::of(&obs);
         let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
         if buckets.len() >= MAX_BUCKETS && !buckets.contains_key(&key) {
@@ -514,12 +531,14 @@ impl FeedbackLoop {
         }
     }
 
-    /// Activity counters.
+    /// Activity counters. The wait pair is read off the shared
+    /// queue-wait histograms, not a loop-local tally.
     pub fn stats(&self) -> FeedbackStats {
+        let (queued_observations, queue_wait) = self.waits.queued_total();
         FeedbackStats {
             observations: self.observations.load(Ordering::Relaxed),
-            queued_observations: self.queued_observations.load(Ordering::Relaxed),
-            queue_wait: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
+            queued_observations,
+            queue_wait,
             refits: self.refits.load(Ordering::Relaxed),
             installs: self.installs.load(Ordering::Relaxed),
             explorations: self.explorations.load(Ordering::Relaxed),
@@ -866,10 +885,17 @@ mod tests {
     fn queue_wait_is_telemetry_only_and_never_pollutes_the_fit() {
         let (fb, _clock) = quick_loop(1);
         // Two observations of the same shape and compute runtime; one
-        // waited 5 ms in the admission queue, the other didn't.
+        // waited 5 ms in the admission queue, the other didn't. The
+        // wait reaches the stats through the shared histograms (the
+        // engine records them at ticket completion), never through the
+        // observation itself.
         let base = obs(PlanKind::Algo(Algorithm::Bnl), 4_000, Some(0.2), None, 120);
         fb.record(base.clone());
         fb.record(base.clone().queued(Duration::from_millis(5)));
+        fb.waits()
+            .record(crate::session::Priority::Normal, Duration::ZERO);
+        fb.waits()
+            .record(crate::session::Priority::Normal, Duration::from_millis(5));
         let stats = fb.stats();
         assert_eq!(stats.observations, 2);
         assert_eq!(stats.queued_observations, 1);

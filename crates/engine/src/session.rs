@@ -83,6 +83,7 @@ use std::time::{Duration, Instant};
 use crate::engine::{EngineShared, Prepared};
 use crate::error::{EngineError, QuotaKind, RejectReason};
 use crate::query::{QueryResult, SkylineQuery};
+use crate::telemetry::{QueryTrace, SpanKind, TraceSpan};
 
 /// Length of the per-tenant submission-rate window backing
 /// [`SessionOptions::qps_cap`].
@@ -237,6 +238,9 @@ pub struct SessionStats {
 pub(crate) struct TicketInner {
     pub(crate) outcome: Option<Result<QueryResult, EngineError>>,
     pub(crate) queue_wait: Option<Duration>,
+    /// The sealed execution trace, present once terminal on an engine
+    /// with telemetry enabled (successful outcomes only).
+    pub(crate) trace: Option<Arc<QueryTrace>>,
 }
 
 /// Shared state behind a [`QueryTicket`]; the admission queue holds the
@@ -391,7 +395,7 @@ impl SessionRuntime {
                     .is_none();
                 if pending {
                     let wait = shared.clock.now().saturating_sub(ticket.submitted_at);
-                    self.complete(&ticket, Err(EngineError::Internal), wait);
+                    self.complete(&ticket, Err(EngineError::Internal), wait, None);
                 }
             }
         }
@@ -478,23 +482,55 @@ impl SessionRuntime {
         // defeat class isolation.
         let priority = query.options().priority().map_or(class, |p| p.min(class));
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Telemetry counts every attempt that reaches admission with a
+        // resolved class — including the ones rejected below — mirroring
+        // the client's view of "submissions".
+        if let Some(tel) = &shared.telemetry {
+            tel.on_submitted(priority);
+        }
 
         // Counted cache probe: hits short-circuit admission — no queue
         // slot, no quota consumption — but still feed the feedback loop
         // (inside `probe`) so the report sees the whole workload.
         if let Some(hit) = shared.probe(&prepared, Instant::now(), shared.clock_now()) {
             self.short_circuits.fetch_add(1, Ordering::Relaxed);
+            let submitted_at = shared.clock.now();
+            shared.queue_waits.record(priority, Duration::ZERO);
+            let trace = shared.telemetry.as_ref().map(|tel| {
+                let trace = Arc::new(QueryTrace {
+                    query_id: id,
+                    dataset: prepared.entry.name().to_string(),
+                    strategy: "cache",
+                    reason: hit.plan.reason,
+                    candidates: Vec::new(),
+                    spans: vec![TraceSpan {
+                        kind: SpanKind::CacheHit,
+                        start: submitted_at,
+                        duration: Duration::ZERO,
+                        dominance_tests: 0,
+                    }],
+                    queue_wait: Duration::ZERO,
+                    total: Duration::ZERO,
+                    dominance_tests: 0,
+                    cache_hit: true,
+                });
+                tel.on_completed(priority);
+                tel.record_latency(Duration::ZERO);
+                tel.slow_log().offer(&trace);
+                trace
+            });
             let state = Arc::new(TicketState {
                 id,
                 tenant: tenant.to_string(),
                 priority,
                 prepared,
                 deadline: None,
-                submitted_at: shared.clock.now(),
+                submitted_at,
                 cancelled: AtomicBool::new(false),
                 inner: Mutex::new(TicketInner {
                     outcome: Some(Ok(hit)),
                     queue_wait: Some(Duration::ZERO),
+                    trace,
                 }),
                 done: Condvar::new(),
             });
@@ -521,6 +557,9 @@ impl SessionRuntime {
                 if tstate.window_count >= cap {
                     drop(st);
                     self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tel) = &shared.telemetry {
+                        tel.on_rejected_quota(priority);
+                    }
                     return Err(EngineError::Rejected(RejectReason::QuotaExceeded {
                         tenant: tenant.to_string(),
                         quota: QuotaKind::Rate,
@@ -531,6 +570,9 @@ impl SessionRuntime {
                 if tstate.in_flight >= cap {
                     drop(st);
                     self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tel) = &shared.telemetry {
+                        tel.on_rejected_quota(priority);
+                    }
                     return Err(EngineError::Rejected(RejectReason::QuotaExceeded {
                         tenant: tenant.to_string(),
                         quota: QuotaKind::InFlight,
@@ -542,6 +584,9 @@ impl SessionRuntime {
         if queued >= self.cfg.queue_capacity {
             drop(st);
             self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            if let Some(tel) = &shared.telemetry {
+                tel.on_rejected_queue_full(priority);
+            }
             return Err(EngineError::Rejected(RejectReason::QueueFull { queued }));
         }
         // Admitted: commit the quota usage and enqueue.
@@ -620,13 +665,15 @@ impl SessionRuntime {
         while self.dispatch_batch(shared) > 0 {}
     }
 
-    /// Records a ticket's terminal outcome, releases its tenant's
-    /// in-flight slot, and wakes every waiter.
+    /// Records a ticket's terminal outcome (and its sealed trace, when
+    /// the engine traced it), releases its tenant's in-flight slot, and
+    /// wakes every waiter.
     pub(crate) fn complete(
         &self,
         ticket: &TicketState,
         outcome: Result<QueryResult, EngineError>,
         queue_wait: Duration,
+        trace: Option<Arc<QueryTrace>>,
     ) {
         {
             let mut st = self.lock();
@@ -649,6 +696,7 @@ impl SessionRuntime {
             let mut inner = ticket.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.outcome = Some(outcome);
             inner.queue_wait = Some(queue_wait);
+            inner.trace = trace;
         }
         ticket.done.notify_all();
     }
@@ -840,6 +888,22 @@ impl QueryTicket {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .queue_wait
+    }
+
+    /// The query's execution trace: per-stage spans with wall time on
+    /// the engine clock and dominance-test counts, the planner's
+    /// decision, and the cache verdict. Present once the ticket
+    /// terminated successfully on an engine with
+    /// [`TelemetryConfig::enabled`](crate::TelemetryConfig::enabled);
+    /// `None` while pending, after a failed outcome, or with telemetry
+    /// off.
+    pub fn trace(&self) -> Option<Arc<QueryTrace>> {
+        self.state
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .trace
+            .clone()
     }
 
     /// Blocks until the ticket terminates.

@@ -45,6 +45,17 @@ impl LaneCounters {
         }
     }
 
+    /// Atomically drains every slot to zero and returns the sum — the
+    /// per-query scoping primitive: a caller that shares one counter set
+    /// across runs can `take()` between them without losing concurrent
+    /// increments (each slot is swapped, not read-then-stored).
+    pub fn take(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.swap(0, Ordering::Relaxed))
+            .sum()
+    }
+
     /// Number of lanes this counter set was sized for.
     pub fn lanes(&self) -> usize {
         self.slots.len()
@@ -74,6 +85,18 @@ mod tests {
         assert_eq!(c.total(), 12);
         c.reset();
         assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn take_drains_and_returns_total() {
+        let c = LaneCounters::new(2);
+        c.add(0, 5);
+        c.add(1, 7);
+        assert_eq!(c.take(), 12);
+        assert_eq!(c.total(), 0);
+        c.add(1, 3);
+        assert_eq!(c.take(), 3);
+        assert_eq!(c.take(), 0);
     }
 
     #[test]

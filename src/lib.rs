@@ -116,11 +116,12 @@ pub use skyline_data::{
     RealDataset, Rng,
 };
 pub use skyline_engine::{
-    AdmissionConfig, CacheStats, Clock, DatasetEntry, Engine, EngineConfig, EngineError,
-    FeedbackConfig, FeedbackLoop, FeedbackStats, ManualClock, MonotonicClock, MutationReport,
-    Observation, PlanKind, PlannerConfig, Priority, QueryOptions, QueryPlan, QueryResult,
-    QueryTicket, QuotaKind, RejectReason, Session, SessionOptions, SessionStats, SkylineQuery,
-    Strategy,
+    AdmissionConfig, CacheStats, Clock, Counter, DatasetEntry, Engine, EngineConfig, EngineError,
+    FeedbackConfig, FeedbackLoop, FeedbackStats, Gauge, Histogram, HistogramSnapshot, ManualClock,
+    MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, MonotonicClock, MutationReport,
+    Observation, PlanCandidate, PlanKind, PlannerConfig, Priority, QueryOptions, QueryPlan,
+    QueryResult, QueryTicket, QueryTrace, QuotaKind, RejectReason, Session, SessionOptions,
+    SessionStats, SkylineQuery, SlowQueryLog, SpanKind, Strategy, TelemetryConfig, TraceSpan,
 };
 pub use skyline_parallel::{available_threads, ThreadPool};
 

@@ -1,0 +1,273 @@
+//! Deterministic tests of the telemetry layer: trace spans timed on a
+//! [`ManualClock`], histogram bucket arithmetic, the slow-query ring's
+//! threshold and capacity, per-query counter isolation, and the
+//! zero-overhead guarantee when telemetry is disabled.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skybench::{
+    generate, AdmissionConfig, Dataset, Distribution, Engine, EngineConfig, EngineError, Histogram,
+    ManualClock, SkylineQuery, SpanKind, TelemetryConfig, ThreadPool,
+};
+
+/// A 2-lane manual-dispatch engine on a shared manual clock: nothing
+/// runs until [`Engine::pump`] and no duration elapses unless the test
+/// advances the clock.
+fn manual_engine(telemetry: TelemetryConfig) -> (Engine, Arc<ManualClock>) {
+    let clock = ManualClock::shared();
+    let engine = Engine::with_clock(
+        EngineConfig {
+            threads: 2,
+            admission: AdmissionConfig {
+                background_dispatcher: false,
+                ..AdmissionConfig::default()
+            },
+            telemetry,
+            ..EngineConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn skybench::Clock>,
+    );
+    engine.register(
+        "d",
+        Dataset::from_rows(&[
+            vec![1.0, 9.0, 2.0, 8.0],
+            vec![9.0, 1.0, 8.0, 2.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+            vec![2.0, 8.0, 1.0, 9.0],
+        ])
+        .unwrap(),
+    );
+    (engine, clock)
+}
+
+/// Distinct subspace queries so none is a cache duplicate of another.
+fn distinct_query(i: usize) -> SkylineQuery {
+    let subspaces: [&[usize]; 6] = [&[0], &[1], &[0, 1], &[1, 2], &[2, 3], &[0, 3]];
+    SkylineQuery::new("d").dims(subspaces[i % subspaces.len()].iter().copied())
+}
+
+#[test]
+fn trace_spans_are_exact_under_a_manual_clock() {
+    let (engine, clock) = manual_engine(TelemetryConfig::default());
+    let session = engine.open_session(skybench::SessionOptions::new("t"));
+
+    let ticket = session.submit(&distinct_query(2)).unwrap();
+    assert!(ticket.trace().is_none(), "no trace before dispatch");
+    clock.advance(Duration::from_millis(5));
+    engine.pump();
+
+    let trace = ticket.trace().expect("terminal tickets carry a trace");
+    assert!(!trace.cache_hit);
+    assert_eq!(trace.queue_wait, Duration::from_millis(5));
+    // The clock never moved after dispatch, so end-to-end time IS the
+    // queue wait.
+    assert_eq!(trace.total, Duration::from_millis(5));
+
+    // Span ordering: admission wait (from submission time) first, then
+    // planning, then execution spans, with the cache insert last.
+    assert_eq!(trace.spans[0].kind, SpanKind::AdmissionWait);
+    assert_eq!(trace.spans[0].start, Duration::ZERO);
+    assert_eq!(trace.spans[0].duration, Duration::from_millis(5));
+    assert_eq!(trace.spans[1].kind, SpanKind::Plan);
+    assert_eq!(trace.spans.last().unwrap().kind, SpanKind::CacheInsert);
+    // Every non-wait span ran while the clock stood still.
+    for span in &trace.spans[1..] {
+        assert_eq!(
+            span.duration,
+            Duration::ZERO,
+            "{:?} saw the clock move",
+            span.kind
+        );
+    }
+
+    // A repeat of the same query is answered by the session-layer cache
+    // short circuit and traced as such.
+    let hit = session.submit(&distinct_query(2)).unwrap();
+    let hit_trace = hit.trace().expect("cache hits are traced on submit");
+    assert!(hit_trace.cache_hit);
+    assert_eq!(hit_trace.strategy, "cache");
+    assert_eq!(hit_trace.spans.len(), 1);
+    assert_eq!(hit_trace.spans[0].kind, SpanKind::CacheHit);
+    engine.shutdown();
+}
+
+#[test]
+fn histogram_buckets_and_quantiles_are_exact() {
+    let h = Histogram::new();
+    h.record(Duration::ZERO);
+    h.record(Duration::from_nanos(1));
+    h.record(Duration::from_nanos(2));
+    h.record(Duration::from_nanos(1000));
+
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 4);
+    assert_eq!(snap.zeros, 1);
+    assert_eq!(snap.sum, Duration::from_nanos(1003));
+    // Log buckets: bucket 0 covers 0..=1 ns (zeros included), bucket 1
+    // covers 2..=3 ns, 1000 ns lands in 512..=1023. Counts cumulative.
+    assert_eq!(snap.buckets, vec![(1, 2), (3, 3), (1023, 4)]);
+
+    // Quantiles report the holding bucket's inclusive upper edge; exact
+    // zeros rank below every bucket.
+    assert_eq!(snap.quantile(0.0), Duration::ZERO);
+    assert_eq!(snap.quantile(0.5), Duration::from_nanos(3));
+    assert_eq!(snap.quantile(1.0), Duration::from_nanos(1023));
+    assert_eq!(snap.mean(), Duration::from_nanos(1003) / 4);
+}
+
+#[test]
+fn slow_query_log_applies_threshold_and_capacity() {
+    let (engine, clock) = manual_engine(TelemetryConfig {
+        slow_query_threshold: Duration::from_millis(1),
+        slow_log_capacity: 2,
+        ..TelemetryConfig::default()
+    });
+    let session = engine.open_session(skybench::SessionOptions::new("t"));
+
+    // Fast query: dispatched with no clock movement → below threshold.
+    let fast = session.submit(&distinct_query(0)).unwrap();
+    engine.pump();
+    assert!(fast.trace().is_some());
+
+    // Three slow queries (2 ms of queue wait each) through a ring of 2:
+    // the oldest is evicted.
+    let mut slow_ids = Vec::new();
+    for i in 1..4 {
+        let t = session.submit(&distinct_query(i)).unwrap();
+        clock.advance(Duration::from_millis(2));
+        engine.pump();
+        slow_ids.push(t.trace().unwrap().query_id);
+    }
+
+    let drained = engine.slow_queries();
+    let drained_ids: Vec<u64> = drained.iter().map(|t| t.query_id).collect();
+    assert_eq!(drained_ids, slow_ids[1..], "capacity 2, oldest evicted");
+    assert!(drained.iter().all(|t| t.total >= Duration::from_millis(1)));
+    assert!(engine.slow_queries().is_empty(), "drain empties the ring");
+    engine.shutdown();
+}
+
+#[test]
+fn concurrent_traces_isolate_their_dominance_counts() {
+    let pool = ThreadPool::new(2);
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    engine.register(
+        "anti",
+        generate(Distribution::Anticorrelated, 2_000, 4, 7, &pool),
+    );
+    engine.register(
+        "indep",
+        generate(Distribution::Independent, 2_000, 4, 8, &pool),
+    );
+
+    std::thread::scope(|scope| {
+        for name in ["anti", "indep"] {
+            let engine = &engine;
+            scope.spawn(move || {
+                let (result, trace) = engine
+                    .explain_analyze(&SkylineQuery::new(name))
+                    .expect("telemetry is enabled");
+                assert_eq!(trace.dataset, name);
+                assert!(!trace.cache_hit);
+                // The trace's DT total is the sum of its spans' counts
+                // and matches the run's own statistics: counts from the
+                // concurrent query never bleed in.
+                let span_sum: u64 = trace.spans.iter().map(|s| s.dominance_tests).sum();
+                assert_eq!(trace.dominance_tests, span_sum);
+                assert_eq!(
+                    trace.dominance_tests,
+                    result
+                        .stats
+                        .expect("computed plans carry stats")
+                        .dominance_tests
+                );
+                assert!(trace.dominance_tests > 0);
+            });
+        }
+    });
+    engine.shutdown();
+}
+
+#[test]
+fn disabled_telemetry_is_inert_but_queries_still_run() {
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        telemetry: TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        },
+        ..EngineConfig::default()
+    });
+    engine.register(
+        "d",
+        Dataset::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 3.0]]).unwrap(),
+    );
+
+    let result = engine.execute(&SkylineQuery::new("d")).unwrap();
+    assert_eq!(result.indices(), &[0, 1]);
+    assert!(engine.metrics().is_empty());
+    assert!(engine.slow_queries().is_empty());
+    assert!(matches!(
+        engine.explain_analyze(&SkylineQuery::new("d")),
+        Err(EngineError::TelemetryDisabled)
+    ));
+
+    let session = engine.open_session(skybench::SessionOptions::new("t"));
+    let ticket = session.submit(&SkylineQuery::new("d").dims([0])).unwrap();
+    assert!(ticket.wait().is_ok());
+    assert!(ticket.trace().is_none(), "no traces when disabled");
+    engine.shutdown();
+}
+
+#[test]
+fn cold_hybrid_query_traces_every_phase() {
+    let pool = ThreadPool::new(4);
+    let engine = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    engine.register(
+        "anti",
+        generate(Distribution::Anticorrelated, 20_000, 6, 7, &pool),
+    );
+
+    let (result, trace) = engine
+        .explain_analyze(&SkylineQuery::new("anti"))
+        .expect("telemetry is enabled");
+    assert_eq!(trace.strategy, "Hybrid", "dense anticorrelated → Hybrid");
+    assert!(!trace.cache_hit);
+
+    // The planner reported the losing candidates alongside the winner.
+    assert!(trace.candidates.iter().any(|c| c.chosen));
+    assert!(trace.candidates.iter().filter(|c| !c.chosen).count() > 1);
+
+    // Both computation phases are present, took real wall time on the
+    // monotonic clock, and carry their own dominance-test counts.
+    for kind in [SpanKind::Plan, SpanKind::PhaseOne, SpanKind::PhaseTwo] {
+        let span = trace
+            .span(kind)
+            .unwrap_or_else(|| panic!("{kind:?} span missing"));
+        assert!(span.duration > Duration::ZERO, "{kind:?} has no duration");
+    }
+    assert!(trace.span(SpanKind::PhaseOne).unwrap().dominance_tests > 0);
+    assert!(trace.span(SpanKind::PhaseTwo).unwrap().dominance_tests > 0);
+    assert_eq!(
+        trace.dominance_tests,
+        result
+            .stats
+            .expect("computed plans carry stats")
+            .dominance_tests
+    );
+    assert!(trace.total > Duration::ZERO);
+
+    // The rendered line carries every span in one greppable record.
+    let line = trace.render();
+    assert!(line.starts_with("TRACE query="));
+    assert!(line.contains("strategy=Hybrid"));
+    assert!(line.contains("phase1:") && line.contains("phase2:"));
+    engine.shutdown();
+}
