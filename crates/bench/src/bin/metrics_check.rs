@@ -14,6 +14,16 @@
 //! dropped registration fails CI rather than silently vanishing from
 //! dashboards. Exits non-zero with a diagnostic on the first malformed
 //! line or any missing required name.
+//!
+//! The checker also validates the sharding phase's A/B exposition:
+//!
+//! ```text
+//! SHARD k=<int> partitioner=<family> ... local_p50_us=<int> merge_us=<int> witness_frac=<f in [0,1]> ...
+//! ```
+//!
+//! and requires at least one SHARD line whenever the stream carries a
+//! `phase=shard` metrics sample (i.e. the sharding phase ran but its
+//! report lines went missing).
 
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader};
@@ -82,14 +92,68 @@ fn parse_sample(body: &str) -> Result<String, String> {
     Ok(base.to_string())
 }
 
+/// Validates one `SHARD ` line body (the `k=v` pairs after the tag).
+/// Every field is `key=value`; the keys below are required and typed.
+fn check_shard_line(body: &str) -> Result<(), String> {
+    let mut fields = std::collections::BTreeMap::new();
+    for pair in body.split_whitespace() {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("field `{pair}` is not `key=value`"))?;
+        fields.insert(k, v);
+    }
+    let get = |key: &str| {
+        fields
+            .get(key)
+            .copied()
+            .ok_or_else(|| format!("missing required field `{key}`"))
+    };
+    for key in [
+        "k",
+        "n",
+        "d",
+        "local_p50_us",
+        "merge_us",
+        "sharded_us",
+        "single_us",
+    ] {
+        let v = get(key)?;
+        v.parse::<u64>()
+            .map_err(|_| format!("field `{key}={v}` is not an unsigned integer"))?;
+    }
+    let partitioner = get("partitioner")?;
+    if !matches!(partitioner, "random" | "grid" | "angular") {
+        return Err(format!(
+            "field `partitioner={partitioner}` is not a known family"
+        ));
+    }
+    let frac = get("witness_frac")?;
+    let frac: f64 = frac
+        .parse()
+        .map_err(|_| format!("field `witness_frac={frac}` is not a number"))?;
+    if !(0.0..=1.0).contains(&frac) {
+        return Err(format!("field `witness_frac={frac}` is outside [0, 1]"));
+    }
+    Ok(())
+}
+
 fn main() {
     let stdin = std::io::stdin();
     let mut seen_names = BTreeSet::new();
     let mut seen_phases = BTreeSet::new();
     let mut lines = 0u64;
+    let mut shard_lines = 0u64;
 
     for (no, line) in BufReader::new(stdin.lock()).lines().enumerate() {
         let line = line.expect("stdin is readable");
+        if let Some(body) = line.strip_prefix("SHARD ") {
+            if let Err(why) = check_shard_line(body) {
+                eprintln!("metrics_check: line {}: {why}: `{line}`", no + 1);
+                exit(1);
+            }
+            shard_lines += 1;
+            continue;
+        }
         let Some(rest) = line.strip_prefix("METRICS ") else {
             continue;
         };
@@ -126,8 +190,16 @@ fn main() {
         eprintln!("metrics_check: required metric names missing from the dump: {missing:?}");
         exit(1);
     }
+    if seen_phases.contains("shard") && shard_lines == 0 {
+        eprintln!(
+            "metrics_check: the sharding phase ran (phase=shard samples present) \
+             but emitted no SHARD report lines"
+        );
+        exit(1);
+    }
     println!(
-        "metrics_check: OK — {lines} samples, {} distinct metrics across phases {:?}",
+        "metrics_check: OK — {lines} samples ({shard_lines} SHARD lines), \
+         {} distinct metrics across phases {:?}",
         seen_names.len(),
         seen_phases
     );

@@ -4,7 +4,8 @@
 //! ```text
 //! skybench <experiment> [--scale laptop|paper] [--threads N]
 //!                       [--update-frac F] [--feedback]
-//!                       [--tenants N] [--qps-cap Q] [--metrics]
+//!                       [--tenants N] [--qps-cap Q]
+//!                       [--shards K] [--partitioner P] [--metrics]
 //!
 //! experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!              table1 table2 table3 engine all
@@ -23,6 +24,16 @@
 //!                   wait p50/p99 and rejection rates (needs N >= 2)
 //! --qps-cap Q       per-flooder submission-rate cap in the admission
 //!                   phase (default 256/s)
+//! --shards K        append the `engine` experiment's sharded-tier
+//!                   phase: a cold A/B of the planner's best single-
+//!                   store plan against the sharded fan-out on an
+//!                   anticorrelated dataset, sweeping K ∈ {4, 8} plus
+//!                   the given K; one machine-readable SHARD line per
+//!                   shard count reports per-shard local p50, merge
+//!                   time, witness-prune fraction, and speedup
+//!                   (needs K >= 2)
+//! --partitioner P   partitioning family of the sharded-tier phase:
+//!                   random | grid | angular (default random)
 //! --metrics         after each `engine` experiment phase, dump the
 //!                   engine's telemetry registry as machine-parseable
 //!                   `METRICS phase=<phase> name{labels} value` lines
@@ -37,7 +48,7 @@ use skyline_bench::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F] \
-         [--feedback] [--tenants N] [--qps-cap Q] [--metrics]\n\
+         [--feedback] [--tenants N] [--qps-cap Q] [--shards K] [--partitioner P] [--metrics]\n\
          experiments: {}",
         ExpCtx::ALL_EXPERIMENTS.join(" ")
     );
@@ -56,6 +67,8 @@ fn main() {
     let mut feedback = false;
     let mut tenants = 0usize;
     let mut qps_cap = 256u32;
+    let mut shards = 0usize;
+    let mut partitioner = skyline_data::PartitionerKind::Random;
     let mut metrics = false;
 
     let mut i = 0;
@@ -73,6 +86,21 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .filter(|&t: &usize| t >= 2)
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k: &usize| k >= 2)
+                    .unwrap_or_else(|| usage());
+            }
+            "--partitioner" => {
+                i += 1;
+                partitioner = args
+                    .get(i)
+                    .and_then(|s| skyline_data::PartitionerKind::parse(s))
                     .unwrap_or_else(|| usage());
             }
             "--qps-cap" => {
@@ -126,6 +154,8 @@ fn main() {
     ctx.feedback = feedback;
     ctx.tenants = tenants;
     ctx.qps_cap = qps_cap;
+    ctx.shards = shards;
+    ctx.partitioner = partitioner;
     ctx.metrics = metrics;
     if !ctx.run(&experiment) {
         eprintln!("unknown experiment '{experiment}'");

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use skyline_core::algo::Algorithm;
 use skyline_core::{PivotStrategy, SkylineConfig};
-use skyline_data::{Distribution, RealDataset};
+use skyline_data::{Distribution, PartitionerKind, RealDataset};
 use skyline_parallel::ThreadPool;
 
 use crate::workloads::{WorkloadCache, DISTRIBUTIONS};
@@ -37,6 +37,12 @@ pub struct ExpCtx {
     /// Per-flooder submission-rate cap (per second) in the admission
     /// phase.
     pub qps_cap: u32,
+    /// Shard count of the `engine` experiment's sharded-tier phase
+    /// (cold single-store vs sharded A/B with `SHARD` lines); below 2
+    /// the phase is skipped.
+    pub shards: usize,
+    /// Partitioning family of the sharded-tier phase.
+    pub partitioner: PartitionerKind,
     /// Whether the `engine` experiment dumps the telemetry registry as
     /// machine-parseable `METRICS` lines after each phase, plus a
     /// `TRACE` line and a `SLOWLOG` summary.
@@ -55,6 +61,8 @@ impl ExpCtx {
             feedback: false,
             tenants: 0,
             qps_cap: 256,
+            shards: 0,
+            partitioner: PartitionerKind::Random,
             metrics: false,
             pools: HashMap::new(),
             cache: WorkloadCache::new(),
@@ -97,6 +105,8 @@ impl ExpCtx {
                 self.feedback,
                 self.tenants,
                 self.qps_cap,
+                self.shards,
+                self.partitioner,
                 self.metrics,
             ),
             "all" => {

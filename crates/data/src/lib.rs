@@ -11,7 +11,11 @@
 //! * [`quantize`] — grid rounding to break the distinct-value condition;
 //! * [`RealDataset`] — NBA / HOUSE / WEATHER loaders and stand-ins;
 //! * [`AlignedF32`] — 32-byte-aligned `f32` buffers backing the SIMD
-//!   dominance tiles in `skyline-core`.
+//!   dominance tiles in `skyline-core`;
+//! * [`ShardedStore`] — one dataset split into K shards (random / grid
+//!   / angular [`Partitioner`]s), each with its own aligned base,
+//!   append segment, and tombstones, mutated copy-on-write one shard
+//!   at a time.
 
 #![warn(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -21,9 +25,13 @@ mod dataset;
 mod generator;
 mod realdata;
 mod rng;
+mod shard;
 
 pub use aligned::AlignedF32;
 pub use dataset::{DataError, Dataset, Preference};
 pub use generator::{generate, quantize, Distribution};
 pub use realdata::{load_csv, write_csv, RealDataset};
 pub use rng::{splitmix64, Rng};
+pub use shard::{
+    make_partitioner, Partitioner, PartitionerKind, Shard, ShardStats, ShardedStore, MAX_SHARDS,
+};

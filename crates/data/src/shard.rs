@@ -1,0 +1,722 @@
+//! Sharded dataset storage: one logical dataset split into K shards,
+//! each with its own aligned base block, append segment, and
+//! tombstones.
+//!
+//! A [`ShardedStore`] partitions rows by a [`Partitioner`] chosen at
+//! build time and **frozen**: random (stable-id hash), grid
+//! (equal-width cells over per-dimension bounds captured from the
+//! build-time data), or angular (direction from the per-dimension
+//! minimum corner, binned on the simplex). Freezing the bounds keeps
+//! assignment a pure function of `(id, coordinates)`, so a later
+//! insert or delete routes to exactly one shard with no global lookup
+//! table — and a copy-on-write [`ShardedStore::patched`] clone shares
+//! every untouched shard with its predecessor, which is what makes
+//! snapshot-pinned readers cheap.
+//!
+//! Shards are *storage* only: they know nothing about skylines. The
+//! guarantee the engine builds on is purely set-theoretic — the shards
+//! partition the live rows, so any per-shard computation that keeps a
+//! superset of its shard's skyline can be merged into the global
+//! answer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::aligned::AlignedF32;
+use crate::dataset::Dataset;
+use crate::rng::splitmix64;
+
+/// Hard cap on the shard count; far above any sensible K for an
+/// in-process store, low enough that per-shard bookkeeping stays
+/// trivial.
+pub const MAX_SHARDS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Partitioners
+// ---------------------------------------------------------------------------
+
+/// Which partitioning family a [`ShardedStore`] was built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionerKind {
+    /// Stable-id hash: perfectly balanced, ignores geometry.
+    Random,
+    /// Equal-width cells over frozen per-dimension bounds. Cells are
+    /// ordered so lower cells hold smaller coordinates, which lets a
+    /// merge skip "higher" shards wholesale.
+    Grid,
+    /// Bins on the direction from the minimum corner (simplex
+    /// coordinate of the first dimension). Points in one angular bin
+    /// compete with each other; dominance across bins is rare.
+    Angular,
+}
+
+impl PartitionerKind {
+    /// Every kind, for sweeps and property tests.
+    pub const ALL: [PartitionerKind; 3] = [
+        PartitionerKind::Random,
+        PartitionerKind::Grid,
+        PartitionerKind::Angular,
+    ];
+
+    /// Stable lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionerKind::Random => "random",
+            PartitionerKind::Grid => "grid",
+            PartitionerKind::Angular => "angular",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "random" => Some(PartitionerKind::Random),
+            "grid" => Some(PartitionerKind::Grid),
+            "angular" => Some(PartitionerKind::Angular),
+            _ => None,
+        }
+    }
+}
+
+/// Routes a row to its shard. Implementations must be pure functions
+/// of the row's stable id and coordinates (any data-dependent state is
+/// frozen at construction), so the same row always routes to the same
+/// shard regardless of mutation history.
+pub trait Partitioner: std::fmt::Debug + Send + Sync {
+    /// The family this partitioner belongs to.
+    fn kind(&self) -> PartitionerKind;
+    /// Number of shards routed to.
+    fn shards(&self) -> usize;
+    /// Shard index for a row; must be `< self.shards()` for every
+    /// input, including coordinates outside the frozen bounds.
+    fn assign(&self, id: u32, point: &[f32]) -> usize;
+}
+
+/// Stable-id hash partitioner.
+#[derive(Debug)]
+struct RandomPartitioner {
+    k: usize,
+}
+
+impl Partitioner for RandomPartitioner {
+    fn kind(&self) -> PartitionerKind {
+        PartitionerKind::Random
+    }
+
+    fn shards(&self) -> usize {
+        self.k
+    }
+
+    fn assign(&self, id: u32, _point: &[f32]) -> usize {
+        let mut s = id as u64;
+        (splitmix64(&mut s) % self.k as u64) as usize
+    }
+}
+
+/// Frozen per-dimension `[min, max]` bounds captured from the
+/// build-time dataset (degenerate `[0, 1]` when built empty).
+#[derive(Debug, Clone)]
+struct Bounds {
+    min: Vec<f32>,
+    inv_range: Vec<f32>,
+}
+
+impl Bounds {
+    fn of(data: &Dataset) -> Self {
+        let d = data.dims();
+        let mut min = vec![f32::INFINITY; d];
+        let mut max = vec![f32::NEG_INFINITY; d];
+        for row in data.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                min[j] = min[j].min(v);
+                max[j] = max[j].max(v);
+            }
+        }
+        let mut inv_range = Vec::with_capacity(d);
+        for j in 0..d {
+            if !min[j].is_finite() {
+                min[j] = 0.0;
+                max[j] = 1.0;
+            }
+            let r = max[j] - min[j];
+            inv_range.push(if r > 0.0 { 1.0 / r } else { 0.0 });
+        }
+        Self { min, inv_range }
+    }
+
+    /// `point[j]` normalised into `[0, 1]`, clamped for out-of-bounds
+    /// late inserts.
+    #[inline]
+    fn unit(&self, point: &[f32], j: usize) -> f32 {
+        ((point[j] - self.min[j]) * self.inv_range[j]).clamp(0.0, 1.0)
+    }
+}
+
+/// Equal-width grid partitioner: `k` is factored into per-dimension
+/// bin counts (largest prime factors on the lowest dimensions), and a
+/// row's cell is the mixed-radix index of its per-dimension bins.
+#[derive(Debug)]
+struct GridPartitioner {
+    k: usize,
+    bins: Vec<usize>,
+    bounds: Bounds,
+}
+
+impl GridPartitioner {
+    fn new(k: usize, data: &Dataset) -> Self {
+        let d = data.dims().max(1);
+        let mut bins = vec![1usize; d];
+        // Factor k into per-dimension bin counts, round-robin over the
+        // dimensions so cells stay roughly cubical.
+        let mut rest = k.max(1);
+        let mut dim = 0usize;
+        let mut p = 2usize;
+        while rest > 1 {
+            if rest % p == 0 {
+                bins[dim % d] *= p;
+                dim += 1;
+                rest /= p;
+            } else {
+                p += 1;
+            }
+        }
+        Self {
+            k: k.max(1),
+            bins,
+            bounds: Bounds::of(data),
+        }
+    }
+}
+
+impl Partitioner for GridPartitioner {
+    fn kind(&self) -> PartitionerKind {
+        PartitionerKind::Grid
+    }
+
+    fn shards(&self) -> usize {
+        self.k
+    }
+
+    fn assign(&self, _id: u32, point: &[f32]) -> usize {
+        let mut cell = 0usize;
+        for (j, &b) in self.bins.iter().enumerate() {
+            let t = self.bounds.unit(point, j.min(point.len() - 1));
+            let bin = ((t * b as f32) as usize).min(b - 1);
+            cell = cell * b + bin;
+        }
+        cell.min(self.k - 1)
+    }
+}
+
+/// Angular partitioner: a row's direction from the frozen minimum
+/// corner is summarised by the simplex share of its first coordinate,
+/// `u₀ / Σuⱼ`, and binned into `k` equal slices. Rows in the same
+/// slice point the same way from the origin and so compete with each
+/// other; dominance across slices is geometrically rare, which is the
+/// property that keeps local skylines tight on anticorrelated data.
+#[derive(Debug)]
+struct AngularPartitioner {
+    k: usize,
+    bounds: Bounds,
+}
+
+impl Partitioner for AngularPartitioner {
+    fn kind(&self) -> PartitionerKind {
+        PartitionerKind::Angular
+    }
+
+    fn shards(&self) -> usize {
+        self.k
+    }
+
+    fn assign(&self, _id: u32, point: &[f32]) -> usize {
+        let d = point.len();
+        let mut sum = 0.0f32;
+        for j in 0..d {
+            sum += self.bounds.unit(point, j);
+        }
+        let t = if sum > 0.0 {
+            self.bounds.unit(point, 0) / sum
+        } else {
+            0.0
+        };
+        ((t * self.k as f32) as usize).min(self.k - 1)
+    }
+}
+
+/// Builds the partitioner for `kind` over `k` shards, freezing any
+/// data-dependent state (bounds) from `data`.
+pub fn make_partitioner(kind: PartitionerKind, k: usize, data: &Dataset) -> Arc<dyn Partitioner> {
+    let k = k.clamp(1, MAX_SHARDS);
+    match kind {
+        PartitionerKind::Random => Arc::new(RandomPartitioner { k }),
+        PartitionerKind::Grid => Arc::new(GridPartitioner::new(k, data)),
+        PartitionerKind::Angular => Arc::new(AngularPartitioner {
+            k,
+            bounds: Bounds::of(data),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One shard
+// ---------------------------------------------------------------------------
+
+/// One shard's storage: an aligned base block laid out at build time,
+/// an append segment for later inserts, and tombstones over both. Row
+/// ids are the owning dataset's **stable ids** — a shard never
+/// renumbers.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    dims: usize,
+    /// Build-time rows, row-major, 32-byte aligned so tile kernels can
+    /// scan straight off the block.
+    base: AlignedF32,
+    base_rows: usize,
+    /// Rows appended after the build.
+    segment: Vec<f32>,
+    /// Stable id of every slot: base rows first, then segment rows.
+    ids: Vec<u32>,
+    /// Stable id → slot, for O(1) deletes.
+    slots: HashMap<u32, u32>,
+    /// Tombstone bitmap over slots.
+    tombs: Vec<u64>,
+    dead: usize,
+}
+
+impl Shard {
+    fn new(dims: usize, rows: &[(u32, &[f32])]) -> Self {
+        let mut base = AlignedF32::filled(rows.len() * dims, 0.0);
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut slots = HashMap::with_capacity(rows.len());
+        for (slot, (id, row)) in rows.iter().enumerate() {
+            base.as_mut_slice()[slot * dims..(slot + 1) * dims].copy_from_slice(row);
+            ids.push(*id);
+            slots.insert(*id, slot as u32);
+        }
+        let words = rows.len().div_ceil(64);
+        Self {
+            dims,
+            base,
+            base_rows: rows.len(),
+            segment: Vec::new(),
+            ids,
+            slots,
+            tombs: vec![0; words],
+            dead: 0,
+        }
+    }
+
+    /// Dimensionality of every row.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Slots ever allocated (live + tombstoned).
+    pub fn total_rows(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Rows not tombstoned.
+    pub fn live_len(&self) -> usize {
+        self.ids.len() - self.dead
+    }
+
+    /// Tombstoned rows still occupying slots.
+    pub fn dead(&self) -> usize {
+        self.dead
+    }
+
+    /// Rows living in the append segment (not yet in the aligned
+    /// base).
+    pub fn segment_rows(&self) -> usize {
+        self.ids.len() - self.base_rows
+    }
+
+    #[inline]
+    fn is_dead(&self, slot: usize) -> bool {
+        self.tombs[slot / 64] & (1 << (slot % 64)) != 0
+    }
+
+    /// Coordinates of the row at `slot`.
+    #[inline]
+    pub fn point(&self, slot: usize) -> &[f32] {
+        if slot < self.base_rows {
+            &self.base[slot * self.dims..(slot + 1) * self.dims]
+        } else {
+            let off = (slot - self.base_rows) * self.dims;
+            &self.segment[off..off + self.dims]
+        }
+    }
+
+    /// Whether `id` is stored here and not tombstoned.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.slots
+            .get(&id)
+            .is_some_and(|&slot| !self.is_dead(slot as usize))
+    }
+
+    /// Calls `f(stable id, coordinates)` for every live row, base rows
+    /// first, in slot order.
+    pub fn for_each_live(&self, mut f: impl FnMut(u32, &[f32])) {
+        for slot in 0..self.ids.len() {
+            if !self.is_dead(slot) {
+                f(self.ids[slot], self.point(slot));
+            }
+        }
+    }
+
+    fn insert(&mut self, id: u32, row: &[f32]) {
+        let slot = self.ids.len() as u32;
+        self.segment.extend_from_slice(row);
+        self.ids.push(id);
+        self.slots.insert(id, slot);
+        if self.ids.len().div_ceil(64) > self.tombs.len() {
+            self.tombs.push(0);
+        }
+    }
+
+    fn delete(&mut self, id: u32) -> bool {
+        match self.slots.get(&id).copied() {
+            Some(slot) => {
+                let (w, b) = (slot as usize / 64, slot as usize % 64);
+                if self.tombs[w] & (1 << b) != 0 {
+                    false
+                } else {
+                    self.tombs[w] |= 1 << b;
+                    self.dead += 1;
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Rebuilds the shard with live rows only: a fresh aligned base,
+    /// empty segment, no tombstones. Stable ids are preserved.
+    pub fn compacted(&self) -> Shard {
+        let mut rows: Vec<(u32, &[f32])> = Vec::with_capacity(self.live_len());
+        for slot in 0..self.ids.len() {
+            if !self.is_dead(slot) {
+                rows.push((self.ids[slot], self.point(slot)));
+            }
+        }
+        Shard::new(self.dims, &rows)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Per-shard summary used by planners and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Live rows in the shard.
+    pub live: usize,
+    /// Tombstoned rows still occupying slots.
+    pub dead: usize,
+    /// Rows in the append segment.
+    pub segment: usize,
+}
+
+/// A dataset partitioned into K shards behind a frozen
+/// [`Partitioner`].
+///
+/// The store is **copy-on-write**: [`patched`](Self::patched) returns
+/// a successor sharing every `Arc`'d shard a mutation batch did not
+/// touch, so pinned-snapshot readers keep scanning their version while
+/// single-shard mutations land next to them. Scan-debt counters (fed
+/// by the engine with the tombstone rows each query wastefully
+/// scanned) are deliberately *shared* across versions — debt is
+/// runtime telemetry about the storage, not part of any snapshot.
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    partitioner: Arc<dyn Partitioner>,
+    shards: Vec<Arc<Shard>>,
+    debt: Arc<Vec<AtomicU64>>,
+}
+
+impl ShardedStore {
+    /// Splits `data` (stable ids `0..n`) into `k` shards under `kind`.
+    /// `k` is clamped to `1..=`[`MAX_SHARDS`].
+    pub fn build(data: &Dataset, k: usize, kind: PartitionerKind) -> Self {
+        let partitioner = make_partitioner(kind, k, data);
+        let k = partitioner.shards();
+        let mut buckets: Vec<Vec<(u32, &[f32])>> = vec![Vec::new(); k];
+        for (i, row) in data.rows().enumerate() {
+            let id = i as u32;
+            buckets[partitioner.assign(id, row)].push((id, row));
+        }
+        let shards = buckets
+            .into_iter()
+            .map(|rows| Arc::new(Shard::new(data.dims(), &rows)))
+            .collect();
+        Self {
+            partitioner,
+            shards,
+            debt: Arc::new((0..k).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioning family the store was built with.
+    pub fn partitioner_kind(&self) -> PartitionerKind {
+        self.partitioner.kind()
+    }
+
+    /// The shard a row with this id and these coordinates belongs to.
+    pub fn shard_of(&self, id: u32, point: &[f32]) -> usize {
+        self.partitioner.assign(id, point)
+    }
+
+    /// The shard at `index`.
+    pub fn shard(&self, index: usize) -> &Shard {
+        &self.shards[index]
+    }
+
+    /// Live rows across all shards.
+    pub fn live_len(&self) -> usize {
+        self.shards.iter().map(|s| s.live_len()).sum()
+    }
+
+    /// Per-shard summaries, in shard order.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                live: s.live_len(),
+                dead: s.dead(),
+                segment: s.segment_rows(),
+            })
+            .collect()
+    }
+
+    /// Applies one mutation batch, cloning only the shards it touches.
+    ///
+    /// `inserts` are `(stable id, row)`; `deletes` carry the row's
+    /// coordinates so geometric partitioners can route without a
+    /// global id map. After applying, each touched shard is compacted
+    /// in place when its dead fraction exceeds `compact_fraction` *or*
+    /// its accumulated scan debt (see
+    /// [`add_scan_debt`](Self::add_scan_debt)) exceeds `debt_factor ×
+    /// live rows` — the adaptive trigger: compaction happens when
+    /// queries have already wasted about a rebuild's worth of work
+    /// skipping tombstones, however small the dead fraction looks.
+    pub fn patched(
+        &self,
+        inserts: &[(u32, &[f32])],
+        deletes: &[(u32, &[f32])],
+        compact_fraction: f32,
+        debt_factor: Option<f32>,
+    ) -> Self {
+        let mut shards = self.shards.clone();
+        let mut touched = vec![false; shards.len()];
+        {
+            let mut own: Vec<Option<Shard>> = vec![None; shards.len()];
+            for &(id, row) in inserts {
+                let s = self.partitioner.assign(id, row);
+                own[s]
+                    .get_or_insert_with(|| (*shards[s]).clone())
+                    .insert(id, row);
+                touched[s] = true;
+            }
+            for &(id, row) in deletes {
+                let s = self.partitioner.assign(id, row);
+                own[s]
+                    .get_or_insert_with(|| (*shards[s]).clone())
+                    .delete(id);
+                touched[s] = true;
+            }
+            for (s, shard) in own.into_iter().enumerate() {
+                if let Some(shard) = shard {
+                    shards[s] = Arc::new(shard);
+                }
+            }
+        }
+        for (s, shard) in shards.iter_mut().enumerate() {
+            if !touched[s] || shard.dead() == 0 {
+                continue;
+            }
+            let dead_frac = shard.dead() as f32 / shard.total_rows().max(1) as f32;
+            let debt_due = debt_factor.is_some_and(|f| {
+                self.debt[s].load(Ordering::Relaxed) as f32 >= f * shard.live_len().max(1) as f32
+            });
+            if dead_frac > compact_fraction || debt_due {
+                *shard = Arc::new(shard.compacted());
+                self.debt[s].store(0, Ordering::Relaxed);
+            }
+        }
+        Self {
+            partitioner: Arc::clone(&self.partitioner),
+            shards,
+            debt: Arc::clone(&self.debt),
+        }
+    }
+
+    /// Records that a query scanned past `rows` tombstoned rows in
+    /// shard `index` — the observed cost that drives the adaptive
+    /// compaction trigger in [`patched`](Self::patched).
+    pub fn add_scan_debt(&self, index: usize, rows: u64) {
+        self.debt[index].fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Accumulated scan debt of shard `index`.
+    pub fn scan_debt(&self, index: usize) -> u64 {
+        self.debt[index].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..100)
+            .map(|i| vec![(i % 10) as f32, (i / 10) as f32])
+            .collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn build_partitions_all_rows_exactly_once() {
+        let data = grid_data();
+        for kind in PartitionerKind::ALL {
+            for k in [1usize, 3, 4, 8] {
+                let store = ShardedStore::build(&data, k, kind);
+                assert_eq!(store.k(), k);
+                assert_eq!(store.live_len(), data.len(), "{kind:?} k={k}");
+                let mut seen = vec![false; data.len()];
+                for s in 0..store.k() {
+                    store.shard(s).for_each_live(|id, row| {
+                        assert!(!seen[id as usize], "row {id} in two shards");
+                        seen[id as usize] = true;
+                        assert_eq!(row, data.row(id as usize));
+                    });
+                }
+                assert!(seen.iter().all(|&b| b));
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_stable_for_inserts_and_deletes() {
+        let data = grid_data();
+        for kind in PartitionerKind::ALL {
+            let store = ShardedStore::build(&data, 4, kind);
+            // An out-of-bounds insert still routes deterministically…
+            let row = [42.0f32, -3.0];
+            let id = 1000u32;
+            let s = store.shard_of(id, &row);
+            let v2 = store.patched(&[(id, &row)], &[], 1.1, None);
+            assert!(v2.shard(s).is_live(id));
+            assert_eq!(v2.live_len(), data.len() + 1);
+            // …and deleting it by coordinates finds the same shard.
+            let v3 = v2.patched(&[], &[(id, &row)], 1.1, None);
+            assert!(!v3.shard(s).is_live(id));
+            assert_eq!(v3.live_len(), data.len());
+            // The original snapshot never saw either mutation.
+            assert_eq!(store.live_len(), data.len());
+        }
+    }
+
+    #[test]
+    fn patched_shares_untouched_shards() {
+        let data = grid_data();
+        let store = ShardedStore::build(&data, 4, PartitionerKind::Random);
+        let row = [5.0f32, 5.0];
+        let id = 500u32;
+        let target = store.shard_of(id, &row);
+        let v2 = store.patched(&[(id, &row)], &[], 1.1, None);
+        for s in 0..4 {
+            let shared = Arc::ptr_eq(&store.shards[s], &v2.shards[s]);
+            assert_eq!(shared, s != target, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn fixed_fraction_compaction_rebuilds_one_shard() {
+        let data = grid_data();
+        let store = ShardedStore::build(&data, 2, PartitionerKind::Grid);
+        // Delete most of shard 0's rows with a low threshold: it must
+        // compact (no tombstones left) while shard 1 is untouched.
+        let victims: Vec<(u32, Vec<f32>)> = {
+            let mut v = Vec::new();
+            store
+                .shard(0)
+                .for_each_live(|id, row| v.push((id, row.to_vec())));
+            v.truncate(30);
+            v
+        };
+        let dels: Vec<(u32, &[f32])> = victims.iter().map(|(id, r)| (*id, r.as_slice())).collect();
+        let v2 = store.patched(&[], &dels, 0.25, None);
+        assert_eq!(v2.shard(0).dead(), 0, "compacted");
+        assert_eq!(v2.live_len(), data.len() - 30);
+        // Ids survive compaction.
+        let mut ids = Vec::new();
+        v2.shard(0).for_each_live(|id, _| ids.push(id));
+        assert!(ids.iter().all(|id| !victims.iter().any(|(v, _)| v == id)));
+    }
+
+    #[test]
+    fn scan_debt_triggers_adaptive_compaction() {
+        let data = grid_data();
+        let store = ShardedStore::build(&data, 2, PartitionerKind::Random);
+        let (id, row) = {
+            let mut first = None;
+            store.shard(0).for_each_live(|id, row| {
+                if first.is_none() {
+                    first = Some((id, row.to_vec()));
+                }
+            });
+            first.unwrap()
+        };
+        // One tombstone is far below any fixed fraction…
+        let v2 = store.patched(&[], &[(id, row.as_slice())], 0.25, Some(2.0));
+        assert_eq!(v2.shard(0).dead(), 1, "fraction alone does not trigger");
+        // …but once queries have paid 2× the live rows in wasted scans,
+        // the next touch of that shard compacts it.
+        v2.add_scan_debt(0, 3 * v2.shard(0).live_len() as u64);
+        let refill = [9.0f32, 9.0];
+        let v3 = v2.patched(&[(777, &refill)], &[], 0.25, Some(2.0));
+        let touched = v3.shard_of(777, &refill);
+        if touched == 0 {
+            assert_eq!(v3.shard(0).dead(), 0, "debt trigger compacted");
+            assert_eq!(v3.scan_debt(0), 0, "debt reset");
+        } else {
+            // The insert routed to shard 1; delete from shard 0 instead.
+            let (id2, row2) = {
+                let mut first = None;
+                v3.shard(0).for_each_live(|id, row| {
+                    if first.is_none() {
+                        first = Some((id, row.to_vec()));
+                    }
+                });
+                first.unwrap()
+            };
+            let v4 = v3.patched(&[], &[(id2, row2.as_slice())], 0.25, Some(2.0));
+            assert_eq!(v4.shard(0).dead(), 0, "debt trigger compacted");
+        }
+    }
+
+    #[test]
+    fn grid_shards_order_by_coordinates() {
+        // 1-d grid over k=4: strictly increasing values must land in
+        // non-decreasing shard order.
+        let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let store = ShardedStore::build(&data, 4, PartitionerKind::Grid);
+        let mut prev = 0usize;
+        for i in 0..64u32 {
+            let s = store.shard_of(i, data.row(i as usize));
+            assert!(s >= prev, "grid order violated at {i}");
+            prev = s;
+        }
+        assert!(store.stats().iter().all(|s| s.live == 16));
+    }
+}

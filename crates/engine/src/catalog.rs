@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use skyline_data::Dataset;
+use skyline_data::{Dataset, PartitionerKind, ShardedStore};
 use skyline_parallel::{parallel_for, ThreadPool};
 
 use crate::error::EngineError;
@@ -149,6 +149,11 @@ pub struct DatasetEntry {
     /// compaction sweeps them out.
     sorted: Vec<Arc<Vec<u32>>>,
     deltas: Vec<Arc<DeltaRecord>>,
+    /// Partitioned copy of the live rows, present only for datasets
+    /// registered through [`Catalog::register_sharded`]. Maintained
+    /// copy-on-write alongside the flat representation: a mutation
+    /// batch clones exactly the shards it touches.
+    sharded: Option<Arc<ShardedStore>>,
 }
 
 impl DatasetEntry {
@@ -304,6 +309,14 @@ impl DatasetEntry {
     pub fn oldest_delta_version(&self) -> Option<u64> {
         self.deltas.first().map(|r| r.from_version)
     }
+
+    /// The sharded store backing this entry, when the dataset was
+    /// registered through [`Catalog::register_sharded`]. The store is
+    /// a snapshot consistent with this entry's version: it sees
+    /// exactly the live rows of [`live_ids`](Self::live_ids).
+    pub fn sharded(&self) -> Option<&Arc<ShardedStore>> {
+        self.sharded.as_ref()
+    }
 }
 
 impl skyline_core::maintain::RowSource for DatasetEntry {
@@ -443,6 +456,31 @@ impl Catalog {
     /// happens outside the `entries` lock, so concurrent queries keep
     /// serving the previous version until the swap.
     pub fn register(&self, name: &str, data: Dataset, pool: &ThreadPool) -> Arc<DatasetEntry> {
+        self.register_inner(name, data, pool, None)
+    }
+
+    /// Like [`register`](Self::register), but additionally splits the
+    /// dataset into `k` shards under `kind` and keeps the partitioned
+    /// copy maintained across mutations. The planner routes large
+    /// queries on such datasets through the sharded execution path.
+    pub fn register_sharded(
+        &self,
+        name: &str,
+        data: Dataset,
+        k: usize,
+        kind: PartitionerKind,
+        pool: &ThreadPool,
+    ) -> Arc<DatasetEntry> {
+        self.register_inner(name, data, pool, Some((k, kind)))
+    }
+
+    fn register_inner(
+        &self,
+        name: &str,
+        data: Dataset,
+        pool: &ThreadPool,
+        shard_spec: Option<(usize, PartitionerKind)>,
+    ) -> Arc<DatasetEntry> {
         let writer = self.writer_lock(name);
         let _serialized = writer.lock().unwrap_or_else(|e| e.into_inner());
         let (stats, sums) = compute_stats(&data);
@@ -461,6 +499,7 @@ impl Catalog {
         };
         let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
         let live = Arc::new((0..data.len() as u32).collect());
+        let sharded = shard_spec.map(|(k, kind)| Arc::new(ShardedStore::build(&data, k, kind)));
         let entry = Arc::new(DatasetEntry {
             name: name.to_string(),
             id,
@@ -473,6 +512,7 @@ impl Catalog {
             sums: Arc::new(sums),
             sorted,
             deltas: Vec::new(),
+            sharded,
         });
         self.swap_in(name, &entry);
         entry
@@ -503,6 +543,23 @@ impl Catalog {
         deletes: &[u32],
         pool: &ThreadPool,
         compact_fraction: f32,
+    ) -> Result<MutationOutcome, EngineError> {
+        self.mutate_with_shard_policy(name, inserts, deletes, pool, compact_fraction, None)
+    }
+
+    /// [`mutate`](Self::mutate) with an explicit per-shard adaptive
+    /// compaction policy. When `shard_debt_factor` is `Some(f)`, a
+    /// touched shard of a sharded dataset also compacts once queries
+    /// have skipped at least `f × live` tombstoned rows in it (the
+    /// scan debt fed by the engine), regardless of its dead fraction.
+    pub fn mutate_with_shard_policy(
+        &self,
+        name: &str,
+        inserts: &[Vec<f32>],
+        deletes: &[u32],
+        pool: &ThreadPool,
+        compact_fraction: f32,
+        shard_debt_factor: Option<f32>,
     ) -> Result<MutationOutcome, EngineError> {
         let writer = self.writer_lock(name);
         let _serialized = writer.lock().unwrap_or_else(|e| e.into_inner());
@@ -545,7 +602,15 @@ impl Catalog {
         let entry = if compact {
             self.compacted_entry(&old, inserts, &deleted_ids, pool, version)
         } else {
-            self.patched_entry(&old, inserts, &deleted_ids, pool, version)
+            self.patched_entry(
+                &old,
+                inserts,
+                &deleted_ids,
+                pool,
+                version,
+                compact_fraction,
+                shard_debt_factor,
+            )
         };
         let entry = Arc::new(entry);
         self.swap_in(name, &entry);
@@ -566,6 +631,7 @@ impl Catalog {
     }
 
     /// Builds the incremental (non-compacting) successor entry.
+    #[allow(clippy::too_many_arguments)]
     fn patched_entry(
         &self,
         old: &DatasetEntry,
@@ -573,6 +639,8 @@ impl Catalog {
         deleted_ids: &[u32],
         pool: &ThreadPool,
         version: u64,
+        compact_fraction: f32,
+        shard_debt_factor: Option<f32>,
     ) -> DatasetEntry {
         let d = old.dims();
         let old_total = old.total_rows() as u32;
@@ -612,6 +680,20 @@ impl Catalog {
             }
         }
 
+        // The sharded copy patches one shard per touched row; deletes
+        // are routed by their coordinates so geometric partitioners
+        // need no global id map.
+        let sharded = old.sharded.as_ref().map(|store| {
+            let ins: Vec<(u32, &[f32])> = new_ids
+                .iter()
+                .zip(inserts)
+                .map(|(&id, row)| (id, row.as_slice()))
+                .collect();
+            let dels: Vec<(u32, &[f32])> =
+                deleted_ids.iter().map(|&id| (id, old.point(id))).collect();
+            Arc::new(store.patched(&ins, &dels, compact_fraction, shard_debt_factor))
+        });
+
         // Projections: deletions are filtered on read, so a pure-delete
         // batch shares the old arrays; inserts merge in one linear
         // pass per dimension (also sweeping previously dead ids).
@@ -630,6 +712,7 @@ impl Catalog {
             sums: Arc::new(sums),
             sorted: Vec::new(),
             deltas: Vec::new(),
+            sharded,
         };
         let sorted: Vec<Arc<Vec<u32>>> = if inserts.is_empty() {
             old.sorted.iter().map(Arc::clone).collect()
@@ -682,6 +765,16 @@ impl Catalog {
         let (stats, sums) = compute_stats(&data);
         let sorted = compute_sorted_projections(&data, pool);
         let live = Arc::new((0..data.len() as u32).collect());
+        // Ids were renumbered, so the partitioned copy is rebuilt from
+        // scratch (also re-freezing partitioner bounds to the
+        // survivors' extent).
+        let sharded = old.sharded.as_ref().map(|store| {
+            Arc::new(ShardedStore::build(
+                &data,
+                store.k(),
+                store.partitioner_kind(),
+            ))
+        });
         DatasetEntry {
             name: old.name.clone(),
             id: old.id,
@@ -694,6 +787,7 @@ impl Catalog {
             sums: Arc::new(sums),
             sorted,
             deltas: Vec::new(),
+            sharded,
         }
     }
 
@@ -1060,6 +1154,49 @@ mod tests {
         assert_eq!(e.inserted_since(same.bound), &[0u32; 0]);
         // Unknown versions are unreachable.
         assert!(e.delta_since(v0 + 999).is_none());
+    }
+
+    #[test]
+    fn sharded_registration_tracks_mutations_and_compaction() {
+        let catalog = Catalog::new();
+        let pool = ThreadPool::new(1);
+        let data = ds(&[
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 9.0],
+            vec![4.0, 4.0],
+        ]);
+        let e = catalog.register_sharded("t", data, 2, PartitionerKind::Grid, &pool);
+        let store = e.sharded().expect("registered sharded");
+        assert_eq!(store.k(), 2);
+        assert_eq!(store.live_len(), 4);
+        assert!(catalog
+            .register("plain", ds(&[vec![1.0]]), &pool)
+            .sharded()
+            .is_none());
+
+        // A patch batch keeps the store consistent with the live ids.
+        let out = catalog
+            .mutate("t", &[vec![0.5, 0.5]], &[2], &pool, 0.9)
+            .unwrap();
+        assert!(!out.compacted);
+        let store = out.entry.sharded().unwrap();
+        assert_eq!(store.live_len(), out.entry.live_len());
+        for &id in out.entry.live_ids().iter() {
+            let s = store.shard_of(id, out.entry.point(id));
+            assert!(store.shard(s).is_live(id));
+        }
+
+        // Dataset-level compaction renumbers ids and rebuilds the store.
+        let out = catalog.mutate("t", &[], &[0, 1], &pool, 0.1).unwrap();
+        assert!(out.compacted);
+        let store = out.entry.sharded().unwrap();
+        assert_eq!(store.partitioner_kind(), PartitionerKind::Grid);
+        assert_eq!(store.live_len(), out.entry.live_len());
+        for &id in out.entry.live_ids().iter() {
+            let s = store.shard_of(id, out.entry.point(id));
+            assert!(store.shard(s).is_live(id));
+        }
     }
 
     #[test]

@@ -5,18 +5,21 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use skyline_core::{maintain, SpanSink};
-use skyline_data::Dataset;
+use skyline_core::algo::Algorithm;
+use skyline_core::dominance::simd::{flip_pref, TileStore};
+use skyline_core::{maintain, RunStats, SpanSink};
+use skyline_data::{Dataset, PartitionerKind, ShardedStore};
 use skyline_parallel::{available_threads, par_chunks_mut, LaneCounters, ThreadPool};
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::catalog::{Catalog, DatasetEntry, MutationOutcome};
 use crate::clock::{Clock, MonotonicClock};
 use crate::error::EngineError;
+use crate::merge::{merge_local_skylines, MergeStats, ShardSkyline};
 use crate::planner::feedback::{
     FeedbackConfig, FeedbackLoop, FeedbackStats, Observation, PlanKind,
 };
-use crate::planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
+use crate::planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy, SuperspaceSeed};
 use crate::query::{QueryResult, SkylineQuery};
 use crate::session::{
     AdmissionConfig, Session, SessionOptions, SessionRuntime, SessionStats, TicketState,
@@ -39,6 +42,14 @@ pub struct EngineConfig {
     /// dataset (rebuilds the base, renumbering the surviving rows).
     /// Values above `1.0` disable compaction.
     pub compact_fraction: f32,
+    /// Adaptive per-shard compaction for sharded datasets: a touched
+    /// shard also compacts once queries have skipped `factor × live`
+    /// tombstoned rows in it (the scan debt fed back from sharded
+    /// query execution), however small its dead fraction — compaction
+    /// triggered by *observed* tombstone-scan cost rather than a fixed
+    /// threshold. `None` leaves shards on
+    /// [`compact_fraction`](Self::compact_fraction) alone.
+    pub shard_debt_factor: Option<f32>,
     /// Planner thresholds — the *starting point*; with feedback
     /// enabled they are re-fitted online from observed runtimes.
     pub planner: PlannerConfig,
@@ -62,6 +73,7 @@ impl Default for EngineConfig {
             threads: 0,
             cache_bytes: 8 << 20,
             compact_fraction: 0.25,
+            shard_debt_factor: Some(4.0),
             planner: PlannerConfig::default(),
             feedback: FeedbackConfig::default(),
             admission: AdmissionConfig::default(),
@@ -159,6 +171,7 @@ pub(crate) struct EngineShared {
     pub(crate) cache: ResultCache,
     pub(crate) planner: Planner,
     pub(crate) compact_fraction: f32,
+    pub(crate) shard_debt_factor: Option<f32>,
     /// Present iff [`FeedbackConfig::enabled`]: records completed
     /// queries and periodically re-fits the planner's thresholds.
     pub(crate) feedback: Option<Arc<FeedbackLoop>>,
@@ -255,6 +268,7 @@ impl Engine {
             cache: ResultCache::new(cfg.cache_bytes),
             planner: Planner::new(cfg.planner),
             compact_fraction: cfg.compact_fraction,
+            shard_debt_factor: cfg.shard_debt_factor,
             feedback,
             clock,
             telemetry,
@@ -338,6 +352,31 @@ impl Engine {
         entry.version()
     }
 
+    /// Registers (or replaces) a dataset under `name` **sharded**: the
+    /// rows are additionally split into `k` partitions under
+    /// `partitioner`, each with its own cache-resident tile layout,
+    /// append segment, and tombstones. Mutations touch exactly the
+    /// shards their rows route to, and the planner answers large
+    /// queries by computing per-shard skylines and merging them with
+    /// witness-point pruning ([`Strategy::Sharded`]). Returns the
+    /// dataset's new version.
+    pub fn register_sharded(
+        &self,
+        name: &str,
+        data: Dataset,
+        k: usize,
+        partitioner: PartitionerKind,
+    ) -> u64 {
+        let shared = &self.shared;
+        let entry = shared
+            .catalog
+            .register_sharded(name, data, k, partitioner, &shared.pool);
+        shared
+            .cache
+            .purge_dataset_below(entry.id(), entry.version());
+        entry.version()
+    }
+
     /// Appends `rows` to a registered dataset; equivalent to
     /// [`update_batch`](Self::update_batch) with no deletes.
     pub fn insert(&self, name: &str, rows: &[Vec<f32>]) -> Result<MutationReport, EngineError> {
@@ -388,12 +427,13 @@ impl Engine {
                 cache_dropped: 0,
             });
         }
-        let out = shared.catalog.mutate(
+        let out = shared.catalog.mutate_with_shard_policy(
             name,
             inserts,
             deletes,
             &shared.pool,
             shared.compact_fraction,
+            shared.shard_debt_factor,
         )?;
         let (patched, dropped) = if out.compacted {
             let dropped = shared
@@ -743,7 +783,9 @@ impl EngineShared {
                     0,
                 );
             }
-            if matches!(plan.strategy, Strategy::Algorithm(a) if a.is_parallel()) {
+            let parallel = matches!(plan.strategy, Strategy::Algorithm(a) if a.is_parallel())
+                || matches!(plan.strategy, Strategy::Sharded { .. });
+            if parallel {
                 par.push((ticket, plan, wait, trace));
             } else {
                 seq.push((ticket, plan, wait, trace));
@@ -916,31 +958,42 @@ impl EngineShared {
     }
 
     /// Plans a prepared query, offering the planner any prior-version
-    /// cached result that the dataset's delta log can still reach.
+    /// cached result that the dataset's delta log can still reach and
+    /// any same-version cached **subspace** skyline usable as a
+    /// superspace pre-filter.
     pub(crate) fn plan_prepared(&self, prepared: &Prepared, threads: usize) -> QueryPlan {
-        // Only pay the cache scan when a delta could exist at all:
-        // unmutated datasets (the common case) have an empty log.
-        if prepared.entry.oldest_delta_version().is_none() {
-            return self
-                .planner
-                .plan(&prepared.entry, &prepared.dims, prepared.max_mask, threads);
-        }
-        let prior = self.cache.find_prior(&prepared.key).and_then(|(ver, len)| {
-            let delta = prepared.entry.delta_since(ver)?;
-            let inserted = prepared.entry.inserted_since(delta.bound).len();
-            Some(PriorResult {
-                from_version: ver,
-                len,
-                inserted,
-                deleted: delta.deleted.len(),
+        // A cached subspace skyline at this exact version can pre-filter
+        // the superspace scan; cap the seed size so the filter's
+        // O(n × seed) worst case stays well under the main computation.
+        let seed = self
+            .cache
+            .find_superspace_seed(&prepared.key)
+            .filter(|&(_, len)| len > 0 && len <= 4096)
+            .map(|(dim_mask, len)| SuperspaceSeed { dim_mask, len });
+        // Only pay the prior-version cache scan when a delta could
+        // exist at all: unmutated datasets (the common case) have an
+        // empty log.
+        let prior = if prepared.entry.oldest_delta_version().is_none() {
+            None
+        } else {
+            self.cache.find_prior(&prepared.key).and_then(|(ver, len)| {
+                let delta = prepared.entry.delta_since(ver)?;
+                let inserted = prepared.entry.inserted_since(delta.bound).len();
+                Some(PriorResult {
+                    from_version: ver,
+                    len,
+                    inserted,
+                    deleted: delta.deleted.len(),
+                })
             })
-        });
-        self.planner.plan_with_prior(
+        };
+        self.planner.plan_query(
             &prepared.entry,
             &prepared.dims,
             prepared.max_mask,
             threads,
             prior,
+            seed,
         )
     }
 
@@ -994,6 +1047,7 @@ impl EngineShared {
             plan: QueryPlan::trivial("").cached(),
             cache_hit: true,
             stats: None,
+            shard_merge: None,
             dataset_version: prepared.entry.version(),
             elapsed: started.elapsed(),
         }
@@ -1059,6 +1113,7 @@ impl EngineShared {
         }
         let exec_started = trace.map(|_| self.clock.now());
         let entry = &prepared.entry;
+        let mut shard_merge = None;
         let (indices, stats) = match &plan.strategy {
             Strategy::Cached => unreachable!("planner never emits Cached"),
             Strategy::Trivial => {
@@ -1083,23 +1138,63 @@ impl EngineShared {
                     return self.run_plan(prepared, plan, pool, queue_wait, trace);
                 }
             },
+            Strategy::Sharded { .. } => {
+                let store = Arc::clone(
+                    entry
+                        .sharded()
+                        .expect("planner emits Sharded only for entries with a store attached"),
+                );
+                let (indices, stats, merge) =
+                    self.run_sharded(prepared, &plan, &store, pool, trace);
+                shard_merge = Some(merge);
+                (indices, Some(stats))
+            }
             Strategy::Algorithm(algo) => {
-                let (view, id_map) =
-                    self.algorithm_input(entry, &plan.effective_dims, prepared.max_mask, pool);
-                let result = match &view {
-                    Some(projected) => algo.run(projected, pool, &plan.config),
-                    None => algo.run(entry.base_data(), pool, &plan.config),
-                };
-                let indices = match id_map {
-                    // Positions in the materialized live view map back
-                    // to stable ids; `live` ascending keeps order.
-                    Some(live) => result.indices.iter().map(|&i| live[i as usize]).collect(),
-                    None => result.indices,
+                // A cached same-version subspace skyline (the planner's
+                // superspace seed) pre-filters the input: rows strictly
+                // dominated by a member on the query dimensions cannot
+                // be in the skyline and never reach the algorithm.
+                let seeded = plan.superspace_seed.and_then(|seed| {
+                    self.superspace_prefilter(prepared, &plan.effective_dims, seed.dim_mask, trace)
+                });
+                let (indices, stats) = match seeded {
+                    Some((view, kept, seed_dts)) => {
+                        let result = algo.run(&view, pool, &plan.config);
+                        let indices = result.indices.iter().map(|&i| kept[i as usize]).collect();
+                        let mut stats = result.stats;
+                        // The filter's tests are part of this query's
+                        // work: keep the stats equal to the trace's
+                        // span-summed total.
+                        stats.dominance_tests += seed_dts;
+                        (indices, stats)
+                    }
+                    None => {
+                        let (view, id_map) = self.algorithm_input(
+                            entry,
+                            &plan.effective_dims,
+                            prepared.max_mask,
+                            pool,
+                        );
+                        let result = match &view {
+                            Some(projected) => algo.run(projected, pool, &plan.config),
+                            None => algo.run(entry.base_data(), pool, &plan.config),
+                        };
+                        let indices = match id_map {
+                            // Positions in the materialized live view map
+                            // back to stable ids; `live` ascending keeps
+                            // order.
+                            Some(live) => {
+                                result.indices.iter().map(|&i| live[i as usize]).collect()
+                            }
+                            None => result.indices,
+                        };
+                        (indices, result.stats)
+                    }
                 };
                 if let Some(tel) = &self.telemetry {
-                    tel.record_dominance(*algo, result.stats.dominance_tests);
+                    tel.record_dominance(*algo, stats.dominance_tests);
                 }
-                (indices, Some(result.stats))
+                (indices, Some(stats))
             }
         };
 
@@ -1152,6 +1247,7 @@ impl EngineShared {
             plan,
             cache_hit: false,
             stats,
+            shard_merge,
             dataset_version: entry.version(),
             elapsed: started.elapsed(),
         }
@@ -1196,6 +1292,212 @@ impl EngineShared {
             Dataset::from_flat(values, width).expect("projection of a valid dataset is valid");
         // In a pristine entry live[i] == i: positions are stable ids.
         (Some(view), if pristine { None } else { Some(live) })
+    }
+
+    /// Materializes the live rows surviving the superspace-seed
+    /// pre-filter: folded onto `dims`, minus every row strictly
+    /// dominated (on the query dimensions) by a member of the cached
+    /// subspace skyline `seed_mask` refers to. Such rows cannot be in
+    /// the query's skyline, and since the cached members are live rows
+    /// themselves, the survivors' skyline equals the full skyline.
+    /// Returns `None` when the cached entry was evicted between
+    /// planning and execution — the algorithm then runs unfiltered.
+    fn superspace_prefilter(
+        &self,
+        prepared: &Prepared,
+        dims: &[usize],
+        seed_mask: u32,
+        trace: Option<&Arc<ActiveTrace>>,
+    ) -> Option<(Dataset, Vec<u32>, u64)> {
+        let entry = &prepared.entry;
+        let members = self.cache.get_uncounted(&CacheKey {
+            dataset_id: entry.id(),
+            version: entry.version(),
+            dim_mask: seed_mask,
+            max_mask: prepared.max_mask & seed_mask,
+        })?;
+        if members.is_empty() {
+            return None;
+        }
+        let width = dims.len();
+        let started = trace.map(|_| self.clock.now());
+        let fold = |row: &[f32], out: &mut [f32]| {
+            for (slot, &c) in out.iter_mut().zip(dims) {
+                *slot = flip_pref(row[c], prepared.max_mask & (1 << c) != 0);
+            }
+        };
+        let mut filter = TileStore::with_capacity(width, members.len());
+        let mut folded = vec![0.0f32; width];
+        for &id in members.iter() {
+            fold(entry.point(id), &mut folded);
+            filter.push(&folded);
+        }
+        let live = entry.live_ids();
+        let mut kept = Vec::new();
+        let mut values = Vec::new();
+        let mut dts = 0u64;
+        for &id in live.iter() {
+            fold(entry.point(id), &mut folded);
+            if !filter.any_dominates(&folded, &mut dts) {
+                kept.push(id);
+                values.extend_from_slice(&folded);
+            }
+        }
+        if let (Some(tr), Some(t0)) = (trace, started) {
+            tr.add_span(
+                SpanKind::CacheSeed,
+                t0,
+                self.clock.now().saturating_sub(t0),
+                dts,
+            );
+        }
+        let view = Dataset::from_flat(values, width).expect("folded projection of a valid dataset");
+        Some((view, kept, dts))
+    }
+
+    /// Executes a [`Strategy::Sharded`] plan: folds each shard's live
+    /// rows into a per-shard working set (*scatter*), computes the
+    /// per-shard local skylines — fanned out one shard per pool lane
+    /// when the pool has more than one thread — and combines them with
+    /// the witness-pruned [`merge`](crate::merge). Per-shard spans and
+    /// dominance-test counts land on the trace under
+    /// [`SpanKind::ShardLocal`], keyed by shard index.
+    fn run_sharded(
+        &self,
+        prepared: &Prepared,
+        plan: &QueryPlan,
+        store: &ShardedStore,
+        pool: &ThreadPool,
+        trace: Option<&Arc<ActiveTrace>>,
+    ) -> (Vec<u32>, RunStats, MergeStats) {
+        /// One shard's fan-out slot: shard index, stable ids, folded
+        /// coordinates, and the local result filled in by its lane.
+        type ShardSlot = (usize, Vec<u32>, Vec<f32>, Option<(ShardSkyline, RunStats)>);
+
+        let dims = &plan.effective_dims;
+        let width = dims.len();
+        let max_mask = prepared.max_mask;
+        let k = store.k();
+
+        // Scatter: one pass per shard over its tile base + append
+        // segment, folding preferences and projecting onto the
+        // effective dimensions. Dead slots skipped here are charged as
+        // scan debt — the observed cost driving the adaptive
+        // compaction trigger.
+        let scatter_t0 = trace.map(|_| self.clock.now());
+        let mut work: Vec<ShardSlot> = Vec::with_capacity(k);
+        for i in 0..k {
+            let shard = store.shard(i);
+            let mut ids = Vec::with_capacity(shard.live_len());
+            let mut values = Vec::with_capacity(shard.live_len() * width);
+            shard.for_each_live(|id, row| {
+                ids.push(id);
+                for &c in dims {
+                    values.push(flip_pref(row[c], max_mask & (1 << c) != 0));
+                }
+            });
+            store.add_scan_debt(i, shard.dead() as u64);
+            work.push((i, ids, values, None));
+        }
+        if let (Some(tr), Some(t0)) = (trace, scatter_t0) {
+            tr.add_span(
+                SpanKind::ShardScatter,
+                t0,
+                self.clock.now().saturating_sub(t0),
+                0,
+            );
+        }
+
+        // Local skylines: each shard runs a regular algorithm (the
+        // tile kernels untouched) tuned to its own cardinality, on a
+        // working set small enough to stay cache-resident.
+        let mut cfg = plan.config.clone();
+        cfg.span_sink = None;
+        cfg.dt_counters = None;
+        let run_local = |lane: &ThreadPool, i: usize, ids: Vec<u32>, values: Vec<f32>| {
+            let n = ids.len();
+            let started = self.clock.now();
+            let data =
+                Dataset::from_flat(values, width).expect("folded projection of a valid dataset");
+            let (indices, stats) = if n == 0 {
+                (Vec::new(), RunStats::default())
+            } else {
+                let algo = if n <= 4096 {
+                    Algorithm::Sfs
+                } else {
+                    Algorithm::Hybrid
+                };
+                let r = algo.run(&data, lane, &cfg);
+                (r.indices, r.stats)
+            };
+            if let Some(tr) = trace {
+                tr.add_span_sharded(
+                    SpanKind::ShardLocal,
+                    Some(i as u32),
+                    started,
+                    self.clock.now().saturating_sub(started),
+                    stats.dominance_tests,
+                );
+            }
+            let mut members = Vec::with_capacity(indices.len());
+            let mut rows = Vec::with_capacity(indices.len() * width);
+            for &pos in &indices {
+                members.push(ids[pos as usize]);
+                rows.extend_from_slice(data.row(pos as usize));
+            }
+            (
+                ShardSkyline {
+                    shard: i,
+                    ids: members,
+                    rows,
+                },
+                stats,
+            )
+        };
+        if pool.threads() > 1 && k > 1 {
+            par_chunks_mut(pool, &mut work, 1, |_, chunk| {
+                let lane = ThreadPool::new(1);
+                for slot in chunk.iter_mut() {
+                    let ids = std::mem::take(&mut slot.1);
+                    let values = std::mem::take(&mut slot.2);
+                    slot.3 = Some(run_local(&lane, slot.0, ids, values));
+                }
+            });
+        } else {
+            for slot in work.iter_mut() {
+                let ids = std::mem::take(&mut slot.1);
+                let values = std::mem::take(&mut slot.2);
+                slot.3 = Some(run_local(pool, slot.0, ids, values));
+            }
+        }
+        let mut locals = Vec::with_capacity(k);
+        let mut stats = RunStats::default();
+        for (_, _, _, out) in work {
+            let (local, s) = out.expect("every shard ran");
+            stats.dominance_tests += s.dominance_tests;
+            stats.init += s.init;
+            stats.phase1 += s.phase1;
+            stats.phase2 += s.phase2;
+            stats.total += s.total;
+            locals.push(local);
+        }
+
+        // Merge: witness probe + sum-sorted SIMD range scans over the
+        // concatenated local skylines; never revisits base data.
+        let merge_t0 = trace.map(|_| self.clock.now());
+        let (mut merged, mstats) = merge_local_skylines(width, &locals);
+        merged.sort_unstable();
+        if let (Some(tr), Some(t0)) = (trace, merge_t0) {
+            tr.add_span(
+                SpanKind::ShardMerge,
+                t0,
+                self.clock.now().saturating_sub(t0),
+                mstats.dominance_tests,
+            );
+        }
+        stats.dominance_tests += mstats.dominance_tests;
+        stats.skyline_size = merged.len();
+        (merged, stats, mstats)
     }
 }
 

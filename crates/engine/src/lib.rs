@@ -97,6 +97,7 @@ mod catalog;
 mod clock;
 mod engine;
 mod error;
+pub mod merge;
 pub mod planner;
 mod query;
 pub mod session;
@@ -107,10 +108,14 @@ pub use catalog::{Catalog, DatasetEntry, DatasetStats, DeltaSummary, DimStats, M
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use engine::{Engine, EngineConfig, MutationReport};
 pub use error::{EngineError, QuotaKind, RejectReason};
+pub use merge::{merge_local_skylines, MergeStats, ShardSkyline};
 pub use planner::feedback::{FeedbackConfig, FeedbackLoop, FeedbackStats, Observation, PlanKind};
-pub use planner::{PlanCandidate, Planner, PlannerConfig, PriorResult, QueryPlan, Strategy};
+pub use planner::{
+    PlanCandidate, Planner, PlannerConfig, PriorResult, QueryPlan, Strategy, SuperspaceSeed,
+};
 pub use query::{QueryOptions, QueryResult, SkylineQuery};
 pub use session::{AdmissionConfig, Priority, QueryTicket, Session, SessionOptions, SessionStats};
+pub use skyline_data::PartitionerKind;
 pub use telemetry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, MetricsRegistry,
     MetricsSnapshot, QueryTrace, QueueWaitHistograms, SlowQueryLog, SpanKind, TelemetryConfig,

@@ -1,0 +1,331 @@
+//! Witness-pruned merge of per-shard local skylines.
+//!
+//! A shard's local skyline is a superset of its contribution to the
+//! global skyline, and strict dominance is transitive — so a
+//! concatenation of all local skylines contains the global skyline,
+//! and a candidate is global **iff no other candidate strictly
+//! dominates it** (any dominating live row is either a candidate or is
+//! itself dominated by one). The merge therefore never revisits base
+//! data: shards broadcast only their local skyline plus a small
+//! **witness set**, and elimination runs entirely over the broadcast
+//! rows.
+//!
+//! Cost shape, in order of application:
+//!
+//! 1. **Witness probe** — each shard nominates at most `d + 1`
+//!    witnesses (its per-dimension minima and its minimum-sum point,
+//!    the rows most likely to dominate foreign candidates). Probing a
+//!    candidate against the tiny witness tile kills the bulk of
+//!    locally-undominated-but-globally-dominated rows for a few tile
+//!    compares. Own-shard witnesses are harmless: two members of the
+//!    same local skyline never dominate each other, so the probe needs
+//!    no ownership bookkeeping.
+//! 2. **Sorted range scan** — survivors are checked against the full
+//!    candidate tile, laid out in ascending folded-coordinate-sum
+//!    order. A strict dominator has a strictly smaller exact sum, so
+//!    only the prefix up to (and including) the candidate's equal-sum
+//!    run can contain one: [`TileStore::any_dominates_range`] scans
+//!    exactly that prefix, eight lanes per compare. Equal-sum rows are
+//!    kept in the scanned range because floating-point sums can tie
+//!    where exact sums differ; a candidate inside its own tie run
+//!    never dominates itself, so the inclusive bound is sound and
+//!    loses nothing.
+//!
+//! All rows arriving here are already preference-folded and projected
+//! to the query's effective dimensions, so plain [`TileStore::push`] /
+//! minimisation semantics apply throughout.
+//!
+//! [`TileStore::any_dominates_range`]: skyline_core::dominance::simd::TileStore::any_dominates_range
+//! [`TileStore::push`]: skyline_core::dominance::simd::TileStore::push
+
+use skyline_core::dominance::simd::TileStore;
+
+/// One shard's broadcast: its local skyline in preference-folded,
+/// dimension-projected form.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSkyline {
+    /// Shard index the rows came from.
+    pub shard: usize,
+    /// Stable dataset ids of the local skyline members.
+    pub ids: Vec<u32>,
+    /// Folded row data, `dims` contiguous values per id, parallel to
+    /// `ids`.
+    pub rows: Vec<f32>,
+}
+
+/// What the merge did, for telemetry and the bench harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Candidates entering the merge (Σ local skyline sizes).
+    pub candidates: usize,
+    /// Witness rows broadcast (≤ `(d + 1) ·` shards).
+    pub witnesses: usize,
+    /// Candidates eliminated by the witness probe alone.
+    pub witness_kills: usize,
+    /// Candidates surviving as global skyline members.
+    pub survivors: usize,
+    /// Dominance tests charged to the merge (tile compares × lanes).
+    pub dominance_tests: u64,
+}
+
+impl MergeStats {
+    /// Fraction of candidates the witness probe killed without
+    /// touching the full candidate tile (0 when there were no
+    /// candidates).
+    pub fn witness_frac(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.witness_kills as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Merges per-shard local skylines into the global skyline.
+///
+/// `dims` is the folded row width. Returns the surviving stable ids
+/// (unsorted) and the merge statistics.
+pub fn merge_local_skylines(dims: usize, locals: &[ShardSkyline]) -> (Vec<u32>, MergeStats) {
+    let mut stats = MergeStats::default();
+    let total: usize = locals.iter().map(|l| l.ids.len()).sum();
+    stats.candidates = total;
+    if total == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // Candidate order: ascending exact-as-f64 folded sum. Strict
+    // dominators sort strictly before their victims except for
+    // floating-point sum ties, which the inclusive tie-run bound below
+    // covers.
+    let mut order: Vec<(f64, u32, u32)> = Vec::with_capacity(total); // (sum, local, row)
+    for (li, local) in locals.iter().enumerate() {
+        debug_assert_eq!(local.rows.len(), local.ids.len() * dims);
+        for r in 0..local.ids.len() {
+            let row = &local.rows[r * dims..(r + 1) * dims];
+            let sum: f64 = row.iter().map(|&v| v as f64).sum();
+            order.push((sum, li as u32, r as u32));
+        }
+    }
+    order.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let row_of = |li: u32, r: u32| -> &[f32] {
+        let base = r as usize * dims;
+        &locals[li as usize].rows[base..base + dims]
+    };
+
+    let mut tile = TileStore::with_capacity(dims, total);
+    for &(_, li, r) in &order {
+        tile.push(row_of(li, r));
+    }
+
+    // Witnesses: per shard, the per-dimension minima and the
+    // minimum-sum member of its local skyline.
+    let mut witnesses = TileStore::new(dims);
+    for local in locals {
+        let n = local.ids.len();
+        if n == 0 {
+            continue;
+        }
+        let mut picks: Vec<usize> = Vec::with_capacity(dims + 1);
+        for j in 0..dims {
+            let mut best = 0usize;
+            for r in 1..n {
+                if local.rows[r * dims + j] < local.rows[best * dims + j] {
+                    best = r;
+                }
+            }
+            picks.push(best);
+        }
+        let mut best_sum = 0usize;
+        let mut best = f64::INFINITY;
+        for r in 0..n {
+            let s: f64 = local.rows[r * dims..(r + 1) * dims]
+                .iter()
+                .map(|&v| v as f64)
+                .sum();
+            if s < best {
+                best = s;
+                best_sum = r;
+            }
+        }
+        picks.push(best_sum);
+        picks.sort_unstable();
+        picks.dedup();
+        for r in picks {
+            witnesses.push(&local.rows[r * dims..(r + 1) * dims]);
+        }
+    }
+    stats.witnesses = witnesses.len();
+
+    let mut out = Vec::new();
+    let mut dts = 0u64;
+    let mut i = 0usize;
+    while i < total {
+        // The equal-sum run [i, run_end): every member's dominators
+        // live strictly below run_end in the sorted tile.
+        let mut run_end = i + 1;
+        while run_end < total && order[run_end].0 == order[i].0 {
+            run_end += 1;
+        }
+        for &(_, li, r) in &order[i..run_end] {
+            let q = row_of(li, r);
+            if witnesses.any_dominates(q, &mut dts) {
+                stats.witness_kills += 1;
+                continue;
+            }
+            if !tile.any_dominates_range(0, run_end, q, &mut dts) {
+                out.push(locals[li as usize].ids[r as usize]);
+            }
+        }
+        i = run_end;
+    }
+    stats.survivors = out.len();
+    stats.dominance_tests = dts;
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::dominance::simd::flip_pref;
+    use skyline_core::verify;
+    use skyline_data::{generate, Distribution, PartitionerKind, ShardedStore};
+    use skyline_parallel::ThreadPool;
+
+    /// Reference merge path: shard the data, compute each local
+    /// skyline naively, merge, and compare against the global naive
+    /// skyline.
+    fn check(
+        n: usize,
+        d: usize,
+        dist: Distribution,
+        k: usize,
+        kind: PartitionerKind,
+        max_mask: u32,
+    ) {
+        let pool = ThreadPool::new(1);
+        let data = generate(dist, n, d, 42, &pool);
+        let dims: Vec<usize> = (0..d).collect();
+        let store = ShardedStore::build(&data, k, kind);
+        let mut locals = Vec::new();
+        for s in 0..store.k() {
+            let mut ids = Vec::new();
+            let mut rows = Vec::new();
+            store.shard(s).for_each_live(|id, row| {
+                ids.push(id);
+                for (j, &v) in row.iter().enumerate() {
+                    rows.push(flip_pref(v, max_mask & (1 << j) != 0));
+                }
+            });
+            // Local skyline by brute force over the folded rows.
+            let mut keep = Vec::new();
+            let mut krows = Vec::new();
+            'outer: for a in 0..ids.len() {
+                let pa = &rows[a * d..(a + 1) * d];
+                for b in 0..ids.len() {
+                    if a == b {
+                        continue;
+                    }
+                    let pb = &rows[b * d..(b + 1) * d];
+                    if pb.iter().zip(pa).all(|(x, y)| x <= y)
+                        && pb.iter().zip(pa).any(|(x, y)| x < y)
+                    {
+                        continue 'outer;
+                    }
+                }
+                keep.push(ids[a]);
+                krows.extend_from_slice(pa);
+            }
+            locals.push(ShardSkyline {
+                shard: s,
+                ids: keep,
+                rows: krows,
+            });
+        }
+        let (mut got, stats) = merge_local_skylines(d, &locals);
+        got.sort_unstable();
+        let mut expect = verify::naive_skyline_on_pref(&data, &dims, max_mask);
+        expect.sort_unstable();
+        assert_eq!(got, expect, "{dist:?} k={k} {kind:?} mask={max_mask:b}");
+        assert_eq!(stats.survivors, expect.len());
+        assert!(stats.witnesses <= (d + 1) * store.k());
+        assert_eq!(
+            stats.candidates,
+            locals.iter().map(|l| l.ids.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn merge_matches_naive_across_partitioners() {
+        for kind in PartitionerKind::ALL {
+            for k in [2usize, 4] {
+                check(600, 4, Distribution::Anticorrelated, k, kind, 0);
+                check(600, 3, Distribution::Independent, k, kind, 0b101);
+                check(400, 2, Distribution::Correlated, k, kind, 0b10);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_passes_through() {
+        check(
+            300,
+            3,
+            Distribution::Independent,
+            1,
+            PartitionerKind::Random,
+            0,
+        );
+    }
+
+    #[test]
+    fn duplicate_rows_across_shards_all_survive() {
+        // Two identical undominated rows in different shards: neither
+        // strictly dominates the other, so both are global.
+        let locals = vec![
+            ShardSkyline {
+                shard: 0,
+                ids: vec![0, 2],
+                rows: vec![0.0, 1.0, 1.0, 0.0],
+            },
+            ShardSkyline {
+                shard: 1,
+                ids: vec![5],
+                rows: vec![0.0, 1.0],
+            },
+        ];
+        let (mut got, stats) = merge_local_skylines(2, &locals);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2, 5]);
+        assert_eq!(stats.witness_kills, 0);
+        assert!((stats.witness_frac() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_shard_domination_is_applied() {
+        // Shard 1's sole candidate is dominated by shard 0's witness.
+        let locals = vec![
+            ShardSkyline {
+                shard: 0,
+                ids: vec![1],
+                rows: vec![0.0, 0.0],
+            },
+            ShardSkyline {
+                shard: 1,
+                ids: vec![9],
+                rows: vec![1.0, 1.0],
+            },
+        ];
+        let (got, stats) = merge_local_skylines(2, &locals);
+        assert_eq!(got, vec![1]);
+        assert_eq!(stats.witness_kills, 1, "the witness probe caught it");
+        assert!(stats.witness_frac() > 0.49);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let (got, stats) = merge_local_skylines(3, &[]);
+        assert!(got.is_empty());
+        assert_eq!(stats, MergeStats::default());
+    }
+}

@@ -18,9 +18,13 @@
 //!    `skyline_core::maintain` kernels instead of recomputing);
 //! 4. tiny inputs → **BNL** (any setup cost dwarfs the scan);
 //! 5. small inputs → **SFS** (one sort, then a cheap filter pass);
-//! 6. one thread → **BSkyTree** (the paper's best sequential
+//! 6. a dataset registered with an attached sharded store, above the
+//!    `sharded_min_n` threshold → **sharded fan-out** (per-shard
+//!    skylines over cache-resident working sets, witness-pruned
+//!    merge), priced from the per-shard live counts;
+//! 7. one thread → **BSkyTree** (the paper's best sequential
 //!    algorithm);
-//! 7. otherwise **Q-Flow** when the sampled skyline density is low (the
+//! 8. otherwise **Q-Flow** when the sampled skyline density is low (the
 //!    shared global skyline stays small, so its block flow is all
 //!    overhead saved) and **Hybrid** when it is high or the subspace is
 //!    high-dimensional (point-based partitioning and the two-level
@@ -50,6 +54,7 @@ use std::sync::{Arc, RwLock};
 
 use skyline_core::algo::Algorithm;
 use skyline_core::SkylineConfig;
+use skyline_data::PartitionerKind;
 
 use crate::catalog::DatasetEntry;
 
@@ -75,6 +80,15 @@ pub enum Strategy {
     },
     /// Run a skyline algorithm over the (projected) data.
     Algorithm(Algorithm),
+    /// Fan per-shard skylines out over the dataset's attached
+    /// [`ShardedStore`](skyline_data::ShardedStore), then merge the
+    /// local skylines with witness-point pruning.
+    Sharded {
+        /// Number of shards the store holds.
+        k: usize,
+        /// The partitioning family the store was built with.
+        partitioner: PartitionerKind,
+    },
 }
 
 impl Strategy {
@@ -112,6 +126,12 @@ pub struct QueryPlan {
     /// by an earlier structural rule (trivial, min-scan, delta, the
     /// sequential size tiers), where no cost comparison happens.
     pub candidates: Vec<PlanCandidate>,
+    /// A cached **subspace** skyline usable as a pruning window for
+    /// this (superspace) query: any live row strictly dominated on the
+    /// query's dimensions by a member of that cached skyline cannot be
+    /// in the answer and is dropped before the scan. `None` when no
+    /// compatible entry was cached or the strategy does not scan.
+    pub superspace_seed: Option<SuperspaceSeed>,
 }
 
 /// One strategy considered by the planner's final cost comparison,
@@ -143,6 +163,7 @@ fn candidate_costs(
     frac: f32,
     threads: usize,
     chosen: &'static str,
+    sharded: Option<f64>,
 ) -> Vec<PlanCandidate> {
     let n = n as f64;
     let t = threads.max(1) as f64;
@@ -161,7 +182,35 @@ fn candidate_costs(
             estimated_cost,
             chosen: strategy == chosen,
         })
+        .chain(sharded.map(|estimated_cost| PlanCandidate {
+            strategy: "sharded",
+            estimated_cost,
+            chosen: chosen == "sharded",
+        }))
         .collect()
+}
+
+/// Coarse cost of the sharded plan, from the **per-shard** live
+/// counts: each shard pays a hybrid-style window scan over its own
+/// rows (quadratic in the shard, which is where splitting wins), the
+/// scatter pays one pass over `n`, and the merge pays an 8-lane
+/// SIMD-batched all-candidates scan over the concatenated local
+/// skylines (`c² / 16`: half the pairs by sort order, eight lanes per
+/// test).
+fn sharded_cost(lens: &[usize], frac: f32, threads: usize) -> f64 {
+    let t = threads.max(1) as f64;
+    let f = frac as f64;
+    let n: f64 = lens.iter().map(|&l| l as f64).sum();
+    let local: f64 = lens
+        .iter()
+        .map(|&l| {
+            let li = l as f64;
+            0.25 * li * (f * li).max(1.0)
+        })
+        .sum::<f64>()
+        / t;
+    let c: f64 = lens.iter().map(|&l| (f * l as f64).max(1.0)).sum();
+    local + n + c * c / 16.0
 }
 
 impl QueryPlan {
@@ -174,6 +223,7 @@ impl QueryPlan {
             sample_skyline_frac: None,
             reason,
             candidates: Vec::new(),
+            superspace_seed: None,
         }
     }
 
@@ -226,6 +276,10 @@ pub struct PlannerConfig {
     /// Fitted Hybrid block size; `None` defers to
     /// [`SkylineConfig::tuned`].
     pub alpha_hybrid: Option<usize>,
+    /// Smallest live cardinality at which an attached sharded store is
+    /// used: below it, per-shard fan-out and merge overhead cannot pay
+    /// for themselves against a single scan.
+    pub sharded_min_n: usize,
 }
 
 impl Default for PlannerConfig {
@@ -245,8 +299,27 @@ impl Default for PlannerConfig {
             delta_cap: 256,
             alpha_qflow: None,
             alpha_hybrid: None,
+            // Below ~64k rows a single scan already fits in cache;
+            // above it, per-shard working sets shrinking back under
+            // the cache is exactly the sharded tier's win.
+            sharded_min_n: 65_536,
         }
     }
+}
+
+/// A cached **subspace** skyline offered to the planner as a pruning
+/// window for a superspace query: the entry's dimension mask is a
+/// proper subset of the query's, its preference mask agrees on the
+/// shared dimensions, and it was computed at the query's exact dataset
+/// version — so every one of its members is live, and any live row one
+/// of them strictly dominates on the *query's* dimensions is provably
+/// outside the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperspaceSeed {
+    /// Dimension mask of the cached subspace entry.
+    pub dim_mask: u32,
+    /// Number of skyline members cached under it.
+    pub len: usize,
 }
 
 /// The adaptive planner: stateless decision logic over an atomically
@@ -322,6 +395,43 @@ impl Planner {
         threads: usize,
         prior: Option<PriorResult>,
     ) -> QueryPlan {
+        self.plan_query(entry, dims, max_mask, threads, prior, None)
+    }
+
+    /// The full planning entry point:
+    /// [`plan_with_prior`](Self::plan_with_prior) plus an optional
+    /// cached-subspace
+    /// [`SuperspaceSeed`]. The seed never changes the strategy choice
+    /// — pruning the scan's input is sound under every scanning
+    /// strategy — but scanning plans carry its mask so the executor
+    /// pre-filters through the cached result before the full scan.
+    pub fn plan_query(
+        &self,
+        entry: &DatasetEntry,
+        dims: &[usize],
+        max_mask: u32,
+        threads: usize,
+        prior: Option<PriorResult>,
+        seed: Option<SuperspaceSeed>,
+    ) -> QueryPlan {
+        let mut plan = self.plan_inner(entry, dims, max_mask, threads, prior);
+        if matches!(
+            plan.strategy,
+            Strategy::Algorithm(_) | Strategy::Sharded { .. }
+        ) {
+            plan.superspace_seed = seed;
+        }
+        plan
+    }
+
+    fn plan_inner(
+        &self,
+        entry: &DatasetEntry,
+        dims: &[usize],
+        max_mask: u32,
+        threads: usize,
+        prior: Option<PriorResult>,
+    ) -> QueryPlan {
         let cfg = self.config();
         let n = entry.live_len();
         if n == 0 {
@@ -357,6 +467,7 @@ impl Planner {
                 sample_skyline_frac: Some(frac),
                 reason: "one effective dimension: scan the sorted projection",
                 candidates: Vec::new(),
+                superspace_seed: None,
             };
         }
 
@@ -377,6 +488,7 @@ impl Planner {
                     sample_skyline_frac: Some(frac),
                     reason: "small delta over a prior cached result",
                     candidates: Vec::new(),
+                    superspace_seed: None,
                 };
             }
         }
@@ -391,6 +503,7 @@ impl Planner {
                 sample_skyline_frac: Some(frac),
                 reason: "tiny input: window scan beats any setup cost",
                 candidates: Vec::new(),
+                superspace_seed: None,
             };
         }
         if n <= cfg.small_n {
@@ -402,7 +515,40 @@ impl Planner {
                 sample_skyline_frac: Some(frac),
                 reason: "small input: sort-filter-skyline, no parallel setup",
                 candidates: Vec::new(),
+                superspace_seed: None,
             };
+        }
+
+        // 5b. An attached sharded store on a large input: per-shard
+        //     scans over cache-resident working sets, then a
+        //     witness-pruned SIMD merge. Priced from the per-shard
+        //     live counts; the quadratic window term splitting across
+        //     shards is what the sheet's "sharded" row models.
+        if let Some(store) = entry.sharded() {
+            if store.k() > 1 && n >= cfg.sharded_min_n {
+                let lens: Vec<usize> = store.stats().iter().map(|s| s.live).collect();
+                let cost = sharded_cost(&lens, frac, threads);
+                let mut config = SkylineConfig::tuned(n / store.k(), 1);
+                if let Some(a) = cfg.alpha_qflow {
+                    config.alpha_qflow = a;
+                }
+                if let Some(a) = cfg.alpha_hybrid {
+                    config.alpha_hybrid = a;
+                }
+                return QueryPlan {
+                    strategy: Strategy::Sharded {
+                        k: store.k(),
+                        partitioner: store.partitioner_kind(),
+                    },
+                    threads,
+                    config,
+                    effective_dims: effective,
+                    sample_skyline_frac: Some(frac),
+                    reason: "sharded store attached: cache-resident per-shard scans, witness-pruned merge",
+                    candidates: candidate_costs(n, frac, threads, "sharded", Some(cost)),
+                    superspace_seed: None,
+                };
+            }
         }
 
         // 6. No parallelism available: best sequential algorithm.
@@ -415,6 +561,7 @@ impl Planner {
                 sample_skyline_frac: Some(frac),
                 reason: "single thread: BSkyTree is the best sequential algorithm",
                 candidates: Vec::new(),
+                superspace_seed: None,
             };
         }
 
@@ -456,7 +603,8 @@ impl Planner {
             effective_dims: effective,
             sample_skyline_frac: Some(frac),
             reason,
-            candidates: candidate_costs(n, frac, threads, chosen),
+            candidates: candidate_costs(n, frac, threads, chosen, None),
+            superspace_seed: None,
         }
     }
 }

@@ -148,6 +148,9 @@ pub enum PlanKind {
     MinScan,
     /// Delta maintenance over a prior cached result.
     Delta,
+    /// Per-shard fan-out over an attached sharded store, merged with
+    /// witness pruning.
+    Sharded,
     /// A full algorithm run.
     Algo(Algorithm),
 }
@@ -159,6 +162,7 @@ impl From<&Strategy> for PlanKind {
             Strategy::Trivial => PlanKind::Trivial,
             Strategy::MinScan { .. } => PlanKind::MinScan,
             Strategy::Delta { .. } => PlanKind::Delta,
+            Strategy::Sharded { .. } => PlanKind::Sharded,
             Strategy::Algorithm(a) => PlanKind::Algo(*a),
         }
     }
@@ -172,6 +176,7 @@ impl PlanKind {
             PlanKind::Trivial => "trivial",
             PlanKind::MinScan => "min-scan",
             PlanKind::Delta => "delta",
+            PlanKind::Sharded => "sharded",
             PlanKind::Algo(a) => a.name(),
         }
     }

@@ -7,6 +7,7 @@ use skyline_core::RunStats;
 use skyline_data::Preference;
 
 use crate::error::EngineError;
+use crate::merge::MergeStats;
 use crate::planner::QueryPlan;
 use crate::session::Priority;
 
@@ -223,6 +224,10 @@ pub struct QueryResult {
     /// Per-phase instrumentation of the algorithm run. `None` when the
     /// answer required no algorithm (cache hit, min-scan, or trivial).
     pub stats: Option<RunStats>,
+    /// Witness-pruned merge accounting, present only when the query ran
+    /// through the sharded execution path
+    /// ([`Strategy::Sharded`](crate::Strategy::Sharded)).
+    pub shard_merge: Option<MergeStats>,
     /// Version of the dataset the result was computed against.
     pub dataset_version: u64,
     /// Service time of this query: the cache probe on a hit, or the
@@ -330,6 +335,7 @@ mod tests {
             plan: QueryPlan::trivial("test"),
             cache_hit: false,
             stats: None,
+            shard_merge: None,
             dataset_version: 1,
             elapsed: Duration::ZERO,
         };

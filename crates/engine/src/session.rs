@@ -505,6 +505,7 @@ impl SessionRuntime {
                     candidates: Vec::new(),
                     spans: vec![TraceSpan {
                         kind: SpanKind::CacheHit,
+                        shard: None,
                         start: submitted_at,
                         duration: Duration::ZERO,
                         dominance_tests: 0,

@@ -625,10 +625,21 @@ pub enum SpanKind {
     PhaseTwo,
     /// Block compression and result merging.
     Merge,
+    /// Sharded plans: routing live rows into per-shard working sets.
+    ShardScatter,
+    /// Sharded plans: one shard's local skyline computation (the trace
+    /// carries one such span **per shard**, distinguished by
+    /// [`TraceSpan::shard`]).
+    ShardLocal,
+    /// Sharded plans: witness-pruned merge of the local skylines.
+    ShardMerge,
     /// Non-algorithmic execution (trivial and min-scan plans).
     Execute,
     /// Serving a result straight from the cache.
     CacheHit,
+    /// Pre-filtering algorithm input through a cached subspace skyline
+    /// (the superspace-seed optimisation).
+    CacheSeed,
     /// Inserting the fresh result into the cache.
     CacheInsert,
     /// Patching a prior cached result through a mutation delta.
@@ -647,8 +658,12 @@ impl SpanKind {
             SpanKind::PhaseOne => "phase1",
             SpanKind::PhaseTwo => "phase2",
             SpanKind::Merge => "merge",
+            SpanKind::ShardScatter => "shard.scatter",
+            SpanKind::ShardLocal => "shard.local",
+            SpanKind::ShardMerge => "shard.merge",
             SpanKind::Execute => "execute",
             SpanKind::CacheHit => "cache_hit",
+            SpanKind::CacheSeed => "cache_seed",
             SpanKind::CacheInsert => "cache_insert",
             SpanKind::CachePatch => "cache_patch",
         }
@@ -677,6 +692,12 @@ impl SpanKind {
 pub struct TraceSpan {
     /// The stage.
     pub kind: SpanKind,
+    /// For per-shard stages ([`SpanKind::ShardLocal`]), which shard
+    /// the span describes; `None` for every whole-query stage.
+    /// Aggregation is per `(kind, shard)`, so a sharded trace carries
+    /// one local span per shard with its own duration and
+    /// dominance-test count.
+    pub shard: Option<u32>,
     /// Engine-clock timestamp of first entry.
     pub start: Duration,
     /// Total time attributed to the stage.
@@ -717,25 +738,43 @@ pub struct QueryTrace {
 }
 
 impl QueryTrace {
-    /// The aggregated span for `kind`, if the query entered it.
+    /// The aggregated span for `kind`, if the query entered it (the
+    /// first matching span for per-shard kinds — use
+    /// [`spans_of`](Self::spans_of) to see every shard).
     pub fn span(&self, kind: SpanKind) -> Option<&TraceSpan> {
         self.spans.iter().find(|s| s.kind == kind)
     }
 
+    /// Every aggregated span for `kind`, in first-entry order — one
+    /// per shard for the per-shard kinds.
+    pub fn spans_of(&self, kind: SpanKind) -> impl Iterator<Item = &TraceSpan> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
     /// Renders the trace as one machine-greppable `TRACE …` line.
+    /// Per-shard spans render as `shard.local[i]:…`.
     pub fn render(&self) -> String {
         let mut spans = String::new();
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
                 spans.push(' ');
             }
-            let _ = write!(
-                spans,
-                "{}:{}us/{}dt",
-                s.kind.name(),
-                s.duration.as_micros(),
-                s.dominance_tests
-            );
+            let _ = match s.shard {
+                Some(shard) => write!(
+                    spans,
+                    "{}[{shard}]:{}us/{}dt",
+                    s.kind.name(),
+                    s.duration.as_micros(),
+                    s.dominance_tests
+                ),
+                None => write!(
+                    spans,
+                    "{}:{}us/{}dt",
+                    s.kind.name(),
+                    s.duration.as_micros(),
+                    s.dominance_tests
+                ),
+            };
         }
         format!(
             "TRACE query={} dataset={} strategy={} cache_hit={} wait_us={} total_us={} dts={} spans=[{}]",
@@ -789,13 +828,32 @@ impl ActiveTrace {
         duration: Duration,
         dominance_tests: u64,
     ) {
+        self.add_span_sharded(kind, None, start, duration, dominance_tests);
+    }
+
+    /// Adds an engine-side span attributed to one shard. Spans
+    /// aggregate per `(kind, shard)`, so per-shard stages stay visible
+    /// individually instead of collapsing into one row.
+    pub(crate) fn add_span_sharded(
+        &self,
+        kind: SpanKind,
+        shard: Option<u32>,
+        start: Duration,
+        duration: Duration,
+        dominance_tests: u64,
+    ) {
         let mut acc = self.inner.lock().unwrap();
-        if let Some(span) = acc.spans.iter_mut().find(|s| s.kind == kind) {
+        if let Some(span) = acc
+            .spans
+            .iter_mut()
+            .find(|s| s.kind == kind && s.shard == shard)
+        {
             span.duration += duration;
             span.dominance_tests += dominance_tests;
         } else {
             acc.spans.push(TraceSpan {
                 kind,
+                shard,
                 start,
                 duration,
                 dominance_tests,
@@ -849,12 +907,17 @@ impl SpanSink for ActiveTrace {
         let mut acc = self.inner.lock().unwrap();
         let mark = acc.mark;
         let lap = now.saturating_sub(mark);
-        if let Some(span) = acc.spans.iter_mut().find(|s| s.kind == kind) {
+        if let Some(span) = acc
+            .spans
+            .iter_mut()
+            .find(|s| s.kind == kind && s.shard.is_none())
+        {
             span.duration += lap;
             span.dominance_tests += dominance_tests;
         } else {
             acc.spans.push(TraceSpan {
                 kind,
+                shard: None,
                 start: mark,
                 duration: lap,
                 dominance_tests,

@@ -113,15 +113,16 @@ pub use skyline_core::{
 };
 pub use skyline_data::{
     generate, load_csv, quantize, write_csv, DataError, Dataset, Distribution, Preference,
-    RealDataset, Rng,
+    RealDataset, Rng, Shard, ShardStats, ShardedStore,
 };
 pub use skyline_engine::{
     AdmissionConfig, CacheStats, Clock, Counter, DatasetEntry, Engine, EngineConfig, EngineError,
     FeedbackConfig, FeedbackLoop, FeedbackStats, Gauge, Histogram, HistogramSnapshot, ManualClock,
-    MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, MonotonicClock, MutationReport,
-    Observation, PlanCandidate, PlanKind, PlannerConfig, Priority, QueryOptions, QueryPlan,
-    QueryResult, QueryTicket, QueryTrace, QuotaKind, RejectReason, Session, SessionOptions,
-    SessionStats, SkylineQuery, SlowQueryLog, SpanKind, Strategy, TelemetryConfig, TraceSpan,
+    MergeStats, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, MonotonicClock,
+    MutationReport, Observation, PartitionerKind, PlanCandidate, PlanKind, PlannerConfig, Priority,
+    QueryOptions, QueryPlan, QueryResult, QueryTicket, QueryTrace, QuotaKind, RejectReason,
+    Session, SessionOptions, SessionStats, SkylineQuery, SlowQueryLog, SpanKind, Strategy,
+    SuperspaceSeed, TelemetryConfig, TraceSpan,
 };
 pub use skyline_parallel::{available_threads, ThreadPool};
 

@@ -92,6 +92,88 @@ fn trace_spans_are_exact_under_a_manual_clock() {
     engine.shutdown();
 }
 
+/// `explain_analyze` on a cache hit must return a trace that says so:
+/// the cache-probe span is present whether the hit is taken at
+/// submission (the session short circuit) or at dispatch.
+#[test]
+fn explain_analyze_traces_cache_hits() {
+    let (engine, _clock) = manual_engine(TelemetryConfig::default());
+    let warm_session = engine.open_session(skybench::SessionOptions::new("w"));
+    let warm = warm_session.submit(&distinct_query(3)).unwrap();
+    engine.pump();
+    assert!(!warm.trace().unwrap().cache_hit, "first run computes");
+
+    // `explain_analyze` drives the same submission machinery, so the
+    // repeat is served from the cache and the trace records the probe.
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let analyzed = scope.spawn(move || engine.explain_analyze(&distinct_query(3)));
+        // The analyze call blocks on its ticket; with manual dispatch a
+        // cache hit resolves at submission, so no pump is needed — but
+        // pump anyway to cover the dispatch-time path if probing moved.
+        engine.pump();
+        let (result, trace) = analyzed.join().expect("no panic").expect("valid query");
+        assert!(result.cache_hit);
+        assert!(trace.cache_hit);
+        assert_eq!(trace.strategy, "cache");
+        let probe = trace
+            .span(SpanKind::CacheHit)
+            .expect("cache-hit traces carry the probe span");
+        assert_eq!(probe.dominance_tests, 0);
+        assert_eq!(trace.dominance_tests, 0);
+        assert!(trace.render().contains("cache_hit"), "{}", trace.render());
+    });
+    engine.shutdown();
+}
+
+/// The superspace seed: a cached subspace skyline at the same version
+/// pre-filters a wider query's input, traced as a `cache_seed` span
+/// whose dominance tests are part of the query's reported work.
+#[test]
+fn superspace_seed_prefilters_through_the_cache() {
+    let pool = ThreadPool::new(2);
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    let data = generate(Distribution::Correlated, 12_000, 4, 42, &pool);
+    engine.register("corr", data.clone());
+
+    // Warm a strict-subspace skyline, small enough to seed with.
+    let sub = engine
+        .execute(&SkylineQuery::new("corr").dims([0, 1]))
+        .unwrap();
+    assert!(!sub.cache_hit);
+    assert!(sub.total_skyline_size() <= 4_096, "seedable size");
+
+    // The wider query plans with the seed and traces the filter pass.
+    let query = SkylineQuery::new("corr").dims([0, 1, 2]);
+    let (result, trace) = engine.explain_analyze(&query).expect("telemetry on");
+    let seed = result
+        .plan
+        .superspace_seed
+        .expect("a same-version cached subspace must seed the plan");
+    assert_eq!(seed.dim_mask, 0b011);
+    assert_eq!(seed.len, sub.total_skyline_size());
+    let span = trace
+        .span(SpanKind::CacheSeed)
+        .expect("the filter pass is traced");
+    assert!(span.dominance_tests > 0, "the filter did real tests");
+    // Span-summed totals still reconcile with the run's statistics.
+    let span_sum: u64 = trace.spans.iter().map(|s| s.dominance_tests).sum();
+    assert_eq!(trace.dominance_tests, span_sum);
+    assert_eq!(
+        span_sum,
+        result.stats.as_ref().expect("computed").dominance_tests,
+        "seed tests are part of the query's reported work"
+    );
+
+    // And the answer is exactly the unseeded answer.
+    let expect = skybench::verify::naive_skyline_on(&data, &[0, 1, 2]);
+    assert_eq!(result.indices(), expect.as_slice());
+    engine.shutdown();
+}
+
 #[test]
 fn histogram_buckets_and_quantiles_are_exact() {
     let h = Histogram::new();
