@@ -24,6 +24,16 @@
 //! and requires at least one SHARD line whenever the stream carries a
 //! `phase=shard` metrics sample (i.e. the sharding phase ran but its
 //! report lines went missing).
+//!
+//! The serving load harness's report lines are validated too:
+//!
+//! ```text
+//! SERVE class=<closed|open> offered_qps=<int> achieved_qps=<int> p50_us=<int> p99_us=<int> rejected_rate=<f in [0,1]> connections=<int> requests=<int>
+//! ```
+//!
+//! When any SERVE lines are present the stream must carry at least two
+//! distinct `offered_qps` values — a latency/throughput claim at a
+//! single offered rate is not a curve.
 
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader};
@@ -137,12 +147,57 @@ fn check_shard_line(body: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one `SERVE ` line body (the `k=v` pairs after the tag),
+/// returning its `offered_qps` on success. Every field is `key=value`;
+/// the keys below are required and typed.
+fn check_serve_line(body: &str) -> Result<u64, String> {
+    let mut fields = std::collections::BTreeMap::new();
+    for pair in body.split_whitespace() {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("field `{pair}` is not `key=value`"))?;
+        fields.insert(k, v);
+    }
+    let get = |key: &str| {
+        fields
+            .get(key)
+            .copied()
+            .ok_or_else(|| format!("missing required field `{key}`"))
+    };
+    let class = get("class")?;
+    if !matches!(class, "closed" | "open") {
+        return Err(format!("field `class={class}` is not `closed` or `open`"));
+    }
+    for key in [
+        "offered_qps",
+        "achieved_qps",
+        "p50_us",
+        "p99_us",
+        "connections",
+        "requests",
+    ] {
+        let v = get(key)?;
+        v.parse::<u64>()
+            .map_err(|_| format!("field `{key}={v}` is not an unsigned integer"))?;
+    }
+    let rate = get("rejected_rate")?;
+    let rate: f64 = rate
+        .parse()
+        .map_err(|_| format!("field `rejected_rate={rate}` is not a number"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("field `rejected_rate={rate}` is outside [0, 1]"));
+    }
+    Ok(get("offered_qps")?.parse::<u64>().expect("validated above"))
+}
+
 fn main() {
     let stdin = std::io::stdin();
     let mut seen_names = BTreeSet::new();
     let mut seen_phases = BTreeSet::new();
     let mut lines = 0u64;
     let mut shard_lines = 0u64;
+    let mut serve_lines = 0u64;
+    let mut offered_points = BTreeSet::new();
 
     for (no, line) in BufReader::new(stdin.lock()).lines().enumerate() {
         let line = line.expect("stdin is readable");
@@ -152,6 +207,19 @@ fn main() {
                 exit(1);
             }
             shard_lines += 1;
+            continue;
+        }
+        if let Some(body) = line.strip_prefix("SERVE ") {
+            match check_serve_line(body) {
+                Ok(offered) => {
+                    serve_lines += 1;
+                    offered_points.insert(offered);
+                }
+                Err(why) => {
+                    eprintln!("metrics_check: line {}: {why}: `{line}`", no + 1);
+                    exit(1);
+                }
+            }
             continue;
         }
         let Some(rest) = line.strip_prefix("METRICS ") else {
@@ -197,9 +265,25 @@ fn main() {
         );
         exit(1);
     }
+    if serve_lines > 0 && offered_points.len() < 2 {
+        eprintln!(
+            "metrics_check: SERVE lines present but only {} distinct offered_qps point(s); \
+             a latency curve needs at least 2",
+            offered_points.len()
+        );
+        exit(1);
+    }
+    if seen_phases.contains("serve") && serve_lines == 0 {
+        eprintln!(
+            "metrics_check: the serve phase ran (phase=serve samples present) \
+             but emitted no SERVE report lines"
+        );
+        exit(1);
+    }
     println!(
-        "metrics_check: OK — {lines} samples ({shard_lines} SHARD lines), \
-         {} distinct metrics across phases {:?}",
+        "metrics_check: OK — {lines} samples ({shard_lines} SHARD lines, {serve_lines} SERVE \
+         lines at {} offered-QPS point(s)), {} distinct metrics across phases {:?}",
+        offered_points.len(),
         seen_names.len(),
         seen_phases
     );

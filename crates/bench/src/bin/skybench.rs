@@ -6,9 +6,10 @@
 //!                       [--update-frac F] [--feedback]
 //!                       [--tenants N] [--qps-cap Q]
 //!                       [--shards K] [--partitioner P] [--metrics]
+//!                       [--duration SECS] [--connections N]
 //!
 //! experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!              table1 table2 table3 engine all
+//!              table1 table2 table3 engine serve all
 //!
 //! --update-frac F   mutation share of the `engine` experiment's mixed
 //!                   read/write phase (0..=1, default 0.3; capped at
@@ -39,7 +40,13 @@
 //!                   `METRICS phase=<phase> name{labels} value` lines
 //!                   (validated by the `metrics_check` binary), plus a
 //!                   `TRACE` line for one cold query and a `SLOWLOG`
-//!                   summary
+//!                   summary; the `serve` experiment dumps the combined
+//!                   engine+server registry as `METRICS phase=serve`
+//!                   lines after draining
+//! --duration SECS   measurement window per `serve` experiment line
+//!                   (fractional seconds; default is per-scale)
+//! --connections N   client connections in the `serve` experiment's
+//!                   load phases (default 4)
 //! ```
 
 use skyline_bench::experiments::ExpCtx;
@@ -48,7 +55,8 @@ use skyline_bench::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F] \
-         [--feedback] [--tenants N] [--qps-cap Q] [--shards K] [--partitioner P] [--metrics]\n\
+         [--feedback] [--tenants N] [--qps-cap Q] [--shards K] [--partitioner P] [--metrics] \
+         [--duration SECS] [--connections N]\n\
          experiments: {}",
         ExpCtx::ALL_EXPERIMENTS.join(" ")
     );
@@ -70,6 +78,8 @@ fn main() {
     let mut shards = 0usize;
     let mut partitioner = skyline_data::PartitionerKind::Random;
     let mut metrics = false;
+    let mut duration: Option<std::time::Duration> = None;
+    let mut connections = 4usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -109,6 +119,23 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .filter(|&q: &u32| q > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--duration" => {
+                i += 1;
+                duration = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|&secs| secs > 0.0 && secs.is_finite())
+                    .map(std::time::Duration::from_secs_f64)
+                    .or_else(|| usage());
+            }
+            "--connections" => {
+                i += 1;
+                connections = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&c: &usize| c > 0)
                     .unwrap_or_else(|| usage());
             }
             "--update-frac" => {
@@ -157,6 +184,8 @@ fn main() {
     ctx.shards = shards;
     ctx.partitioner = partitioner;
     ctx.metrics = metrics;
+    ctx.duration = duration;
+    ctx.connections = connections;
     if !ctx.run(&experiment) {
         eprintln!("unknown experiment '{experiment}'");
         usage();

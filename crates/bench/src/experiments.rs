@@ -47,6 +47,11 @@ pub struct ExpCtx {
     /// machine-parseable `METRICS` lines after each phase, plus a
     /// `TRACE` line and a `SLOWLOG` summary.
     pub metrics: bool,
+    /// Measurement window per `serve` experiment line; `None` uses a
+    /// per-scale default.
+    pub duration: Option<std::time::Duration>,
+    /// Client connections in the `serve` experiment's load phases.
+    pub connections: usize,
     pools: HashMap<usize, Arc<ThreadPool>>,
     cache: WorkloadCache,
 }
@@ -64,6 +69,8 @@ impl ExpCtx {
             shards: 0,
             partitioner: PartitionerKind::Random,
             metrics: false,
+            duration: None,
+            connections: 4,
             pools: HashMap::new(),
             cache: WorkloadCache::new(),
         }
@@ -109,6 +116,13 @@ impl ExpCtx {
                 self.partitioner,
                 self.metrics,
             ),
+            "serve" => crate::serve_load::run(
+                self.scale,
+                self.threads,
+                self.duration,
+                self.connections,
+                self.metrics,
+            ),
             "all" => {
                 for e in Self::ALL_EXPERIMENTS {
                     if *e != "all" {
@@ -125,7 +139,7 @@ impl ExpCtx {
     /// Every experiment name the harness accepts.
     pub const ALL_EXPERIMENTS: &'static [&'static str] = &[
         "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "table1", "table2", "table3", "engine", "all",
+        "table1", "table2", "table3", "engine", "serve", "all",
     ];
 }
 

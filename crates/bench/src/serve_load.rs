@@ -1,0 +1,300 @@
+//! The `serve` experiment: load-test the HTTP front door end to end.
+//!
+//! Boots a real [`SkylineServer`] on an ephemeral port in-process,
+//! registers an anticorrelated dataset, and drives it with two client
+//! classes:
+//!
+//! - **closed-loop** — each connection issues its next request the
+//!   moment the previous response lands, so concurrency (not rate) is
+//!   the controlled variable;
+//! - **open-loop** — arrivals follow a fixed schedule `t_k = k / qps`
+//!   multiplexed over the connection pool, at two offered rates. When
+//!   every connection is busy the schedule slips, which shows up as
+//!   `achieved_qps < offered_qps` rather than being silently hidden.
+//!
+//! Each class prints one machine-readable line (validated in CI by the
+//! `metrics_check` binary):
+//!
+//! ```text
+//! SERVE class=<closed|open> offered_qps=<int> achieved_qps=<int>
+//!       p50_us=<int> p99_us=<int> rejected_rate=<f in [0,1]>
+//!       connections=<int> requests=<int>
+//! ```
+//!
+//! Latency percentiles are exact (merged and sorted, no sketch) over
+//! `200` responses only; `rejected_rate` counts `429`/`503` answers —
+//! the *bronze* tenant carries a deliberately tight QPS quota so the
+//! back-pressure path (token bucket → `429` + `Retry-After`) is
+//! exercised on every run, not just under overload.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use skyline_data::{generate, Distribution};
+use skyline_engine::{Engine, EngineConfig, Priority, TelemetryConfig};
+use skyline_parallel::ThreadPool;
+use skyline_serve::{Client, ServeConfig, SkylineServer, TenantSpec};
+
+use crate::Scale;
+
+/// Per-scale workload shape: (rows, dims, low open rate, high open rate).
+fn shape(scale: Scale) -> (usize, usize, u64, u64) {
+    match scale {
+        Scale::Smoke => (8_000, 4, 200, 400),
+        Scale::Laptop => (100_000, 6, 500, 1_500),
+        Scale::Paper => (1_000_000, 8, 2_000, 6_000),
+    }
+}
+
+/// Per-line measurement window when `--duration` is not given.
+fn default_duration(scale: Scale) -> Duration {
+    match scale {
+        Scale::Smoke => Duration::from_millis(600),
+        Scale::Laptop => Duration::from_secs(2),
+        Scale::Paper => Duration::from_secs(5),
+    }
+}
+
+/// Rotating query bodies: full space, two subspaces, and a top-k, so
+/// the engine's planner and cache both see realistic variety.
+const BODIES: &[&str] = &[
+    r#"{"dataset":"serve"}"#,
+    r#"{"dataset":"serve","dims":[0,1]}"#,
+    r#"{"dataset":"serve","dims":[1,2],"preference":["min","max"]}"#,
+    r#"{"dataset":"serve","dims":[0,2,3],"limit":64}"#,
+];
+
+#[derive(Default)]
+struct WorkerOut {
+    lat_us: Vec<u64>,
+    ok: u64,
+    rejected: u64,
+    other: u64,
+    io_errors: u64,
+}
+
+/// One worker: either closed-loop (fire as fast as responses come
+/// back) or open-loop against the shared arrival schedule.
+fn worker(
+    addr: SocketAddr,
+    token: &str,
+    deadline: Instant,
+    start: Instant,
+    schedule: Option<(Arc<AtomicU64>, u64)>,
+) -> WorkerOut {
+    let mut out = WorkerOut::default();
+    let mut client = match Client::connect_with_token(addr, token) {
+        Ok(c) => c,
+        Err(_) => {
+            out.io_errors += 1;
+            return out;
+        }
+    };
+    let mut body_at = 0usize;
+    loop {
+        match &schedule {
+            Some((counter, qps)) => {
+                let k = counter.fetch_add(1, Ordering::Relaxed);
+                let due = start + Duration::from_secs_f64(k as f64 / *qps as f64);
+                if due >= deadline {
+                    return out;
+                }
+                let now = Instant::now();
+                if due > now {
+                    thread::sleep(due - now);
+                }
+            }
+            None => {
+                if Instant::now() >= deadline {
+                    return out;
+                }
+            }
+        }
+        let body = BODIES[body_at % BODIES.len()];
+        body_at += 1;
+        let sent = Instant::now();
+        match client.post_json("/v1/query", body) {
+            Ok(resp) => match resp.status {
+                200 => {
+                    out.ok += 1;
+                    out.lat_us.push(sent.elapsed().as_micros() as u64);
+                }
+                429 | 503 => {
+                    out.rejected += 1;
+                    // Closed-loop clients back off briefly on
+                    // back-pressure instead of retry-storming the
+                    // quota; open-loop pacing already spaces arrivals.
+                    if schedule.is_none() {
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                }
+                _ => out.other += 1,
+            },
+            Err(_) => {
+                out.io_errors += 1;
+                // One reconnect attempt; a dead server ends the worker.
+                match Client::connect_with_token(addr, token) {
+                    Ok(c) => client = c,
+                    Err(_) => return out,
+                }
+            }
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs one measurement line and prints it.
+fn run_class(
+    addr: SocketAddr,
+    class: &str,
+    offered: Option<u64>,
+    connections: usize,
+    duration: Duration,
+) {
+    let start = Instant::now();
+    let deadline = start + duration;
+    let schedule = offered.map(|qps| (Arc::new(AtomicU64::new(0)), qps));
+    let outs: Vec<WorkerOut> = thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|i| {
+                // Even workers are the quota-capped bronze tenant, odd
+                // ones gold, so every line sees both admission paths.
+                let token = if i % 2 == 0 {
+                    "bronze-token"
+                } else {
+                    "gold-token"
+                };
+                let schedule = schedule.as_ref().map(|(c, q)| (Arc::clone(c), *q));
+                s.spawn(move || worker(addr, token, deadline, start, schedule))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut lat: Vec<u64> = Vec::new();
+    let (mut ok, mut rejected, mut other, mut io_errors) = (0u64, 0u64, 0u64, 0u64);
+    for mut o in outs {
+        lat.append(&mut o.lat_us);
+        ok += o.ok;
+        rejected += o.rejected;
+        other += o.other;
+        io_errors += o.io_errors;
+    }
+    lat.sort_unstable();
+    let total = ok + rejected + other;
+    let achieved = (total as f64 / elapsed).round() as u64;
+    let offered_qps = offered.unwrap_or(achieved);
+    let rejected_rate = if total == 0 {
+        0.0
+    } else {
+        rejected as f64 / total as f64
+    };
+    println!(
+        "SERVE class={class} offered_qps={offered_qps} achieved_qps={achieved} \
+         p50_us={} p99_us={} rejected_rate={rejected_rate:.4} \
+         connections={connections} requests={total}",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+    );
+    if other > 0 || io_errors > 0 {
+        println!("  ({other} unexpected statuses, {io_errors} socket errors)");
+    }
+}
+
+/// Runs the `serve` experiment: boot the front door, drive it with a
+/// closed-loop pass and two open-loop rates, print one `SERVE` line
+/// per pass, then drain gracefully. With `metrics`, the combined
+/// engine+server registry is dumped as `METRICS phase=serve` lines.
+pub fn run(
+    scale: Scale,
+    threads: usize,
+    duration: Option<Duration>,
+    connections: usize,
+    metrics: bool,
+) {
+    let (n, d, low_rate, high_rate) = shape(scale);
+    let duration = duration.unwrap_or_else(|| default_duration(scale));
+    let connections = connections.max(1);
+
+    // No result cache: hits would short-circuit admission (and most of
+    // the serving path), so every request would measure the cache, not
+    // the server. Mirrors the engine experiment's admission phase.
+    let engine = Arc::new(Engine::with_config(EngineConfig {
+        threads,
+        cache_bytes: 0,
+        telemetry: TelemetryConfig::default(),
+        ..EngineConfig::default()
+    }));
+    let gen_pool = ThreadPool::new(threads);
+    // Independent keeps per-query cost low enough that the harness
+    // measures the serving path, not one giant skyline computation.
+    engine.register(
+        "serve",
+        generate(Distribution::Independent, n, d, 99, &gen_pool),
+    );
+
+    // Bronze gets a deliberately tight rate quota (a twentieth of the
+    // low offered rate across the whole tenant) so 429s appear on
+    // every run even in short windows, where the bucket's burst
+    // allowance (= cap) dominates; gold is uncapped and high priority.
+    let bronze_cap = (low_rate / 20).max(2) as u32;
+    let server = SkylineServer::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            tokens: vec![
+                (
+                    "gold-token".to_string(),
+                    TenantSpec {
+                        tenant: "gold".to_string(),
+                        priority: Priority::High,
+                        max_in_flight: None,
+                        qps_cap: None,
+                    },
+                ),
+                (
+                    "bronze-token".to_string(),
+                    TenantSpec {
+                        tenant: "bronze".to_string(),
+                        priority: Priority::Normal,
+                        max_in_flight: None,
+                        qps_cap: Some(bronze_cap),
+                    },
+                ),
+            ],
+            allow_anonymous: false,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+
+    println!(
+        "\n## serve load — n = {n}, d = {d}, t = {threads}, {connections} connections, \
+         {:.1}s per line (bronze quota {bronze_cap}/s) @ {addr}\n",
+        duration.as_secs_f64()
+    );
+
+    run_class(addr, "closed", None, connections, duration);
+    run_class(addr, "open", Some(low_rate), connections, duration);
+    run_class(addr, "open", Some(high_rate), connections, duration);
+
+    server.shutdown();
+    println!("\ndrained: 0 active connections, engine shut down");
+
+    if metrics {
+        for line in engine.metrics().render().lines() {
+            println!("METRICS phase=serve {line}");
+        }
+    }
+}

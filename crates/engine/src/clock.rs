@@ -19,6 +19,19 @@ use std::time::{Duration, Instant};
 pub trait Clock: Send + Sync + std::fmt::Debug {
     /// Time elapsed since the clock's epoch.
     fn now(&self) -> Duration;
+
+    /// Upper bound on how long a waiter may park (in *real* time) on a
+    /// condvar before re-reading this clock, given it wants to wait
+    /// `requested` of clock time.
+    ///
+    /// A real clock advances while a thread sleeps, so the default
+    /// parks for the whole interval. A [`ManualClock`] only moves when
+    /// a test thread advances it: its waiters must park in short
+    /// real-time slices and poll the manual time, otherwise a timeout
+    /// measured on the engine clock would never fire.
+    fn park_slice(&self, requested: Duration) -> Duration {
+        requested
+    }
 }
 
 /// The production clock: wall-clock monotonic time via [`Instant`],
@@ -90,6 +103,12 @@ impl ManualClock {
 impl Clock for ManualClock {
     fn now(&self) -> Duration {
         Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    /// Manual time stands still while waiters sleep; park at most a
+    /// millisecond of real time, then re-read.
+    fn park_slice(&self, requested: Duration) -> Duration {
+        requested.min(Duration::from_millis(1))
     }
 }
 

@@ -25,8 +25,8 @@ use crate::session::{
     AdmissionConfig, Session, SessionOptions, SessionRuntime, SessionStats, TicketState,
 };
 use crate::telemetry::{
-    ActiveTrace, MetricsSnapshot, QueryTrace, QueueWaitHistograms, SpanKind, Telemetry,
-    TelemetryConfig,
+    ActiveTrace, MetricsRegistry, MetricsSnapshot, QueryTrace, QueueWaitHistograms, SpanKind,
+    Telemetry, TelemetryConfig,
 };
 
 /// Construction-time knobs for [`Engine`].
@@ -550,6 +550,19 @@ impl Engine {
         snap
     }
 
+    /// The engine's live metrics registry, for embedders that want
+    /// their own instruments in the same exposition: a serving tier
+    /// registers its per-connection counters and request histograms
+    /// here, and one [`metrics`](Self::metrics) snapshot (and its
+    /// [`MetricsSnapshot::render`] text) covers the whole process.
+    /// `None` when telemetry is disabled.
+    pub fn metrics_registry(&self) -> Option<Arc<MetricsRegistry>> {
+        self.shared
+            .telemetry
+            .as_ref()
+            .map(|tel| tel.registry_handle())
+    }
+
     /// Removes and returns every trace retained by the slow-query ring
     /// (queries whose end-to-end latency met
     /// [`TelemetryConfig::slow_query_threshold`]), oldest first. Empty
@@ -736,7 +749,19 @@ impl EngineShared {
     /// ran at submission), then the plan. Sequential plans run one per
     /// pool lane, parallel plans span the whole pool afterwards; both
     /// re-check cancellation/deadline **between the plan and the run**.
-    pub(crate) fn run_ticket_batch(&self, runtime: &SessionRuntime, batch: Vec<Arc<TicketState>>) {
+    ///
+    /// With `steal` set, the loop over pool-wide parallel plans
+    /// re-checks the admission queues before each one and runs any
+    /// ticket whose effective class is strictly higher first — a High
+    /// submission arriving (or a Low one aging up) mid-batch waits for
+    /// at most one plan, not the whole batch. Stolen sub-batches run
+    /// with `steal` off, so the pre-emption nests at most once.
+    pub(crate) fn run_ticket_batch(
+        &self,
+        runtime: &SessionRuntime,
+        batch: Vec<Arc<TicketState>>,
+        steal: bool,
+    ) {
         type Planned = (
             Arc<TicketState>,
             QueryPlan,
@@ -819,6 +844,12 @@ impl EngineShared {
         // Parallel plans: whole pool, one at a time, reusing the plan
         // from classification.
         for (ticket, plan, wait, trace) in par {
+            if steal {
+                let higher = runtime.pop_higher(self.clock.now(), ticket.priority);
+                if !higher.is_empty() {
+                    runtime.run_batch_guarded(self, higher, false);
+                }
+            }
             self.finish_ticket(runtime, &ticket, plan, wait, &self.pool, trace);
         }
     }

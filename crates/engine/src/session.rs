@@ -24,8 +24,13 @@
 //!   (per-tenant in-flight and per-second submission quotas, measured
 //!   on the engine's [`Clock`](crate::Clock) so tests drive them with a
 //!   [`ManualClock`](crate::ManualClock)), or [`RejectReason::Shutdown`];
-//! * a **dispatcher** drains the queues highest-class-first and feeds
-//!   the engine's shared thread pool through the same batch core as
+//! * a **dispatcher** drains the queues highest-class-first — with
+//!   **class aging** ([`AdmissionConfig::age_boost_after`]) so
+//!   sustained High traffic cannot starve Low forever,
+//!   earliest-deadline-first order within a class, and a re-check for
+//!   newly queued higher-class tickets between a batch's pool-wide
+//!   plans — and feeds the engine's shared thread pool through the
+//!   same batch core as
 //!   [`Engine::execute_batch`](crate::Engine::execute_batch), so
 //!   co-queued tickets coalesce: sequential plans run one per pool
 //!   lane, parallel plans span the whole pool, and the pool is never
@@ -74,7 +79,7 @@
 //! engine.shutdown();
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -85,9 +90,11 @@ use crate::error::{EngineError, QuotaKind, RejectReason};
 use crate::query::{QueryResult, SkylineQuery};
 use crate::telemetry::{QueryTrace, SpanKind, TraceSpan};
 
-/// Length of the per-tenant submission-rate window backing
-/// [`SessionOptions::qps_cap`].
-const QPS_WINDOW: Duration = Duration::from_secs(1);
+/// Nano-tokens per admission in the per-tenant token bucket backing
+/// [`SessionOptions::qps_cap`]. Integer nano-token arithmetic keeps the
+/// refill exact under a [`ManualClock`](crate::ManualClock) — no
+/// floating-point drift at window boundaries.
+const TOKEN: u64 = 1_000_000_000;
 
 /// Priority classes of the admission queue, dispatched highest first.
 /// Each class has its own bounded queue, so saturating one class never
@@ -141,6 +148,13 @@ pub struct AdmissionConfig {
     /// waiting threads, which then drive the queue themselves) — the
     /// deterministic mode the session tests run in.
     pub background_dispatcher: bool,
+    /// Queue wait (on the engine clock) after which a ticket counts as
+    /// one class higher in dispatch ordering — and two higher after
+    /// twice this — so sustained High traffic cannot starve Low
+    /// forever. Aging changes *dispatch order only*: capacities and
+    /// quotas still apply at the admitted class. `Duration::ZERO`
+    /// disables aging (strict priority).
+    pub age_boost_after: Duration,
 }
 
 impl Default for AdmissionConfig {
@@ -149,6 +163,7 @@ impl Default for AdmissionConfig {
             queue_capacity: 1024,
             max_batch: 64,
             background_dispatcher: true,
+            age_boost_after: Duration::from_millis(100),
         }
     }
 }
@@ -193,10 +208,12 @@ impl SessionOptions {
         self
     }
 
-    /// Caps the tenant's admitted submissions per second (measured on
-    /// the engine's clock); submissions beyond it are rejected with
-    /// [`QuotaKind::Rate`] until the window rolls over. Cache-hit
-    /// short-circuits don't consume the budget.
+    /// Caps the tenant's admitted submissions per second via a token
+    /// bucket on the engine's clock: the tenant may burst up to `cap`
+    /// admissions, and the bucket refills continuously at `cap` tokens
+    /// per second. Submissions finding less than one whole token are
+    /// rejected with [`QuotaKind::Rate`]. Cache-hit short-circuits
+    /// don't consume the budget.
     pub fn qps_cap(mut self, cap: u32) -> Self {
         self.qps_cap = Some(cap);
         self
@@ -269,6 +286,41 @@ impl TicketState {
     }
 }
 
+/// The token-bucket state behind one tenant's
+/// [`SessionOptions::qps_cap`], in integer nano-tokens.
+#[derive(Debug)]
+struct TokenBucket {
+    /// Nano-tokens available; one admission costs [`TOKEN`].
+    tokens: u64,
+    /// Engine-clock reading of the last refill.
+    last_refill: Duration,
+}
+
+impl TokenBucket {
+    /// A bucket starting full: the tenant's initial burst allowance is
+    /// exactly `cap`.
+    fn full(cap: u32, now: Duration) -> Self {
+        Self {
+            tokens: u64::from(cap).saturating_mul(TOKEN),
+            last_refill: now,
+        }
+    }
+
+    /// Accrues `cap` tokens per second since the last refill, capped at
+    /// a full bucket. Exact in integer nanoseconds: advancing a manual
+    /// clock by 500 ms at `cap = 2` yields precisely one token.
+    fn refill(&mut self, cap: u32, now: Duration) {
+        let elapsed = now.saturating_sub(self.last_refill);
+        self.last_refill = now;
+        let gained = elapsed
+            .as_nanos()
+            .saturating_mul(u128::from(cap))
+            .min(u128::from(u64::MAX)) as u64;
+        let cap_tokens = u64::from(cap).saturating_mul(TOKEN);
+        self.tokens = self.tokens.saturating_add(gained).min(cap_tokens);
+    }
+}
+
 /// Per-tenant admission bookkeeping: the caps from the last
 /// [`SessionOptions`] that opened the tenant, plus live usage.
 #[derive(Debug, Default)]
@@ -279,22 +331,54 @@ struct TenantState {
     /// dropped when this and `in_flight` both reach zero.
     sessions: usize,
     in_flight: usize,
-    window_start: Duration,
-    window_count: u32,
+    /// Lazily initialized (full) at the first capped submission; reset
+    /// when a re-open changes `qps_cap`.
+    bucket: Option<TokenBucket>,
+}
+
+/// A queued ticket, ordered for the per-class heap: earliest deadline
+/// first, submission id as the tie-break — so a class whose tickets
+/// carry no deadlines dequeues strictly FIFO.
+#[derive(Debug)]
+struct QueueEntry(Arc<TicketState>);
+
+impl QueueEntry {
+    fn key(&self) -> (Duration, u64) {
+        (self.0.deadline.unwrap_or(Duration::MAX), self.0.id)
+    }
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    /// Reversed on purpose: [`BinaryHeap`] is a max-heap, so the
+    /// smallest `(deadline, id)` key must compare greatest.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key().cmp(&self.key())
+    }
 }
 
 #[derive(Debug, Default)]
 struct AdmissionState {
-    /// One bounded FIFO per priority class, indexed by
-    /// [`Priority::index`].
-    queues: [VecDeque<Arc<TicketState>>; 3],
+    /// One bounded deadline-ordered queue per priority class, indexed
+    /// by [`Priority::index`].
+    queues: [BinaryHeap<QueueEntry>; 3],
     tenants: HashMap<String, TenantState>,
     shutdown: bool,
 }
 
 impl AdmissionState {
     fn queued(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.queues.iter().map(BinaryHeap::len).sum()
     }
 }
 
@@ -359,7 +443,7 @@ impl SessionRuntime {
                 let batch = {
                     let mut st = runtime.lock();
                     loop {
-                        let batch = runtime.pop_batch(&mut st);
+                        let batch = runtime.pop_batch(&mut st, shared.clock.now());
                         if !batch.is_empty() {
                             break batch;
                         }
@@ -369,7 +453,7 @@ impl SessionRuntime {
                         st = runtime.work.wait(st).unwrap_or_else(|e| e.into_inner());
                     }
                 };
-                runtime.run_batch_guarded(&shared, batch);
+                runtime.run_batch_guarded(&shared, batch, true);
             })
             .expect("spawning the dispatcher thread");
         *self.worker.lock().unwrap_or_else(|e| e.into_inner()) = Some(handle);
@@ -380,10 +464,19 @@ impl SessionRuntime {
     /// claimed still reaches a terminal [`EngineError::Internal`]
     /// outcome and the dispatcher survives — waiters must never hang
     /// on a dead thread.
-    fn run_batch_guarded(&self, shared: &Arc<EngineShared>, batch: Vec<Arc<TicketState>>) {
+    ///
+    /// `steal` lets the batch core pull queued higher-class tickets in
+    /// between this batch's pool-wide plans; it is `false` for the
+    /// stolen sub-batches themselves, bounding the recursion.
+    pub(crate) fn run_batch_guarded(
+        &self,
+        shared: &EngineShared,
+        batch: Vec<Arc<TicketState>>,
+        steal: bool,
+    ) {
         let mirror = batch.clone();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.run_ticket_batch(self, batch);
+            shared.run_ticket_batch(self, batch, steal);
         }));
         if outcome.is_err() {
             for ticket in mirror {
@@ -407,6 +500,12 @@ impl SessionRuntime {
         let mut st = self.lock();
         let tenant = st.tenants.entry(options.tenant.clone()).or_default();
         tenant.max_in_flight = options.max_in_flight;
+        if tenant.qps_cap != options.qps_cap {
+            // A changed rate cap re-seeds the bucket at the new size on
+            // the next capped submission; re-opening with the *same*
+            // cap must not hand the tenant a fresh burst.
+            tenant.bucket = None;
+        }
         tenant.qps_cap = options.qps_cap;
         tenant.sessions += 1;
     }
@@ -551,11 +650,15 @@ impl SessionRuntime {
             .expect("sessions register their tenant at open");
         if enforce_quotas {
             if let Some(cap) = tstate.qps_cap {
-                if now.saturating_sub(tstate.window_start) >= QPS_WINDOW {
-                    tstate.window_start = now;
-                    tstate.window_count = 0;
-                }
-                if tstate.window_count >= cap {
+                // Token bucket on the engine clock: burst up to `cap`,
+                // sustained refill of `cap` per second. Unlike the
+                // fixed window it replaced, no boundary instant doubles
+                // the burst allowance.
+                let bucket = tstate
+                    .bucket
+                    .get_or_insert_with(|| TokenBucket::full(cap, now));
+                bucket.refill(cap, now);
+                if bucket.tokens < TOKEN {
                     drop(st);
                     self.rejected_quota.fetch_add(1, Ordering::Relaxed);
                     if let Some(tel) = &shared.telemetry {
@@ -595,8 +698,10 @@ impl SessionRuntime {
             .tenants
             .get_mut(tenant)
             .expect("checked just above under the same lock");
-        if enforce_quotas && tstate.qps_cap.is_some() {
-            tstate.window_count += 1;
+        if enforce_quotas {
+            if let Some(bucket) = tstate.bucket.as_mut() {
+                bucket.tokens = bucket.tokens.saturating_sub(TOKEN);
+            }
         }
         tstate.in_flight += 1;
         let state = Arc::new(TicketState {
@@ -612,24 +717,90 @@ impl SessionRuntime {
             inner: Mutex::new(TicketInner::default()),
             done: Condvar::new(),
         });
-        st.queues[priority.index()].push_back(Arc::clone(&state));
+        st.queues[priority.index()].push(QueueEntry(Arc::clone(&state)));
         drop(st);
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.work.notify_one();
         Ok(state)
     }
 
-    /// Pops up to `max_batch` tickets, highest class first, FIFO within
-    /// a class.
-    fn pop_batch(&self, st: &mut AdmissionState) -> Vec<Arc<TicketState>> {
-        let mut batch = Vec::new();
-        for class in Priority::ALL.iter().rev() {
-            let queue = &mut st.queues[class.index()];
-            while batch.len() < self.cfg.max_batch {
-                match queue.pop_front() {
-                    Some(t) => batch.push(t),
-                    None => break,
+    /// A queued ticket's class for dispatch ordering: its admitted
+    /// class plus the aging boost its queue wait has earned
+    /// ([`AdmissionConfig::age_boost_after`]), capped at
+    /// [`Priority::High`].
+    fn effective_class(&self, ticket: &TicketState, now: Duration) -> usize {
+        let native = ticket.priority.index();
+        let step = self.cfg.age_boost_after;
+        if step.is_zero() {
+            return native;
+        }
+        let wait = now.saturating_sub(ticket.submitted_at);
+        let boost = (wait.as_nanos() / step.as_nanos()).min(2) as usize;
+        (native + boost).min(Priority::High.index())
+    }
+
+    /// Pops the best queued ticket: highest *effective* class first
+    /// (ties broken by seniority — earlier submission wins, so an aged
+    /// Low beats a fresh High of equal effective class), deadline order
+    /// within a class. `floor`, when set, only accepts tickets whose
+    /// effective class is strictly above it.
+    fn pop_next(
+        &self,
+        st: &mut AdmissionState,
+        now: Duration,
+        floor: Option<Priority>,
+    ) -> Option<Arc<TicketState>> {
+        let mut best: Option<(usize, usize, Duration, u64)> = None;
+        for class in 0..st.queues.len() {
+            let Some(entry) = st.queues[class].peek() else {
+                continue;
+            };
+            let t = &entry.0;
+            let eff = self.effective_class(t, now);
+            if floor.is_some_and(|f| eff <= f.index()) {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, beff, bsub, bid)) => {
+                    eff > *beff || (eff == *beff && (t.submitted_at, t.id) < (*bsub, *bid))
                 }
+            };
+            if better {
+                best = Some((class, eff, t.submitted_at, t.id));
+            }
+        }
+        best.map(|(class, ..)| st.queues[class].pop().expect("peeked just above").0)
+    }
+
+    /// Pops up to `max_batch` tickets by effective class (aging
+    /// included), earliest deadline first within a class.
+    fn pop_batch(&self, st: &mut AdmissionState, now: Duration) -> Vec<Arc<TicketState>> {
+        let mut batch = Vec::new();
+        while batch.len() < self.cfg.max_batch {
+            match self.pop_next(st, now, None) {
+                Some(t) => batch.push(t),
+                None => break,
+            }
+        }
+        batch
+    }
+
+    /// Pops queued tickets whose effective class is strictly above
+    /// `floor` — the batch core calls this between a batch's pool-wide
+    /// plans so late-arriving (or newly aged) higher-class tickets
+    /// overtake the remainder of an in-flight batch instead of waiting
+    /// it out.
+    pub(crate) fn pop_higher(&self, now: Duration, floor: Priority) -> Vec<Arc<TicketState>> {
+        if floor == Priority::High {
+            return Vec::new();
+        }
+        let mut st = self.lock();
+        let mut batch = Vec::new();
+        while batch.len() < self.cfg.max_batch {
+            match self.pop_next(&mut st, now, Some(floor)) {
+                Some(t) => batch.push(t),
+                None => break,
             }
         }
         batch
@@ -640,13 +811,13 @@ impl SessionRuntime {
     pub(crate) fn dispatch_batch(&self, shared: &Arc<EngineShared>) -> usize {
         let batch = {
             let mut st = self.lock();
-            self.pop_batch(&mut st)
+            self.pop_batch(&mut st, shared.clock.now())
         };
         if batch.is_empty() {
             return 0;
         }
         let n = batch.len();
-        self.run_batch_guarded(shared, batch);
+        self.run_batch_guarded(shared, batch, true);
         n
     }
 
@@ -953,29 +1124,37 @@ impl QueryTicket {
         }
     }
 
-    /// Blocks up to `timeout` (wall-clock) for the ticket to terminate;
-    /// `None` on timeout — the ticket stays queued and a later
+    /// Blocks up to `timeout` — measured on the **engine clock**, the
+    /// same timebase as query deadlines — for the ticket to terminate;
+    /// `None` on timeout: the ticket stays queued and a later
     /// [`wait`](Self::wait)/[`poll`](Self::poll) can still collect it.
+    ///
+    /// Under a [`ManualClock`](crate::ManualClock) the timeout only
+    /// elapses when the test advances the clock, so timeouts and
+    /// deadlines can never disagree; waiters park in short real-time
+    /// slices ([`Clock::park_slice`](crate::Clock::park_slice)) between
+    /// re-reads of the manual time.
     ///
     /// In manual dispatch mode the waiting thread executes dispatch
     /// passes itself, and a pass is not preemptible: the return can
     /// overshoot `timeout` by however long one batch takes to run.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResult, EngineError>> {
-        let expires = Instant::now() + timeout;
+        let clock = &self.shared.clock;
+        let expires = clock.now().saturating_add(timeout);
         if self.runtime.has_worker() {
             let mut inner = self.state.inner.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(out) = &inner.outcome {
                     return Some(out.clone());
                 }
-                let left = expires.saturating_duration_since(Instant::now());
-                if left.is_zero() {
+                let now = clock.now();
+                if now >= expires {
                     return None;
                 }
                 inner = self
                     .state
                     .done
-                    .wait_timeout(inner, left)
+                    .wait_timeout(inner, clock.park_slice(expires - now))
                     .unwrap_or_else(|e| e.into_inner())
                     .0;
             }
@@ -984,7 +1163,7 @@ impl QueryTicket {
             if let Some(out) = self.poll() {
                 return Some(out);
             }
-            if Instant::now() >= expires {
+            if clock.now() >= expires {
                 return None;
             }
             if self.runtime.dispatch_batch(&self.shared) == 0 {

@@ -1045,7 +1045,7 @@ impl Default for QueueWaitHistograms {
 /// pre-registered hot-path instruments, and the slow-query ring.
 #[derive(Debug)]
 pub(crate) struct Telemetry {
-    registry: MetricsRegistry,
+    registry: Arc<MetricsRegistry>,
     query_latency: Arc<Histogram>,
     dominance: Vec<(Algorithm, Arc<Counter>)>,
     submitted: [Arc<Counter>; 3],
@@ -1057,7 +1057,7 @@ pub(crate) struct Telemetry {
 
 impl Telemetry {
     pub(crate) fn new(cfg: TelemetryConfig, waits: &QueueWaitHistograms) -> Self {
-        let registry = MetricsRegistry::new();
+        let registry = Arc::new(MetricsRegistry::new());
         for class in Priority::ALL {
             registry.adopt_histogram(
                 "session.queue_wait",
@@ -1107,6 +1107,12 @@ impl Telemetry {
 
     pub(crate) fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// A shared handle on the registry, handed to embedders through
+    /// [`Engine::metrics_registry`](crate::Engine::metrics_registry).
+    pub(crate) fn registry_handle(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
     }
 
     pub(crate) fn slow_log(&self) -> &SlowQueryLog {

@@ -1,0 +1,215 @@
+//! A small blocking HTTP/1.1 client for tests and the load harness.
+//!
+//! Speaks exactly the dialect the server emits: keep-alive by default,
+//! `Content-Length` or `Transfer-Encoding: chunked` response bodies.
+//! One [`Client`] wraps one TCP connection; drop it to disconnect.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response read off the wire.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers as `(lower-case name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (chunked framing removed).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A blocking HTTP client over one keep-alive connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    addr: SocketAddr,
+    token: Option<String>,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr` with no auth token.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Self {
+            stream,
+            addr,
+            token: None,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Connects with a bearer token attached to every request.
+    pub fn connect_with_token(addr: SocketAddr, token: impl Into<String>) -> io::Result<Self> {
+        let mut c = Self::connect(addr)?;
+        c.token = Some(token.into());
+        Ok(c)
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<Response> {
+        self.request("POST", path, body.as_bytes())
+    }
+
+    /// Sends one request and reads the full (decoded) response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: skyline\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        if let Some(token) = &self.token {
+            head.push_str(&format!("Authorization: Bearer {token}\r\n"));
+        }
+        if method == "POST" {
+            head.push_str("Content-Type: application/json\r\n");
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Writes the request head of a POST and then hangs up without
+    /// reading the response — used to exercise the server's handling
+    /// of mid-exchange disconnects.
+    pub fn post_and_abort(mut self, path: &str, body: &str) -> io::Result<()> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: skyline\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()
+        // Dropping `self` closes the socket with the response unread.
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        // Read until the head terminator.
+        let head_end = loop {
+            if let Some(p) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p + 4;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        self.buf.drain(..head_end);
+
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        let body = if chunked {
+            self.read_chunked()?
+        } else {
+            let len = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            while self.buf.len() < len {
+                self.fill()?;
+            }
+            self.buf.drain(..len).collect()
+        };
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn read_chunked(&mut self) -> io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            // Chunk-size line.
+            let line_end = loop {
+                if let Some(p) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                    break p;
+                }
+                self.fill()?;
+            };
+            let size_text = String::from_utf8_lossy(&self.buf[..line_end]).into_owned();
+            let size = usize::from_str_radix(size_text.trim(), 16)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+            self.buf.drain(..line_end + 2);
+            if size == 0 {
+                // Trailing CRLF after the last chunk.
+                while self.buf.len() < 2 {
+                    self.fill()?;
+                }
+                self.buf.drain(..2);
+                return Ok(body);
+            }
+            while self.buf.len() < size + 2 {
+                self.fill()?;
+            }
+            body.extend_from_slice(&self.buf[..size]);
+            self.buf.drain(..size + 2); // chunk data + CRLF
+        }
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ))
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! HTTP front door for the skyline engine.
+//!
+//! The engine crate exposes an in-process API — [`Session::submit`]
+//! returning [`QueryTicket`]s with deadlines, priorities, and
+//! per-tenant quotas. This crate puts that API on the wire with a
+//! deliberately small HTTP/1.1 server built on `std::net` alone (the
+//! workspace vendors offline stand-ins only, so there is no async
+//! runtime to lean on):
+//!
+//! - **Auth tokens → tenants.** `Authorization: Bearer <token>` maps
+//!   to a [`TenantSpec`] carrying the tenant name, default priority,
+//!   and quota caps that seed the engine [`Session`].
+//! - **JSON bodies → queries.** `POST /v1/query` bodies translate
+//!   field-for-field onto the [`SkylineQuery`] builder (`dims`,
+//!   `preference`, `limit`, `deadline_ms`, `priority`, `pin_version`).
+//! - **Engine errors → status codes.** Back-pressure rejections
+//!   surface as `429`/`503` with `Retry-After`; deadline expiry as
+//!   `504`; version pins the catalog moved past as `409`. The server
+//!   adds no admission policy of its own.
+//! - **Streamed results.** Skylines past a size threshold stream back
+//!   `Transfer-Encoding: chunked`, one page of indices per chunk, so
+//!   server memory is bounded by page size.
+//! - **Graceful drain.** [`SkylineServer::shutdown`] stops accepting,
+//!   drains in-flight tickets against a live engine, waits for every
+//!   connection to close, then shuts the engine down.
+//!
+//! [`Session`]: skyline_engine::Session
+//! [`Session::submit`]: skyline_engine::Session::submit
+//! [`QueryTicket`]: skyline_engine::QueryTicket
+//! [`SkylineQuery`]: skyline_engine::SkylineQuery
+
+#![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use client::{Client, Response};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use server::{ServeConfig, SkylineServer, TenantSpec};

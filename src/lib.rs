@@ -125,6 +125,7 @@ pub use skyline_engine::{
     SuperspaceSeed, TelemetryConfig, TraceSpan,
 };
 pub use skyline_parallel::{available_threads, ThreadPool};
+pub use skyline_serve::{parse_json, Client, Json, ServeConfig, SkylineServer, TenantSpec};
 
 /// One-stop imports for typical use.
 ///

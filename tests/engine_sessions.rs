@@ -11,8 +11,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use skybench::{
-    AdmissionConfig, Dataset, Engine, EngineConfig, EngineError, ManualClock, Priority, QuotaKind,
-    RejectReason, SessionOptions, SkylineQuery,
+    generate, AdmissionConfig, Dataset, Distribution, Engine, EngineConfig, EngineError,
+    ManualClock, Priority, QuotaKind, RejectReason, SessionOptions, SkylineQuery, Strategy,
+    ThreadPool,
 };
 
 /// A 2-lane manual-dispatch engine on a shared manual clock, with a
@@ -26,6 +27,7 @@ fn manual_engine(queue_capacity: usize, max_batch: usize) -> (Engine, Arc<Manual
                 queue_capacity,
                 max_batch,
                 background_dispatcher: false,
+                ..AdmissionConfig::default()
             },
             ..EngineConfig::default()
         },
@@ -198,10 +200,11 @@ fn full_priority_class_rejects_without_blocking_other_classes() {
 }
 
 #[test]
-fn qps_quota_rejects_at_the_cap_and_rolls_with_the_clock() {
+fn qps_quota_rejects_at_the_cap_and_refills_with_the_clock() {
     let (engine, clock) = manual_engine(16, 64);
     let session = engine.open_session(SessionOptions::new("acme").qps_cap(2));
 
+    // The token bucket starts full: a burst of exactly `cap`.
     let _t1 = session.submit(&distinct_query(0)).unwrap();
     let _t2 = session.submit(&distinct_query(1)).unwrap();
     let err = session.submit(&distinct_query(2)).unwrap_err();
@@ -214,12 +217,46 @@ fn qps_quota_rejects_at_the_cap_and_rolls_with_the_clock() {
     );
     assert!(err.is_retryable());
 
-    // Same window: still rejected. One second later: admitted again.
-    clock.advance(Duration::from_millis(999));
+    // Refill is continuous at `cap` per second: 499 ms earns 0.998
+    // tokens — still rejected — and 500 ms exactly one.
+    clock.advance(Duration::from_millis(499));
     assert!(session.submit(&distinct_query(2)).is_err());
     clock.advance(Duration::from_millis(1));
     assert!(session.submit(&distinct_query(2)).is_ok());
-    assert_eq!(engine.session_stats().rejected_quota, 2);
+    // That one token is spent; the next submission needs another.
+    assert!(session.submit(&distinct_query(3)).is_err());
+    assert_eq!(engine.session_stats().rejected_quota, 3);
+    engine.dispatch_now();
+}
+
+#[test]
+fn qps_quota_admits_no_burst_across_a_window_boundary() {
+    // Pins the bugfix: the fixed-window limiter this replaced reset its
+    // count at each whole second, so a full burst at t = 0.95 s plus
+    // another at t = 1.05 s admitted 2×cap within 100 ms. The token
+    // bucket bounds *any* burst at `cap` regardless of phase.
+    let (engine, clock) = manual_engine(64, 64);
+    let session = engine.open_session(SessionOptions::new("acme").qps_cap(4));
+
+    clock.advance(Duration::from_millis(950));
+    for i in 0..4 {
+        assert!(session.submit(&distinct_query(i)).is_ok());
+    }
+    // Crossing the old window boundary earns only 100 ms × 4/s = 0.4
+    // tokens: the second burst is rejected wholesale.
+    clock.advance(Duration::from_millis(100));
+    for i in 0..4 {
+        assert!(
+            session.submit(&distinct_query(i)).is_err(),
+            "no fresh allowance at the boundary"
+        );
+    }
+    assert_eq!(engine.session_stats().rejected_quota, 4);
+    // A full second refills the full burst.
+    clock.advance(Duration::from_secs(1));
+    for i in 0..4 {
+        assert!(session.submit(&distinct_query(i)).is_ok());
+    }
     engine.dispatch_now();
 }
 
@@ -427,4 +464,191 @@ fn queue_wait_is_measured_on_the_engine_clock() {
     clock.advance(Duration::from_millis(250));
     engine.dispatch_now();
     assert_eq!(t.queue_wait(), Some(Duration::from_millis(250)));
+}
+
+#[test]
+fn dequeue_within_a_class_is_earliest_deadline_first() {
+    let (engine, _clock) = manual_engine(8, 1);
+    let session = engine.session("web");
+    let relaxed = session
+        .submit(&distinct_query(0).deadline(Duration::from_secs(60)))
+        .unwrap();
+    let tight = session
+        .submit(&distinct_query(1).deadline(Duration::from_secs(5)))
+        .unwrap();
+    let open = session.submit(&distinct_query(2)).unwrap();
+
+    // max_batch = 1: the tightest deadline runs first despite arriving
+    // second; undeadlined tickets go last.
+    assert_eq!(engine.pump(), 1);
+    assert!(tight.poll().is_some() && relaxed.poll().is_none() && open.poll().is_none());
+    assert_eq!(engine.pump(), 1);
+    assert!(relaxed.poll().is_some() && open.poll().is_none());
+    assert_eq!(engine.pump(), 1);
+    assert!(open.poll().is_some());
+    for t in [&tight, &relaxed, &open] {
+        assert!(t.poll().unwrap().is_ok());
+    }
+}
+
+#[test]
+fn aged_low_ticket_overtakes_a_fresh_high_one() {
+    // Class aging (default: one class per 100 ms of queue wait) is the
+    // anti-starvation valve: after 200 ms a Low ticket dispatches as
+    // High, and seniority breaks the tie against genuinely-High work
+    // submitted later.
+    let (engine, clock) = manual_engine(8, 1);
+    let low = engine.open_session(SessionOptions::new("bulk").priority(Priority::Low));
+    let high = engine.open_session(SessionOptions::new("vip").priority(Priority::High));
+
+    let aged = low.submit(&distinct_query(0)).unwrap();
+    clock.advance(Duration::from_millis(200));
+    let fresh = high.submit(&distinct_query(1)).unwrap();
+
+    assert_eq!(engine.pump(), 1);
+    assert!(
+        aged.poll().is_some() && fresh.poll().is_none(),
+        "the starved Low ticket dispatches first"
+    );
+    assert_eq!(engine.pump(), 1);
+    assert!(fresh.poll().unwrap().is_ok());
+}
+
+#[test]
+fn zero_age_boost_restores_strict_priority() {
+    let clock = ManualClock::shared();
+    let engine = Engine::with_clock(
+        EngineConfig {
+            threads: 2,
+            admission: AdmissionConfig {
+                max_batch: 1,
+                background_dispatcher: false,
+                age_boost_after: Duration::ZERO,
+                ..AdmissionConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn skybench::Clock>,
+    );
+    engine.register(
+        "d",
+        Dataset::from_rows(&[vec![1.0, 9.0, 2.0, 8.0], vec![9.0, 1.0, 8.0, 2.0]]).unwrap(),
+    );
+    let low = engine.open_session(SessionOptions::new("bulk").priority(Priority::Low));
+    let high = engine.open_session(SessionOptions::new("vip").priority(Priority::High));
+
+    let starved = low.submit(&distinct_query(0)).unwrap();
+    clock.advance(Duration::from_secs(3600));
+    let fresh = high.submit(&distinct_query(1)).unwrap();
+    assert_eq!(engine.pump(), 1);
+    assert!(
+        fresh.poll().is_some() && starved.poll().is_none(),
+        "aging disabled: strict class order holds no matter the wait"
+    );
+    engine.dispatch_now();
+}
+
+#[test]
+fn short_wait_timeout_on_a_frozen_manual_clock_still_drives_the_queue() {
+    // Pins the clock-drift bugfix: the timeout is measured on the
+    // engine clock, so wall time passing consumes none of it. Even a
+    // 1 ns budget lets the manual-mode waiter dispatch and collect the
+    // result instead of reporting a wall-clock timeout.
+    let (engine, _clock) = manual_engine(8, 64);
+    let session = engine.session("web");
+    let t = session.submit(&distinct_query(0)).unwrap();
+    let out = t
+        .wait_timeout(Duration::from_nanos(1))
+        .expect("the engine clock never advanced, so the timeout never fired");
+    assert!(out.is_ok());
+}
+
+#[test]
+fn wait_timeout_expires_on_engine_clock_advance_for_an_unrunnable_ticket() {
+    // A ticket the waiter cannot self-serve: another thread's pump owns
+    // it. The waiter must report a timeout once (and only because) the
+    // manual clock jumps past the expiry.
+    let (engine, clock) = manual_engine(8, 64);
+    let session = engine.session("web");
+    let t = session.submit(&distinct_query(0)).unwrap();
+    // Consume the timeout budget up front: expiry lands at `now`.
+    clock.advance(Duration::from_secs(1));
+    assert!(
+        t.wait_timeout(Duration::ZERO).is_none(),
+        "zero engine-clock budget, pending ticket: timeout"
+    );
+    engine.dispatch_now();
+    assert!(
+        t.wait_timeout(Duration::ZERO).is_some(),
+        "terminal outcomes are returned even at zero budget"
+    );
+}
+
+#[test]
+fn mid_batch_dispatch_steals_queued_higher_class_tickets() {
+    // Semi-timed (generous margins): two pool-wide Low queries occupy
+    // one pump on a helper thread; a High ticket submitted while the
+    // first one runs must be stolen and finished by that same pump —
+    // before the second Low query — rather than waiting out the batch.
+    let clock = ManualClock::shared();
+    let engine = Arc::new(Engine::with_clock(
+        EngineConfig {
+            threads: 2,
+            cache_bytes: 0,
+            admission: AdmissionConfig {
+                max_batch: 2,
+                background_dispatcher: false,
+                ..AdmissionConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn skybench::Clock>,
+    ));
+    let pool = ThreadPool::new(2);
+    engine.register(
+        "big",
+        generate(Distribution::Anticorrelated, 120_000, 5, 7, &pool),
+    );
+    engine.register(
+        "d",
+        Dataset::from_rows(&[vec![1.0, 9.0], vec![9.0, 1.0]]).unwrap(),
+    );
+
+    let qa = SkylineQuery::new("big");
+    let qb = SkylineQuery::new("big").dims([0, 1, 2, 3]);
+    for q in [&qa, &qb] {
+        let plan = engine.plan(q).unwrap();
+        assert!(
+            matches!(plan.strategy, Strategy::Algorithm(a) if a.is_parallel()),
+            "precondition: the big queries must take the pool-wide path, got {:?}",
+            plan.strategy
+        );
+    }
+
+    let low = engine.open_session(SessionOptions::new("bulk").priority(Priority::Low));
+    let high = engine.open_session(SessionOptions::new("vip").priority(Priority::High));
+    let la = low.submit(&qa).unwrap();
+    let lb = low.submit(&qb).unwrap();
+
+    let helper = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || engine.pump())
+    };
+    // Let the helper pop its batch and start the first big query, then
+    // queue the High ticket into its steal window.
+    std::thread::sleep(Duration::from_millis(20));
+    let h = high.submit(&SkylineQuery::new("d")).unwrap();
+    assert_eq!(
+        helper.join().unwrap(),
+        2,
+        "the pump popped both Low tickets"
+    );
+
+    assert!(
+        h.poll().is_some(),
+        "the High ticket was stolen mid-batch; nothing else ever pumped"
+    );
+    assert!(la.poll().is_some() && lb.poll().is_some());
+    assert!(h.poll().unwrap().is_ok());
+    engine.shutdown();
 }

@@ -1,0 +1,386 @@
+//! End-to-end tests for the HTTP front door: a real server on an
+//! ephemeral port, real sockets, and the naive O(n²·d) skyline as the
+//! correctness oracle.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use skybench::{
+    generate, parse_json, verify, Client, Distribution, Engine, EngineConfig, Json, Priority,
+    ServeConfig, SessionOptions, SkylineQuery, SkylineServer, TenantSpec, ThreadPool,
+};
+
+fn test_engine(n: usize, dist: Distribution) -> Arc<Engine> {
+    let pool = ThreadPool::new(2);
+    let engine = Arc::new(Engine::with_config(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    }));
+    engine.register("data", generate(dist, n, 4, 7, &pool));
+    engine
+}
+
+fn two_tier_tokens() -> Vec<(String, TenantSpec)> {
+    vec![
+        (
+            "gold-token".to_string(),
+            TenantSpec {
+                tenant: "gold".to_string(),
+                priority: Priority::High,
+                max_in_flight: None,
+                qps_cap: None,
+            },
+        ),
+        (
+            "bronze-token".to_string(),
+            TenantSpec {
+                tenant: "bronze".to_string(),
+                priority: Priority::Normal,
+                max_in_flight: None,
+                qps_cap: None,
+            },
+        ),
+    ]
+}
+
+/// Pulls the `indices` array out of a response body.
+fn indices_of(body: &str) -> Vec<u32> {
+    let parsed = parse_json(body).expect("response is valid JSON");
+    parsed
+        .get("indices")
+        .and_then(Json::as_arr)
+        .expect("response has an indices array")
+        .iter()
+        .map(|v| v.as_u64().expect("index is an integer") as u32)
+        .collect()
+}
+
+#[test]
+fn concurrent_mixed_tenants_get_oracle_correct_results() {
+    let engine = test_engine(1_200, Distribution::Independent);
+    let data = engine.dataset("data").expect("registered").snapshot();
+    let server = SkylineServer::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            tokens: two_tier_tokens(),
+            allow_anonymous: false,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // (body, dims, max_mask) — the oracle recomputes each one.
+    let cases: &[(&str, &[usize], u32)] = &[
+        (r#"{"dataset":"data"}"#, &[0, 1, 2, 3], 0),
+        (r#"{"dataset":"data","dims":[0,1]}"#, &[0, 1], 0),
+        (
+            r#"{"dataset":"data","dims":[1,3],"preference":["min","max"]}"#,
+            &[1, 3],
+            1 << 3,
+        ),
+        (
+            r#"{"dataset":"data","dims":[0,2],"preference":["max","max"],"priority":"low"}"#,
+            &[0, 2],
+            (1 << 0) | (1 << 2),
+        ),
+        (
+            r#"{"dataset":"data","dims":[2,3],"deadline_ms":60000}"#,
+            &[2, 3],
+            0,
+        ),
+    ];
+
+    // Four concurrent clients — two per tenant tier — each running the
+    // whole case list against the shared server.
+    let data = &data;
+    thread::scope(|s| {
+        for worker in 0..4 {
+            s.spawn(move || {
+                let token = if worker % 2 == 0 {
+                    "gold-token"
+                } else {
+                    "bronze-token"
+                };
+                let mut client = Client::connect_with_token(addr, token).expect("connect");
+                for (body, dims, max_mask) in cases {
+                    let resp = client.post_json("/v1/query", body).expect("request");
+                    assert_eq!(resp.status, 200, "body {body}: {}", resp.text());
+                    let mut got = indices_of(&resp.text());
+                    got.sort_unstable();
+                    let expected = verify::naive_skyline_on_pref(data, dims, *max_mask);
+                    assert_eq!(got, expected, "case {body} diverged from the oracle");
+                }
+            });
+        }
+    });
+
+    // Auth boundaries: no token and a bogus token are both 401 when
+    // anonymous access is off.
+    let mut anon = Client::connect(addr).expect("connect");
+    assert_eq!(
+        anon.post_json("/v1/query", r#"{"dataset":"data"}"#)
+            .expect("request")
+            .status,
+        401
+    );
+    let mut bogus = Client::connect_with_token(addr, "no-such-token").expect("connect");
+    assert_eq!(
+        bogus
+            .post_json("/v1/query", r#"{"dataset":"data"}"#)
+            .expect("request")
+            .status,
+        401
+    );
+
+    // Error mapping over the wire: unknown dataset 404, invalid body
+    // 400, dims out of range 400.
+    let mut gold = Client::connect_with_token(addr, "gold-token").expect("connect");
+    assert_eq!(
+        gold.post_json("/v1/query", r#"{"dataset":"nope"}"#)
+            .expect("request")
+            .status,
+        404
+    );
+    assert_eq!(
+        gold.post_json("/v1/query", "not json")
+            .expect("request")
+            .status,
+        400
+    );
+    assert_eq!(
+        gold.post_json("/v1/query", r#"{"dataset":"data","dims":[99]}"#)
+            .expect("request")
+            .status,
+        400
+    );
+
+    // The catalog listing round-trips.
+    let resp = gold.get("/v1/datasets").expect("request");
+    assert_eq!(resp.status, 200);
+    let listing = parse_json(&resp.text()).expect("valid JSON");
+    let entry = &listing.as_arr().expect("array")[0];
+    assert_eq!(entry.get("name").and_then(Json::as_str), Some("data"));
+    assert_eq!(entry.get("rows").and_then(Json::as_u64), Some(1_200));
+
+    server.shutdown();
+
+    // Admission counters balance: every admitted ticket reached a
+    // terminal outcome, nothing leaked or hung.
+    let stats = engine.session_stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.cancelled + stats.deadline_expired + stats.internal_errors,
+        "ticket accounting must balance after drain: {stats:?}"
+    );
+    assert_eq!(stats.internal_errors, 0);
+    assert_eq!(stats.cancelled, 0);
+}
+
+#[test]
+fn oversized_skylines_stream_chunked_and_match_the_oracle() {
+    // Anticorrelated data keeps most points on the skyline, so the
+    // result far exceeds the tiny stream threshold below.
+    let engine = test_engine(600, Distribution::Anticorrelated);
+    let data = engine.dataset("data").expect("registered").snapshot();
+    let server = SkylineServer::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            stream_threshold: 16,
+            page_rows: 7,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .post_json("/v1/query", r#"{"dataset":"data"}"#)
+        .expect("request");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("transfer-encoding")
+            .map(str::to_ascii_lowercase),
+        Some("chunked".to_string()),
+        "a skyline past the threshold must stream"
+    );
+    let body = resp.text();
+    let mut got = indices_of(&body);
+    let total = parse_json(&body)
+        .expect("valid JSON")
+        .get("total")
+        .and_then(Json::as_u64)
+        .expect("total field");
+    assert_eq!(got.len() as u64, total);
+    assert!(got.len() > 16, "the test dataset must exceed the threshold");
+    got.sort_unstable();
+    let expected = verify::naive_skyline_on_pref(&data, &[0, 1, 2, 3], 0);
+    assert_eq!(got, expected, "streamed result diverged from the oracle");
+
+    // A small skyline on the same server stays fixed-length.
+    let resp = client
+        .post_json("/v1/query", r#"{"dataset":"data","limit":5}"#)
+        .expect("request");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("transfer-encoding"), None);
+    assert_eq!(indices_of(&resp.text()).len(), 5);
+
+    // Mid-stream disconnect: fire a streaming query and hang up without
+    // reading the response. The server must shrug it off and keep
+    // serving other connections.
+    Client::connect(addr)
+        .expect("connect")
+        .post_and_abort("/v1/query", r#"{"dataset":"data"}"#)
+        .expect("send");
+    let mut after = Client::connect(addr).expect("connect");
+    let resp = after.get("/healthz").expect("request");
+    assert_eq!(resp.status, 200);
+    let resp = after
+        .post_json("/v1/query", r#"{"dataset":"data","dims":[0,1]}"#)
+        .expect("request");
+    assert_eq!(resp.status, 200, "server must survive a client hangup");
+
+    server.shutdown();
+    let stats = engine.session_stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.cancelled + stats.deadline_expired + stats.internal_errors,
+        "ticket accounting must balance after drain: {stats:?}"
+    );
+}
+
+#[test]
+fn version_pins_conflict_after_mutation() {
+    let engine = test_engine(300, Distribution::Independent);
+    let server = SkylineServer::start(Arc::clone(&engine), ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let version = parse_json(&client.get("/v1/datasets").expect("request").text())
+        .expect("valid JSON")
+        .as_arr()
+        .expect("array")[0]
+        .get("version")
+        .and_then(Json::as_u64)
+        .expect("version field");
+
+    // Pinning the live version works.
+    let body = format!("{{\"dataset\":\"data\",\"pin_version\":{version}}}");
+    assert_eq!(
+        client
+            .post_json("/v1/query", &body)
+            .expect("request")
+            .status,
+        200
+    );
+
+    // A mutation moves the catalog past the pin → 409 over the wire.
+    engine
+        .insert("data", &[vec![0.0, 0.0, 0.0, 0.0]])
+        .expect("insert");
+    assert_eq!(
+        client
+            .post_json("/v1/query", &body)
+            .expect("request")
+            .status,
+        409,
+        "a stale pin must map to 409"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work_and_stops_new_work() {
+    let engine = test_engine(1_000, Distribution::Anticorrelated);
+    let server = Arc::new(
+        SkylineServer::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                tokens: two_tier_tokens(),
+                allow_anonymous: true,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind"),
+    );
+    let addr = server.local_addr();
+
+    // Background clients hammer the server while the main thread pulls
+    // the plug. Every response must be a clean terminal outcome: 200,
+    // a drain 503, or a socket error once the listener is gone — never
+    // a hang (the scope join would deadlock and time the test out).
+    let outcomes = thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|worker| {
+                s.spawn(move || {
+                    let token = if worker == 0 {
+                        "gold-token"
+                    } else {
+                        "bronze-token"
+                    };
+                    let mut done = (0u32, 0u32, 0u32); // ok, unavailable, io
+                    for i in 0..40 {
+                        let mut client = match Client::connect_with_token(addr, token) {
+                            Ok(c) => c,
+                            Err(_) => {
+                                done.2 += 1;
+                                break;
+                            }
+                        };
+                        let body = if i % 2 == 0 {
+                            r#"{"dataset":"data"}"#
+                        } else {
+                            r#"{"dataset":"data","dims":[0,1],"priority":"low"}"#
+                        };
+                        match client.post_json("/v1/query", body) {
+                            Ok(resp) if resp.status == 200 => done.0 += 1,
+                            Ok(resp) if resp.status == 503 => done.1 += 1,
+                            Ok(resp) => panic!("unexpected status {}", resp.status),
+                            Err(_) => done.2 += 1,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        // Let the workers get some requests in flight, then drain.
+        thread::sleep(Duration::from_millis(100));
+        server.shutdown();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    let ok: u32 = outcomes.iter().map(|o| o.0).sum();
+    assert!(ok > 0, "some requests must complete before the drain");
+    assert_eq!(
+        server.active_connections(),
+        0,
+        "drain must close every connection"
+    );
+
+    // Engine shut down behind the drain: direct submission is refused…
+    let session = engine.open_session(SessionOptions::new("late"));
+    assert!(matches!(
+        session.submit(&SkylineQuery::new("data")),
+        Err(skybench::EngineError::Rejected(
+            skybench::RejectReason::Shutdown
+        ))
+    ));
+
+    // …and every admitted ticket reached a terminal outcome (a hung
+    // waiter would also have deadlocked the drain above).
+    let stats = engine.session_stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.cancelled + stats.deadline_expired + stats.internal_errors,
+        "ticket accounting must balance after drain: {stats:?}"
+    );
+
+    // Shutdown is idempotent.
+    server.shutdown();
+}
