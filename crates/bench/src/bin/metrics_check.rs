@@ -34,6 +34,12 @@
 //! When any SERVE lines are present the stream must carry at least two
 //! distinct `offered_qps` values — a latency/throughput claim at a
 //! single offered rate is not a curve.
+//!
+//! The crash-matrix phase's report lines are validated too:
+//!
+//! ```text
+//! RECOVERY phase=<kill|torn|bitflip> records_replayed=<int> torn_tail=<int> quarantined=<int> warm_p50_us=<int>
+//! ```
 
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader};
@@ -147,6 +153,40 @@ fn check_shard_line(body: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one `RECOVERY ` line body (the `k=v` pairs after the
+/// tag). Every field is `key=value`; the keys below are required and
+/// typed.
+fn check_recovery_line(body: &str) -> Result<(), String> {
+    let mut fields = std::collections::BTreeMap::new();
+    for pair in body.split_whitespace() {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("field `{pair}` is not `key=value`"))?;
+        fields.insert(k, v);
+    }
+    let get = |key: &str| {
+        fields
+            .get(key)
+            .copied()
+            .ok_or_else(|| format!("missing required field `{key}`"))
+    };
+    let phase = get("phase")?;
+    if !matches!(phase, "kill" | "torn" | "bitflip") {
+        return Err(format!("field `phase={phase}` is not a known fault mode"));
+    }
+    for key in [
+        "records_replayed",
+        "torn_tail",
+        "quarantined",
+        "warm_p50_us",
+    ] {
+        let v = get(key)?;
+        v.parse::<u64>()
+            .map_err(|_| format!("field `{key}={v}` is not an unsigned integer"))?;
+    }
+    Ok(())
+}
+
 /// Validates one `SERVE ` line body (the `k=v` pairs after the tag),
 /// returning its `offered_qps` on success. Every field is `key=value`;
 /// the keys below are required and typed.
@@ -197,6 +237,7 @@ fn main() {
     let mut lines = 0u64;
     let mut shard_lines = 0u64;
     let mut serve_lines = 0u64;
+    let mut recovery_lines = 0u64;
     let mut offered_points = BTreeSet::new();
 
     for (no, line) in BufReader::new(stdin.lock()).lines().enumerate() {
@@ -207,6 +248,14 @@ fn main() {
                 exit(1);
             }
             shard_lines += 1;
+            continue;
+        }
+        if let Some(body) = line.strip_prefix("RECOVERY ") {
+            if let Err(why) = check_recovery_line(body) {
+                eprintln!("metrics_check: line {}: {why}: `{line}`", no + 1);
+                exit(1);
+            }
+            recovery_lines += 1;
             continue;
         }
         if let Some(body) = line.strip_prefix("SERVE ") {
@@ -280,9 +329,17 @@ fn main() {
         );
         exit(1);
     }
+    if seen_phases.contains("recovery") && recovery_lines == 0 {
+        eprintln!(
+            "metrics_check: the crash-matrix phase ran (phase=recovery samples present) \
+             but emitted no RECOVERY report lines"
+        );
+        exit(1);
+    }
     println!(
         "metrics_check: OK — {lines} samples ({shard_lines} SHARD lines, {serve_lines} SERVE \
-         lines at {} offered-QPS point(s)), {} distinct metrics across phases {:?}",
+         lines at {} offered-QPS point(s), {recovery_lines} RECOVERY lines), \
+         {} distinct metrics across phases {:?}",
         offered_points.len(),
         seen_names.len(),
         seen_phases

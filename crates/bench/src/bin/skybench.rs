@@ -7,6 +7,7 @@
 //!                       [--tenants N] [--qps-cap Q]
 //!                       [--shards K] [--partitioner P] [--metrics]
 //!                       [--duration SECS] [--connections N]
+//!                       [--persist DIR] [--crash-after K]
 //!
 //! experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!              table1 table2 table3 engine serve all
@@ -47,6 +48,16 @@
 //!                   (fractional seconds; default is per-scale)
 //! --connections N   client connections in the `serve` experiment's
 //!                   load phases (default 4)
+//! --persist DIR     append the `engine` experiment's crash-matrix
+//!                   phase: under DIR, run a durable engine into a
+//!                   deterministic kill, a torn WAL tail, and an
+//!                   interior bit flip, recover from each, and verify
+//!                   the recovered state equals the acknowledged
+//!                   history; one machine-readable RECOVERY line per
+//!                   fault reports records replayed, tails truncated,
+//!                   datasets quarantined, and warm query p50
+//! --crash-after K   durable write at which the crash-matrix kill
+//!                   phase dies (default 5)
 //! ```
 
 use skyline_bench::experiments::ExpCtx;
@@ -56,7 +67,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F] \
          [--feedback] [--tenants N] [--qps-cap Q] [--shards K] [--partitioner P] [--metrics] \
-         [--duration SECS] [--connections N]\n\
+         [--duration SECS] [--connections N] [--persist DIR] [--crash-after K]\n\
          experiments: {}",
         ExpCtx::ALL_EXPERIMENTS.join(" ")
     );
@@ -80,6 +91,8 @@ fn main() {
     let mut metrics = false;
     let mut duration: Option<std::time::Duration> = None;
     let mut connections = 4usize;
+    let mut persist: Option<std::path::PathBuf> = None;
+    let mut crash_after = 5u64;
 
     let mut i = 0;
     while i < args.len() {
@@ -138,6 +151,22 @@ fn main() {
                     .filter(|&c: &usize| c > 0)
                     .unwrap_or_else(|| usage());
             }
+            "--persist" => {
+                i += 1;
+                persist = args
+                    .get(i)
+                    .filter(|s| !s.is_empty() && !s.starts_with('-'))
+                    .map(std::path::PathBuf::from)
+                    .or_else(|| usage());
+            }
+            "--crash-after" => {
+                i += 1;
+                crash_after = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k: &u64| k > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--update-frac" => {
                 i += 1;
                 update_frac = args
@@ -186,6 +215,8 @@ fn main() {
     ctx.metrics = metrics;
     ctx.duration = duration;
     ctx.connections = connections;
+    ctx.persist = persist;
+    ctx.crash_after = crash_after;
     if !ctx.run(&experiment) {
         eprintln!("unknown experiment '{experiment}'");
         usage();

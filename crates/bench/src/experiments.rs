@@ -52,6 +52,12 @@ pub struct ExpCtx {
     pub duration: Option<std::time::Duration>,
     /// Client connections in the `serve` experiment's load phases.
     pub connections: usize,
+    /// Durable root for the `engine` experiment's crash-matrix phase
+    /// (kill / torn-tail / bit-flip recovery with `RECOVERY` lines);
+    /// `None` skips the phase.
+    pub persist: Option<std::path::PathBuf>,
+    /// Durable write at which the crash-matrix `kill` phase dies.
+    pub crash_after: u64,
     pools: HashMap<usize, Arc<ThreadPool>>,
     cache: WorkloadCache,
 }
@@ -71,6 +77,8 @@ impl ExpCtx {
             metrics: false,
             duration: None,
             connections: 4,
+            persist: None,
+            crash_after: 5,
             pools: HashMap::new(),
             cache: WorkloadCache::new(),
         }
@@ -105,17 +113,28 @@ impl ExpCtx {
             "table1" => table1(self),
             "table2" => table2(self),
             "table3" => table3(self),
-            "engine" => crate::engine_workload::run(
-                self.scale,
-                self.threads,
-                self.update_frac,
-                self.feedback,
-                self.tenants,
-                self.qps_cap,
-                self.shards,
-                self.partitioner,
-                self.metrics,
-            ),
+            "engine" => {
+                crate::engine_workload::run(
+                    self.scale,
+                    self.threads,
+                    self.update_frac,
+                    self.feedback,
+                    self.tenants,
+                    self.qps_cap,
+                    self.shards,
+                    self.partitioner,
+                    self.metrics,
+                );
+                if let Some(dir) = self.persist.clone() {
+                    crate::recovery_phase::run(
+                        self.scale,
+                        self.threads,
+                        &dir,
+                        self.crash_after,
+                        self.metrics,
+                    );
+                }
+            }
             "serve" => crate::serve_load::run(
                 self.scale,
                 self.threads,

@@ -7,6 +7,7 @@
 
 pub mod engine_workload;
 pub mod experiments;
+pub mod recovery_phase;
 pub mod serve_load;
 pub mod workloads;
 

@@ -1,0 +1,361 @@
+//! The crash-matrix phase of `skybench engine --persist DIR`: drive a
+//! durable engine into three failure modes, recover, and prove the
+//! recovered state is exactly the acknowledged history.
+//!
+//! | phase     | fault                                               |
+//! |-----------|-----------------------------------------------------|
+//! | `kill`    | process dies after `--crash-after K` durable writes |
+//! | `torn`    | crash mid-append leaves a partial WAL record        |
+//! | `bitflip` | an interior WAL byte is corrupted on disk           |
+//!
+//! Each phase prints one machine-readable line (validated in CI by
+//! `metrics_check`):
+//!
+//! ```text
+//! RECOVERY phase=<kill|torn|bitflip> records_replayed=<int>
+//!          torn_tail=<int> quarantined=<int> warm_p50_us=<int>
+//! ```
+//!
+//! Verification is not statistical: after every recovery the phase
+//! asserts the surviving rows equal a shadow model fed only by
+//! **acknowledged** mutations, and that the recovered skyline matches
+//! `skyline_core::verify::naive_skyline` over those rows. The
+//! `bitflip` phase additionally asserts degraded-mode semantics: the
+//! corrupt dataset is quarantined while a healthy neighbour keeps
+//! answering.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use skyline_core::verify;
+use skyline_data::persist::{FaultInjector, FaultPlan, StdIo};
+use skyline_data::{generate, splitmix64, Distribution};
+use skyline_engine::{Engine, EngineConfig, EngineError, RecoveryReport, SkylineQuery};
+use skyline_parallel::ThreadPool;
+
+use crate::Scale;
+
+/// Per-scale workload shape: (rows, dims, mutation rounds, batch size).
+fn shape(scale: Scale) -> (usize, usize, usize, usize) {
+    match scale {
+        Scale::Smoke => (1_500, 4, 12, 16),
+        Scale::Laptop => (20_000, 6, 24, 64),
+        Scale::Paper => (100_000, 8, 40, 256),
+    }
+}
+
+/// The engine config both the faulted run and the recovery use. The
+/// two must match: replay reproduces compaction decisions only under
+/// the same thresholds. Compaction is disabled outright here so the
+/// shadow model below can track rows by stable id; the property-test
+/// suite covers recovery *through* compaction.
+fn cfg(threads: usize) -> EngineConfig {
+    EngineConfig {
+        threads,
+        compact_fraction: 2.0,
+        ..EngineConfig::default()
+    }
+}
+
+/// Mirror of the acknowledged history: row values and liveness by
+/// stable id. Only mutations the engine acknowledged advance it.
+#[derive(Default)]
+struct Shadow {
+    rows: Vec<Vec<f32>>,
+    live: Vec<bool>,
+}
+
+impl Shadow {
+    fn seed(&mut self, data: &skyline_data::Dataset) {
+        self.rows = data.rows().map(<[f32]>::to_vec).collect();
+        self.live = vec![true; data.len()];
+    }
+
+    fn apply(&mut self, inserts: &[Vec<f32>], deletes: &[u32]) {
+        for &id in deletes {
+            self.live[id as usize] = false;
+        }
+        for row in inserts {
+            self.rows.push(row.clone());
+            self.live.push(true);
+        }
+    }
+
+    fn live_ids(&self) -> Vec<u32> {
+        (0..self.rows.len() as u32)
+            .filter(|&id| self.live[id as usize])
+            .collect()
+    }
+
+    /// Lowest `k` live ids — the deterministic delete victims.
+    fn victims(&self, k: usize) -> Vec<u32> {
+        self.live_ids().into_iter().take(k).collect()
+    }
+}
+
+/// Deterministic mutation batch: `b` rows of `d` uniform values.
+fn batch(seed: &mut u64, b: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..b)
+        .map(|_| {
+            (0..d)
+                .map(|_| (splitmix64(seed) % 1_000_000) as f32 / 1_000_000.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts the recovered dataset is exactly the shadow's acknowledged
+/// state, and that the engine's skyline over it matches the naive
+/// reference.
+fn verify_against_shadow(engine: &Engine, name: &str, shadow: &Shadow) {
+    let entry = engine.dataset(name).expect("recovered dataset");
+    assert_eq!(
+        entry.live_ids().as_slice(),
+        shadow.live_ids().as_slice(),
+        "recovered live ids differ from the acknowledged history"
+    );
+    for &id in entry.live_ids().iter() {
+        assert_eq!(
+            entry.point(id),
+            shadow.rows[id as usize].as_slice(),
+            "recovered row {id} differs from the acknowledged value"
+        );
+    }
+    let got = engine
+        .execute(&SkylineQuery::new(name))
+        .expect("query the recovered dataset");
+    let dims: Vec<usize> = (0..entry.dims()).collect();
+    let expect: Vec<u32> = verify::naive_skyline_on_pref(&entry.snapshot(), &dims, 0)
+        .iter()
+        .map(|&k| entry.live_ids()[k as usize])
+        .collect();
+    assert_eq!(
+        got.indices(),
+        expect.as_slice(),
+        "recovered skyline differs from the naive reference"
+    );
+}
+
+/// Exact p50 of repeated warm queries (the second and later runs hit
+/// the cache, so this measures the recovered serving path, not one
+/// cold computation).
+fn warm_p50_us(engine: &Engine, name: &str) -> u64 {
+    let q = SkylineQuery::new(name);
+    let mut lat: Vec<u64> = (0..32)
+        .map(|_| {
+            let t = Instant::now();
+            engine.execute(&q).expect("warm query");
+            t.elapsed().as_micros() as u64
+        })
+        .collect();
+    lat.sort_unstable();
+    lat[lat.len() / 2]
+}
+
+fn print_line(phase: &str, report: &RecoveryReport, warm_p50: u64) {
+    println!(
+        "RECOVERY phase={phase} records_replayed={} torn_tail={} quarantined={} warm_p50_us={warm_p50}",
+        report.records_replayed, report.torn_tail_truncations, report.quarantined.len(),
+    );
+}
+
+/// A fresh per-phase subdirectory (previous contents discarded, so
+/// reruns are reproducible).
+fn fresh_dir(root: &Path, phase: &str) -> PathBuf {
+    let dir = root.join(phase);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `kill`: the injector makes the `crash_after`-th durable write fail
+/// and every later one too — the moment the process "died". Mutations
+/// the engine acknowledged before that moment must all survive
+/// recovery; the unacknowledged one must not.
+fn kill_phase(root: &Path, threads: usize, scale: Scale, crash_after: u64) {
+    let (n, d, rounds, b) = shape(scale);
+    let dir = fresh_dir(root, "kill");
+    let injector = Arc::new(FaultInjector::new(
+        Arc::new(StdIo),
+        FaultPlan {
+            kill_after_writes: Some(crash_after),
+            ..FaultPlan::default()
+        },
+    ));
+    let gen_pool = ThreadPool::new(threads);
+    let data = generate(Distribution::Independent, n, d, 7, &gen_pool);
+    let mut shadow = Shadow::default();
+
+    let mut died = false;
+    {
+        let (engine, _) = Engine::open_durable_with_io(&dir, cfg(threads), injector.clone())
+            .expect("open an empty durable dir");
+        match engine.try_register("rec", data.clone()) {
+            Ok(_) => shadow.seed(&data),
+            Err(_) => died = true, // killed during registration: nothing was acknowledged
+        }
+        let mut seed = 0xfeed;
+        for round in 0..rounds {
+            if died {
+                break;
+            }
+            let inserts = batch(&mut seed, b, d);
+            let deletes = shadow.victims(2 + round % 3);
+            match engine.update_batch("rec", &inserts, &deletes) {
+                Ok(_) => shadow.apply(&inserts, &deletes),
+                Err(EngineError::Persist(_)) => died = true,
+                Err(e) => panic!("unexpected mutation error before the kill point: {e}"),
+            }
+        }
+        // Engine dropped here = the process is gone.
+    }
+    assert!(
+        died || injector.writes() < crash_after,
+        "the injector was armed at write {crash_after} but never fired"
+    );
+
+    let (engine, report) =
+        Engine::open_durable(&dir, cfg(threads)).expect("recover after the kill");
+    assert!(
+        report.quarantined.is_empty(),
+        "a clean kill must not quarantine: {:?}",
+        report.quarantined
+    );
+    let warm = if shadow.rows.is_empty() {
+        assert_eq!(
+            report.datasets, 0,
+            "an unacknowledged registration survived"
+        );
+        0
+    } else {
+        verify_against_shadow(&engine, "rec", &shadow);
+        warm_p50_us(&engine, "rec")
+    };
+    print_line("kill", &report, warm);
+}
+
+/// `torn`: a crash mid-append leaves a partial record at the WAL tail.
+/// Recovery must truncate it (counted in `torn_tail`) and keep every
+/// complete, acknowledged record.
+fn torn_phase(root: &Path, threads: usize, scale: Scale) {
+    let (n, d, rounds, b) = shape(scale);
+    let dir = fresh_dir(root, "torn");
+    let gen_pool = ThreadPool::new(threads);
+    let data = generate(Distribution::Independent, n, d, 8, &gen_pool);
+    let mut shadow = Shadow::default();
+    {
+        let (engine, _) = Engine::open_durable(&dir, cfg(threads)).expect("open durable dir");
+        engine.register("rec", data.clone());
+        shadow.seed(&data);
+        let mut seed = 0xbeef;
+        for _ in 0..rounds.min(6) {
+            let inserts = batch(&mut seed, b, d);
+            let deletes = shadow.victims(1);
+            engine
+                .update_batch("rec", &inserts, &deletes)
+                .expect("acknowledged mutation");
+            shadow.apply(&inserts, &deletes);
+        }
+    }
+    // Simulate the crash: a record header with no payload behind it.
+    let wal = dir.join("datasets").join("rec").join("wal.log");
+    let mut f = fs::OpenOptions::new()
+        .append(true)
+        .open(&wal)
+        .expect("open the WAL for the torn append");
+    f.write_all(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad])
+        .expect("append the torn tail");
+    drop(f);
+
+    let (engine, report) =
+        Engine::open_durable(&dir, cfg(threads)).expect("recover past the torn tail");
+    assert!(
+        report.torn_tail_truncations >= 1,
+        "the torn tail was not detected"
+    );
+    assert!(
+        report.quarantined.is_empty(),
+        "a torn tail must truncate, not quarantine: {:?}",
+        report.quarantined
+    );
+    verify_against_shadow(&engine, "rec", &shadow);
+    print_line("torn", &report, warm_p50_us(&engine, "rec"));
+}
+
+/// `bitflip`: a flipped byte *inside* an acknowledged WAL record is
+/// real corruption — the history cannot be trusted past it. The sick
+/// dataset must be quarantined while its healthy neighbour keeps
+/// serving (degraded mode, not refusal to boot).
+fn bitflip_phase(root: &Path, threads: usize, scale: Scale, metrics: bool) {
+    let (n, d, _, b) = shape(scale);
+    let dir = fresh_dir(root, "bitflip");
+    let gen_pool = ThreadPool::new(threads);
+    let sick = generate(Distribution::Independent, n, d, 9, &gen_pool);
+    let healthy = generate(Distribution::Anticorrelated, n, d, 10, &gen_pool);
+    let mut shadow = Shadow::default();
+    {
+        let (engine, _) = Engine::open_durable(&dir, cfg(threads)).expect("open durable dir");
+        engine.register("sick", sick);
+        shadow.seed(&healthy);
+        engine.register("healthy", healthy);
+        let mut seed = 0xc0de;
+        for _ in 0..3 {
+            let sick_batch = batch(&mut seed, b, d);
+            engine
+                .update_batch("sick", &sick_batch, &[])
+                .expect("mutate the sick dataset");
+            let inserts = batch(&mut seed, b, d);
+            let deletes = shadow.victims(1);
+            engine
+                .update_batch("healthy", &inserts, &deletes)
+                .expect("mutate the healthy dataset");
+            shadow.apply(&inserts, &deletes);
+        }
+    }
+    // Flip a payload byte of the FIRST record: its CRC now fails while
+    // later records follow, which classifies as interior corruption.
+    let wal = dir.join("datasets").join("sick").join("wal.log");
+    let mut bytes = fs::read(&wal).expect("read the WAL");
+    bytes[8] ^= 0x10;
+    fs::write(&wal, bytes).expect("write the corrupted WAL back");
+
+    let (engine, report) =
+        Engine::open_durable(&dir, cfg(threads)).expect("boot degraded past the corruption");
+    assert_eq!(
+        report.quarantined.len(),
+        1,
+        "exactly the sick dataset should be quarantined: {:?}",
+        report.quarantined
+    );
+    assert_eq!(report.quarantined[0].0, "sick");
+    assert!(
+        matches!(
+            engine.execute(&SkylineQuery::new("sick")),
+            Err(EngineError::DatasetQuarantined(_))
+        ),
+        "queries against the quarantined dataset must say why they fail"
+    );
+    verify_against_shadow(&engine, "healthy", &shadow);
+    print_line("bitflip", &report, warm_p50_us(&engine, "healthy"));
+    if metrics {
+        for line in engine.metrics().render().lines() {
+            println!("METRICS phase=recovery {line}");
+        }
+    }
+}
+
+/// Runs the crash matrix under `persist_dir`, one `RECOVERY` line per
+/// phase. `crash_after` arms the `kill` phase's injector (the K-th
+/// durable write fails; K counts the registration snapshot too).
+pub fn run(scale: Scale, threads: usize, persist_dir: &Path, crash_after: u64, metrics: bool) {
+    println!(
+        "\n## crash matrix — durable root {}, kill after {crash_after} write(s)\n",
+        persist_dir.display()
+    );
+    kill_phase(persist_dir, threads, scale, crash_after.max(1));
+    torn_phase(persist_dir, threads, scale);
+    bitflip_phase(persist_dir, threads, scale, metrics);
+    println!("\ncrash matrix passed: recovered state ≡ acknowledged history in all phases");
+}

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 use skyline_data::{generate, Distribution};
 use skyline_engine::{Engine, EngineConfig, Priority, TelemetryConfig};
 use skyline_parallel::ThreadPool;
-use skyline_serve::{Client, ServeConfig, SkylineServer, TenantSpec};
+use skyline_serve::{Client, RetryPolicy, ServeConfig, SkylineServer, TenantSpec};
 
 use crate::Scale;
 
@@ -72,15 +72,21 @@ struct WorkerOut {
     lat_us: Vec<u64>,
     ok: u64,
     rejected: u64,
+    retries: u64,
     other: u64,
     io_errors: u64,
 }
 
 /// One worker: either closed-loop (fire as fast as responses come
-/// back) or open-loop against the shared arrival schedule.
+/// back) or open-loop against the shared arrival schedule. Requests go
+/// through the client's retry layer — capped exponential backoff with
+/// jitter seeded per worker, honouring `Retry-After` — so transient
+/// back-pressure is absorbed the way a production client would absorb
+/// it; only responses still rejected after the budget count.
 fn worker(
     addr: SocketAddr,
     token: &str,
+    seed: u64,
     deadline: Instant,
     start: Instant,
     schedule: Option<(Arc<AtomicU64>, u64)>,
@@ -92,6 +98,14 @@ fn worker(
             out.io_errors += 1;
             return out;
         }
+    };
+    // Tight cap: honouring a literal multi-second Retry-After would
+    // park the worker for most of a smoke window.
+    let policy = RetryPolicy {
+        max_retries: 2,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(50),
+        seed,
     };
     let mut body_at = 0usize;
     loop {
@@ -116,26 +130,31 @@ fn worker(
         let body = BODIES[body_at % BODIES.len()];
         body_at += 1;
         let sent = Instant::now();
-        match client.post_json("/v1/query", body) {
-            Ok(resp) => match resp.status {
-                200 => {
-                    out.ok += 1;
-                    out.lat_us.push(sent.elapsed().as_micros() as u64);
-                }
-                429 | 503 => {
-                    out.rejected += 1;
-                    // Closed-loop clients back off briefly on
-                    // back-pressure instead of retry-storming the
-                    // quota; open-loop pacing already spaces arrivals.
-                    if schedule.is_none() {
-                        thread::sleep(Duration::from_millis(20));
+        match client.post_json_with_retry("/v1/query", body, &policy) {
+            Ok((resp, retried)) => {
+                out.retries += u64::from(retried);
+                match resp.status {
+                    200 => {
+                        out.ok += 1;
+                        out.lat_us.push(sent.elapsed().as_micros() as u64);
                     }
+                    429 | 503 => {
+                        out.rejected += 1;
+                        // Still rejected after the retry budget:
+                        // closed-loop clients back off briefly instead
+                        // of hammering the quota; open-loop pacing
+                        // already spaces arrivals.
+                        if schedule.is_none() {
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                    _ => out.other += 1,
                 }
-                _ => out.other += 1,
-            },
+            }
             Err(_) => {
                 out.io_errors += 1;
-                // One reconnect attempt; a dead server ends the worker.
+                // The retry layer already re-dialled; a still-dead
+                // server ends the worker.
                 match Client::connect_with_token(addr, token) {
                     Ok(c) => client = c,
                     Err(_) => return out,
@@ -175,7 +194,8 @@ fn run_class(
                     "gold-token"
                 };
                 let schedule = schedule.as_ref().map(|(c, q)| (Arc::clone(c), *q));
-                s.spawn(move || worker(addr, token, deadline, start, schedule))
+                let seed = 0x9e37_79b9 ^ i as u64;
+                s.spawn(move || worker(addr, token, seed, deadline, start, schedule))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -183,11 +203,13 @@ fn run_class(
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
 
     let mut lat: Vec<u64> = Vec::new();
-    let (mut ok, mut rejected, mut other, mut io_errors) = (0u64, 0u64, 0u64, 0u64);
+    let (mut ok, mut rejected, mut retries, mut other, mut io_errors) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for mut o in outs {
         lat.append(&mut o.lat_us);
         ok += o.ok;
         rejected += o.rejected;
+        retries += o.retries;
         other += o.other;
         io_errors += o.io_errors;
     }
@@ -207,8 +229,8 @@ fn run_class(
         percentile(&lat, 0.50),
         percentile(&lat, 0.99),
     );
-    if other > 0 || io_errors > 0 {
-        println!("  ({other} unexpected statuses, {io_errors} socket errors)");
+    if retries > 0 || other > 0 || io_errors > 0 {
+        println!("  ({retries} retries, {other} unexpected statuses, {io_errors} socket errors)");
     }
 }
 

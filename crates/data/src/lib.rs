@@ -15,7 +15,10 @@
 //! * [`ShardedStore`] — one dataset split into K shards (random / grid
 //!   / angular [`Partitioner`]s), each with its own aligned base,
 //!   append segment, and tombstones, mutated copy-on-write one shard
-//!   at a time.
+//!   at a time;
+//! * [`persist`] — crash-safe persistence primitives: checksummed
+//!   tile-aligned snapshots, a CRC-per-record write-ahead log, and the
+//!   [`persist::WalIo`] seam with a deterministic fault injector.
 
 #![warn(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -23,6 +26,7 @@
 mod aligned;
 mod dataset;
 mod generator;
+pub mod persist;
 mod realdata;
 mod rng;
 mod shard;

@@ -1,0 +1,538 @@
+//! The narrow I/O seam every durability byte passes through.
+//!
+//! [`WalIo`] is deliberately tiny — append, atomic whole-file write,
+//! read, truncate, plus directory plumbing — so the entire persistence
+//! layer can be driven against three interchangeable backends:
+//!
+//! * [`StdIo`] — the real filesystem, with `fsync` on every append and
+//!   a write-temp-then-rename protocol for atomic snapshot publication;
+//! * [`MemIo`] — an in-process map of path → bytes, cheap enough that
+//!   property tests can replay thousands of crash/recover cycles;
+//! * [`FaultInjector`] — a decorator over either of the above that
+//!   kills the "process" after N writes (leaving a torn half-written
+//!   tail), injects a one-shot `ENOSPC`, panics mid-mutation (the
+//!   lock-poisoning drill), or flips a byte on reads of matching paths
+//!   (bit-rot).
+//!
+//! The durability contract: when `append` or `write_atomic` returns
+//! `Ok`, the bytes survive a crash. `StdIo` backs that with
+//! `sync_all`; `MemIo` trivially satisfies it; the injector's job is
+//! to violate the contract in every way real hardware does.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Abstract file I/O for snapshots and write-ahead logs.
+///
+/// All methods take paths (no open-handle state) so backends stay
+/// trivially thread-safe and the fault injector can key behaviour off
+/// the path alone.
+pub trait WalIo: Send + Sync + fmt::Debug {
+    /// Reads the entire file. Missing files are an error; callers
+    /// gate on [`WalIo::exists`] first.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Appends `bytes` at the end of `path` (creating it if absent)
+    /// and makes them durable before returning `Ok`.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Replaces `path` with `bytes` all-or-nothing: after a crash the
+    /// file holds either the previous contents or the new ones, never
+    /// a prefix.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Truncates `path` to `len` bytes (used to drop a torn WAL tail).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Whether `path` exists (file or directory).
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Immediate children of directory `dir`, in unspecified order.
+    /// A missing directory yields an empty list.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Creates `dir` and all missing ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Removes a file; removing a missing file is not an error.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+}
+
+/// [`WalIo`] over the real filesystem.
+///
+/// `append` opens in append mode, writes, then `sync_all`s — one
+/// fsync per WAL record, the classic write-ahead cost. `write_atomic`
+/// writes `<path>.tmp`, fsyncs it, renames over `path`, then fsyncs
+/// the parent directory so the rename itself is durable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl StdIo {
+    fn sync_parent(path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            // Directory fsync is what makes a rename durable on
+            // POSIX; best-effort elsewhere.
+            if let Ok(dir) = File::open(parent) {
+                dir.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl WalIo for StdIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Self::sync_parent(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    files: HashMap<PathBuf, Vec<u8>>,
+    dirs: Vec<PathBuf>,
+}
+
+/// In-memory [`WalIo`]: a shared map of path → bytes.
+///
+/// Clones share the same backing store, so a test can "crash" by
+/// dropping the engine and "reboot" by opening a new one over a clone
+/// of the same `MemIo` — exactly the surviving-disk semantics the
+/// recovery property tests need, thousands of times per second.
+#[derive(Debug, Default, Clone)]
+pub struct MemIo {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemIo {
+    /// A fresh, empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current length of `path`, or `None` if absent. Test hook.
+    pub fn len(&self, path: &Path) -> Option<usize> {
+        self.lock().files.get(path).map(Vec::len)
+    }
+
+    /// Whether the store holds no files at all. Test hook.
+    pub fn is_empty(&self) -> bool {
+        self.lock().files.is_empty()
+    }
+
+    /// XORs the byte at `offset` of `path` with `mask` — simulated
+    /// at-rest bit rot. Returns false if the file is too short or
+    /// absent. Test hook.
+    pub fn corrupt(&self, path: &Path, offset: usize, mask: u8) -> bool {
+        let mut st = self.lock();
+        match st.files.get_mut(path) {
+            Some(bytes) if offset < bytes.len() => {
+                bytes[offset] ^= mask;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl WalIo for MemIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.lock()
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.lock()
+            .files
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.lock().files.insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        match self.lock().files.get_mut(path) {
+            Some(bytes) => {
+                bytes.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let st = self.lock();
+        st.files.contains_key(path) || st.dirs.iter().any(|d| d == path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let st = self.lock();
+        let mut out: Vec<PathBuf> = st
+            .files
+            .keys()
+            .chain(st.dirs.iter())
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let mut cur = dir.to_path_buf();
+        loop {
+            if !st.dirs.contains(&cur) {
+                st.dirs.push(cur.clone());
+            }
+            match cur.parent() {
+                Some(p) if p != Path::new("") => cur = p.to_path_buf(),
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.lock().files.remove(path);
+        Ok(())
+    }
+}
+
+/// Flip `xor` into the byte at `offset` of every read whose path
+/// contains `path_contains` — deterministic bit-rot on the read path.
+#[derive(Debug, Clone)]
+pub struct ReadFlip {
+    /// Substring selecting which files to corrupt (e.g. `"wal.log"`).
+    pub path_contains: String,
+    /// Byte offset within the file to corrupt.
+    pub offset: usize,
+    /// XOR mask applied to that byte (use a nonzero mask).
+    pub xor: u8,
+}
+
+/// What the injector should break, and when.
+///
+/// Write ordinals are 1-based and count durable writes only
+/// (`append` + `write_atomic`); reads, truncates, and directory ops
+/// never advance the clock.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// The Nth write is torn: an `append` persists only the first half
+    /// of its bytes and fails; a `write_atomic` fails with nothing
+    /// visible (that is the point of atomic publication). Every
+    /// operation after it fails too — the process is dead.
+    pub kill_after_writes: Option<u64>,
+    /// The Nth write fails with `ENOSPC`, nothing lands, and later
+    /// writes succeed — a transiently full disk.
+    pub enospc_on_write: Option<u64>,
+    /// The Nth write panics instead of returning — exercises writer-
+    /// lock poisoning in the layers above.
+    pub panic_on_write: Option<u64>,
+    /// Corrupt matching reads. See [`ReadFlip`].
+    pub flip_on_read: Option<ReadFlip>,
+}
+
+/// Deterministic fault-injecting decorator around another [`WalIo`].
+///
+/// Faults fire on exact operation ordinals, so a property test can
+/// first count the writes of a clean run and then re-run the same
+/// script killed at write 1, 2, …, N — covering every kill point the
+/// workload has.
+#[derive(Debug)]
+pub struct FaultInjector {
+    inner: Arc<dyn WalIo>,
+    plan: FaultPlan,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl FaultInjector {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: Arc<dyn WalIo>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Durable writes observed so far (including the fatal one).
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Reads observed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+
+    /// Whether the kill fault has fired (the simulated process died).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    fn dead_err() -> io::Error {
+        io::Error::other("fault injector: process killed")
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.is_dead() {
+            Err(Self::dead_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Advances the write clock; returns the fate of this write.
+    fn on_write(&self) -> io::Result<WriteFate> {
+        self.check_alive()?;
+        let n = self.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.panic_on_write == Some(n) {
+            panic!("fault injector: panic on write {n}");
+        }
+        if self.plan.kill_after_writes == Some(n) {
+            self.dead.store(true, Ordering::SeqCst);
+            return Ok(WriteFate::Killed);
+        }
+        if self.plan.enospc_on_write == Some(n) {
+            // `ErrorKind::StorageFull` postdates the crate's MSRV;
+            // the message carries the diagnosis instead.
+            return Err(io::Error::other("fault injector: ENOSPC"));
+        }
+        Ok(WriteFate::Clean)
+    }
+}
+
+enum WriteFate {
+    Clean,
+    Killed,
+}
+
+impl WalIo for FaultInjector {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        self.reads.fetch_add(1, Ordering::SeqCst);
+        let mut bytes = self.inner.read(path)?;
+        if let Some(flip) = &self.plan.flip_on_read {
+            if path.to_string_lossy().contains(&flip.path_contains) && flip.offset < bytes.len() {
+                bytes[flip.offset] ^= flip.xor;
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.on_write()? {
+            WriteFate::Clean => self.inner.append(path, bytes),
+            WriteFate::Killed => {
+                // Torn tail: half the record reaches the disk, the
+                // caller sees a failure, and the "machine" is off.
+                let torn = &bytes[..bytes.len() / 2];
+                if !torn.is_empty() {
+                    self.inner.append(path, torn)?;
+                }
+                Err(Self::dead_err())
+            }
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.on_write()? {
+            WriteFate::Clean => self.inner.write_atomic(path, bytes),
+            // Atomic publication: a crash mid-write leaves the old
+            // contents, so the kill writes nothing at all.
+            WriteFate::Killed => Err(Self::dead_err()),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.check_alive()?;
+        self.inner.truncate(path, len)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.is_dead() && self.inner.exists(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.check_alive()?;
+        self.inner.list_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.inner.create_dir_all(dir)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.inner.remove_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_io_roundtrip_and_listing() {
+        let io = MemIo::new();
+        let dir = Path::new("/d/datasets");
+        io.create_dir_all(dir).unwrap();
+        io.append(&dir.join("a.log"), b"hello ").unwrap();
+        io.append(&dir.join("a.log"), b"world").unwrap();
+        assert_eq!(io.read(&dir.join("a.log")).unwrap(), b"hello world");
+        io.write_atomic(&dir.join("a.log"), b"reset").unwrap();
+        assert_eq!(io.read(&dir.join("a.log")).unwrap(), b"reset");
+        io.truncate(&dir.join("a.log"), 2).unwrap();
+        assert_eq!(io.read(&dir.join("a.log")).unwrap(), b"re");
+        let listed = io.list_dir(dir).unwrap();
+        assert_eq!(listed, vec![dir.join("a.log")]);
+        assert!(io.exists(dir));
+        assert!(!io.exists(Path::new("/d/missing")));
+    }
+
+    #[test]
+    fn injector_kill_leaves_torn_tail_then_all_ops_fail() {
+        let mem = MemIo::new();
+        let io = FaultInjector::new(
+            Arc::new(mem.clone()),
+            FaultPlan {
+                kill_after_writes: Some(2),
+                ..FaultPlan::default()
+            },
+        );
+        let p = Path::new("/w.log");
+        io.append(p, b"0123456789").unwrap();
+        let err = io.append(p, b"abcdefgh").unwrap_err();
+        assert!(err.to_string().contains("killed"));
+        // First write intact, second torn at the half-way point.
+        assert_eq!(mem.read(p).unwrap(), b"0123456789abcd");
+        assert!(io.is_dead());
+        assert!(io.append(p, b"more").is_err());
+        assert!(io.read(p).is_err());
+    }
+
+    #[test]
+    fn injector_enospc_is_transient_and_writes_nothing() {
+        let mem = MemIo::new();
+        let io = FaultInjector::new(
+            Arc::new(mem.clone()),
+            FaultPlan {
+                enospc_on_write: Some(1),
+                ..FaultPlan::default()
+            },
+        );
+        let p = Path::new("/w.log");
+        let err = io.append(p, b"lost").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"));
+        assert_eq!(mem.len(p), None);
+        io.append(p, b"kept").unwrap();
+        assert_eq!(mem.read(p).unwrap(), b"kept");
+    }
+
+    #[test]
+    fn injector_flips_reads_of_matching_paths_only() {
+        let mem = MemIo::new();
+        mem.append(Path::new("/wal.log"), &[0u8; 4]).unwrap();
+        mem.append(Path::new("/other"), &[0u8; 4]).unwrap();
+        let io = FaultInjector::new(
+            Arc::new(mem),
+            FaultPlan {
+                flip_on_read: Some(ReadFlip {
+                    path_contains: "wal".into(),
+                    offset: 1,
+                    xor: 0x40,
+                }),
+                ..FaultPlan::default()
+            },
+        );
+        assert_eq!(io.read(Path::new("/wal.log")).unwrap(), [0, 0x40, 0, 0]);
+        assert_eq!(io.read(Path::new("/other")).unwrap(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "panic on write")]
+    fn injector_panics_on_schedule() {
+        let io = FaultInjector::new(
+            Arc::new(MemIo::new()),
+            FaultPlan {
+                panic_on_write: Some(1),
+                ..FaultPlan::default()
+            },
+        );
+        let _ = io.append(Path::new("/w.log"), b"x");
+    }
+}

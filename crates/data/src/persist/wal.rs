@@ -1,0 +1,264 @@
+//! Length-prefixed, per-record-checksummed write-ahead log framing.
+//!
+//! Every record is `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! The framing layer knows nothing about payload semantics — the
+//! engine encodes mutations and planner fits into payload bytes — it
+//! only guarantees that a scan can classify the file into exactly one
+//! of three shapes:
+//!
+//! * **clean** — every record frames and checksums correctly;
+//! * **torn tail** — a valid prefix followed by an incomplete or
+//!   checksum-failing *final* record: the classic crash mid-append.
+//!   Recovery truncates the tail and carries on, because a record
+//!   that never finished was by construction never acknowledged;
+//! * **corrupt** — a record *before* the end fails its checksum.
+//!   Bytes after it were acknowledged and are now unreachable (the
+//!   frame boundaries cannot be trusted), so recovery must not guess:
+//!   the owning dataset is quarantined instead.
+//!
+//! A flipped bit in an interior *length* field is indistinguishable
+//! from a torn tail when the bogus length runs past EOF — the scan
+//! stays conservative and reports torn. The CRC covers the payload,
+//! which is where virtually all the bytes live.
+
+use std::io;
+use std::path::Path;
+
+use super::crc::crc32;
+use super::io::WalIo;
+
+/// Bytes of framing overhead per record (length + checksum).
+pub const RECORD_HEADER_BYTES: usize = 8;
+
+/// Encodes one record (header + payload) into a fresh buffer.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Appends one record to `path`; durable when `Ok` (the backing
+/// [`WalIo::append`] carries the fsync contract).
+pub fn append_record(io: &dyn WalIo, path: &Path, payload: &[u8]) -> io::Result<usize> {
+    let buf = encode_record(payload);
+    io.append(path, &buf)?;
+    Ok(buf.len())
+}
+
+/// Outcome of scanning a WAL file.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the intact prefix — the truncation target when
+    /// the tail is torn.
+    pub valid_len: u64,
+    /// A final record was incomplete or failed its checksum at EOF.
+    pub torn_tail: bool,
+    /// A non-final record failed its checksum: frame boundaries after
+    /// it are untrustworthy and `records` stops there.
+    pub corrupt: bool,
+}
+
+/// Scans `path`, classifying it per the module contract. A missing
+/// file is an empty, clean log.
+pub fn scan_wal(io: &dyn WalIo, path: &Path) -> io::Result<WalScan> {
+    let mut scan = WalScan::default();
+    if !io.exists(path) {
+        return Ok(scan);
+    }
+    let bytes = io.read(path)?;
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let remaining = bytes.len() - off;
+        if remaining < RECORD_HEADER_BYTES {
+            scan.torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let want = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        let end = off + RECORD_HEADER_BYTES + len;
+        if end > bytes.len() {
+            scan.torn_tail = true;
+            break;
+        }
+        let payload = &bytes[off + RECORD_HEADER_BYTES..end];
+        if crc32(payload) != want {
+            if end == bytes.len() {
+                scan.torn_tail = true;
+            } else {
+                scan.corrupt = true;
+            }
+            break;
+        }
+        scan.records.push(payload.to_vec());
+        off = end;
+        scan.valid_len = off as u64;
+    }
+    Ok(scan)
+}
+
+/// Little-endian byte-pushing helpers for payload encoding.
+pub mod codec {
+    /// Appends a `u8`.
+    pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+        buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32`, little-endian bit pattern.
+    pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Sequential reader over a payload; every accessor returns
+    /// `None` once the payload runs short, so decoders can surface
+    /// "malformed record" without panicking.
+    #[derive(Debug)]
+    pub struct ByteReader<'a> {
+        buf: &'a [u8],
+        at: usize,
+    }
+
+    impl<'a> ByteReader<'a> {
+        /// Starts reading at the front of `buf`.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Self { buf, at: 0 }
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.at
+        }
+
+        fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+            if self.remaining() < n {
+                return None;
+            }
+            let s = &self.buf[self.at..self.at + n];
+            self.at += n;
+            Some(s)
+        }
+
+        /// Reads a `u8`.
+        pub fn u8(&mut self) -> Option<u8> {
+            self.take(1).map(|s| s[0])
+        }
+
+        /// Reads a little-endian `u32`.
+        pub fn u32(&mut self) -> Option<u32> {
+            self.take(4)
+                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        }
+
+        /// Reads a little-endian `u64`.
+        pub fn u64(&mut self) -> Option<u64> {
+            self.take(8)
+                .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        }
+
+        /// Reads a little-endian `f32`.
+        pub fn f32(&mut self) -> Option<f32> {
+            self.take(4)
+                .map(|s| f32::from_le_bytes(s.try_into().unwrap()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::io::MemIo;
+    use super::*;
+
+    fn wal_path() -> &'static Path {
+        Path::new("/d/wal.log")
+    }
+
+    #[test]
+    fn roundtrip_and_valid_len() {
+        let io = MemIo::new();
+        append_record(&io, wal_path(), b"one").unwrap();
+        append_record(&io, wal_path(), b"").unwrap();
+        append_record(&io, wal_path(), b"three").unwrap();
+        let scan = scan_wal(&io, wal_path()).unwrap();
+        assert!(!scan.torn_tail && !scan.corrupt);
+        assert_eq!(
+            scan.records,
+            vec![b"one".to_vec(), vec![], b"three".to_vec()]
+        );
+        assert_eq!(scan.valid_len, io.len(wal_path()).unwrap() as u64);
+    }
+
+    #[test]
+    fn missing_file_is_clean_and_empty() {
+        let io = MemIo::new();
+        let scan = scan_wal(&io, wal_path()).unwrap();
+        assert!(scan.records.is_empty() && !scan.torn_tail && !scan.corrupt);
+    }
+
+    #[test]
+    fn torn_tail_shapes_are_all_classified_torn() {
+        for cut in [1usize, 5, 9] {
+            let io = MemIo::new();
+            append_record(&io, wal_path(), b"keep-me").unwrap();
+            let tail = encode_record(b"torn-record");
+            io.append(wal_path(), &tail[..cut]).unwrap();
+            let scan = scan_wal(&io, wal_path()).unwrap();
+            assert!(scan.torn_tail, "cut={cut}");
+            assert!(!scan.corrupt);
+            assert_eq!(scan.records.len(), 1);
+            assert_eq!(scan.valid_len, encode_record(b"keep-me").len() as u64);
+        }
+    }
+
+    #[test]
+    fn final_record_crc_failure_counts_as_torn() {
+        let io = MemIo::new();
+        append_record(&io, wal_path(), b"keep-me").unwrap();
+        append_record(&io, wal_path(), b"damaged").unwrap();
+        let last = io.len(wal_path()).unwrap() - 1;
+        io.corrupt(wal_path(), last, 0xFF);
+        let scan = scan_wal(&io, wal_path()).unwrap();
+        assert!(scan.torn_tail && !scan.corrupt);
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn interior_crc_failure_is_corruption() {
+        let io = MemIo::new();
+        append_record(&io, wal_path(), b"first").unwrap();
+        append_record(&io, wal_path(), b"second").unwrap();
+        // Flip a payload byte of the *first* record.
+        io.corrupt(wal_path(), RECORD_HEADER_BYTES + 2, 0x01);
+        let scan = scan_wal(&io, wal_path()).unwrap();
+        assert!(scan.corrupt && !scan.torn_tail);
+        assert!(scan.records.is_empty());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut buf = Vec::new();
+        codec::put_u8(&mut buf, 7);
+        codec::put_u32(&mut buf, 0xDEAD_BEEF);
+        codec::put_u64(&mut buf, u64::MAX - 1);
+        codec::put_f32(&mut buf, -1.5);
+        let mut r = codec::ByteReader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.f32(), Some(-1.5));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), None);
+    }
+}

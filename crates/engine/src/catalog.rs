@@ -451,6 +451,23 @@ impl Catalog {
         Arc::clone(writers.entry(name.to_string()).or_default())
     }
 
+    /// Runs `f` on the current entry of `name` while holding its
+    /// writer lock, so no mutation can land mid-call. Checkpointing
+    /// uses this to capture an entry + WAL-watermark pair that is
+    /// consistent by construction.
+    pub(crate) fn with_writer<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Arc<DatasetEntry>) -> Result<R, EngineError>,
+    ) -> Result<R, EngineError> {
+        let writer = self.writer_lock(name);
+        let _serialized = writer.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = self
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        f(&entry)
+    }
+
     /// Registers (or replaces) `name`, precomputing stats and sorted
     /// projections on `pool`. Returns the new entry. The heavy work
     /// happens outside the `entries` lock, so concurrent queries keep
@@ -561,6 +578,36 @@ impl Catalog {
         compact_fraction: f32,
         shard_debt_factor: Option<f32>,
     ) -> Result<MutationOutcome, EngineError> {
+        self.mutate_logged(
+            name,
+            inserts,
+            deletes,
+            pool,
+            compact_fraction,
+            shard_debt_factor,
+            None,
+        )
+    }
+
+    /// [`mutate_with_shard_policy`](Self::mutate_with_shard_policy)
+    /// with a write-ahead hook: `log` runs inside the per-dataset
+    /// writer critical section, after the batch is fully validated and
+    /// before any in-memory state changes. An `Err` from the hook
+    /// aborts the mutation — nothing was applied, nothing published —
+    /// which is exactly the WAL ordering a durable engine needs: a
+    /// batch is acknowledged iff its log record is durable, and the
+    /// log order equals the apply order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn mutate_logged(
+        &self,
+        name: &str,
+        inserts: &[Vec<f32>],
+        deletes: &[u32],
+        pool: &ThreadPool,
+        compact_fraction: f32,
+        shard_debt_factor: Option<f32>,
+        log: Option<&mut dyn FnMut() -> Result<(), EngineError>>,
+    ) -> Result<MutationOutcome, EngineError> {
         let writer = self.writer_lock(name);
         let _serialized = writer.lock().unwrap_or_else(|e| e.into_inner());
         let old = self
@@ -586,6 +633,12 @@ impl Catalog {
             if !old.is_live(id) || !seen.insert(id) {
                 return Err(EngineError::UnknownRow { id });
             }
+        }
+
+        // Write-ahead point: the batch is valid and will be applied
+        // verbatim; make it durable before any state changes.
+        if let Some(log) = log {
+            log()?;
         }
 
         let old_total = old.total_rows() as u32;

@@ -1,13 +1,16 @@
 //! The engine: catalog + planner + cache + shared thread pool, fronted
 //! by the [session](crate::session) layer's admission queue.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use skyline_core::algo::Algorithm;
 use skyline_core::dominance::simd::{flip_pref, TileStore};
 use skyline_core::{maintain, RunStats, SpanSink};
+use skyline_data::persist::{StdIo, WalIo};
 use skyline_data::{Dataset, PartitionerKind, ShardedStore};
 use skyline_parallel::{available_threads, par_chunks_mut, LaneCounters, ThreadPool};
 
@@ -21,6 +24,7 @@ use crate::planner::feedback::{
 };
 use crate::planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy, SuperspaceSeed};
 use crate::query::{QueryResult, SkylineQuery};
+use crate::recovery::{Durability, DurabilityOptions, RecoveryReport};
 use crate::session::{
     AdmissionConfig, Session, SessionOptions, SessionRuntime, SessionStats, TicketState,
 };
@@ -188,6 +192,11 @@ pub(crate) struct EngineShared {
     /// (when enabled) exposed through the registry. Always present:
     /// three lock-free histograms cost nothing measurable.
     pub(crate) queue_waits: Arc<QueueWaitHistograms>,
+    /// Set once by [`Engine::open_durable`] **after** recovery replay
+    /// completes: while unset, registrations and mutations skip the
+    /// WAL (which is exactly what replay needs), afterwards every
+    /// mutation is logged before it is acknowledged.
+    pub(crate) durability: OnceLock<Arc<Durability>>,
 }
 
 impl Default for Engine {
@@ -249,6 +258,48 @@ impl Engine {
         Self::build(cfg, pool, Arc::new(MonotonicClock::new()))
     }
 
+    /// Opens (or creates) a **durable** engine rooted at `dir`:
+    /// recovers every dataset from its snapshot + write-ahead log,
+    /// truncates torn WAL tails, quarantines datasets with real
+    /// corruption (the engine still boots and serves the healthy
+    /// ones), warms the planner from the last persisted feedback fit,
+    /// and from then on makes every registration and mutation durable
+    /// before acknowledging it. The report says what recovery found.
+    ///
+    /// See [`crate::recovery`] for the durability contract and the
+    /// corruption taxonomy.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        cfg: EngineConfig,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        Self::open_durable_with_io(dir, cfg, Arc::new(StdIo))
+    }
+
+    /// [`open_durable`](Self::open_durable) over an explicit
+    /// [`WalIo`] — the fault-injection seam: hand in a
+    /// [`MemIo`](skyline_data::persist::MemIo) or a
+    /// [`FaultInjector`](skyline_data::persist::FaultInjector) to
+    /// exercise crash and corruption schedules deterministically.
+    pub fn open_durable_with_io(
+        dir: impl AsRef<Path>,
+        cfg: EngineConfig,
+        io: Arc<dyn WalIo>,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        Self::open_durable_with_options(dir, cfg, io, DurabilityOptions::default())
+    }
+
+    /// [`open_durable_with_io`](Self::open_durable_with_io) with
+    /// explicit [`DurabilityOptions`] (checkpoint cadence).
+    pub fn open_durable_with_options(
+        dir: impl AsRef<Path>,
+        cfg: EngineConfig,
+        io: Arc<dyn WalIo>,
+        opts: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        let engine = Self::with_config(cfg);
+        crate::recovery::open(engine, dir.as_ref(), io, opts)
+    }
+
     fn build(cfg: EngineConfig, pool: Arc<ThreadPool>, clock: Arc<dyn Clock>) -> Self {
         let queue_waits = Arc::new(QueueWaitHistograms::new());
         let feedback = cfg.feedback.enabled.then(|| {
@@ -273,6 +324,7 @@ impl Engine {
             clock,
             telemetry,
             queue_waits,
+            durability: OnceLock::new(),
         });
         let sessions = Arc::new(SessionRuntime::new(cfg.admission));
         sessions.spawn_worker(&shared);
@@ -343,13 +395,31 @@ impl Engine {
     /// dataset's new version. Re-registration invalidates every cached
     /// result of older versions (results a concurrent query already
     /// computed against the *new* version survive).
+    /// On a durable engine this panics if the registration snapshot
+    /// cannot be persisted; use [`try_register`](Self::try_register)
+    /// to handle that failure.
     pub fn register(&self, name: &str, data: Dataset) -> u64 {
+        self.try_register(name, data)
+            .expect("durable registration failed; use try_register to handle persistence errors")
+    }
+
+    /// [`register`](Self::register) returning persistence failures
+    /// instead of panicking. On a non-durable engine this never fails.
+    /// On a durable engine the snapshot write is the commit point: it
+    /// happens (atomically) before the catalog swap, so on `Err` the
+    /// previous registration of `name`, if any, is untouched both in
+    /// memory and on disk. A successful re-registration also lifts any
+    /// quarantine on `name`.
+    pub fn try_register(&self, name: &str, data: Dataset) -> Result<u64, EngineError> {
         let shared = &self.shared;
+        if let Some(d) = shared.durability.get() {
+            d.persist_register(name, &data, None)?;
+        }
         let entry = shared.catalog.register(name, data, &shared.pool);
         shared
             .cache
             .purge_dataset_below(entry.id(), entry.version());
-        entry.version()
+        Ok(entry.version())
     }
 
     /// Registers (or replaces) a dataset under `name` **sharded**: the
@@ -367,14 +437,35 @@ impl Engine {
         k: usize,
         partitioner: PartitionerKind,
     ) -> u64 {
+        self.try_register_sharded(name, data, k, partitioner)
+            .expect(
+            "durable registration failed; use try_register_sharded to handle persistence errors",
+        )
+    }
+
+    /// [`register_sharded`](Self::register_sharded) returning
+    /// persistence failures instead of panicking; semantics otherwise
+    /// as [`try_register`](Self::try_register). The shard spec is
+    /// persisted in the snapshot, so recovery rebuilds the dataset
+    /// sharded the same way.
+    pub fn try_register_sharded(
+        &self,
+        name: &str,
+        data: Dataset,
+        k: usize,
+        partitioner: PartitionerKind,
+    ) -> Result<u64, EngineError> {
         let shared = &self.shared;
+        if let Some(d) = shared.durability.get() {
+            d.persist_register(name, &data, Some((k, partitioner)))?;
+        }
         let entry = shared
             .catalog
             .register_sharded(name, data, k, partitioner, &shared.pool);
         shared
             .cache
             .purge_dataset_below(entry.id(), entry.version());
-        entry.version()
+        Ok(entry.version())
     }
 
     /// Appends `rows` to a registered dataset; equivalent to
@@ -411,6 +502,10 @@ impl Engine {
         deletes: &[u32],
     ) -> Result<MutationReport, EngineError> {
         let shared = &self.shared;
+        let durability = shared.durability.get();
+        if let Some(d) = durability {
+            d.check_available(name)?;
+        }
         if inserts.is_empty() && deletes.is_empty() {
             // An empty batch must not bump the version (that would
             // orphan every cached result for nothing).
@@ -427,14 +522,42 @@ impl Engine {
                 cache_dropped: 0,
             });
         }
-        let out = shared.catalog.mutate_with_shard_policy(
-            name,
-            inserts,
-            deletes,
-            &shared.pool,
-            shared.compact_fraction,
-            shared.shard_debt_factor,
-        )?;
+        let mutate = || match durability {
+            Some(d) => {
+                // Durable path: the WAL append runs inside the writer
+                // critical section, after validation and before any
+                // state change — log order is apply order, and a
+                // failed append aborts the batch unapplied.
+                let mut hook = || d.log_mutation(name, inserts, deletes);
+                shared.catalog.mutate_logged(
+                    name,
+                    inserts,
+                    deletes,
+                    &shared.pool,
+                    shared.compact_fraction,
+                    shared.shard_debt_factor,
+                    Some(&mut hook),
+                )
+            }
+            None => shared.catalog.mutate_with_shard_policy(
+                name,
+                inserts,
+                deletes,
+                &shared.pool,
+                shared.compact_fraction,
+                shared.shard_debt_factor,
+            ),
+        };
+        // A panic anywhere in the mutation path (a poisoned kernel, an
+        // injected fault) must not wedge the dataset: the writer lock
+        // recovers from poisoning, and the caller gets a structured
+        // error instead of an unwind. State is safe because mutations
+        // publish a new entry only at the very end — an unwind midway
+        // leaves the previous immutable entry in place.
+        let out = match catch_unwind(AssertUnwindSafe(mutate)) {
+            Ok(result) => result?,
+            Err(_) => return Err(EngineError::Internal),
+        };
         let (patched, dropped) = if out.compacted {
             let dropped = shared
                 .cache
@@ -451,14 +574,68 @@ impl Engine {
             let rotated = shared.cache.purge_dataset_below(out.entry.id(), horizon);
             (patched, dropped + rotated)
         };
-        Ok(MutationReport {
+        let report = MutationReport {
             version: out.entry.version(),
             inserted_ids: out.inserted_ids,
             deleted: out.deleted_ids.len(),
             compacted: out.compacted,
             cache_patched: patched,
             cache_dropped: dropped,
-        })
+        };
+        if let Some(d) = durability {
+            if d.wants_checkpoint(name) {
+                // Best effort: the batch is already durable in the
+                // WAL, so a failed checkpoint costs replay time, not
+                // correctness.
+                let _ = self.checkpoint(name);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Rewrites a durable dataset's snapshot at the current WAL
+    /// watermark and resets its log, bounding replay work after a
+    /// crash. Runs automatically once a dataset's WAL outgrows
+    /// [`DurabilityOptions::checkpoint_wal_bytes`]; call it directly
+    /// for an orderly shutdown.
+    ///
+    /// # Errors
+    /// [`EngineError::Persist`] on a non-durable engine or when the
+    /// snapshot cannot be written (the WAL is left intact, so nothing
+    /// acknowledged is at risk); [`EngineError::DatasetQuarantined`]
+    /// or [`EngineError::UnknownDataset`] per the usual gates.
+    pub fn checkpoint(&self, name: &str) -> Result<(), EngineError> {
+        let d = self
+            .shared
+            .durability
+            .get()
+            .ok_or_else(|| EngineError::Persist("engine is not durable".into()))?;
+        d.check_available(name)?;
+        self.shared
+            .catalog
+            .with_writer(name, |entry| d.checkpoint(name, entry))
+    }
+
+    /// Whether this engine persists its state (built via
+    /// [`open_durable`](Self::open_durable)).
+    pub fn is_durable(&self) -> bool {
+        self.shared.durability.get().is_some()
+    }
+
+    /// Datasets currently quarantined by recovery, as sorted
+    /// `(name, reason)` pairs. Always empty on a non-durable engine.
+    /// Quarantined datasets reject queries and mutations with
+    /// [`EngineError::DatasetQuarantined`] until re-registered.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.shared
+            .durability
+            .get()
+            .map(|d| d.quarantined())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<EngineShared> {
+        &self.shared
     }
 
     /// Removes a dataset; its cached results are dropped too. Returns
@@ -508,10 +685,15 @@ impl Engine {
     /// Returns whether the planner's live thresholds changed; always
     /// `false` when feedback is disabled.
     pub fn refit_feedback(&self) -> bool {
-        self.shared
+        let changed = self
+            .shared
             .feedback
             .as_ref()
-            .is_some_and(|fb| fb.refit_now(&self.shared.planner))
+            .is_some_and(|fb| fb.refit_now(&self.shared.planner));
+        if changed {
+            self.shared.persist_planner_fit();
+        }
+        changed
     }
 
     /// A consistent snapshot of the planner's live thresholds (the
@@ -735,7 +917,25 @@ impl EngineShared {
     fn observe(&self, obs: Observation) {
         if let Some(fb) = &self.feedback {
             fb.record(obs);
-            fb.maybe_refit(&self.planner);
+            self.refit_tick(fb);
+        }
+    }
+
+    /// Gives the refitter its time-gated chance to run, persisting the
+    /// freshly installed thresholds when it changes them (so a durable
+    /// engine restarts with a warm planner).
+    fn refit_tick(&self, fb: &FeedbackLoop) {
+        if fb.maybe_refit(&self.planner) {
+            self.persist_planner_fit();
+        }
+    }
+
+    /// Best-effort append of the planner's current thresholds to the
+    /// durable feedback log; a no-op on non-durable engines. Never in
+    /// a mutation's acknowledgement path.
+    pub(crate) fn persist_planner_fit(&self) {
+        if let Some(d) = self.durability.get() {
+            d.log_planner_fit(&self.planner.config());
         }
     }
 
@@ -967,6 +1167,11 @@ impl EngineShared {
 
     /// Resolves the dataset and canonicalises the query.
     pub(crate) fn prepare(&self, query: &SkylineQuery) -> Result<Prepared, EngineError> {
+        // Quarantine outranks "unknown": a corrupt dataset was evicted
+        // from the catalog, but callers should hear *why* it is gone.
+        if let Some(d) = self.durability.get() {
+            d.check_available(query.dataset())?;
+        }
         let entry = self
             .catalog
             .get(query.dataset())
@@ -1247,7 +1452,7 @@ impl EngineShared {
             let obs = Observation::from_plan(&plan, entry.live_len(), prepared.max_mask, runtime)
                 .queued(queue_wait);
             fb.record(obs);
-            fb.maybe_refit(&self.planner);
+            self.refit_tick(fb);
         }
 
         let full = Arc::new(indices);

@@ -147,6 +147,17 @@ pub enum EngineError {
     /// [`TelemetryConfig::enabled`](crate::TelemetryConfig::enabled)
     /// set to `false`.
     TelemetryDisabled,
+    /// Recovery found unrepairable corruption (a checksum-failing
+    /// interior WAL record or snapshot) in this dataset's durable
+    /// files, so it is quarantined: queries and mutations against it
+    /// fail with this error while every healthy dataset keeps
+    /// serving. Re-registering the dataset replaces the corrupt files
+    /// and lifts the quarantine.
+    DatasetQuarantined(String),
+    /// A durable engine could not persist a mutation (WAL append or
+    /// snapshot write failed). The mutation was **not** applied: the
+    /// in-memory state still matches the acknowledged history.
+    Persist(String),
 }
 
 impl EngineError {
@@ -216,6 +227,15 @@ impl fmt::Display for EngineError {
             EngineError::TelemetryDisabled => {
                 write!(f, "telemetry is disabled on this engine")
             }
+            EngineError::DatasetQuarantined(name) => {
+                write!(
+                    f,
+                    "dataset '{name}' is quarantined (corrupt durable state); re-register to replace it"
+                )
+            }
+            EngineError::Persist(why) => {
+                write!(f, "durability failure, mutation not applied: {why}")
+            }
         }
     }
 }
@@ -268,6 +288,12 @@ mod tests {
         }
         .to_string()
         .contains("current is 5"));
+        assert!(EngineError::DatasetQuarantined("hot".into())
+            .to_string()
+            .contains("quarantined"));
+        assert!(EngineError::Persist("disk on fire".into())
+            .to_string()
+            .contains("not applied"));
     }
 
     #[test]
@@ -283,5 +309,7 @@ mod tests {
         assert!(!EngineError::DeadlineExceeded.is_retryable());
         assert!(!EngineError::UnknownDataset("x".into()).is_retryable());
         assert!(!EngineError::TelemetryDisabled.is_retryable());
+        assert!(!EngineError::DatasetQuarantined("x".into()).is_retryable());
+        assert!(!EngineError::Persist("enospc".into()).is_retryable());
     }
 }

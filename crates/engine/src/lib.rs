@@ -38,6 +38,14 @@
 //!   per-query deadlines, and dataset-version pinning; the blocking
 //!   [`Engine::execute`]/[`Engine::execute_batch`] are thin
 //!   submit-and-wait wrappers over it;
+//! * [`recovery`] — crash-safe durability behind
+//!   [`Engine::open_durable`]: checksummed tile-aligned snapshots plus
+//!   a CRC-per-record write-ahead log fsync'd **before** a mutation is
+//!   acknowledged, idempotent replay that truncates torn tails, and
+//!   degraded-mode quarantine ([`EngineError::DatasetQuarantined`])
+//!   that keeps healthy datasets serving past real corruption — all
+//!   driven through the [`skyline_data::persist::WalIo`] seam so a
+//!   deterministic fault injector can exercise every kill point;
 //! * [`telemetry`] — the unified observability layer: a lock-free
 //!   [`MetricsRegistry`] behind [`Engine::metrics`] (Prometheus-style
 //!   [`MetricsSnapshot::render`]), per-query [`QueryTrace`]s with typed
@@ -100,6 +108,7 @@ mod error;
 pub mod merge;
 pub mod planner;
 mod query;
+pub mod recovery;
 pub mod session;
 pub mod telemetry;
 
@@ -114,6 +123,7 @@ pub use planner::{
     PlanCandidate, Planner, PlannerConfig, PriorResult, QueryPlan, Strategy, SuperspaceSeed,
 };
 pub use query::{QueryOptions, QueryResult, SkylineQuery};
+pub use recovery::{DurabilityOptions, RecoveryReport};
 pub use session::{AdmissionConfig, Priority, QueryTicket, Session, SessionOptions, SessionStats};
 pub use skyline_data::PartitionerKind;
 pub use telemetry::{

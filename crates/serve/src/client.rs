@@ -8,6 +8,61 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Capped exponential backoff with **deterministic** jitter for
+/// retryable responses (`429 Too Many Requests`, `503 Service
+/// Unavailable`).
+///
+/// A `Retry-After` header, when present, overrides the computed
+/// backoff — but both are capped at [`cap`](Self::cap), so a load
+/// harness can honour the server's hint without stalling a worker for
+/// seconds. Jitter is derived from `splitmix64(seed + attempt)`, so a
+/// given `(seed, attempt)` always sleeps the same amount: backoff
+/// schedules are reproducible run to run, while distinct seeds (one
+/// per worker) still decorrelate the fleet.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base: Duration,
+    /// Upper bound on any single sleep, including `Retry-After` hints.
+    pub cap: Duration,
+    /// Jitter seed; give each worker its own to spread retry storms.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0x5b6c_97d2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based), honouring an
+    /// optional `Retry-After` duration from the server.
+    pub fn backoff(&self, attempt: u32, retry_after: Option<Duration>) -> Duration {
+        if let Some(hint) = retry_after {
+            return hint.min(self.cap);
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        // Decorrelate concurrent retriers: uniform in [exp/2, exp],
+        // deterministic in (seed, attempt).
+        let nanos = exp.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut state = self.seed.wrapping_add(u64::from(attempt));
+        let r = skyline_data::splitmix64(&mut state);
+        let half = nanos / 2;
+        Duration::from_nanos(half + r % (half + 1))
+    }
+}
+
 /// A response read off the wire.
 #[derive(Debug)]
 pub struct Response {
@@ -78,6 +133,46 @@ impl Client {
     /// `POST path` with a JSON body.
     pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<Response> {
         self.request("POST", path, body.as_bytes())
+    }
+
+    /// [`post_json`](Self::post_json) with retries: `429`/`503`
+    /// responses are retried after [`RetryPolicy::backoff`] (honouring
+    /// the server's `Retry-After` hint, capped), and a broken
+    /// connection is transparently re-dialled and also counts as one
+    /// retry. Returns the final response — still `429`/`503` if the
+    /// budget ran out — plus the number of retries taken.
+    pub fn post_json_with_retry(
+        &mut self,
+        path: &str,
+        body: &str,
+        policy: &RetryPolicy,
+    ) -> io::Result<(Response, u32)> {
+        let mut retries = 0u32;
+        loop {
+            match self.request("POST", path, body.as_bytes()) {
+                Ok(resp) if matches!(resp.status, 429 | 503) && retries < policy.max_retries => {
+                    let hint = resp
+                        .header("retry-after")
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(Duration::from_secs);
+                    std::thread::sleep(policy.backoff(retries, hint));
+                    retries += 1;
+                }
+                Ok(resp) => return Ok((resp, retries)),
+                Err(_) if retries < policy.max_retries => {
+                    // The server may have closed a keep-alive socket
+                    // mid-drain; re-dial before giving up.
+                    std::thread::sleep(policy.backoff(retries, None));
+                    retries += 1;
+                    let token = self.token.take();
+                    *self = match token {
+                        Some(t) => Self::connect_with_token(self.addr, t)?,
+                        None => Self::connect(self.addr)?,
+                    };
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Sends one request and reads the full (decoded) response.

@@ -38,6 +38,6 @@ pub mod http;
 pub mod json;
 pub mod server;
 
-pub use client::{Client, Response};
+pub use client::{Client, Response, RetryPolicy};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use server::{ServeConfig, SkylineServer, TenantSpec};

@@ -401,12 +401,29 @@ fn dispatch(
 ) -> bool {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
+            let quarantined = inner.engine.quarantined();
             let state = if inner.stop.load(Ordering::SeqCst) {
                 "draining"
+            } else if !quarantined.is_empty() {
+                // Still 200 — the process serves every healthy dataset
+                // — but the status flags the degradation and names the
+                // quarantined datasets for operators.
+                "degraded"
             } else {
                 "ok"
             };
-            let body = format!("{{\"status\":\"{state}\"}}");
+            let mut body = format!("{{\"status\":\"{state}\"");
+            if !quarantined.is_empty() {
+                body.push_str(",\"quarantined\":[");
+                for (i, (name, _reason)) in quarantined.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&format!("\"{}\"", json::escape(name)));
+                }
+                body.push(']');
+            }
+            body.push('}');
             http::write_response(stream, 200, "application/json", &[], body.as_bytes()).is_ok()
         }
         ("GET", "/metrics") => {
@@ -618,9 +635,14 @@ fn status_for(err: &EngineError) -> (u16, Option<u64>) {
         | EngineError::RowArity { .. }
         | EngineError::NonFiniteValue { .. }
         | EngineError::UnknownRow { .. } => (400, None),
-        EngineError::Cancelled | EngineError::Internal | EngineError::TelemetryDisabled => {
-            (500, None)
-        }
+        // Quarantine is an availability problem on one dataset, not a
+        // client mistake: 503 without Retry-After (waiting won't fix
+        // corruption; an operator must re-register).
+        EngineError::DatasetQuarantined(_) => (503, None),
+        EngineError::Cancelled
+        | EngineError::Internal
+        | EngineError::TelemetryDisabled
+        | EngineError::Persist(_) => (500, None),
     }
 }
 

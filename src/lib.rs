@@ -112,20 +112,22 @@ pub use skyline_core::{
     SkylineResult, SortKey,
 };
 pub use skyline_data::{
-    generate, load_csv, quantize, write_csv, DataError, Dataset, Distribution, Preference,
-    RealDataset, Rng, Shard, ShardStats, ShardedStore,
+    generate, load_csv, persist, quantize, splitmix64, write_csv, DataError, Dataset, Distribution,
+    Preference, RealDataset, Rng, Shard, ShardStats, ShardedStore,
 };
 pub use skyline_engine::{
-    AdmissionConfig, CacheStats, Clock, Counter, DatasetEntry, Engine, EngineConfig, EngineError,
-    FeedbackConfig, FeedbackLoop, FeedbackStats, Gauge, Histogram, HistogramSnapshot, ManualClock,
-    MergeStats, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot, MonotonicClock,
-    MutationReport, Observation, PartitionerKind, PlanCandidate, PlanKind, PlannerConfig, Priority,
-    QueryOptions, QueryPlan, QueryResult, QueryTicket, QueryTrace, QuotaKind, RejectReason,
-    Session, SessionOptions, SessionStats, SkylineQuery, SlowQueryLog, SpanKind, Strategy,
-    SuperspaceSeed, TelemetryConfig, TraceSpan,
+    AdmissionConfig, CacheStats, Clock, Counter, DatasetEntry, DurabilityOptions, Engine,
+    EngineConfig, EngineError, FeedbackConfig, FeedbackLoop, FeedbackStats, Gauge, Histogram,
+    HistogramSnapshot, ManualClock, MergeStats, MetricSample, MetricValue, MetricsRegistry,
+    MetricsSnapshot, MonotonicClock, MutationReport, Observation, PartitionerKind, PlanCandidate,
+    PlanKind, PlannerConfig, Priority, QueryOptions, QueryPlan, QueryResult, QueryTicket,
+    QueryTrace, QuotaKind, RecoveryReport, RejectReason, Session, SessionOptions, SessionStats,
+    SkylineQuery, SlowQueryLog, SpanKind, Strategy, SuperspaceSeed, TelemetryConfig, TraceSpan,
 };
 pub use skyline_parallel::{available_threads, ThreadPool};
-pub use skyline_serve::{parse_json, Client, Json, ServeConfig, SkylineServer, TenantSpec};
+pub use skyline_serve::{
+    parse_json, Client, Json, Response, RetryPolicy, ServeConfig, SkylineServer, TenantSpec,
+};
 
 /// One-stop imports for typical use.
 ///

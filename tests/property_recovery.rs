@@ -1,0 +1,276 @@
+//! Property-based crash testing of the durability subsystem: for
+//! random mutation interleavings, a deterministic fault injector kills
+//! the durable engine at **every** write ordinal in turn, and the
+//! state recovered from the surviving bytes must equal the
+//! acknowledged prefix of mutations — live ids, row values, and the
+//! skyline against `verify::naive_skyline` — with compaction enabled,
+//! so replay reproduces the catalog's renumbering decisions too.
+//!
+//! The acknowledged prefix is tracked by a *shadow engine*: an
+//! identically configured non-durable engine fed exactly the batches
+//! the durable one acknowledged. Determinism of the mutation path
+//! (same config, same state, same batch ⇒ same renumbering) is what
+//! makes this comparison exact; that determinism is itself covered by
+//! the engine's update property suite.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use skybench::persist::{FaultInjector, FaultPlan, MemIo, WalIo};
+use skybench::prelude::*;
+use skybench::{splitmix64, verify, EngineError};
+
+const DIR: &str = "/crash";
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        threads: 2,
+        // The default fraction: small delete batches compact eagerly,
+        // so replay has to reproduce renumbering, not just appends.
+        ..EngineConfig::default()
+    }
+}
+
+/// One scripted mutation step, derived deterministically from the
+/// case seed and the shadow's current live set.
+fn step(seed: &mut u64, d: usize, live: &[u32]) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let n_ins = (splitmix64(seed) % 4) as usize;
+    let inserts: Vec<Vec<f32>> = (0..n_ins)
+        .map(|_| {
+            (0..d)
+                // A tiny alphabet forces ties, duplicates, and
+                // coincident points.
+                .map(|_| (splitmix64(seed) % 5) as f32)
+                .collect()
+        })
+        .collect();
+    let n_del = if live.is_empty() {
+        0
+    } else {
+        (splitmix64(seed) % 3).min(live.len() as u64 - 1) as usize
+    };
+    let mut deletes: Vec<u32> = (0..n_del)
+        .map(|_| live[(splitmix64(seed) % live.len() as u64) as usize])
+        .collect();
+    deletes.sort_unstable();
+    deletes.dedup();
+    (inserts, deletes)
+}
+
+/// Drives the scripted workload against a durable engine over `io`,
+/// mirroring every acknowledged batch into a fresh shadow engine.
+/// Returns the shadow (`None` when even registration never
+/// committed) — the ground truth for what recovery must rebuild.
+fn drive(io: Arc<dyn WalIo>, mut seed: u64, n0: usize, d: usize, ops: usize) -> Option<Engine> {
+    let (engine, _) = Engine::open_durable_with_io(DIR, cfg(), io).expect("open on empty store");
+    let base: Vec<Vec<f32>> = (0..n0)
+        .map(|_| (0..d).map(|_| (splitmix64(&mut seed) % 5) as f32).collect())
+        .collect();
+    let data = Dataset::from_rows(&base).unwrap();
+    let shadow = Engine::with_config(cfg());
+    if engine.try_register("d", data.clone()).is_err() {
+        return None;
+    }
+    shadow.register("d", data);
+    for _ in 0..ops {
+        let live = shadow.dataset("d").unwrap().live_ids().as_slice().to_vec();
+        let (inserts, deletes) = step(&mut seed, d, &live);
+        match engine.update_batch("d", &inserts, &deletes) {
+            Ok(_) => {
+                shadow
+                    .update_batch("d", &inserts, &deletes)
+                    .expect("the shadow applies what the durable engine acknowledged");
+            }
+            Err(EngineError::Persist(_)) => break,
+            Err(e) => panic!("unexpected mutation error: {e}"),
+        }
+    }
+    Some(shadow)
+}
+
+/// Asserts the recovered engine's dataset equals the shadow's, and
+/// that its skyline matches the naive reference over the live rows.
+fn assert_matches_shadow(recovered: &Engine, shadow: Option<&Engine>) {
+    let Some(shadow) = shadow else {
+        assert!(
+            recovered.dataset("d").is_none(),
+            "an unacknowledged registration must not resurrect"
+        );
+        return;
+    };
+    let want = shadow.dataset("d").unwrap();
+    let got = recovered
+        .dataset("d")
+        .expect("an acknowledged registration survives any crash");
+    assert_eq!(got.live_ids().as_slice(), want.live_ids().as_slice());
+    for &id in got.live_ids().iter() {
+        assert_eq!(got.point(id), want.point(id), "row {id}");
+    }
+    let sky = recovered.execute(&SkylineQuery::new("d")).expect("query");
+    let ids = got.live_ids();
+    let expect: Vec<u32> = verify::naive_skyline(&got.snapshot())
+        .iter()
+        .map(|&k| ids[k as usize])
+        .collect();
+    assert_eq!(sky.indices(), expect.as_slice());
+}
+
+/// Kill the engine at every write ordinal of its clean run; each
+/// recovered state must equal that run's acknowledged prefix, and
+/// replaying twice must be a no-op.
+fn check_kill_matrix(seed: u64, n0: usize, d: usize, ops: usize) {
+    // Clean run: count the write ordinals the workload performs.
+    let counting = Arc::new(FaultInjector::new(
+        Arc::new(MemIo::new()),
+        FaultPlan::default(),
+    ));
+    drive(Arc::clone(&counting) as Arc<dyn WalIo>, seed, n0, d, ops);
+    let total_writes = counting.writes();
+    assert!(total_writes >= 1, "the workload must write something");
+
+    for kill_at in 1..=total_writes {
+        let mem = MemIo::new();
+        let inj = Arc::new(FaultInjector::new(
+            Arc::new(mem.clone()),
+            FaultPlan {
+                kill_after_writes: Some(kill_at),
+                ..FaultPlan::default()
+            },
+        ));
+        let shadow = drive(inj, seed, n0, d, ops);
+        let (recovered, report) = Engine::open_durable_with_io(DIR, cfg(), Arc::new(mem.clone()))
+            .expect("recovery never refuses to boot");
+        assert!(
+            report.quarantined.is_empty(),
+            "a kill mid-write is a torn tail, never corruption: {:?}",
+            report.quarantined
+        );
+        assert_matches_shadow(&recovered, shadow.as_ref());
+        recovered.shutdown();
+        drop(recovered);
+
+        // Double replay is idempotent: a second boot over the
+        // truncated store rebuilds the same state.
+        let (again, _) = Engine::open_durable_with_io(DIR, cfg(), Arc::new(mem.clone()))
+            .expect("second recovery");
+        assert_matches_shadow(&again, shadow.as_ref());
+    }
+}
+
+/// A transient ENOSPC at a random write refuses exactly one batch;
+/// everything acknowledged around it survives a restart.
+fn check_enospc(seed: u64, n0: usize, d: usize, ops: usize, enospc_at: u64) {
+    let mem = MemIo::new();
+    let inj = Arc::new(FaultInjector::new(
+        Arc::new(mem.clone()),
+        FaultPlan {
+            enospc_on_write: Some(enospc_at),
+            ..FaultPlan::default()
+        },
+    ));
+    let mut s = seed;
+    let (engine, _) = Engine::open_durable_with_io(DIR, cfg(), inj).expect("open on empty store");
+    let base: Vec<Vec<f32>> = (0..n0)
+        .map(|_| (0..d).map(|_| (splitmix64(&mut s) % 5) as f32).collect())
+        .collect();
+    let data = Dataset::from_rows(&base).unwrap();
+    let shadow = Engine::with_config(cfg());
+    let registered = engine.try_register("d", data.clone()).is_ok();
+    if registered {
+        shadow.register("d", data);
+        for _ in 0..ops {
+            let live = shadow.dataset("d").unwrap().live_ids().as_slice().to_vec();
+            let (inserts, deletes) = step(&mut s, d, &live);
+            if engine.update_batch("d", &inserts, &deletes).is_ok() {
+                shadow.update_batch("d", &inserts, &deletes).unwrap();
+            }
+        }
+    }
+    engine.shutdown();
+    drop(engine);
+
+    let (recovered, report) = Engine::open_durable_with_io(DIR, cfg(), Arc::new(mem.clone()))
+        .expect("recovery after a transient ENOSPC");
+    assert!(report.quarantined.is_empty());
+    assert_matches_shadow(&recovered, registered.then_some(&shadow));
+}
+
+/// Flipping one bit inside an interior WAL record quarantines that
+/// dataset and only it — a co-resident healthy dataset keeps serving
+/// reads and writes through the same recovered engine.
+fn check_interior_flip(seed: u64, offset: usize, mask: u8) {
+    let mem = MemIo::new();
+    let mut s = seed;
+    let mk = |s: &mut u64, n: usize| -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| (0..3).map(|_| (splitmix64(s) % 5) as f32).collect())
+            .collect()
+    };
+    {
+        let (engine, _) =
+            Engine::open_durable_with_io(DIR, cfg(), Arc::new(mem.clone())).expect("open");
+        engine.register("sick", Dataset::from_rows(&mk(&mut s, 5)).unwrap());
+        engine.register("ok", Dataset::from_rows(&mk(&mut s, 5)).unwrap());
+        for _ in 0..3 {
+            engine.update_batch("sick", &mk(&mut s, 2), &[]).unwrap();
+            engine.update_batch("ok", &mk(&mut s, 2), &[]).unwrap();
+        }
+        engine.shutdown();
+    }
+    // Flip inside the first record's payload (the frame is an 8B
+    // header + a 53B payload, and two more records follow), so the
+    // damage is unambiguously interior — never a torn tail.
+    let wal = Path::new(DIR).join("datasets/sick/wal.log");
+    assert!(mem.corrupt(&wal, offset, mask));
+
+    let (engine, report) =
+        Engine::open_durable_with_io(DIR, cfg(), Arc::new(mem.clone())).expect("degraded boot");
+    assert_eq!(report.quarantined.len(), 1, "{:?}", report.quarantined);
+    assert_eq!(report.quarantined[0].0.as_str(), "sick");
+    assert!(matches!(
+        engine.execute(&SkylineQuery::new("sick")),
+        Err(EngineError::DatasetQuarantined(_))
+    ));
+    // The healthy neighbour is untouched.
+    engine
+        .execute(&SkylineQuery::new("ok"))
+        .expect("healthy read");
+    engine
+        .update_batch("ok", &mk(&mut s, 1), &[])
+        .expect("healthy write");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn recovery_equals_acknowledged_prefix_at_every_kill_point(
+        seed in 0u64..=u64::MAX / 2,
+        n0 in 1usize..16,
+        d in 1usize..5,
+        ops in 1usize..7,
+    ) {
+        check_kill_matrix(seed, n0, d, ops);
+    }
+
+    #[test]
+    fn enospc_drops_exactly_the_refused_batch(
+        seed in 0u64..=u64::MAX / 2,
+        n0 in 1usize..12,
+        d in 1usize..4,
+        ops in 2usize..7,
+        enospc_at in 1u64..8,
+    ) {
+        check_enospc(seed, n0, d, ops, enospc_at);
+    }
+
+    #[test]
+    fn interior_bit_flips_quarantine_without_collateral(
+        seed in 0u64..=u64::MAX / 2,
+        offset in 8usize..40,
+        mask in 1u8..=255,
+    ) {
+        check_interior_flip(seed, offset, mask);
+    }
+}
