@@ -40,6 +40,12 @@
 //! ```text
 //! RECOVERY phase=<kill|torn|bitflip> records_replayed=<int> torn_tail=<int> quarantined=<int> warm_p50_us=<int>
 //! ```
+//!
+//! And the query-family phase's report line:
+//!
+//! ```text
+//! FAMILY kind=<skyline|skyband|top_k_dominating> k=<int> p50_us=<int> ancestor_hit_rate=<f in [0,1]> ...
+//! ```
 
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader};
@@ -187,6 +193,43 @@ fn check_recovery_line(body: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one `FAMILY ` line body (the `k=v` pairs after the tag).
+/// Every field is `key=value`; the keys below are required and typed.
+fn check_family_line(body: &str) -> Result<(), String> {
+    let mut fields = std::collections::BTreeMap::new();
+    for pair in body.split_whitespace() {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("field `{pair}` is not `key=value`"))?;
+        fields.insert(k, v);
+    }
+    let get = |key: &str| {
+        fields
+            .get(key)
+            .copied()
+            .ok_or_else(|| format!("missing required field `{key}`"))
+    };
+    let kind = get("kind")?;
+    if !matches!(kind, "skyline" | "skyband" | "top_k_dominating") {
+        return Err(format!("field `kind={kind}` is not a known operator"));
+    }
+    for key in ["k", "p50_us"] {
+        let v = get(key)?;
+        v.parse::<u64>()
+            .map_err(|_| format!("field `{key}={v}` is not an unsigned integer"))?;
+    }
+    let rate = get("ancestor_hit_rate")?;
+    let rate: f64 = rate
+        .parse()
+        .map_err(|_| format!("field `ancestor_hit_rate={rate}` is not a number"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "field `ancestor_hit_rate={rate}` is outside [0, 1]"
+        ));
+    }
+    Ok(())
+}
+
 /// Validates one `SERVE ` line body (the `k=v` pairs after the tag),
 /// returning its `offered_qps` on success. Every field is `key=value`;
 /// the keys below are required and typed.
@@ -238,6 +281,7 @@ fn main() {
     let mut shard_lines = 0u64;
     let mut serve_lines = 0u64;
     let mut recovery_lines = 0u64;
+    let mut family_lines = 0u64;
     let mut offered_points = BTreeSet::new();
 
     for (no, line) in BufReader::new(stdin.lock()).lines().enumerate() {
@@ -256,6 +300,14 @@ fn main() {
                 exit(1);
             }
             recovery_lines += 1;
+            continue;
+        }
+        if let Some(body) = line.strip_prefix("FAMILY ") {
+            if let Err(why) = check_family_line(body) {
+                eprintln!("metrics_check: line {}: {why}: `{line}`", no + 1);
+                exit(1);
+            }
+            family_lines += 1;
             continue;
         }
         if let Some(body) = line.strip_prefix("SERVE ") {
@@ -336,10 +388,17 @@ fn main() {
         );
         exit(1);
     }
+    if seen_phases.contains("family") && family_lines == 0 {
+        eprintln!(
+            "metrics_check: the query-family phase ran (phase=family samples present) \
+             but emitted no FAMILY report lines"
+        );
+        exit(1);
+    }
     println!(
         "metrics_check: OK — {lines} samples ({shard_lines} SHARD lines, {serve_lines} SERVE \
-         lines at {} offered-QPS point(s), {recovery_lines} RECOVERY lines), \
-         {} distinct metrics across phases {:?}",
+         lines at {} offered-QPS point(s), {recovery_lines} RECOVERY lines, \
+         {family_lines} FAMILY lines), {} distinct metrics across phases {:?}",
         offered_points.len(),
         seen_names.len(),
         seen_phases

@@ -6,6 +6,7 @@
 //!                       [--update-frac F] [--feedback]
 //!                       [--tenants N] [--qps-cap Q]
 //!                       [--shards K] [--partitioner P] [--metrics]
+//!                       [--kind OP] [--k K]
 //!                       [--duration SECS] [--connections N]
 //!                       [--persist DIR] [--crash-after K]
 //!
@@ -36,6 +37,14 @@
 //!                   (needs K >= 2)
 //! --partitioner P   partitioning family of the sharded-tier phase:
 //!                   random | grid | angular (default random)
+//! --kind OP         append the `engine` experiment's query-family
+//!                   phase: run the given operator — skyline |
+//!                   skyband | top_k_dominating — against ancestor-
+//!                   seeded subspaces and emit one machine-readable
+//!                   FAMILY line (operator p50 and the skyband-
+//!                   ancestor cache hit rate)
+//! --k K             the operator's k parameter for the query-family
+//!                   phase (default 4; ignored for --kind skyline)
 //! --metrics         after each `engine` experiment phase, dump the
 //!                   engine's telemetry registry as machine-parseable
 //!                   `METRICS phase=<phase> name{labels} value` lines
@@ -67,6 +76,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: skybench <experiment> [--scale laptop|paper] [--threads N] [--update-frac F] \
          [--feedback] [--tenants N] [--qps-cap Q] [--shards K] [--partitioner P] [--metrics] \
+         [--kind skyline|skyband|top_k_dominating] [--k K] \
          [--duration SECS] [--connections N] [--persist DIR] [--crash-after K]\n\
          experiments: {}",
         ExpCtx::ALL_EXPERIMENTS.join(" ")
@@ -88,6 +98,8 @@ fn main() {
     let mut qps_cap = 256u32;
     let mut shards = 0usize;
     let mut partitioner = skyline_data::PartitionerKind::Random;
+    let mut kind: Option<String> = None;
+    let mut k = 4u32;
     let mut metrics = false;
     let mut duration: Option<std::time::Duration> = None;
     let mut connections = 4usize;
@@ -124,6 +136,22 @@ fn main() {
                 partitioner = args
                     .get(i)
                     .and_then(|s| skyline_data::PartitionerKind::parse(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--kind" => {
+                i += 1;
+                kind = args
+                    .get(i)
+                    .filter(|s| matches!(s.as_str(), "skyline" | "skyband" | "top_k_dominating"))
+                    .cloned()
+                    .or_else(|| usage());
+            }
+            "--k" => {
+                i += 1;
+                k = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k: &u32| k > 0)
                     .unwrap_or_else(|| usage());
             }
             "--qps-cap" => {
@@ -212,6 +240,11 @@ fn main() {
     ctx.qps_cap = qps_cap;
     ctx.shards = shards;
     ctx.partitioner = partitioner;
+    ctx.kind = kind.as_deref().map(|op| match op {
+        "skyline" => skyline_engine::QueryKind::Skyline,
+        "skyband" => skyline_engine::QueryKind::Skyband { k },
+        _ => skyline_engine::QueryKind::TopKDominating { k },
+    });
     ctx.metrics = metrics;
     ctx.duration = duration;
     ctx.connections = connections;

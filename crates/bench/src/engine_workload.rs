@@ -31,8 +31,8 @@ use std::time::{Duration, Instant};
 
 use skyline_data::{generate, Distribution, Preference};
 use skyline_engine::{
-    Engine, EngineConfig, EngineError, FeedbackConfig, PartitionerKind, Priority, SessionOptions,
-    SkylineQuery, Strategy, TelemetryConfig,
+    Engine, EngineConfig, EngineError, FeedbackConfig, PartitionerKind, Priority, QueryKind,
+    SessionOptions, SkylineQuery, Strategy, TelemetryConfig,
 };
 use skyline_parallel::ThreadPool;
 
@@ -102,8 +102,10 @@ fn emit_metrics(engine: &Engine, phase: &str) {
 /// `qps_cap` submissions/s), and `shards >= 2` the sharded-tier phase
 /// (a cold single-store vs sharded A/B over an anticorrelated dataset,
 /// emitting machine-readable `SHARD` lines; `partitioner` selects the
-/// partitioning family). With `metrics`, every phase dumps the
-/// telemetry registry as `METRICS` lines.
+/// partitioning family). `kind` appends the query-family phase (the
+/// requested operator against ancestor-seeded subspaces, emitting a
+/// machine-readable `FAMILY` line). With `metrics`, every phase dumps
+/// the telemetry registry as `METRICS` lines.
 #[allow(clippy::too_many_arguments)]
 pub fn run(
     scale: Scale,
@@ -114,6 +116,7 @@ pub fn run(
     qps_cap: u32,
     shards: usize,
     partitioner: PartitionerKind,
+    kind: Option<QueryKind>,
     metrics: bool,
 ) {
     let (n, d) = scale.default_workload();
@@ -344,6 +347,134 @@ pub fn run(
     if shards >= 2 {
         sharding_phase(scale, threads, shards, partitioner, &gen_pool, metrics);
     }
+    if let Some(kind) = kind {
+        family_phase(scale, threads, kind, &gen_pool, metrics);
+    }
+}
+
+/// The query-family phase: exercises the requested operator (skyline,
+/// `k`-skyband, or top-`k` dominating) together with the
+/// skyband-ancestor cache. Per subspace the cache is first seeded with
+/// a cold wide-band query (`seed_k`); the requested operator then
+/// arrives as an exact-key miss the engine must serve by filtering the
+/// stored ancestor counts (plan reason `… ancestor cache hit`) instead
+/// of rescanning the dataset. One machine-readable line:
+///
+/// ```text
+/// FAMILY kind=<skyline|skyband|top_k_dominating> k=<k> n=<n> d=<d>
+///        seed_k=<k'> cold_us=<..> p50_us=<..> ancestor_hits=<..>
+///        ancestor_hit_rate=<..>
+/// ```
+///
+/// `p50_us` is the steady-state (warm) serving latency of the
+/// operator; `ancestor_hit_rate` is the fraction of first-arrival
+/// operator queries served from a seeded ancestor.
+fn family_phase(
+    scale: Scale,
+    threads: usize,
+    kind: QueryKind,
+    gen_pool: &ThreadPool,
+    metrics: bool,
+) {
+    let (n, d) = match scale {
+        Scale::Smoke => (5_000, 4),
+        Scale::Laptop => (50_000, 5),
+        Scale::Paper => (200_000, 6),
+    };
+    let engine = Engine::with_config(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    engine.register(
+        "family",
+        generate(Distribution::Anticorrelated, n, d, 42, gen_pool),
+    );
+    let k = kind.k();
+    // The ancestor must be at least as wide as the requested band;
+    // 8 keeps the stored counts interesting even for k = 1.
+    let seed_k = (2 * k.max(1)).max(8);
+    println!(
+        "\n## query-family phase — kind = {}, k = {k}, anticorrelated n = {n}, d = {d}, \
+         ancestor seed k' = {seed_k}\n",
+        kind.label()
+    );
+
+    let subspaces: Vec<Option<Vec<usize>>> = vec![
+        None,
+        Some(vec![0, 1]),
+        Some(vec![0, d - 1]),
+        Some((0..d.min(3)).collect()),
+    ];
+    let query_for = |sub: &Option<Vec<usize>>| {
+        let q = SkylineQuery::new("family");
+        match sub {
+            Some(dims) => q.dims(dims.iter().copied()),
+            None => q,
+        }
+    };
+
+    // Top-k dominating can only reuse a top-k' ancestor (dominated
+    // counts are a different statistic than dominator counts); the
+    // band kinds share the skyband ancestor.
+    let seed_kind = match kind {
+        QueryKind::TopKDominating { .. } => QueryKind::TopKDominating { k: seed_k },
+        _ => QueryKind::Skyband { k: seed_k },
+    };
+    let seed_started = Instant::now();
+    for sub in &subspaces {
+        let r = engine
+            .execute(&query_for(sub).kind(seed_kind))
+            .expect("family seed queries are valid");
+        assert!(!r.cache_hit, "seed queries run cold");
+    }
+    println!(
+        "seeded {} subspaces with cold {} k' = {seed_k} in {}",
+        subspaces.len(),
+        seed_kind.label(),
+        fmt_secs(seed_started.elapsed())
+    );
+
+    // First wave of the requested operator: exact-key misses served
+    // from the seeded ancestors.
+    let mut ancestor_hits = 0usize;
+    let mut cold_us = 0u128;
+    for sub in &subspaces {
+        let r = engine
+            .execute(&query_for(sub).kind(kind))
+            .expect("family queries are valid");
+        cold_us += r.elapsed.as_micros();
+        if r.plan.reason.contains("ancestor") {
+            ancestor_hits += 1;
+        }
+    }
+    let ancestor_hit_rate = ancestor_hits as f64 / subspaces.len() as f64;
+
+    // Warm repeats: steady-state serving latency of the operator.
+    let reps: usize = match scale {
+        Scale::Smoke => 20,
+        Scale::Laptop => 200,
+        Scale::Paper => 1_000,
+    };
+    let mut lat_us: Vec<u128> = Vec::with_capacity(reps * subspaces.len());
+    for _ in 0..reps {
+        for sub in &subspaces {
+            let r = engine
+                .execute(&query_for(sub).kind(kind))
+                .expect("family queries are valid");
+            lat_us.push(r.elapsed.as_micros());
+        }
+    }
+    lat_us.sort_unstable();
+    let p50_us = lat_us.get(lat_us.len() / 2).copied().unwrap_or_default();
+    println!(
+        "FAMILY kind={} k={k} n={n} d={d} seed_k={seed_k} cold_us={cold_us} p50_us={p50_us} \
+         ancestor_hits={ancestor_hits} ancestor_hit_rate={ancestor_hit_rate:.3}",
+        kind.label()
+    );
+    if metrics {
+        emit_metrics(&engine, "family");
+    }
+    engine.shutdown();
 }
 
 /// The sharded-tier phase: a cold A/B of the best single-store plan

@@ -43,6 +43,11 @@ pub struct ExpCtx {
     pub shards: usize,
     /// Partitioning family of the sharded-tier phase.
     pub partitioner: PartitionerKind,
+    /// Operator of the `engine` experiment's query-family phase
+    /// (skyline / k-skyband / top-k dominating with skyband-ancestor
+    /// cache derivation, emitting `FAMILY` lines); `None` skips the
+    /// phase.
+    pub kind: Option<skyline_engine::QueryKind>,
     /// Whether the `engine` experiment dumps the telemetry registry as
     /// machine-parseable `METRICS` lines after each phase, plus a
     /// `TRACE` line and a `SLOWLOG` summary.
@@ -74,6 +79,7 @@ impl ExpCtx {
             qps_cap: 256,
             shards: 0,
             partitioner: PartitionerKind::Random,
+            kind: None,
             metrics: false,
             duration: None,
             connections: 4,
@@ -123,6 +129,7 @@ impl ExpCtx {
                     self.qps_cap,
                     self.shards,
                     self.partitioner,
+                    self.kind,
                     self.metrics,
                 );
                 if let Some(dir) = self.persist.clone() {

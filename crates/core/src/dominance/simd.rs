@@ -697,6 +697,64 @@ impl TileStore {
         false
     }
 
+    /// How many points with index in `start..end` strictly dominate
+    /// `q`, capped at `cap` — the counting generalisation of
+    /// [`any_dominates_range`](Self::any_dominates_range) that powers
+    /// the k-skyband and top-k-dominating kernels. Returns as soon as
+    /// the running count reaches `cap` (a k-skyband caller only needs
+    /// to know "≥ k", never the exact larger total), so heavily
+    /// dominated points stay cheap. Handles unaligned boundaries with
+    /// the same masked tile scans; padding lanes never set bits in
+    /// [`DtBlock::dominators_with`], so whole-tile counts need no mask.
+    pub fn count_dominators_range(
+        &self,
+        start: usize,
+        end: usize,
+        q: &[f32],
+        cap: u32,
+        dts: &mut u64,
+    ) -> u32 {
+        debug_assert!(start <= end && end <= self.len);
+        if start >= end || cap == 0 {
+            return 0;
+        }
+        let level = active_level();
+        let mut count = 0u32;
+        let mut i = start;
+        // Masked head, when `start` is not tile-aligned.
+        let head_lane = i % TILE_LANES;
+        if head_lane != 0 {
+            let t = i / TILE_LANES;
+            let hi = end.min((t + 1) * TILE_LANES);
+            let lanes_hi = hi - t * TILE_LANES;
+            let mask = (((1u32 << lanes_hi) - 1) >> head_lane) << head_lane;
+            *dts += (hi - i) as u64;
+            count += (self.tiles[t].dominators_with(level, q) & mask).count_ones();
+            if count >= cap {
+                return cap;
+            }
+            i = hi;
+        }
+        // Whole tiles.
+        while i + TILE_LANES <= end {
+            let t = &self.tiles[i / TILE_LANES];
+            *dts += t.live() as u64;
+            count += t.dominators_with(level, q).count_ones();
+            if count >= cap {
+                return cap;
+            }
+            i += TILE_LANES;
+        }
+        // Masked prefix of the final tile.
+        if i < end {
+            let rem = end - i;
+            *dts += rem as u64;
+            count += (self.tiles[i / TILE_LANES].dominators_with(level, q) & ((1 << rem) - 1))
+                .count_ones();
+        }
+        count.min(cap)
+    }
+
     /// BNL's window update in one call: if any stored point strictly
     /// dominates `q`, returns `true` (the window is untouched — no
     /// stored point can simultaneously be dominated by `q`, since the
@@ -1321,6 +1379,49 @@ mod tests {
         // But (3.5, 18.5) is dominated by row 3 within the first 4.
         let mut dts = 0;
         assert!(store.any_dominates_first(4, &[3.5, 18.5], &mut dts));
+    }
+
+    #[test]
+    fn count_dominators_range_matches_scalar_count() {
+        // A descending anti-chain plus a dominated tail: row i is
+        // (i, 21-i) for i < 21, then chained points that each pick up
+        // dominators. 21 rows span three tiles so head/pair/tail paths
+        // all run at unaligned boundaries.
+        let rows: Vec<Vec<f32>> = (0..21).map(|i| vec![i as f32, (21 - i) as f32]).collect();
+        let mut store = TileStore::with_capacity(2, rows.len());
+        for r in &rows {
+            store.push(r);
+        }
+        let scalar = |start: usize, end: usize, q: &[f32]| -> u32 {
+            (start..end)
+                .filter(|&i| super::strictly_dominates(&store.point(i), q))
+                .count() as u32
+        };
+        for q in [
+            &[10.5f32, 12.5][..],
+            &[5.0, 30.0],
+            &[30.0, 30.0],
+            &[0.0, 0.0],
+        ] {
+            for (start, end) in [(0, 21), (3, 21), (0, 13), (5, 19), (9, 10), (7, 7)] {
+                let want = scalar(start, end, q);
+                let mut dts = 0u64;
+                assert_eq!(
+                    store.count_dominators_range(start, end, q, u32::MAX, &mut dts),
+                    want,
+                    "q={q:?} range {start}..{end}"
+                );
+                // Capping returns min(count, cap), for every cap.
+                for cap in 0..=want + 1 {
+                    let mut dts = 0u64;
+                    assert_eq!(
+                        store.count_dominators_range(start, end, q, cap, &mut dts),
+                        want.min(cap),
+                        "q={q:?} range {start}..{end} cap {cap}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

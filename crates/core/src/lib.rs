@@ -20,9 +20,11 @@
 //! kernels ([`dominance`]), monotone sort keys ([`norms`]), partition
 //! masks and the compound-key bithack ([`masks`]), pivot selection
 //! ([`pivot`]), the β-queue pre-filter ([`prefilter`]), instrumented
-//! run statistics ([`stats`]), and incremental skyline maintenance
+//! run statistics ([`stats`]), incremental skyline maintenance
 //! kernels ([`maintain`]) that patch a materialized skyline under
-//! point inserts and deletes instead of recomputing it.
+//! point inserts and deletes instead of recomputing it, and the
+//! counting kernels of the skyline query family ([`skyband`]):
+//! k-skyband and top-k dominating.
 //!
 //! # Quick example
 //!
@@ -55,6 +57,7 @@ pub mod masks;
 pub mod norms;
 pub mod pivot;
 pub mod prefilter;
+pub mod skyband;
 mod sorted;
 pub mod stats;
 pub mod telemetry;

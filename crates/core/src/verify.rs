@@ -101,6 +101,61 @@ pub fn check_skyline(data: &Dataset, indices: &[u32]) -> Result<(), String> {
     Ok(())
 }
 
+/// The definitionally correct k-skyband under per-dimension
+/// preferences: every point strictly dominated (on `dims`, with
+/// `max_mask` orientation) by **fewer than `k`** other points, paired
+/// with its exact dominator count, in ascending index order. `k = 0`
+/// yields the empty set; `k = 1` is the skyline with all counts zero.
+/// O(n²·d) — only suitable for test-sized inputs.
+pub fn naive_skyband_on_pref(
+    data: &Dataset,
+    dims: &[usize],
+    max_mask: u32,
+    k: u32,
+) -> Vec<(u32, u32)> {
+    use crate::dominance::strictly_dominates_on_pref;
+    let n = data.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let p = data.row(i);
+        let count = (0..n)
+            .filter(|&j| j != i && strictly_dominates_on_pref(data.row(j), p, dims, max_mask))
+            .count() as u32;
+        if count < k {
+            out.push((i as u32, count));
+        }
+    }
+    out
+}
+
+/// The definitionally correct top-k dominating query under
+/// per-dimension preferences: every point scored by how many others it
+/// strictly dominates (on `dims`, with `max_mask` orientation), the
+/// top `k` returned as `(index, score)` ordered by score descending,
+/// index ascending on ties. O(n²·d) — only suitable for test-sized
+/// inputs.
+pub fn naive_top_k_dominating(
+    data: &Dataset,
+    dims: &[usize],
+    max_mask: u32,
+    k: u32,
+) -> Vec<(u32, u32)> {
+    use crate::dominance::strictly_dominates_on_pref;
+    let n = data.len();
+    let mut scored: Vec<(u32, u32)> = (0..n)
+        .map(|i| {
+            let p = data.row(i);
+            let score = (0..n)
+                .filter(|&j| j != i && strictly_dominates_on_pref(p, data.row(j), dims, max_mask))
+                .count() as u32;
+            (i as u32, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k as usize);
+    scored
+}
+
 /// How many dataset points each of the given points strictly dominates.
 /// A useful "strength" score for ranking skyline members (used by the
 /// NBA example); O(|indices|·n·d).
@@ -225,6 +280,66 @@ mod tests {
         assert!(check_skyline(&data, &[]).is_err()); // missing member
         assert!(check_skyline(&data, &[0, 0]).is_err()); // not ascending
         assert!(check_skyline(&data, &[0, 7]).is_err()); // out of range
+    }
+
+    #[test]
+    fn skyband_degenerates_to_skyline_at_k1() {
+        let data = ds(&[
+            vec![1.0, 2.0, 9.0],
+            vec![2.0, 1.0, 1.0],
+            vec![3.0, 0.5, 2.0],
+            vec![0.5, 3.0, 3.0],
+            vec![2.0, 3.0, 0.0],
+        ]);
+        for dims in [&[0usize, 1][..], &[1, 2], &[0, 1, 2]] {
+            for max_mask in 0u32..4 {
+                let band = naive_skyband_on_pref(&data, dims, max_mask, 1);
+                assert!(band.iter().all(|&(_, c)| c == 0), "{dims:?}");
+                assert_eq!(
+                    band.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+                    naive_skyline_on_pref(&data, dims, max_mask),
+                    "{dims:?} mask {max_mask:#b}"
+                );
+            }
+        }
+        assert!(naive_skyband_on_pref(&data, &[0, 1], 0, 0).is_empty());
+    }
+
+    #[test]
+    fn skyband_counts_are_exact() {
+        // Chain 0 < 1 < 2 < 3: dominator counts 0, 1, 2, 3.
+        let data = ds(&[
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        assert_eq!(
+            naive_skyband_on_pref(&data, &[0, 1], 0, 3),
+            vec![(0, 0), (1, 1), (2, 2)]
+        );
+        // Every point survives once k exceeds n.
+        assert_eq!(naive_skyband_on_pref(&data, &[0, 1], 0, 10).len(), 4);
+    }
+
+    #[test]
+    fn top_k_dominating_ranks_by_score() {
+        let data = ds(&[
+            vec![0.0, 0.0], // dominates the other three → score 3
+            vec![1.0, 1.0], // score 2
+            vec![2.0, 2.0], // score 0 (ties with 3 don't dominate)
+            vec![2.0, 2.0],
+        ]);
+        assert_eq!(
+            naive_top_k_dominating(&data, &[0, 1], 0, 3),
+            vec![(0, 3), (1, 2), (2, 0)]
+        );
+        assert_eq!(naive_top_k_dominating(&data, &[0, 1], 0, 0), vec![]);
+        // k past n returns everything, ties broken by index.
+        assert_eq!(
+            naive_top_k_dominating(&data, &[0, 1], 0, 9),
+            vec![(0, 3), (1, 2), (2, 0), (3, 0)]
+        );
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! The LRU result cache, bounded by **bytes**.
 //!
 //! Keys are `(dataset id, dataset version, dimension mask, max-pref
-//! mask)` — everything that determines a skyline's membership. The
-//! query's `limit` is deliberately *not* part of the key: the cache
-//! stores the full index list and limits are applied as views, so one
-//! computation serves every limit.
+//! mask, query kind)` — everything that determines a result's
+//! membership. The query's `limit` is deliberately *not* part of the
+//! key: the cache stores the full index list and limits are applied as
+//! views, so one computation serves every limit.
+//!
+//! Counting operators cache their per-member counts alongside the ids
+//! ([`CachedValue`]), which enables **ancestor reuse**
+//! ([`ResultCache::find_ancestor`]): a resident skyband at `k'`
+//! answers every skyband at `k ≤ k'` — and the plain skyline — by
+//! filtering its stored dominator counts, and a resident top-k
+//! dominating list answers every smaller `k` by truncation. No
+//! dataset scan runs at all.
 //!
 //! Skylines range from one index to ~n of them, so a fixed entry count
 //! bounds nothing; the cache charges each entry its actual index-list
@@ -22,6 +30,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::query::QueryKind;
+
 /// Identity of one cached result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -33,14 +43,38 @@ pub struct CacheKey {
     pub dim_mask: u32,
     /// Bitmask of the dimensions with a `Max` preference.
     pub max_mask: u32,
+    /// Which operator of the query family the result answers.
+    pub kind: QueryKind,
+}
+
+/// One cached result: the member ids plus, for counting operators, the
+/// per-member dominance counts parallel to them (skyband dominator
+/// counts, top-k dominating scores). Plain skylines carry no counts —
+/// every member's dominator count is zero by definition.
+#[derive(Debug, Clone)]
+pub struct CachedValue {
+    /// Result member ids (ascending for skyline/skyband, score order
+    /// for top-k dominating).
+    pub ids: Arc<Vec<u32>>,
+    /// Per-member counts, parallel to `ids`, when the operator has
+    /// them.
+    pub counts: Option<Arc<Vec<u32>>>,
+}
+
+impl CachedValue {
+    /// A count-less value — the plain-skyline form.
+    pub fn ids_only(ids: Arc<Vec<u32>>) -> Self {
+        Self { ids, counts: None }
+    }
 }
 
 /// Bookkeeping bytes charged per entry on top of its index list: the
 /// key, LRU links, map slot, and `Arc` header, rounded up.
 pub(crate) const ENTRY_OVERHEAD_BYTES: usize = 96;
 
-fn cost_of(value: &Arc<Vec<u32>>) -> usize {
-    ENTRY_OVERHEAD_BYTES + value.len() * std::mem::size_of::<u32>()
+fn cost_of(value: &CachedValue) -> usize {
+    let counts = value.counts.as_ref().map_or(0, |c| c.len());
+    ENTRY_OVERHEAD_BYTES + (value.ids.len() + counts) * std::mem::size_of::<u32>()
 }
 
 /// Monotonic counters describing cache effectiveness.
@@ -84,7 +118,7 @@ const NIL: usize = usize::MAX;
 
 struct Node {
     key: CacheKey,
-    value: Arc<Vec<u32>>,
+    value: CachedValue,
     prev: usize,
     next: usize,
 }
@@ -131,7 +165,7 @@ impl Inner {
         self.detach(slot);
         self.map.remove(&self.nodes[slot].key);
         self.bytes -= cost_of(&self.nodes[slot].value);
-        self.nodes[slot].value = Arc::new(Vec::new());
+        self.nodes[slot].value = CachedValue::ids_only(Arc::new(Vec::new()));
         self.free.push(slot);
     }
 }
@@ -185,7 +219,7 @@ impl ResultCache {
     }
 
     /// Looks a key up, refreshing its recency on a hit.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u32>>> {
+    pub fn get(&self, key: &CacheKey) -> Option<CachedValue> {
         if self.budget_bytes == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -196,7 +230,7 @@ impl ResultCache {
                 inner.detach(slot);
                 inner.push_front(slot);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&inner.nodes[slot].value))
+                Some(inner.nodes[slot].value.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -208,7 +242,7 @@ impl ResultCache {
     /// Like [`get`](Self::get) (including the recency refresh) but
     /// without touching the hit/miss counters. For de-duplication
     /// re-probes whose query was already counted once.
-    pub fn get_uncounted(&self, key: &CacheKey) -> Option<Arc<Vec<u32>>> {
+    pub fn get_uncounted(&self, key: &CacheKey) -> Option<CachedValue> {
         if self.budget_bytes == 0 {
             return None;
         }
@@ -216,19 +250,67 @@ impl ResultCache {
         let slot = inner.map.get(key).copied()?;
         inner.detach(slot);
         inner.push_front(slot);
-        Some(Arc::clone(&inner.nodes[slot].value))
+        Some(inner.nodes[slot].value.clone())
+    }
+
+    /// An **ancestor** entry able to answer `key` by filtering: same
+    /// dataset, version, subspace, and preferences, holding a skyband
+    /// at `k' ≥` the `k` the probe needs (a skyband is a superset of
+    /// every smaller-`k` skyband and of the skyline, and its stored
+    /// dominator counts say which members survive the tighter bound) —
+    /// or, for a top-k dominating probe, a longer top-`k'` list that
+    /// answers by truncation. Returns the ancestor's key and value;
+    /// prefers the *smallest* sufficient `k'` (fewest rows to filter)
+    /// and refreshes its recency — it is serving real traffic. Does
+    /// not touch the hit/miss counters: the exact-key probe already
+    /// counted this query.
+    pub fn find_ancestor(&self, key: &CacheKey) -> Option<(CacheKey, CachedValue)> {
+        if self.budget_bytes == 0 {
+            return None;
+        }
+        let needed = key.kind.k();
+        let mut inner = self.lock();
+        let (found, slot) = {
+            let nodes = &inner.nodes;
+            inner
+                .map
+                .iter()
+                .filter(|(k, &slot)| {
+                    k.dataset_id == key.dataset_id
+                        && k.version == key.version
+                        && k.dim_mask == key.dim_mask
+                        && k.max_mask == key.max_mask
+                        && k.kind != key.kind
+                        && match (key.kind, k.kind) {
+                            (
+                                QueryKind::Skyline | QueryKind::Skyband { .. },
+                                QueryKind::Skyband { k: have },
+                            ) => have >= needed && nodes[slot].value.counts.is_some(),
+                            (
+                                QueryKind::TopKDominating { .. },
+                                QueryKind::TopKDominating { k: have },
+                            ) => have >= needed,
+                            _ => false,
+                        }
+                })
+                .min_by_key(|(k, _)| k.kind.k())
+                .map(|(k, &slot)| (*k, slot))?
+        };
+        inner.detach(slot);
+        inner.push_front(slot);
+        Some((found, inner.nodes[slot].value.clone()))
     }
 
     /// Inserts (or refreshes) a result, evicting least recently used
     /// entries until the byte budget holds. A single result larger
     /// than the whole budget is not cached at all.
-    pub fn insert(&self, key: CacheKey, value: Arc<Vec<u32>>) {
+    pub fn insert(&self, key: CacheKey, value: CachedValue) {
         self.insert_inner(key, value);
     }
 
     /// [`insert`](Self::insert), reporting whether the value is now
     /// resident (false: zero budget, or the result alone exceeds it).
-    fn insert_inner(&self, key: CacheKey, value: Arc<Vec<u32>>) -> bool {
+    fn insert_inner(&self, key: CacheKey, value: CachedValue) -> bool {
         let cost = cost_of(&value);
         if self.budget_bytes == 0 || cost > self.budget_bytes {
             return false;
@@ -283,16 +365,21 @@ impl ResultCache {
     /// Counts toward [`CacheStats::patches`] only when the patched
     /// entry actually becomes resident — a zero-budget cache (or an
     /// oversized result) drops the patch and must not report it.
-    pub fn insert_patched(&self, key: CacheKey, value: Arc<Vec<u32>>) {
+    pub fn insert_patched(&self, key: CacheKey, value: CachedValue) {
         if self.insert_inner(key, value) {
             self.patches.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Removes and returns every entry of `dataset_id` at exactly
-    /// `version`, without counting invalidations — the caller patches
-    /// them forward and re-inserts via
-    /// [`insert_patched`](Self::insert_patched).
+    /// Removes and returns every **plain-skyline** entry of
+    /// `dataset_id` at exactly `version`, without counting
+    /// invalidations — the caller patches them forward with the
+    /// maintenance kernels and re-inserts via
+    /// [`insert_patched`](Self::insert_patched). Counting entries
+    /// (skyband, top-k dominating) are left in place: the delta
+    /// kernels cannot maintain dominance counts, and a version-keyed
+    /// entry at a superseded version can never serve again, so the LRU
+    /// tail reclaims them.
     pub fn take_dataset_version(
         &self,
         dataset_id: u64,
@@ -305,23 +392,30 @@ impl ResultCache {
         let victims: Vec<usize> = inner
             .map
             .iter()
-            .filter(|(k, _)| k.dataset_id == dataset_id && k.version == version)
+            .filter(|(k, _)| {
+                k.dataset_id == dataset_id && k.version == version && k.kind.is_skyline()
+            })
             .map(|(_, &slot)| slot)
             .collect();
         let mut out = Vec::with_capacity(victims.len());
         for slot in victims {
-            out.push((inner.nodes[slot].key, Arc::clone(&inner.nodes[slot].value)));
+            out.push((
+                inner.nodes[slot].key,
+                Arc::clone(&inner.nodes[slot].value.ids),
+            ));
             inner.remove_slot(slot);
         }
         out
     }
 
-    /// The newest resident result for the same dataset/subspace/
-    /// preference at a version **below** `key.version`, as
-    /// `(version, skyline length)`. Feeds the planner's delta
-    /// strategy; does not refresh recency or count as a probe.
+    /// The newest resident **plain-skyline** result for the same
+    /// dataset/subspace/preference at a version **below**
+    /// `key.version`, as `(version, skyline length)`. Feeds the
+    /// planner's delta strategy, which repairs skylines only — so
+    /// non-skyline probes (and entries) never participate. Does not
+    /// refresh recency or count as a probe.
     pub fn find_prior(&self, key: &CacheKey) -> Option<(u64, usize)> {
-        if self.budget_bytes == 0 {
+        if self.budget_bytes == 0 || !key.kind.is_skyline() {
             return None;
         }
         let inner = self.lock();
@@ -333,9 +427,10 @@ impl ResultCache {
                     && k.dim_mask == key.dim_mask
                     && k.max_mask == key.max_mask
                     && k.version < key.version
+                    && k.kind.is_skyline()
             })
             .max_by_key(|(k, _)| k.version)
-            .map(|(k, &slot)| (k.version, inner.nodes[slot].value.len()))
+            .map(|(k, &slot)| (k.version, inner.nodes[slot].value.ids.len()))
     }
 
     /// A resident result at the **same dataset and version** whose
@@ -348,7 +443,7 @@ impl ResultCache {
     /// subspace, then the largest member set; does not refresh recency
     /// or count as a probe.
     pub fn find_superspace_seed(&self, key: &CacheKey) -> Option<(u32, usize)> {
-        if self.budget_bytes == 0 {
+        if self.budget_bytes == 0 || !key.kind.is_skyline() {
             return None;
         }
         let inner = self.lock();
@@ -361,9 +456,10 @@ impl ResultCache {
                     && k.dim_mask & key.dim_mask == k.dim_mask
                     && k.dim_mask != key.dim_mask
                     && k.max_mask == key.max_mask & k.dim_mask
+                    && k.kind.is_skyline()
             })
-            .max_by_key(|(k, &slot)| (k.dim_mask.count_ones(), inner.nodes[slot].value.len()))
-            .map(|(k, &slot)| (k.dim_mask, inner.nodes[slot].value.len()))
+            .max_by_key(|(k, &slot)| (k.dim_mask.count_ones(), inner.nodes[slot].value.ids.len()))
+            .map(|(k, &slot)| (k.dim_mask, inner.nodes[slot].value.ids.len()))
     }
 
     /// Drops every entry belonging to `dataset_id` (all versions),
@@ -440,11 +536,19 @@ mod tests {
             version: ver,
             dim_mask: mask,
             max_mask: 0,
+            kind: QueryKind::Skyline,
         }
     }
 
-    fn val(v: &[u32]) -> Arc<Vec<u32>> {
-        Arc::new(v.to_vec())
+    fn val(v: &[u32]) -> CachedValue {
+        CachedValue::ids_only(Arc::new(v.to_vec()))
+    }
+
+    fn counted(ids: &[u32], counts: &[u32]) -> CachedValue {
+        CachedValue {
+            ids: Arc::new(ids.to_vec()),
+            counts: Some(Arc::new(counts.to_vec())),
+        }
     }
 
     /// Budget fitting exactly `n` single-index results.
@@ -457,7 +561,7 @@ mod tests {
         let c = ResultCache::new(budget_for(4));
         assert!(c.get(&key(1, 1, 0b11)).is_none());
         c.insert(key(1, 1, 0b11), val(&[0, 2]));
-        assert_eq!(*c.get(&key(1, 1, 0b11)).unwrap(), vec![0, 2]);
+        assert_eq!(*c.get(&key(1, 1, 0b11)).unwrap().ids, vec![0, 2]);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert_eq!(s.bytes, ENTRY_OVERHEAD_BYTES + 8);
@@ -509,7 +613,7 @@ mod tests {
     fn uncounted_probe_serves_without_counting() {
         let c = ResultCache::new(budget_for(2));
         c.insert(key(1, 1, 1), val(&[7]));
-        assert_eq!(*c.get_uncounted(&key(1, 1, 1)).unwrap(), vec![7]);
+        assert_eq!(*c.get_uncounted(&key(1, 1, 1)).unwrap().ids, vec![7]);
         assert!(c.get_uncounted(&key(1, 1, 9)).is_none());
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (0, 0));
@@ -526,8 +630,8 @@ mod tests {
         let c = ResultCache::new(budget_for(4));
         c.insert(key(1, 1, 1), val(&[1]));
         c.insert(key(1, 2, 1), val(&[2]));
-        assert_eq!(*c.get(&key(1, 1, 1)).unwrap(), vec![1]);
-        assert_eq!(*c.get(&key(1, 2, 1)).unwrap(), vec![2]);
+        assert_eq!(*c.get(&key(1, 1, 1)).unwrap().ids, vec![1]);
+        assert_eq!(*c.get(&key(1, 2, 1)).unwrap().ids, vec![2]);
     }
 
     #[test]
@@ -573,7 +677,7 @@ mod tests {
         // Patched results come back at the new version.
         c.insert_patched(key(1, 4, 1), val(&[1, 7]));
         assert_eq!(c.stats().patches, 1);
-        assert_eq!(*c.get(&key(1, 4, 1)).unwrap(), vec![1, 7]);
+        assert_eq!(*c.get(&key(1, 4, 1)).unwrap().ids, vec![1, 7]);
     }
 
     #[test]
@@ -591,8 +695,94 @@ mod tests {
             version: 7,
             dim_mask: 1,
             max_mask: 1,
+            kind: QueryKind::Skyline,
         };
         assert_eq!(c.find_prior(&with_pref), None, "pref mask must match");
+    }
+
+    #[test]
+    fn kinds_do_not_collide_and_counting_entries_are_not_patched() {
+        let c = ResultCache::new(budget_for(8));
+        let band = CacheKey {
+            kind: QueryKind::Skyband { k: 3 },
+            ..key(1, 3, 1)
+        };
+        c.insert(key(1, 3, 1), val(&[1]));
+        c.insert(band, counted(&[1, 2], &[0, 2]));
+        assert_eq!(*c.get(&key(1, 3, 1)).unwrap().ids, vec![1]);
+        assert_eq!(*c.get(&band).unwrap().ids, vec![1, 2]);
+        // Counts are charged against the budget too.
+        assert_eq!(c.stats().bytes, 2 * ENTRY_OVERHEAD_BYTES + 4 + (2 + 2) * 4);
+        // Patch-forward takes the skyline entry only; the skyband stays
+        // behind at its dead version for the LRU tail to reclaim.
+        let taken = c.take_dataset_version(1, 3);
+        assert_eq!(taken.len(), 1);
+        assert!(taken[0].0.kind.is_skyline());
+        assert!(c.get_uncounted(&band).is_some());
+        // Delta planning never sees non-skyline entries either way.
+        assert_eq!(c.find_prior(&key(1, 9, 1)), None);
+        assert_eq!(
+            c.find_prior(&CacheKey {
+                kind: QueryKind::Skyband { k: 3 },
+                ..key(1, 9, 1)
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn find_ancestor_serves_smaller_k_and_skyline() {
+        let c = ResultCache::new(budget_for(8));
+        let band = |k: u32| CacheKey {
+            kind: QueryKind::Skyband { k },
+            ..key(1, 2, 0b11)
+        };
+        c.insert(band(8), counted(&[0, 3, 5], &[0, 2, 7]));
+        c.insert(band(5), counted(&[0, 3], &[0, 2]));
+        // Skyband probe at k=3: the *smallest* sufficient ancestor
+        // (k'=5) wins.
+        let (k5, v5) = c
+            .find_ancestor(&CacheKey {
+                kind: QueryKind::Skyband { k: 3 },
+                ..key(1, 2, 0b11)
+            })
+            .unwrap();
+        assert_eq!(k5.kind, QueryKind::Skyband { k: 5 });
+        assert_eq!(*v5.ids, vec![0, 3]);
+        // A skyline probe is the k=1 filter of any skyband.
+        let (ka, _) = c.find_ancestor(&key(1, 2, 0b11)).unwrap();
+        assert_eq!(ka.kind, QueryKind::Skyband { k: 5 });
+        // Larger k than any resident skyband: no ancestor.
+        assert!(c
+            .find_ancestor(&CacheKey {
+                kind: QueryKind::Skyband { k: 9 },
+                ..key(1, 2, 0b11)
+            })
+            .is_none());
+        // Version, subspace, and preference must all match.
+        assert!(c.find_ancestor(&key(1, 3, 0b11)).is_none());
+        assert!(c.find_ancestor(&key(1, 2, 0b1)).is_none());
+        assert!(c
+            .find_ancestor(&CacheKey {
+                max_mask: 1,
+                ..key(1, 2, 0b11)
+            })
+            .is_none());
+        // Top-k dominating probes truncate longer top-k' lists, and
+        // never cross kinds.
+        let topk = CacheKey {
+            kind: QueryKind::TopKDominating { k: 10 },
+            ..key(1, 2, 0b11)
+        };
+        c.insert(topk, counted(&[5, 1, 2], &[9, 4, 0]));
+        let (kt, vt) = c
+            .find_ancestor(&CacheKey {
+                kind: QueryKind::TopKDominating { k: 2 },
+                ..key(1, 2, 0b11)
+            })
+            .unwrap();
+        assert_eq!(kt.kind, QueryKind::TopKDominating { k: 10 });
+        assert_eq!(*vt.ids, vec![5, 1, 2]);
     }
 
     #[test]
@@ -617,7 +807,7 @@ mod tests {
         assert_eq!(inner.bytes, 3 * (ENTRY_OVERHEAD_BYTES + 4));
         drop(inner);
         for i in 47..50u32 {
-            assert_eq!(*c.get(&key(1, 1, i)).unwrap(), vec![i]);
+            assert_eq!(*c.get(&key(1, 1, i)).unwrap().ids, vec![i]);
         }
     }
 
@@ -670,7 +860,7 @@ mod tests {
             assert_eq!(c.find_prior(&key(1, 99, 1)), Some((ver + 1, sky.len())));
         }
         assert_eq!(c.stats().patches, 3);
-        assert_eq!(*c.get(&key(1, 4, 1)).unwrap(), vec![10, 11, 12, 13]);
+        assert_eq!(*c.get(&key(1, 4, 1)).unwrap().ids, vec![10, 11, 12, 13]);
         assert_eq!(c.len(), 1, "the chain never duplicates entries");
     }
 
@@ -727,7 +917,7 @@ mod tests {
                     for i in 0..500u32 {
                         let k = key(t % 2, 1, i % 32);
                         if let Some(v) = c.get(&k) {
-                            assert_eq!(v.first().copied(), Some(i % 32));
+                            assert_eq!(v.ids.first().copied(), Some(i % 32));
                         } else {
                             c.insert(k, val(&[i % 32]));
                         }

@@ -9,21 +9,24 @@ use std::time::{Duration, Instant};
 
 use skyline_core::algo::Algorithm;
 use skyline_core::dominance::simd::{flip_pref, TileStore};
+use skyline_core::skyband::{skyband_counts, top_k_dominating};
 use skyline_core::{maintain, RunStats, SpanSink};
 use skyline_data::persist::{StdIo, WalIo};
 use skyline_data::{Dataset, PartitionerKind, ShardedStore};
 use skyline_parallel::{available_threads, par_chunks_mut, LaneCounters, ThreadPool};
 
-use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::cache::{CacheKey, CacheStats, CachedValue, ResultCache};
 use crate::catalog::{Catalog, DatasetEntry, MutationOutcome};
 use crate::clock::{Clock, MonotonicClock};
 use crate::error::EngineError;
-use crate::merge::{merge_local_skylines, MergeStats, ShardSkyline};
+use crate::merge::{
+    merge_local_skybands, merge_local_skylines, MergeStats, ShardSkyband, ShardSkyline,
+};
 use crate::planner::feedback::{
     FeedbackConfig, FeedbackLoop, FeedbackStats, Observation, PlanKind,
 };
 use crate::planner::{Planner, PlannerConfig, PriorResult, QueryPlan, Strategy, SuperspaceSeed};
-use crate::query::{QueryResult, SkylineQuery};
+use crate::query::{QueryKind, QueryResult, SkylineQuery};
 use crate::recovery::{Durability, DurabilityOptions, RecoveryReport};
 use crate::session::{
     AdmissionConfig, Session, SessionOptions, SessionRuntime, SessionStats, TicketState,
@@ -905,7 +908,7 @@ impl EngineShared {
                     version: entry.version(),
                     ..key
                 },
-                Arc::new(sky),
+                CachedValue::ids_only(Arc::new(sky)),
             );
             patched += 1;
         }
@@ -994,6 +997,17 @@ impl EngineShared {
                         0,
                     );
                 }
+                let sealed = self.seal_trace(trace, &ticket, &hit, wait);
+                self.complete_ticket(runtime, &ticket, Ok(hit), wait, sealed);
+                continue;
+            }
+            if let Some(hit) = self.try_ancestor(
+                &ticket.prepared,
+                Instant::now(),
+                self.clock_now(),
+                wait,
+                trace.as_ref(),
+            ) {
                 let sealed = self.seal_trace(trace, &ticket, &hit, wait);
                 self.complete_ticket(runtime, &ticket, Ok(hit), wait, sealed);
                 continue;
@@ -1159,7 +1173,16 @@ impl EngineShared {
                 }
                 hit
             }
-            None => self.run_plan(&ticket.prepared, plan, pool, queue_wait, trace.as_ref()),
+            None => match self.try_ancestor(
+                &ticket.prepared,
+                Instant::now(),
+                clock_started,
+                queue_wait,
+                trace.as_ref(),
+            ) {
+                Some(hit) => hit,
+                None => self.run_plan(&ticket.prepared, plan, pool, queue_wait, trace.as_ref()),
+            },
         };
         let sealed = self.seal_trace(trace, ticket, &outcome, queue_wait);
         self.complete_ticket(runtime, ticket, Ok(outcome), queue_wait, sealed);
@@ -1183,6 +1206,7 @@ impl EngineShared {
             version: entry.version(),
             dim_mask,
             max_mask,
+            kind: query.query_kind(),
         };
         Ok(Prepared {
             entry,
@@ -1198,18 +1222,24 @@ impl EngineShared {
     /// any same-version cached **subspace** skyline usable as a
     /// superspace pre-filter.
     pub(crate) fn plan_prepared(&self, prepared: &Prepared, threads: usize) -> QueryPlan {
+        let kind = prepared.key.kind;
         // A cached subspace skyline at this exact version can pre-filter
         // the superspace scan; cap the seed size so the filter's
         // O(n × seed) worst case stays well under the main computation.
-        let seed = self
-            .cache
-            .find_superspace_seed(&prepared.key)
-            .filter(|&(_, len)| len > 0 && len <= 4096)
-            .map(|(dim_mask, len)| SuperspaceSeed { dim_mask, len });
+        // Skyline only: pruned rows may still carry non-zero counts.
+        let seed = if kind.is_skyline() {
+            self.cache
+                .find_superspace_seed(&prepared.key)
+                .filter(|&(_, len)| len > 0 && len <= 4096)
+                .map(|(dim_mask, len)| SuperspaceSeed { dim_mask, len })
+        } else {
+            None
+        };
         // Only pay the prior-version cache scan when a delta could
         // exist at all: unmutated datasets (the common case) have an
-        // empty log.
-        let prior = if prepared.entry.oldest_delta_version().is_none() {
+        // empty log. Skyline only: the maintenance kernels patch
+        // membership, not dominator counts.
+        let prior = if !kind.is_skyline() || prepared.entry.oldest_delta_version().is_none() {
             None
         } else {
             self.cache.find_prior(&prepared.key).and_then(|(ver, len)| {
@@ -1223,11 +1253,12 @@ impl EngineShared {
                 })
             })
         };
-        self.planner.plan_query(
+        self.planner.plan_kind(
             &prepared.entry,
             &prepared.dims,
             prepared.max_mask,
             threads,
+            kind,
             prior,
             seed,
         )
@@ -1247,15 +1278,15 @@ impl EngineShared {
         started: Instant,
         clock_started: Option<Duration>,
     ) -> Option<QueryResult> {
-        let full = self.cache.get(&prepared.key)?;
-        Some(self.hit_result(prepared, full, started, clock_started, Duration::ZERO))
+        let value = self.cache.get(&prepared.key)?;
+        Some(self.hit_result(prepared, value, started, clock_started, Duration::ZERO))
     }
 
-    /// Wraps a cached index list as a hit result.
+    /// Wraps a cached value as a hit result.
     fn hit_result(
         &self,
         prepared: &Prepared,
-        full: Arc<Vec<u32>>,
+        value: CachedValue,
         started: Instant,
         clock_started: Option<Duration>,
         queue_wait: Duration,
@@ -1278,7 +1309,8 @@ impl EngineShared {
             });
         }
         QueryResult {
-            full,
+            full: value.ids,
+            counts: value.counts,
             limit: prepared.limit,
             plan: QueryPlan::trivial("").cached(),
             cache_hit: true,
@@ -1289,16 +1321,91 @@ impl EngineShared {
         }
     }
 
+    /// Serves a query from a cached **ancestor** entry when one exists:
+    /// a k'-skyband (k' ≥ k) with stored dominator counts answers any
+    /// smaller skyband — and the skyline itself (count = 0) — by
+    /// filtering those counts, and a cached top-k' dominating answers
+    /// any smaller top-k by truncation. No dataset scan happens; the
+    /// derivation is a pass over the cached vectors. The derived result
+    /// is inserted at its own key so the next identical query is an
+    /// exact hit, and the work lands on the trace as a
+    /// [`SpanKind::CacheAncestor`] span.
+    fn try_ancestor(
+        &self,
+        prepared: &Prepared,
+        started: Instant,
+        clock_started: Option<Duration>,
+        queue_wait: Duration,
+        trace: Option<&Arc<ActiveTrace>>,
+    ) -> Option<QueryResult> {
+        let kind = prepared.key.kind;
+        if matches!(
+            kind,
+            QueryKind::Skyband { k: 0 } | QueryKind::TopKDominating { k: 0 }
+        ) {
+            // Definitionally empty; let the trivial plan answer it.
+            return None;
+        }
+        let (_, anc) = self.cache.find_ancestor(&prepared.key)?;
+        let span_t0 = trace.map(|_| self.clock.now());
+        let (value, reason) = match kind {
+            QueryKind::Skyline | QueryKind::Skyband { .. } => {
+                let counts = anc.counts.as_ref()?;
+                debug_assert_eq!(counts.len(), anc.ids.len());
+                let keep_below = kind.k();
+                let mut ids = Vec::new();
+                let mut kept = Vec::new();
+                for (&id, &c) in anc.ids.iter().zip(counts.iter()) {
+                    if c < keep_below {
+                        ids.push(id);
+                        kept.push(c);
+                    }
+                }
+                let value = CachedValue {
+                    ids: Arc::new(ids),
+                    counts: (!kind.is_skyline()).then(|| Arc::new(kept)),
+                };
+                (value, "skyband ancestor cache hit")
+            }
+            QueryKind::TopKDominating { k } => {
+                let take = (k as usize).min(anc.ids.len());
+                let value = CachedValue {
+                    ids: Arc::new(anc.ids[..take].to_vec()),
+                    counts: anc
+                        .counts
+                        .as_ref()
+                        .map(|c| Arc::new(c[..take.min(c.len())].to_vec())),
+                };
+                (value, "top-k ancestor cache hit")
+            }
+        };
+        self.cache.insert(prepared.key, value.clone());
+        if let (Some(tr), Some(t0)) = (trace, span_t0) {
+            tr.add_span(
+                SpanKind::CacheAncestor,
+                t0,
+                self.clock.now().saturating_sub(t0),
+                0,
+            );
+        }
+        let mut hit = self.hit_result(prepared, value, started, clock_started, queue_wait);
+        hit.plan.reason = reason;
+        Some(hit)
+    }
+
     /// Applies a `Strategy::Delta` plan: seeds from the prior cached
     /// skyline and replays the accumulated delta through the
     /// maintenance kernels. `None` when the prior result or the delta
     /// window vanished between planning and execution.
     fn run_delta(&self, prepared: &Prepared, from_version: u64) -> Option<Vec<u32>> {
         let entry = &prepared.entry;
-        let prior = self.cache.get_uncounted(&CacheKey {
-            version: from_version,
-            ..prepared.key
-        })?;
+        let prior = self
+            .cache
+            .get_uncounted(&CacheKey {
+                version: from_version,
+                ..prepared.key
+            })?
+            .ids;
         let delta = entry.delta_since(from_version)?;
         let inserted = entry.inserted_since(delta.bound);
         // Rows live now and below the bound are exactly the prior
@@ -1349,14 +1456,28 @@ impl EngineShared {
         }
         let exec_started = trace.map(|_| self.clock.now());
         let entry = &prepared.entry;
+        let kind = prepared.key.kind;
         let mut shard_merge = None;
+        let mut counts: Option<Vec<u32>> = None;
         let (indices, stats) = match &plan.strategy {
             Strategy::Cached => unreachable!("planner never emits Cached"),
             Strategy::Trivial => {
-                // No discriminating dimension: every live row is in the
-                // skyline (vacuously non-dominated), or none on an
-                // empty dataset.
-                ((**entry.live_ids()).clone(), None)
+                // No discriminating dimension: nothing strictly
+                // dominates anything, so every live row is in the
+                // skyline (and in any k ≥ 1 skyband, with count 0),
+                // and top-k dominating is the first k live rows with
+                // score 0. Empty dataset or k = 0: empty.
+                let ids: Vec<u32> = if kind.k() == 0 {
+                    Vec::new()
+                } else if let QueryKind::TopKDominating { k } = kind {
+                    entry.live_ids().iter().copied().take(k as usize).collect()
+                } else {
+                    (**entry.live_ids()).clone()
+                };
+                if !kind.is_skyline() {
+                    counts = Some(vec![0; ids.len()]);
+                }
+                (ids, None)
             }
             Strategy::MinScan { dim } => {
                 let max = prepared.max_mask & (1 << dim) != 0;
@@ -1380,10 +1501,65 @@ impl EngineShared {
                         .sharded()
                         .expect("planner emits Sharded only for entries with a store attached"),
                 );
-                let (indices, stats, merge) =
-                    self.run_sharded(prepared, &plan, &store, pool, trace);
-                shard_merge = Some(merge);
-                (indices, Some(stats))
+                if let QueryKind::Skyband { k } = kind {
+                    let (pairs, stats, merge) =
+                        self.run_sharded_skyband(prepared, &plan, k, &store, pool, trace);
+                    shard_merge = Some(merge);
+                    let (ids, cnts): (Vec<u32>, Vec<u32>) = pairs.into_iter().unzip();
+                    counts = Some(cnts);
+                    (ids, Some(stats))
+                } else {
+                    let (indices, stats, merge) =
+                        self.run_sharded(prepared, &plan, &store, pool, trace);
+                    shard_merge = Some(merge);
+                    (indices, Some(stats))
+                }
+            }
+            Strategy::Algorithm(algo) if !kind.is_skyline() => {
+                // Counting kinds: fold the live rows onto the effective
+                // dimensions and run the sum-sorted counting kernel —
+                // one SFS-shaped pass, whatever the nominal algorithm.
+                let exec_t0 = trace.map(|_| self.clock.now());
+                let dims = &plan.effective_dims;
+                let width = dims.len();
+                let live = Arc::clone(entry.live_ids());
+                let mut rows = Vec::with_capacity(live.len() * width);
+                for &id in live.iter() {
+                    let src = entry.point(id);
+                    for &c in dims {
+                        rows.push(flip_pref(src[c], prepared.max_mask & (1 << c) != 0));
+                    }
+                }
+                let mut dts = 0u64;
+                let pairs = match kind {
+                    QueryKind::Skyband { k } => skyband_counts(&rows, width, k, &mut dts),
+                    QueryKind::TopKDominating { k } => top_k_dominating(&rows, width, k, &mut dts),
+                    QueryKind::Skyline => unreachable!("guarded by the match arm"),
+                };
+                let mut ids = Vec::with_capacity(pairs.len());
+                let mut cnts = Vec::with_capacity(pairs.len());
+                for (pos, c) in pairs {
+                    ids.push(live[pos as usize]);
+                    cnts.push(c);
+                }
+                if let (Some(tr), Some(t0)) = (trace, exec_t0) {
+                    tr.add_span(
+                        SpanKind::Execute,
+                        t0,
+                        self.clock.now().saturating_sub(t0),
+                        dts,
+                    );
+                }
+                if let Some(tel) = &self.telemetry {
+                    tel.record_dominance(*algo, dts);
+                }
+                counts = Some(cnts);
+                let stats = RunStats {
+                    dominance_tests: dts,
+                    skyline_size: ids.len(),
+                    ..RunStats::default()
+                };
+                (ids, Some(stats))
             }
             Strategy::Algorithm(algo) => {
                 // A cached same-version subspace skyline (the planner's
@@ -1447,15 +1623,21 @@ impl EngineShared {
             }
         }
 
-        if let (Some(fb), Some(t0)) = (&self.feedback, clock_started) {
-            let runtime = fb.clock().now().saturating_sub(t0);
-            let obs = Observation::from_plan(&plan, entry.live_len(), prepared.max_mask, runtime)
-                .queued(queue_wait);
-            fb.record(obs);
-            self.refit_tick(fb);
+        // Feedback observations fit the planner's *skyline* thresholds;
+        // counting-kind runtimes would pollute those buckets.
+        if kind.is_skyline() {
+            if let (Some(fb), Some(t0)) = (&self.feedback, clock_started) {
+                let runtime = fb.clock().now().saturating_sub(t0);
+                let obs =
+                    Observation::from_plan(&plan, entry.live_len(), prepared.max_mask, runtime)
+                        .queued(queue_wait);
+                fb.record(obs);
+                self.refit_tick(fb);
+            }
         }
 
         let full = Arc::new(indices);
+        let counts = counts.map(Arc::new);
         // Don't cache results for a version that was replaced or
         // evicted while we computed: versioned keys make such entries
         // unservable, so they would only squat in LRU slots. (Best
@@ -1467,7 +1649,13 @@ impl EngineShared {
             .is_some_and(|current| current.version() == entry.version());
         if still_current {
             let insert_started = trace.map(|_| self.clock.now());
-            self.cache.insert(prepared.key, Arc::clone(&full));
+            self.cache.insert(
+                prepared.key,
+                CachedValue {
+                    ids: Arc::clone(&full),
+                    counts: counts.clone(),
+                },
+            );
             if let (Some(tr), Some(t0)) = (trace, insert_started) {
                 tr.add_span(
                     SpanKind::CacheInsert,
@@ -1479,6 +1667,7 @@ impl EngineShared {
         }
         QueryResult {
             full,
+            counts,
             limit: prepared.limit,
             plan,
             cache_hit: false,
@@ -1546,12 +1735,16 @@ impl EngineShared {
         trace: Option<&Arc<ActiveTrace>>,
     ) -> Option<(Dataset, Vec<u32>, u64)> {
         let entry = &prepared.entry;
-        let members = self.cache.get_uncounted(&CacheKey {
-            dataset_id: entry.id(),
-            version: entry.version(),
-            dim_mask: seed_mask,
-            max_mask: prepared.max_mask & seed_mask,
-        })?;
+        let members = self
+            .cache
+            .get_uncounted(&CacheKey {
+                dataset_id: entry.id(),
+                version: entry.version(),
+                dim_mask: seed_mask,
+                max_mask: prepared.max_mask & seed_mask,
+                kind: QueryKind::Skyline,
+            })?
+            .ids;
         if members.is_empty() {
             return None;
         }
@@ -1722,6 +1915,131 @@ impl EngineShared {
         // concatenated local skylines; never revisits base data.
         let merge_t0 = trace.map(|_| self.clock.now());
         let (mut merged, mstats) = merge_local_skylines(width, &locals);
+        merged.sort_unstable();
+        if let (Some(tr), Some(t0)) = (trace, merge_t0) {
+            tr.add_span(
+                SpanKind::ShardMerge,
+                t0,
+                self.clock.now().saturating_sub(t0),
+                mstats.dominance_tests,
+            );
+        }
+        stats.dominance_tests += mstats.dominance_tests;
+        stats.skyline_size = merged.len();
+        (merged, stats, mstats)
+    }
+
+    /// Executes a [`Strategy::Sharded`] plan for a k-skyband query:
+    /// folds each shard's live rows (*scatter*), computes the
+    /// per-shard **local skybands** with the sum-sorted counting
+    /// kernel — fanned out one shard per pool lane — then combines
+    /// them with the counting [`merge`](crate::merge), which is exact
+    /// below `k` because every missing dominator is transitively
+    /// covered by broadcast ones (see
+    /// [`merge_local_skybands`]). Returns `(stable id, exact global
+    /// dominator count)` pairs sorted by id.
+    fn run_sharded_skyband(
+        &self,
+        prepared: &Prepared,
+        plan: &QueryPlan,
+        band_k: u32,
+        store: &ShardedStore,
+        pool: &ThreadPool,
+        trace: Option<&Arc<ActiveTrace>>,
+    ) -> (Vec<(u32, u32)>, RunStats, MergeStats) {
+        /// One shard's fan-out slot: shard index, stable ids, folded
+        /// coordinates, and the local skyband filled in by its lane.
+        type ShardSlot = (usize, Vec<u32>, Vec<f32>, Option<(ShardSkyband, u64)>);
+
+        let dims = &plan.effective_dims;
+        let width = dims.len();
+        let max_mask = prepared.max_mask;
+        let k = store.k();
+
+        let scatter_t0 = trace.map(|_| self.clock.now());
+        let mut work: Vec<ShardSlot> = Vec::with_capacity(k);
+        for i in 0..k {
+            let shard = store.shard(i);
+            let mut ids = Vec::with_capacity(shard.live_len());
+            let mut values = Vec::with_capacity(shard.live_len() * width);
+            shard.for_each_live(|id, row| {
+                ids.push(id);
+                for &c in dims {
+                    values.push(flip_pref(row[c], max_mask & (1 << c) != 0));
+                }
+            });
+            store.add_scan_debt(i, shard.dead() as u64);
+            work.push((i, ids, values, None));
+        }
+        if let (Some(tr), Some(t0)) = (trace, scatter_t0) {
+            tr.add_span(
+                SpanKind::ShardScatter,
+                t0,
+                self.clock.now().saturating_sub(t0),
+                0,
+            );
+        }
+
+        let run_local = |i: usize, ids: Vec<u32>, values: Vec<f32>| {
+            let started = self.clock.now();
+            let mut dts = 0u64;
+            let pairs = if ids.is_empty() {
+                Vec::new()
+            } else {
+                skyband_counts(&values, width, band_k, &mut dts)
+            };
+            if let Some(tr) = trace {
+                tr.add_span_sharded(
+                    SpanKind::ShardLocal,
+                    Some(i as u32),
+                    started,
+                    self.clock.now().saturating_sub(started),
+                    dts,
+                );
+            }
+            let mut members = Vec::with_capacity(pairs.len());
+            let mut counts = Vec::with_capacity(pairs.len());
+            let mut rows = Vec::with_capacity(pairs.len() * width);
+            for (pos, c) in pairs {
+                members.push(ids[pos as usize]);
+                counts.push(c);
+                rows.extend_from_slice(&values[pos as usize * width..(pos as usize + 1) * width]);
+            }
+            (
+                ShardSkyband {
+                    shard: i,
+                    ids: members,
+                    counts,
+                    rows,
+                },
+                dts,
+            )
+        };
+        if pool.threads() > 1 && k > 1 {
+            par_chunks_mut(pool, &mut work, 1, |_, chunk| {
+                for slot in chunk.iter_mut() {
+                    let ids = std::mem::take(&mut slot.1);
+                    let values = std::mem::take(&mut slot.2);
+                    slot.3 = Some(run_local(slot.0, ids, values));
+                }
+            });
+        } else {
+            for slot in work.iter_mut() {
+                let ids = std::mem::take(&mut slot.1);
+                let values = std::mem::take(&mut slot.2);
+                slot.3 = Some(run_local(slot.0, ids, values));
+            }
+        }
+        let mut locals = Vec::with_capacity(k);
+        let mut stats = RunStats::default();
+        for (_, _, _, out) in work {
+            let (local, dts) = out.expect("every shard ran");
+            stats.dominance_tests += dts;
+            locals.push(local);
+        }
+
+        let merge_t0 = trace.map(|_| self.clock.now());
+        let (mut merged, mstats) = merge_local_skybands(width, band_k, &locals);
         merged.sort_unstable();
         if let (Some(tr), Some(t0)) = (trace, merge_t0) {
             tr.add_span(

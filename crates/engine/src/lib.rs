@@ -112,17 +112,19 @@ pub mod recovery;
 pub mod session;
 pub mod telemetry;
 
-pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use cache::{CacheKey, CacheStats, CachedValue, ResultCache};
 pub use catalog::{Catalog, DatasetEntry, DatasetStats, DeltaSummary, DimStats, MutationOutcome};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use engine::{Engine, EngineConfig, MutationReport};
 pub use error::{EngineError, QuotaKind, RejectReason};
-pub use merge::{merge_local_skylines, MergeStats, ShardSkyline};
+pub use merge::{
+    merge_local_skybands, merge_local_skylines, MergeStats, ShardSkyband, ShardSkyline,
+};
 pub use planner::feedback::{FeedbackConfig, FeedbackLoop, FeedbackStats, Observation, PlanKind};
 pub use planner::{
     PlanCandidate, Planner, PlannerConfig, PriorResult, QueryPlan, Strategy, SuperspaceSeed,
 };
-pub use query::{QueryOptions, QueryResult, SkylineQuery};
+pub use query::{QueryKind, QueryOptions, QueryResult, SkylineQuery};
 pub use recovery::{DurabilityOptions, RecoveryReport};
 pub use session::{AdmissionConfig, Priority, QueryTicket, Session, SessionOptions, SessionStats};
 pub use skyline_data::PartitionerKind;

@@ -53,6 +53,23 @@ pub struct ShardSkyline {
     pub rows: Vec<f32>,
 }
 
+/// One shard's broadcast for a k-skyband query: its **local skyband**
+/// (members dominated by fewer than `k` shard-local points) with each
+/// member's local dominator count carried along as a witness count.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSkyband {
+    /// Shard index the rows came from.
+    pub shard: usize,
+    /// Stable dataset ids of the local skyband members.
+    pub ids: Vec<u32>,
+    /// Local (within-shard) dominator counts, parallel to `ids`; every
+    /// entry is `< k` by construction.
+    pub counts: Vec<u32>,
+    /// Folded row data, `dims` contiguous values per id, parallel to
+    /// `ids`.
+    pub rows: Vec<f32>,
+}
+
 /// What the merge did, for telemetry and the bench harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MergeStats {
@@ -175,6 +192,128 @@ pub fn merge_local_skylines(dims: usize, locals: &[ShardSkyline]) -> (Vec<u32>, 
             }
             if !tile.any_dominates_range(0, run_end, q, &mut dts) {
                 out.push(locals[li as usize].ids[r as usize]);
+            }
+        }
+        i = run_end;
+    }
+    stats.survivors = out.len();
+    stats.dominance_tests = dts;
+    (out, stats)
+}
+
+/// Merges per-shard local k-skybands into the global k-skyband.
+///
+/// `dims` is the folded row width and `k` the skyband depth. Returns
+/// `(stable id, exact global dominator count)` pairs (unsorted) and the
+/// merge statistics.
+///
+/// Correctness rests on a strengthening of the local-skyline lemma: for
+/// any point `c` of shard `t`, at least `min(|D_t(c)|, k)` of `c`'s
+/// shard-local dominators are themselves in the local k-skyband (strong
+/// induction on local dominator count: a local dominator `y` missing
+/// from the local skyband has `count_t(y) ≥ k`, and its own dominators
+/// — a strict subset of `c`'s — are transitively dominators of `c`).
+/// Every cross-shard dominator of a candidate is either broadcast or
+/// has ≥ k broadcast dominators that transitively dominate the
+/// candidate. So counting dominators **among the broadcast candidates
+/// only**, capped at `k`, is exact below `k` and correctly saturates at
+/// `≥ k` — no base-data revisit, and no carry-over arithmetic: a
+/// candidate's same-shard broadcast dominators are exactly its local
+/// count (both sides `< k`).
+pub fn merge_local_skybands(
+    dims: usize,
+    k: u32,
+    locals: &[ShardSkyband],
+) -> (Vec<(u32, u32)>, MergeStats) {
+    let mut stats = MergeStats::default();
+    let total: usize = locals.iter().map(|l| l.ids.len()).sum();
+    stats.candidates = total;
+    if total == 0 || k == 0 {
+        return (Vec::new(), stats);
+    }
+
+    let mut order: Vec<(f64, u32, u32)> = Vec::with_capacity(total); // (sum, local, row)
+    for (li, local) in locals.iter().enumerate() {
+        debug_assert_eq!(local.rows.len(), local.ids.len() * dims);
+        debug_assert_eq!(local.counts.len(), local.ids.len());
+        for r in 0..local.ids.len() {
+            let row = &local.rows[r * dims..(r + 1) * dims];
+            let sum: f64 = row.iter().map(|&v| v as f64).sum();
+            order.push((sum, li as u32, r as u32));
+        }
+    }
+    order.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let row_of = |li: u32, r: u32| -> &[f32] {
+        let base = r as usize * dims;
+        &locals[li as usize].rows[base..base + dims]
+    };
+
+    let mut tile = TileStore::with_capacity(dims, total);
+    for &(_, li, r) in &order {
+        tile.push(row_of(li, r));
+    }
+
+    // Witnesses: per shard, the per-dimension minima and minimum-sum
+    // member of its local skyband. Each is a distinct live point and a
+    // candidate, so k witnesses dominating a probe certify a global
+    // count of at least k without touching the full tile.
+    let mut witnesses = TileStore::new(dims);
+    for local in locals {
+        let n = local.ids.len();
+        if n == 0 {
+            continue;
+        }
+        let mut picks: Vec<usize> = Vec::with_capacity(dims + 1);
+        for j in 0..dims {
+            let mut best = 0usize;
+            for r in 1..n {
+                if local.rows[r * dims + j] < local.rows[best * dims + j] {
+                    best = r;
+                }
+            }
+            picks.push(best);
+        }
+        let mut best_sum = 0usize;
+        let mut best = f64::INFINITY;
+        for r in 0..n {
+            let s: f64 = local.rows[r * dims..(r + 1) * dims]
+                .iter()
+                .map(|&v| v as f64)
+                .sum();
+            if s < best {
+                best = s;
+                best_sum = r;
+            }
+        }
+        picks.push(best_sum);
+        picks.sort_unstable();
+        picks.dedup();
+        for r in picks {
+            witnesses.push(&local.rows[r * dims..(r + 1) * dims]);
+        }
+    }
+    stats.witnesses = witnesses.len();
+    let wn = witnesses.len();
+
+    let mut out = Vec::new();
+    let mut dts = 0u64;
+    let mut i = 0usize;
+    while i < total {
+        let mut run_end = i + 1;
+        while run_end < total && order[run_end].0 == order[i].0 {
+            run_end += 1;
+        }
+        for &(_, li, r) in &order[i..run_end] {
+            let q = row_of(li, r);
+            if witnesses.count_dominators_range(0, wn, q, k, &mut dts) >= k {
+                stats.witness_kills += 1;
+                continue;
+            }
+            let count = tile.count_dominators_range(0, run_end, q, k, &mut dts);
+            if count < k {
+                debug_assert!(count >= locals[li as usize].counts[r as usize]);
+                out.push((locals[li as usize].ids[r as usize], count));
             }
         }
         i = run_end;
@@ -327,5 +466,126 @@ mod tests {
         let (got, stats) = merge_local_skylines(3, &[]);
         assert!(got.is_empty());
         assert_eq!(stats, MergeStats::default());
+    }
+
+    /// Reference skyband merge path: shard the data, compute each local
+    /// skyband naively (with local counts), merge, and compare against
+    /// the global naive skyband with exact counts.
+    fn check_band(
+        n: usize,
+        d: usize,
+        dist: Distribution,
+        band_k: u32,
+        shards: usize,
+        kind: PartitionerKind,
+        max_mask: u32,
+    ) {
+        let pool = ThreadPool::new(1);
+        let data = generate(dist, n, d, 1337, &pool);
+        let dims: Vec<usize> = (0..d).collect();
+        let store = ShardedStore::build(&data, shards, kind);
+        let mut locals = Vec::new();
+        for s in 0..store.k() {
+            let mut ids = Vec::new();
+            let mut rows = Vec::new();
+            store.shard(s).for_each_live(|id, row| {
+                ids.push(id);
+                for (j, &v) in row.iter().enumerate() {
+                    rows.push(flip_pref(v, max_mask & (1 << j) != 0));
+                }
+            });
+            // Local skyband by brute force over the folded rows.
+            let mut keep = Vec::new();
+            let mut counts = Vec::new();
+            let mut krows = Vec::new();
+            for a in 0..ids.len() {
+                let pa = &rows[a * d..(a + 1) * d];
+                let mut c = 0u32;
+                for b in 0..ids.len() {
+                    if a == b {
+                        continue;
+                    }
+                    let pb = &rows[b * d..(b + 1) * d];
+                    if pb.iter().zip(pa).all(|(x, y)| x <= y)
+                        && pb.iter().zip(pa).any(|(x, y)| x < y)
+                    {
+                        c += 1;
+                    }
+                }
+                if c < band_k {
+                    keep.push(ids[a]);
+                    counts.push(c);
+                    krows.extend_from_slice(pa);
+                }
+            }
+            locals.push(ShardSkyband {
+                shard: s,
+                ids: keep,
+                counts,
+                rows: krows,
+            });
+        }
+        let (mut got, stats) = merge_local_skybands(d, band_k, &locals);
+        got.sort_unstable();
+        let expect = verify::naive_skyband_on_pref(&data, &dims, max_mask, band_k);
+        assert_eq!(
+            got, expect,
+            "{dist:?} band_k={band_k} shards={shards} {kind:?} mask={max_mask:b}"
+        );
+        assert_eq!(stats.survivors, expect.len());
+        assert!(stats.witnesses <= (d + 1) * store.k());
+    }
+
+    #[test]
+    fn skyband_merge_matches_naive_across_partitioners() {
+        for kind in PartitionerKind::ALL {
+            for band_k in [1u32, 2, 4] {
+                check_band(500, 4, Distribution::Anticorrelated, band_k, 3, kind, 0);
+                check_band(500, 3, Distribution::Independent, band_k, 4, kind, 0b101);
+            }
+        }
+        check_band(
+            300,
+            2,
+            Distribution::Correlated,
+            3,
+            2,
+            PartitionerKind::Random,
+            0b10,
+        );
+    }
+
+    #[test]
+    fn skyband_merge_k1_equals_skyline_merge() {
+        // k = 1 skyband is the skyline with all counts zero.
+        let pool = ThreadPool::new(1);
+        let data = generate(Distribution::Anticorrelated, 400, 3, 7, &pool);
+        let dims: Vec<usize> = (0..3).collect();
+        check_band(
+            400,
+            3,
+            Distribution::Anticorrelated,
+            1,
+            3,
+            PartitionerKind::Grid,
+            0,
+        );
+        let expect = verify::naive_skyband_on_pref(&data, &dims, 0, 1);
+        assert!(expect.iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn skyband_merge_empty_and_k0() {
+        let (got, stats) = merge_local_skybands(3, 2, &[]);
+        assert!(got.is_empty());
+        assert_eq!(stats, MergeStats::default());
+        let locals = vec![ShardSkyband {
+            shard: 0,
+            ids: vec![1],
+            counts: vec![0],
+            rows: vec![0.5, 0.5],
+        }];
+        let (got, _) = merge_local_skybands(2, 0, &locals);
+        assert!(got.is_empty());
     }
 }

@@ -57,6 +57,7 @@ use skyline_core::SkylineConfig;
 use skyline_data::PartitionerKind;
 
 use crate::catalog::DatasetEntry;
+use crate::query::QueryKind;
 
 /// How a query will be (or was) answered.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -422,6 +423,89 @@ impl Planner {
             plan.superspace_seed = seed;
         }
         plan
+    }
+
+    /// Plans a query of any [`QueryKind`]. Skyline queries take the
+    /// full tiered decision of [`plan_query`](Self::plan_query);
+    /// counting kinds (k-skyband, top-k dominating) use a reduced
+    /// procedure because the structural shortcuts do not apply to
+    /// them: a sorted projection yields minima but not dominator
+    /// counts (no min-scan), the maintenance kernels patch membership
+    /// but not counts (no delta), and a cached subspace skyline prunes
+    /// rows that may still carry non-zero counts (no superspace seed).
+    ///
+    /// - **k-skyband** fans out over an attached sharded store when
+    ///   the input is large enough (per-shard local skybands, counting
+    ///   merge with exact carry-over); otherwise it runs the
+    ///   sum-sorted counting kernel, which is SFS-shaped, so the plan
+    ///   reports [`Algorithm::Sfs`].
+    /// - **top-k dominating** always runs the counting kernel over the
+    ///   whole input: dominated-counts add across shards, so a
+    ///   local-merge decomposition cannot bound them and sharding is
+    ///   never sound for this kind.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_kind(
+        &self,
+        entry: &DatasetEntry,
+        dims: &[usize],
+        max_mask: u32,
+        threads: usize,
+        kind: QueryKind,
+        prior: Option<PriorResult>,
+        seed: Option<SuperspaceSeed>,
+    ) -> QueryPlan {
+        if kind.is_skyline() {
+            return self.plan_query(entry, dims, max_mask, threads, prior, seed);
+        }
+        let cfg = self.config();
+        let n = entry.live_len();
+        if n == 0 {
+            return QueryPlan::trivial("empty dataset");
+        }
+        if kind.k() == 0 {
+            return QueryPlan::trivial("k = 0: the answer is empty by definition");
+        }
+        let stats = entry.stats();
+        let effective: Vec<usize> = dims
+            .iter()
+            .copied()
+            .filter(|&c| !stats.per_dim[c].is_constant())
+            .collect();
+        if effective.is_empty() {
+            return QueryPlan::trivial("all selected dimensions are constant");
+        }
+        let frac = sample_skyline_frac(entry, &effective);
+        if let (QueryKind::Skyband { .. }, Some(store)) = (kind, entry.sharded()) {
+            if store.k() > 1 && n >= cfg.sharded_min_n {
+                return QueryPlan {
+                    strategy: Strategy::Sharded {
+                        k: store.k(),
+                        partitioner: store.partitioner_kind(),
+                    },
+                    threads: threads.max(1),
+                    config: SkylineConfig::tuned(n / store.k(), 1),
+                    effective_dims: effective,
+                    sample_skyline_frac: Some(frac),
+                    reason: "sharded store attached: per-shard local skybands, counting merge",
+                    candidates: Vec::new(),
+                    superspace_seed: None,
+                };
+            }
+        }
+        let reason = match kind {
+            QueryKind::Skyband { .. } => "k-skyband: sum-sorted counting scan",
+            _ => "top-k dominating: counting kernel over the negated input",
+        };
+        QueryPlan {
+            strategy: Strategy::Algorithm(Algorithm::Sfs),
+            threads: 1,
+            config: SkylineConfig::default(),
+            effective_dims: effective,
+            sample_skyline_frac: Some(frac),
+            reason,
+            candidates: Vec::new(),
+            superspace_seed: None,
+        }
     }
 
     fn plan_inner(
@@ -850,5 +934,54 @@ mod tests {
         let plan = planner.plan(&corr, &[0, 1, 2, 3], 0, 4);
         assert_eq!(plan.strategy, Strategy::Algorithm(Algorithm::QFlow));
         assert_eq!(plan.config.alpha_qflow, 4_096);
+    }
+
+    #[test]
+    fn counting_kinds_skip_structural_shortcuts() {
+        let planner = Planner::default();
+        let pool = ThreadPool::new(2);
+        let e = entry_of(generate(Distribution::Independent, 20_000, 4, 7, &pool));
+        // A tempting delta prior is ignored for counting kinds.
+        let prior = PriorResult {
+            from_version: 3,
+            len: 120,
+            inserted: 2,
+            deleted: 1,
+        };
+        for kind in [
+            QueryKind::Skyband { k: 3 },
+            QueryKind::TopKDominating { k: 5 },
+        ] {
+            let plan = planner.plan_kind(&e, &[0, 1, 2, 3], 0, 4, kind, Some(prior), None);
+            assert_eq!(
+                plan.strategy,
+                Strategy::Algorithm(Algorithm::Sfs),
+                "{kind:?}"
+            );
+            assert!(plan.superspace_seed.is_none());
+            assert!(plan.sample_skyline_frac.is_some());
+        }
+        // k = 0 is definitionally empty.
+        let plan = planner.plan_kind(
+            &e,
+            &[0, 1, 2, 3],
+            0,
+            4,
+            QueryKind::Skyband { k: 0 },
+            None,
+            None,
+        );
+        assert_eq!(plan.strategy, Strategy::Trivial);
+        // Skyline kind routes through the full tiered procedure.
+        let plan = planner.plan_kind(
+            &e,
+            &[0, 1, 2, 3],
+            0,
+            4,
+            QueryKind::Skyline,
+            Some(prior),
+            None,
+        );
+        assert_eq!(plan.strategy, Strategy::Delta { from_version: 3 });
     }
 }

@@ -45,13 +45,71 @@ impl QueryOptions {
     }
 }
 
-/// A subspace skyline query against a registered dataset.
+/// Which operator of the skyline **query family** a query computes.
+///
+/// All three share the same dominance machinery, planner, cache, and
+/// serving path; they differ only in which points survive:
+///
+/// * [`Skyline`](QueryKind::Skyline) — points dominated by nobody;
+/// * [`Skyband`](QueryKind::Skyband) — points dominated by **fewer
+///   than `k`** others (`k = 1` is the skyline; the skyband is a
+///   superset of every smaller-`k` skyband, which is what makes a
+///   cached skyband an *ancestor* answer for them);
+/// * [`TopKDominating`](QueryKind::TopKDominating) — the `k` points
+///   that strictly dominate the most others, ranked by that score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueryKind {
+    /// The plain skyline: every point strictly dominated by no other.
+    #[default]
+    Skyline,
+    /// The k-skyband: every point strictly dominated by fewer than `k`
+    /// others. `k = 0` is empty, `k = 1` is the skyline.
+    Skyband {
+        /// The band width: maximum tolerated dominator count, exclusive.
+        k: u32,
+    },
+    /// The top-k dominating query: the `k` points that strictly
+    /// dominate the most others, ordered by score descending (row
+    /// index ascending on ties).
+    TopKDominating {
+        /// How many top-scoring points to return.
+        k: u32,
+    },
+}
+
+impl QueryKind {
+    /// True for the plain skyline operator.
+    pub fn is_skyline(self) -> bool {
+        matches!(self, QueryKind::Skyline)
+    }
+
+    /// The operator's `k` parameter (`1` for the plain skyline, which
+    /// is the skyband at `k = 1`).
+    pub fn k(self) -> u32 {
+        match self {
+            QueryKind::Skyline => 1,
+            QueryKind::Skyband { k } | QueryKind::TopKDominating { k } => k,
+        }
+    }
+
+    /// Stable lowercase operator name, used in traces and report lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Skyline => "skyline",
+            QueryKind::Skyband { .. } => "skyband",
+            QueryKind::TopKDominating { .. } => "top_k_dominating",
+        }
+    }
+}
+
+/// A subspace skyline-family query against a registered dataset.
 ///
 /// `dims` selects the dimensions that participate in dominance (the
 /// subspace); `None` means all of them. `preference` optionally flips
 /// selected dimensions to "larger is better" and aligns one-to-one with
 /// the selected dimensions (with the full space when `dims` is `None`).
-/// `limit` truncates the returned index list.
+/// `kind` picks the operator (plain skyline by default; see
+/// [`QueryKind`]). `limit` truncates the returned index list.
 ///
 /// ```
 /// use skyline_engine::SkylineQuery;
@@ -69,20 +127,43 @@ pub struct SkylineQuery {
     dataset: String,
     dims: Option<Vec<usize>>,
     preference: Option<Vec<Preference>>,
+    kind: QueryKind,
     limit: Option<usize>,
     options: QueryOptions,
 }
 
 impl SkylineQuery {
-    /// A full-space, minimising, unlimited query against `dataset`.
+    /// A full-space, minimising, unlimited plain-skyline query against
+    /// `dataset`.
     pub fn new(dataset: impl Into<String>) -> Self {
         Self {
             dataset: dataset.into(),
             dims: None,
             preference: None,
+            kind: QueryKind::default(),
             limit: None,
             options: QueryOptions::default(),
         }
+    }
+
+    /// Selects the operator (default: the plain skyline).
+    pub fn kind(mut self, kind: QueryKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Shorthand for [`kind`](Self::kind) with
+    /// [`QueryKind::Skyband`]: keep every point dominated by fewer
+    /// than `k` others.
+    pub fn skyband(self, k: u32) -> Self {
+        self.kind(QueryKind::Skyband { k })
+    }
+
+    /// Shorthand for [`kind`](Self::kind) with
+    /// [`QueryKind::TopKDominating`]: the `k` points dominating the
+    /// most others.
+    pub fn top_k_dominating(self, k: u32) -> Self {
+        self.kind(QueryKind::TopKDominating { k })
     }
 
     /// Restricts dominance to the given dimensions. Order is
@@ -155,6 +236,11 @@ impl SkylineQuery {
         self.preference.as_deref()
     }
 
+    /// The operator this query computes.
+    pub fn query_kind(&self) -> QueryKind {
+        self.kind
+    }
+
     /// The result-size limit, if any.
     pub fn result_limit(&self) -> Option<usize> {
         self.limit
@@ -216,6 +302,7 @@ impl SkylineQuery {
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     pub(crate) full: Arc<Vec<u32>>,
+    pub(crate) counts: Option<Arc<Vec<u32>>>,
     pub(crate) limit: Option<usize>,
     /// How the engine decided to answer this query.
     pub plan: QueryPlan,
@@ -236,13 +323,28 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    /// Skyline member indices into the dataset's rows, ascending,
-    /// truncated to the query's limit.
+    /// Result member indices into the dataset's rows, truncated to the
+    /// query's limit: ascending for skyline and skyband queries, score
+    /// order (descending, index ascending on ties) for top-k
+    /// dominating.
     pub fn indices(&self) -> &[u32] {
         match self.limit {
             Some(k) if k < self.full.len() => &self.full[..k],
             _ => &self.full,
         }
+    }
+
+    /// Per-member dominance counts, parallel to [`indices`](Self::indices)
+    /// (also truncated to the limit): the number of **dominators** for
+    /// a skyband query, the number of **dominated** points for top-k
+    /// dominating. `None` for plain skyline queries — every member's
+    /// dominator count is zero by definition.
+    pub fn counts(&self) -> Option<&[u32]> {
+        let counts = self.counts.as_deref()?;
+        Some(match self.limit {
+            Some(k) if k < counts.len() => &counts[..k],
+            _ => counts,
+        })
     }
 
     /// Number of indices returned (after the limit).
@@ -331,6 +433,7 @@ mod tests {
     fn result_limit_is_a_view() {
         let r = QueryResult {
             full: Arc::new(vec![1, 4, 7, 9]),
+            counts: Some(Arc::new(vec![0, 1, 2, 2])),
             limit: Some(2),
             plan: QueryPlan::trivial("test"),
             cache_hit: false,
@@ -342,5 +445,21 @@ mod tests {
         assert_eq!(r.indices(), &[1, 4]);
         assert_eq!(r.len(), 2);
         assert_eq!(r.total_skyline_size(), 4);
+        assert_eq!(r.counts(), Some(&[0, 1][..]));
+    }
+
+    #[test]
+    fn kind_builders_round_trip() {
+        let q = SkylineQuery::new("d");
+        assert_eq!(q.query_kind(), QueryKind::Skyline);
+        assert!(q.query_kind().is_skyline());
+        assert_eq!(QueryKind::Skyline.k(), 1);
+        let q = q.skyband(4);
+        assert_eq!(q.query_kind(), QueryKind::Skyband { k: 4 });
+        assert_eq!(q.query_kind().k(), 4);
+        assert_eq!(q.query_kind().label(), "skyband");
+        let q = q.top_k_dominating(9);
+        assert_eq!(q.query_kind(), QueryKind::TopKDominating { k: 9 });
+        assert_eq!(q.query_kind().label(), "top_k_dominating");
     }
 }

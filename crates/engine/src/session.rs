@@ -27,7 +27,9 @@
 //! * a **dispatcher** drains the queues highest-class-first — with
 //!   **class aging** ([`AdmissionConfig::age_boost_after`]) so
 //!   sustained High traffic cannot starve Low forever,
-//!   earliest-deadline-first order within a class, and a re-check for
+//!   **round-robin across tenants within a class** (one tenant's bulk
+//!   backlog cannot make a co-tenant's single ticket wait behind all of
+//!   it), earliest-deadline-first order within a tenant, and a re-check for
 //!   newly queued higher-class tickets between a batch's pool-wide
 //!   plans — and feeds the engine's shared thread pool through the
 //!   same batch core as
@@ -79,7 +81,7 @@
 //! engine.shutdown();
 //! ```
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -367,18 +369,76 @@ impl Ord for QueueEntry {
     }
 }
 
+/// One priority class's queue with **per-tenant fair share**: each
+/// tenant gets its own deadline-ordered heap, and dequeue round-robins
+/// across the tenants holding queued tickets — so one tenant
+/// bulk-submitting a thousand tickets into a class cannot make a
+/// co-tenant's single ticket wait behind all of them. Capacity and the
+/// cross-class dispatch rules (aging, seniority) are unchanged; with a
+/// single tenant queued the class degenerates to one plain
+/// deadline-ordered queue.
+#[derive(Debug, Default)]
+struct ClassQueue {
+    /// Per-tenant deadline-ordered heaps; a tenant's entry exists iff
+    /// it has queued tickets.
+    tenants: HashMap<String, BinaryHeap<QueueEntry>>,
+    /// Round-robin dequeue order over the tenants in `tenants`; each
+    /// appears exactly once.
+    rr: VecDeque<String>,
+    /// Total queued tickets across all tenants.
+    len: usize,
+}
+
+impl ClassQueue {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, ticket: Arc<TicketState>) {
+        let heap = self.tenants.entry(ticket.tenant.clone()).or_default();
+        if heap.is_empty() {
+            self.rr.push_back(ticket.tenant.clone());
+        }
+        heap.push(QueueEntry(ticket));
+        self.len += 1;
+    }
+
+    /// The ticket the next [`pop`](Self::pop) would return: the
+    /// round-robin front tenant's earliest-deadline ticket.
+    fn peek(&self) -> Option<&QueueEntry> {
+        self.tenants.get(self.rr.front()?)?.peek()
+    }
+
+    fn pop(&mut self) -> Option<Arc<TicketState>> {
+        let name = self.rr.pop_front()?;
+        let heap = self
+            .tenants
+            .get_mut(&name)
+            .expect("rr names tenants with queued tickets");
+        let entry = heap.pop().expect("rr tenants have queued tickets");
+        if heap.is_empty() {
+            self.tenants.remove(&name);
+        } else {
+            self.rr.push_back(name);
+        }
+        self.len -= 1;
+        Some(entry.0)
+    }
+}
+
 #[derive(Debug, Default)]
 struct AdmissionState {
-    /// One bounded deadline-ordered queue per priority class, indexed
-    /// by [`Priority::index`].
-    queues: [BinaryHeap<QueueEntry>; 3],
+    /// One bounded queue per priority class, indexed by
+    /// [`Priority::index`]; within a class, dequeue is round-robin
+    /// across tenants, earliest deadline first within a tenant.
+    queues: [ClassQueue; 3],
     tenants: HashMap<String, TenantState>,
     shutdown: bool,
 }
 
 impl AdmissionState {
     fn queued(&self) -> usize {
-        self.queues.iter().map(BinaryHeap::len).sum()
+        self.queues.iter().map(ClassQueue::len).sum()
     }
 }
 
@@ -717,7 +777,7 @@ impl SessionRuntime {
             inner: Mutex::new(TicketInner::default()),
             done: Condvar::new(),
         });
-        st.queues[priority.index()].push(QueueEntry(Arc::clone(&state)));
+        st.queues[priority.index()].push(Arc::clone(&state));
         drop(st);
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.work.notify_one();
@@ -770,7 +830,7 @@ impl SessionRuntime {
                 best = Some((class, eff, t.submitted_at, t.id));
             }
         }
-        best.map(|(class, ..)| st.queues[class].pop().expect("peeked just above").0)
+        best.map(|(class, ..)| st.queues[class].pop().expect("peeked just above"))
     }
 
     /// Pops up to `max_batch` tickets by effective class (aging

@@ -637,6 +637,10 @@ pub enum SpanKind {
     Execute,
     /// Serving a result straight from the cache.
     CacheHit,
+    /// Deriving a result from a cached **ancestor** entry — a skyband
+    /// at `k' ≥ k` filtered down by its stored dominator counts (or a
+    /// top-k dominating list truncated) — with no dataset scan at all.
+    CacheAncestor,
     /// Pre-filtering algorithm input through a cached subspace skyline
     /// (the superspace-seed optimisation).
     CacheSeed,
@@ -663,6 +667,7 @@ impl SpanKind {
             SpanKind::ShardMerge => "shard.merge",
             SpanKind::Execute => "execute",
             SpanKind::CacheHit => "cache_hit",
+            SpanKind::CacheAncestor => "cache_ancestor",
             SpanKind::CacheSeed => "cache_seed",
             SpanKind::CacheInsert => "cache_insert",
             SpanKind::CachePatch => "cache_patch",

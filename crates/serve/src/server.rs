@@ -37,8 +37,8 @@ use std::time::{Duration, Instant};
 
 use skyline_data::Preference;
 use skyline_engine::{
-    Counter, EngineError, Gauge, Histogram, Priority, QueryResult, RejectReason, Session,
-    SessionOptions, SkylineQuery,
+    Counter, EngineError, Gauge, Histogram, Priority, QueryKind, QueryResult, RejectReason,
+    Session, SessionOptions, SkylineQuery,
 };
 
 use crate::http::{self, ChunkedWriter, ReadOutcome, Request};
@@ -506,13 +506,45 @@ fn handle_query(
     write_result(stream, &result, inner)
 }
 
+/// Top-level request fields [`build_query`] understands. Anything
+/// else is rejected with a 400 naming the field, so a typo like
+/// `"pref"` fails loudly instead of silently running the default
+/// full-space query.
+const QUERY_FIELDS: &[&str] = &[
+    "dataset",
+    "kind",
+    "dims",
+    "preference",
+    "limit",
+    "deadline_ms",
+    "priority",
+    "pin_version",
+];
+
 /// Translates the JSON body into a [`SkylineQuery`].
 fn build_query(body: &Json) -> Result<SkylineQuery, String> {
+    let members = match body {
+        Json::Obj(members) => members,
+        _ => return Err("request body must be a JSON object".into()),
+    };
+    if let Some((key, _)) = members
+        .iter()
+        .find(|(k, _)| !QUERY_FIELDS.contains(&k.as_str()))
+    {
+        return Err(format!(
+            "unknown field '{}'; allowed fields: {}",
+            json::escape(key),
+            QUERY_FIELDS.join(", ")
+        ));
+    }
     let dataset = body
         .get("dataset")
         .and_then(Json::as_str)
         .ok_or("missing required string field 'dataset'")?;
     let mut query = SkylineQuery::new(dataset);
+    if let Some(kind) = body.get("kind") {
+        query = query.kind(parse_kind(kind)?);
+    }
     if let Some(dims) = body.get("dims") {
         let items = dims.as_arr().ok_or("'dims' must be an array of integers")?;
         let mut out = Vec::with_capacity(items.len());
@@ -570,10 +602,40 @@ fn build_query(body: &Json) -> Result<SkylineQuery, String> {
     Ok(query)
 }
 
+/// Parses the `kind` member: `"skyline"` (the default),
+/// `{"skyband":{"k":N}}`, or `{"top_k_dominating":{"k":N}}`.
+fn parse_kind(value: &Json) -> Result<QueryKind, String> {
+    const SHAPE: &str = "'kind' must be \"skyline\", {\"skyband\":{\"k\":N}}, \
+                         or {\"top_k_dominating\":{\"k\":N}}";
+    match value {
+        Json::Str(s) if s == "skyline" => Ok(QueryKind::Skyline),
+        Json::Obj(members) if members.len() == 1 => {
+            let (name, args) = &members[0];
+            // The variant object carries exactly one member, `k`.
+            match args {
+                Json::Obj(inner) if inner.iter().all(|(k, _)| k == "k") => {}
+                _ => return Err(SHAPE.into()),
+            }
+            let k = args
+                .get("k")
+                .and_then(Json::as_u64)
+                .filter(|k| *k <= u64::from(u32::MAX))
+                .ok_or(SHAPE)? as u32;
+            match name.as_str() {
+                "skyband" => Ok(QueryKind::Skyband { k }),
+                "top_k_dominating" => Ok(QueryKind::TopKDominating { k }),
+                _ => Err(SHAPE.into()),
+            }
+        }
+        _ => Err(SHAPE.into()),
+    }
+}
+
 /// Writes a successful query result: fixed-length for small skylines,
 /// chunked pages for large ones.
 fn write_result(stream: &mut TcpStream, result: &QueryResult, inner: &Inner) -> bool {
     let indices = result.indices();
+    let counts = result.counts();
     let prefix = format!(
         "{{\"version\":{},\"cache_hit\":{},\"elapsed_us\":{},\"total\":{},\"count\":{},\"indices\":[",
         result.dataset_version,
@@ -590,7 +652,18 @@ fn write_result(stream: &mut TcpStream, result: &QueryResult, inner: &Inner) -> 
             }
             body.push_str(&idx.to_string());
         }
-        body.push_str("]}");
+        body.push(']');
+        if let Some(counts) = counts {
+            body.push_str(",\"counts\":[");
+            for (i, c) in counts.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&c.to_string());
+            }
+            body.push(']');
+        }
+        body.push('}');
         return http::write_response(stream, 200, "application/json", &[], body.as_bytes()).is_ok();
     }
     // Streamed: one chunk per page so the server's memory stays
@@ -598,22 +671,32 @@ fn write_result(stream: &mut TcpStream, result: &QueryResult, inner: &Inner) -> 
     let mut write = || -> io::Result<()> {
         let mut w = ChunkedWriter::start(stream, 200, "application/json")?;
         w.chunk(prefix.as_bytes())?;
-        let mut first = true;
-        for page in indices.chunks(inner.cfg.page_rows.max(1)) {
-            let mut text = String::with_capacity(page.len() * 8);
-            for idx in page {
-                if !first {
-                    text.push(',');
+        let stream_array = |w: &mut ChunkedWriter<'_>, values: &[u32]| -> io::Result<()> {
+            let mut first = true;
+            for page in values.chunks(inner.cfg.page_rows.max(1)) {
+                let mut text = String::with_capacity(page.len() * 8);
+                for v in page {
+                    if !first {
+                        text.push(',');
+                    }
+                    first = false;
+                    text.push_str(&v.to_string());
                 }
-                first = false;
-                text.push_str(&idx.to_string());
+                w.chunk(text.as_bytes())?;
+                if let Some(c) = &inner.metrics.streamed_chunks {
+                    c.inc();
+                }
             }
-            w.chunk(text.as_bytes())?;
-            if let Some(c) = &inner.metrics.streamed_chunks {
-                c.inc();
-            }
+            Ok(())
+        };
+        stream_array(&mut w, indices)?;
+        w.chunk(b"]")?;
+        if let Some(counts) = counts {
+            w.chunk(b",\"counts\":[")?;
+            stream_array(&mut w, counts)?;
+            w.chunk(b"]")?;
         }
-        w.chunk(b"]}")?;
+        w.chunk(b"}")?;
         w.finish()
     };
     write().is_ok()

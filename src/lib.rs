@@ -120,9 +120,10 @@ pub use skyline_engine::{
     EngineConfig, EngineError, FeedbackConfig, FeedbackLoop, FeedbackStats, Gauge, Histogram,
     HistogramSnapshot, ManualClock, MergeStats, MetricSample, MetricValue, MetricsRegistry,
     MetricsSnapshot, MonotonicClock, MutationReport, Observation, PartitionerKind, PlanCandidate,
-    PlanKind, PlannerConfig, Priority, QueryOptions, QueryPlan, QueryResult, QueryTicket,
-    QueryTrace, QuotaKind, RecoveryReport, RejectReason, Session, SessionOptions, SessionStats,
-    SkylineQuery, SlowQueryLog, SpanKind, Strategy, SuperspaceSeed, TelemetryConfig, TraceSpan,
+    PlanKind, PlannerConfig, Priority, QueryKind, QueryOptions, QueryPlan, QueryResult,
+    QueryTicket, QueryTrace, QuotaKind, RecoveryReport, RejectReason, Session, SessionOptions,
+    SessionStats, SkylineQuery, SlowQueryLog, SpanKind, Strategy, SuperspaceSeed, TelemetryConfig,
+    TraceSpan,
 };
 pub use skyline_parallel::{available_threads, ThreadPool};
 pub use skyline_serve::{

@@ -92,6 +92,44 @@ fn dispatch_pops_highest_priority_class_first() {
 }
 
 #[test]
+fn dispatch_round_robins_across_tenants_within_a_class() {
+    // One tenant's backlog cannot monopolize its class: the dispatcher
+    // hands each tenant with queued work one turn per cycle, so a
+    // single-ticket tenant dispatches third here, not last.
+    let (engine, _clock) = manual_engine(16, 1);
+    let alpha = engine.session("alpha");
+    let beta = engine.session("beta");
+    let gamma = engine.session("gamma");
+
+    // Arrival order: alpha floods first, then beta, then gamma.
+    let a1 = alpha.submit(&distinct_query(0)).unwrap();
+    let a2 = alpha.submit(&distinct_query(1)).unwrap();
+    let a3 = alpha.submit(&distinct_query(2)).unwrap();
+    let b1 = beta.submit(&distinct_query(3)).unwrap();
+    let b2 = beta.submit(&distinct_query(4)).unwrap();
+    let g1 = gamma.submit(&distinct_query(5)).unwrap();
+
+    // Strict FIFO would drain alpha's backlog before beta ever ran;
+    // the fair share interleaves: one ticket per tenant per cycle,
+    // FIFO within each tenant.
+    let order = [&a1, &b1, &g1, &a2, &b2, &a3];
+    for (i, expect) in order.iter().enumerate() {
+        assert_eq!(engine.pump(), 1);
+        assert!(
+            expect.poll().is_some(),
+            "turn {i}: the round-robin dispatched the wrong tenant"
+        );
+        for later in &order[i + 1..] {
+            assert!(later.poll().is_none(), "turn {i}: a later turn ran early");
+        }
+    }
+    assert_eq!(engine.pump(), 0, "queue drained");
+    for t in order {
+        assert!(t.poll().unwrap().is_ok());
+    }
+}
+
+#[test]
 fn per_query_priority_lowers_but_never_raises_the_class() {
     let (engine, _clock) = manual_engine(8, 1);
     let high = engine.open_session(SessionOptions::new("vip").priority(Priority::High));

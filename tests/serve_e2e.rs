@@ -252,6 +252,126 @@ fn oversized_skylines_stream_chunked_and_match_the_oracle() {
 }
 
 #[test]
+fn query_kinds_round_trip_and_unknown_fields_reject() {
+    let engine = test_engine(800, Distribution::Anticorrelated);
+    let data = engine.dataset("data").expect("registered").snapshot();
+    let server = SkylineServer::start(Arc::clone(&engine), ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A skyband query returns both indices and the parallel dominator
+    // counts, and both must match the naive oracle.
+    let resp = client
+        .post_json(
+            "/v1/query",
+            r#"{"dataset":"data","kind":{"skyband":{"k":3}},"dims":[0,1]}"#,
+        )
+        .expect("request");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let body = resp.text();
+    let parsed = parse_json(&body).expect("valid JSON");
+    let counts: Vec<u32> = parsed
+        .get("counts")
+        .and_then(Json::as_arr)
+        .expect("skyband responses carry a counts array")
+        .iter()
+        .map(|v| v.as_u64().expect("count is an integer") as u32)
+        .collect();
+    let indices = indices_of(&body);
+    assert_eq!(indices.len(), counts.len());
+    let mut got: Vec<(u32, u32)> = indices
+        .iter()
+        .copied()
+        .zip(counts.iter().copied())
+        .collect();
+    got.sort_unstable();
+    let expected = verify::naive_skyband_on_pref(&data, &[0, 1], 0, 3);
+    assert_eq!(got, expected, "skyband diverged from the oracle");
+
+    // Top-k dominating over the wire: ranked ids plus dominated counts.
+    let resp = client
+        .post_json(
+            "/v1/query",
+            r#"{"dataset":"data","kind":{"top_k_dominating":{"k":5}}}"#,
+        )
+        .expect("request");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let body = resp.text();
+    let parsed = parse_json(&body).expect("valid JSON");
+    let counts: Vec<u32> = parsed
+        .get("counts")
+        .and_then(Json::as_arr)
+        .expect("top-k responses carry a counts array")
+        .iter()
+        .map(|v| v.as_u64().expect("count is an integer") as u32)
+        .collect();
+    let got: Vec<(u32, u32)> = indices_of(&body).into_iter().zip(counts).collect();
+    let expected = verify::naive_top_k_dominating(&data, &[0, 1, 2, 3], 0, 5);
+    assert_eq!(got, expected, "top-k dominating diverged from the oracle");
+
+    // The explicit skyline spelling matches the default, with no counts.
+    let resp = client
+        .post_json("/v1/query", r#"{"dataset":"data","kind":"skyline"}"#)
+        .expect("request");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let body = resp.text();
+    assert!(
+        parse_json(&body)
+            .expect("valid JSON")
+            .get("counts")
+            .is_none(),
+        "skyline responses must not carry counts"
+    );
+    let mut got = indices_of(&body);
+    got.sort_unstable();
+    assert_eq!(got, verify::naive_skyline_on_pref(&data, &[0, 1, 2, 3], 0));
+
+    // Malformed kinds are 400s that name the accepted shapes.
+    for bad in [
+        r#"{"dataset":"data","kind":"skybandd"}"#,
+        r#"{"dataset":"data","kind":{"skyband":{"k":3},"extra":1}}"#,
+        r#"{"dataset":"data","kind":{"skyband":{"kk":3}}}"#,
+        r#"{"dataset":"data","kind":{"skyband":{"k":-1}}}"#,
+    ] {
+        let resp = client.post_json("/v1/query", bad).expect("request");
+        assert_eq!(resp.status, 400, "body {bad}: {}", resp.text());
+        assert!(
+            resp.text().contains("'kind' must be"),
+            "error must describe the accepted kind shapes: {}",
+            resp.text()
+        );
+    }
+
+    // An unknown top-level field is a 400 naming the offender, so typos
+    // like "pref" fail loudly instead of silently running a different
+    // query.
+    let resp = client
+        .post_json(
+            "/v1/query",
+            r#"{"dataset":"data","pref":["min","max"],"dims":[0,1]}"#,
+        )
+        .expect("request");
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    let body = resp.text();
+    assert!(
+        body.contains("unknown field 'pref'"),
+        "error must name the rejected field: {body}"
+    );
+    assert!(
+        body.contains("preference"),
+        "error must list the accepted fields: {body}"
+    );
+
+    // A non-object body gets the same treatment.
+    let resp = client
+        .post_json("/v1/query", r#"[1,2,3]"#)
+        .expect("request");
+    assert_eq!(resp.status, 400, "{}", resp.text());
+
+    server.shutdown();
+}
+
+#[test]
 fn version_pins_conflict_after_mutation() {
     let engine = test_engine(300, Distribution::Independent);
     let server = SkylineServer::start(Arc::clone(&engine), ServeConfig::default()).expect("bind");
